@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet cover bench experiments experiments-quick fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Per-package coverage summary.
+cover:
+	$(GO) test -cover ./...
+
+# The full testing.B suite (mirrors the experiment workloads).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the EXPERIMENTS.md tables at full scope (~2-3 minutes).
+experiments:
+	$(GO) run ./cmd/trebench
+
+experiments-quick:
+	$(GO) run ./cmd/trebench -quick
+
+# Short fuzz campaign over every wire decoder.
+fuzz:
+	$(GO) test -fuzz FuzzUnmarshalKeyUpdate -fuzztime 30s ./internal/wire
+	$(GO) test -fuzz FuzzUnmarshalCCACiphertext -fuzztime 30s ./internal/wire
+	$(GO) test -fuzz FuzzUnmarshalEnvelope -fuzztime 30s ./internal/wire
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,389 @@
+// Command trectl is the user-side CLI: key generation, timed-release
+// encryption and decryption, and key-update retrieval — all without any
+// per-message interaction with the time server.
+//
+//	trectl server-keygen -preset SS512 -out server.key -pub server.pub
+//	trectl user-keygen   -preset SS512 -server-pub server.pub -out user.key -pub user.pub
+//	trectl encrypt  -preset SS512 -server-pub server.pub -user-pub user.pub \
+//	                -label 2027-01-01T00:00:00Z -in secret.txt -out sealed.tre
+//	trectl update   -preset SS512 -server http://host:8440 -server-pub server.pub \
+//	                -label 2027-01-01T00:00:00Z [-wait]
+//	trectl decrypt  -preset SS512 -server http://host:8440 -server-pub server.pub \
+//	                -key user.key -in sealed.tre -out secret.txt
+//	trectl verify-user-pub -preset SS512 -server-pub server.pub -user-pub user.pub
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"timedrelease/internal/keyfile"
+	"timedrelease/tre"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "server-keygen":
+		return serverKeygen(args[1:])
+	case "user-keygen":
+		return userKeygen(args[1:])
+	case "encrypt":
+		return encrypt(args[1:])
+	case "decrypt":
+		return decrypt(args[1:])
+	case "update":
+		return update(args[1:])
+	case "verify-user-pub":
+		return verifyUserPub(args[1:])
+	case "catchup":
+		return catchup(args[1:])
+	default:
+		return usage()
+	}
+}
+
+func usage() error {
+	fmt.Fprintln(os.Stderr, `usage: trectl <server-keygen|user-keygen|encrypt|decrypt|update|catchup|verify-user-pub> [flags]
+run a subcommand with -h for its flags`)
+	return fmt.Errorf("unknown or missing subcommand")
+}
+
+func loadSet(preset string) (*tre.Params, *tre.Scheme, *tre.Codec, error) {
+	set, err := tre.Preset(preset)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return set, tre.NewScheme(set), tre.NewCodec(set), nil
+}
+
+func loadServerPub(codec *tre.Codec, path string) (tre.ServerPublicKey, error) {
+	raw, err := keyfile.LoadPublic(path)
+	if err != nil {
+		return tre.ServerPublicKey{}, err
+	}
+	return codec.UnmarshalServerPublicKey(raw)
+}
+
+func serverKeygen(args []string) error {
+	fs := flag.NewFlagSet("server-keygen", flag.ContinueOnError)
+	preset := fs.String("preset", "SS512", "parameter preset")
+	out := fs.String("out", "server.key", "private key file")
+	pub := fs.String("pub", "server.pub", "public key file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set, scheme, codec, err := loadSet(*preset)
+	if err != nil {
+		return err
+	}
+	key, err := scheme.ServerKeyGen(nil)
+	if err != nil {
+		return err
+	}
+	if err := keyfile.SaveServerKey(*out, set, key); err != nil {
+		return err
+	}
+	if err := keyfile.SavePublic(*pub, codec.MarshalServerPublicKey(key.Pub)); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (private) and %s (public)\n", *out, *pub)
+	return nil
+}
+
+func userKeygen(args []string) error {
+	fs := flag.NewFlagSet("user-keygen", flag.ContinueOnError)
+	preset := fs.String("preset", "SS512", "parameter preset")
+	serverPub := fs.String("server-pub", "server.pub", "time server public key")
+	out := fs.String("out", "user.key", "private key file")
+	pub := fs.String("pub", "user.pub", "public key file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set, scheme, codec, err := loadSet(*preset)
+	if err != nil {
+		return err
+	}
+	spub, err := loadServerPub(codec, *serverPub)
+	if err != nil {
+		return err
+	}
+	key, err := scheme.UserKeyGen(spub, nil)
+	if err != nil {
+		return err
+	}
+	if err := keyfile.SaveUserKey(*out, set, key); err != nil {
+		return err
+	}
+	if err := keyfile.SavePublic(*pub, codec.MarshalUserPublicKey(key.Pub)); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (private) and %s (public)\n", *out, *pub)
+	return nil
+}
+
+func encrypt(args []string) error {
+	fs := flag.NewFlagSet("encrypt", flag.ContinueOnError)
+	preset := fs.String("preset", "SS512", "parameter preset")
+	serverPub := fs.String("server-pub", "server.pub", "time server public key")
+	userPub := fs.String("user-pub", "user.pub", "receiver public key")
+	label := fs.String("label", "", "release label, e.g. 2027-01-01T00:00:00Z")
+	in := fs.String("in", "", "plaintext file (default stdin)")
+	out := fs.String("out", "", "envelope file (default stdout)")
+	hideLabel := fs.Bool("hide-label", false, "omit the release label from the envelope (release-time privacy)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *label == "" {
+		return fmt.Errorf("-label is required")
+	}
+	_, scheme, codec, err := loadSet(*preset)
+	if err != nil {
+		return err
+	}
+	spub, err := loadServerPub(codec, *serverPub)
+	if err != nil {
+		return err
+	}
+	rawU, err := keyfile.LoadPublic(*userPub)
+	if err != nil {
+		return err
+	}
+	upub, err := codec.UnmarshalUserPublicKey(rawU)
+	if err != nil {
+		return err
+	}
+	msg, err := readInput(*in)
+	if err != nil {
+		return err
+	}
+	ct, err := scheme.EncryptCCA(nil, spub, upub, *label, msg)
+	if err != nil {
+		return err
+	}
+	envelopeLabel := *label
+	if *hideLabel {
+		envelopeLabel = ""
+	}
+	return writeOutput(*out, codec.SealCCA(envelopeLabel, ct))
+}
+
+func decrypt(args []string) error {
+	fs := flag.NewFlagSet("decrypt", flag.ContinueOnError)
+	preset := fs.String("preset", "SS512", "parameter preset")
+	serverURL := fs.String("server", "", "time server base URL")
+	serverPub := fs.String("server-pub", "server.pub", "time server public key (pinned)")
+	keyPath := fs.String("key", "user.key", "receiver private key")
+	label := fs.String("label", "", "release label (required if hidden in the envelope)")
+	in := fs.String("in", "", "envelope file (default stdin)")
+	out := fs.String("out", "", "plaintext file (default stdout)")
+	wait := fs.Bool("wait", false, "wait for the release instead of failing when early")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set, scheme, codec, err := loadSet(*preset)
+	if err != nil {
+		return err
+	}
+	spub, err := loadServerPub(codec, *serverPub)
+	if err != nil {
+		return err
+	}
+	key, err := keyfile.LoadUserKey(*keyPath, set)
+	if err != nil {
+		return err
+	}
+	raw, err := readInput(*in)
+	if err != nil {
+		return err
+	}
+	env, err := codec.UnmarshalEnvelope(raw)
+	if err != nil {
+		return err
+	}
+	if env.Kind != tre.KindCCA {
+		return fmt.Errorf("envelope kind %s not supported by this tool (use the library API)", env.Kind)
+	}
+	ct, err := codec.UnmarshalCCACiphertext(env.Payload)
+	if err != nil {
+		return err
+	}
+	useLabel := env.Label
+	if *label != "" {
+		useLabel = *label
+	}
+	if useLabel == "" {
+		return fmt.Errorf("the envelope withholds its release label; pass -label")
+	}
+	if *serverURL == "" {
+		return fmt.Errorf("-server is required")
+	}
+	client := tre.NewTimeClient(*serverURL, set, spub)
+	ctx, cancel := context.WithTimeout(context.Background(), 24*time.Hour)
+	defer cancel()
+	var upd tre.KeyUpdate
+	if *wait {
+		upd, err = client.WaitForRelease(ctx, useLabel, 2*time.Second)
+	} else {
+		upd, err = client.Update(ctx, useLabel)
+	}
+	if err != nil {
+		return err
+	}
+	msg, err := scheme.DecryptCCA(spub, key, upd, ct)
+	if err != nil {
+		return err
+	}
+	return writeOutput(*out, msg)
+}
+
+func update(args []string) error {
+	fs := flag.NewFlagSet("update", flag.ContinueOnError)
+	preset := fs.String("preset", "SS512", "parameter preset")
+	serverURL := fs.String("server", "", "time server base URL")
+	serverPub := fs.String("server-pub", "server.pub", "time server public key (pinned)")
+	label := fs.String("label", "", "release label")
+	wait := fs.Bool("wait", false, "wait until published")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" || *label == "" {
+		return fmt.Errorf("-server and -label are required")
+	}
+	set, _, codec, err := loadSet(*preset)
+	if err != nil {
+		return err
+	}
+	spub, err := loadServerPub(codec, *serverPub)
+	if err != nil {
+		return err
+	}
+	client := tre.NewTimeClient(*serverURL, set, spub)
+	ctx, cancel := context.WithTimeout(context.Background(), 24*time.Hour)
+	defer cancel()
+	var upd tre.KeyUpdate
+	if *wait {
+		upd, err = client.WaitForRelease(ctx, *label, 2*time.Second)
+	} else {
+		upd, err = client.Update(ctx, *label)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("update %s verified: %x\n", upd.Label, codec.MarshalKeyUpdate(upd))
+	return nil
+}
+
+func verifyUserPub(args []string) error {
+	fs := flag.NewFlagSet("verify-user-pub", flag.ContinueOnError)
+	preset := fs.String("preset", "SS512", "parameter preset")
+	serverPub := fs.String("server-pub", "server.pub", "time server public key")
+	userPub := fs.String("user-pub", "user.pub", "receiver public key to check")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, scheme, codec, err := loadSet(*preset)
+	if err != nil {
+		return err
+	}
+	spub, err := loadServerPub(codec, *serverPub)
+	if err != nil {
+		return err
+	}
+	rawU, err := keyfile.LoadPublic(*userPub)
+	if err != nil {
+		return err
+	}
+	upub, err := codec.UnmarshalUserPublicKey(rawU)
+	if err != nil {
+		return err
+	}
+	if !scheme.VerifyUserPublicKey(spub, upub) {
+		return fmt.Errorf("public key FAILED the well-formedness check ê(aG,sG)=ê(G,asG)")
+	}
+	fmt.Println("ok: public key is well-formed for this time server")
+	return nil
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func writeOutput(path string, data []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// catchup fetches and batch-verifies every update in a label range —
+// the "I was offline" recovery flow.
+func catchup(args []string) error {
+	fs := flag.NewFlagSet("catchup", flag.ContinueOnError)
+	preset := fs.String("preset", "SS512", "parameter preset")
+	serverURL := fs.String("server", "", "time server base URL")
+	serverPub := fs.String("server-pub", "server.pub", "time server public key (pinned)")
+	from := fs.String("from", "", "first label (RFC 3339, on the server's grid)")
+	to := fs.String("to", "", "fetch labels strictly before this instant (RFC 3339)")
+	granularity := fs.Duration("granularity", time.Minute, "server epoch width")
+	limit := fs.Int("limit", 10000, "maximum labels to fetch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" || *from == "" || *to == "" {
+		return fmt.Errorf("-server, -from and -to are required")
+	}
+	set, _, codec, err := loadSet(*preset)
+	if err != nil {
+		return err
+	}
+	spub, err := loadServerPub(codec, *serverPub)
+	if err != nil {
+		return err
+	}
+	sched, err := tre.NewSchedule(*granularity)
+	if err != nil {
+		return err
+	}
+	fromT, err := sched.ParseLabel(*from)
+	if err != nil {
+		return err
+	}
+	toT, err := time.Parse(time.RFC3339Nano, *to)
+	if err != nil {
+		return fmt.Errorf("bad -to: %w", err)
+	}
+	labels := sched.LabelsBetween(fromT, toT, *limit)
+	if len(labels) == 0 {
+		return fmt.Errorf("no labels in [%s, %s)", *from, *to)
+	}
+	client := tre.NewTimeClient(*serverURL, set, spub)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	ups, err := client.CatchUp(ctx, labels)
+	if err != nil {
+		return err
+	}
+	for _, u := range ups {
+		fmt.Printf("%s %x\n", u.Label, codec.MarshalKeyUpdate(u))
+	}
+	fmt.Fprintf(os.Stderr, "caught up %d updates (batch-verified)\n", len(ups))
+	return nil
+}

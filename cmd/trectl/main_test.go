@@ -1,0 +1,217 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"timedrelease/internal/keyfile"
+	"timedrelease/tre"
+)
+
+// TestFullCLIFlow drives the whole tool surface: server keygen, user
+// keygen, public-key verification, encryption, update retrieval from a
+// live HTTP time server, and decryption.
+func TestFullCLIFlow(t *testing.T) {
+	dir := t.TempDir()
+	join := func(name string) string { return filepath.Join(dir, name) }
+	const preset = "Test160"
+
+	// Key generation.
+	if err := run([]string{"server-keygen", "-preset", preset,
+		"-out", join("server.key"), "-pub", join("server.pub")}); err != nil {
+		t.Fatalf("server-keygen: %v", err)
+	}
+	if err := run([]string{"user-keygen", "-preset", preset,
+		"-server-pub", join("server.pub"), "-out", join("user.key"), "-pub", join("user.pub")}); err != nil {
+		t.Fatalf("user-keygen: %v", err)
+	}
+	if err := run([]string{"verify-user-pub", "-preset", preset,
+		"-server-pub", join("server.pub"), "-user-pub", join("user.pub")}); err != nil {
+		t.Fatalf("verify-user-pub: %v", err)
+	}
+
+	// A live time server using the generated key.
+	set := tre.MustPreset(preset)
+	serverKey, err := keyfile.LoadServerKey(join("server.key"), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tre.MustSchedule(time.Minute)
+	now := time.Date(2026, 7, 5, 12, 0, 30, 0, time.UTC)
+	srv := tre.NewTimeServer(set, serverKey, sched, tre.WithClock(func() time.Time { return now }))
+	if _, err := srv.PublishUpTo(now); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	label := sched.Label(now)
+
+	// Encrypt a file to the (already released) label.
+	plain := join("secret.txt")
+	if err := os.WriteFile(plain, []byte("the eagle flies at midnight"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sealed := join("sealed.tre")
+	if err := run([]string{"encrypt", "-preset", preset,
+		"-server-pub", join("server.pub"), "-user-pub", join("user.pub"),
+		"-label", label, "-in", plain, "-out", sealed}); err != nil {
+		t.Fatalf("encrypt: %v", err)
+	}
+
+	// Fetch + verify the update explicitly.
+	if err := run([]string{"update", "-preset", preset,
+		"-server", ts.URL, "-server-pub", join("server.pub"), "-label", label}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+
+	// Decrypt.
+	out := join("opened.txt")
+	if err := run([]string{"decrypt", "-preset", preset,
+		"-server", ts.URL, "-server-pub", join("server.pub"),
+		"-key", join("user.key"), "-in", sealed, "-out", out}); err != nil {
+		t.Fatalf("decrypt: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "the eagle flies at midnight" {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestDecryptBeforeReleaseFails(t *testing.T) {
+	dir := t.TempDir()
+	join := func(name string) string { return filepath.Join(dir, name) }
+	const preset = "Test160"
+
+	if err := run([]string{"server-keygen", "-preset", preset,
+		"-out", join("server.key"), "-pub", join("server.pub")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"user-keygen", "-preset", preset,
+		"-server-pub", join("server.pub"), "-out", join("user.key"), "-pub", join("user.pub")}); err != nil {
+		t.Fatal(err)
+	}
+
+	set := tre.MustPreset(preset)
+	serverKey, err := keyfile.LoadServerKey(join("server.key"), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tre.MustSchedule(time.Minute)
+	now := time.Date(2026, 7, 5, 12, 0, 30, 0, time.UTC)
+	srv := tre.NewTimeServer(set, serverKey, sched, tre.WithClock(func() time.Time { return now }))
+	if _, err := srv.PublishUpTo(now); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	future := sched.Next(now)
+	plain := join("p.txt")
+	if err := os.WriteFile(plain, []byte("early"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sealed := join("sealed.tre")
+	if err := run([]string{"encrypt", "-preset", preset,
+		"-server-pub", join("server.pub"), "-user-pub", join("user.pub"),
+		"-label", future, "-in", plain, "-out", sealed}); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"decrypt", "-preset", preset,
+		"-server", ts.URL, "-server-pub", join("server.pub"),
+		"-key", join("user.key"), "-in", sealed, "-out", join("nope.txt")})
+	if err == nil || !strings.Contains(err.Error(), "not yet published") {
+		t.Fatalf("early decrypt: err=%v, want not-yet-published", err)
+	}
+}
+
+func TestHiddenLabelRequiresFlag(t *testing.T) {
+	dir := t.TempDir()
+	join := func(name string) string { return filepath.Join(dir, name) }
+	const preset = "Test160"
+	for _, cmd := range [][]string{
+		{"server-keygen", "-preset", preset, "-out", join("server.key"), "-pub", join("server.pub")},
+		{"user-keygen", "-preset", preset, "-server-pub", join("server.pub"), "-out", join("user.key"), "-pub", join("user.pub")},
+	} {
+		if err := run(cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain := join("p.txt")
+	if err := os.WriteFile(plain, []byte("hidden"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sealed := join("sealed.tre")
+	if err := run([]string{"encrypt", "-preset", preset,
+		"-server-pub", join("server.pub"), "-user-pub", join("user.pub"),
+		"-label", "2099-01-01T00:00:00Z", "-hide-label", "-in", plain, "-out", sealed}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"decrypt", "-preset", preset,
+		"-server", "http://127.0.0.1:0", "-server-pub", join("server.pub"),
+		"-key", join("user.key"), "-in", sealed})
+	if err == nil || !strings.Contains(err.Error(), "withholds") {
+		t.Fatalf("hidden label without -label: err=%v", err)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand must fail")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand must fail")
+	}
+}
+
+func TestCatchupCommand(t *testing.T) {
+	dir := t.TempDir()
+	join := func(name string) string { return filepath.Join(dir, name) }
+	const preset = "Test160"
+	if err := run([]string{"server-keygen", "-preset", preset,
+		"-out", join("server.key"), "-pub", join("server.pub")}); err != nil {
+		t.Fatal(err)
+	}
+	set := tre.MustPreset(preset)
+	serverKey, err := keyfile.LoadServerKey(join("server.key"), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tre.MustSchedule(time.Minute)
+	start := time.Date(2026, 7, 5, 12, 0, 30, 0, time.UTC)
+	now := start
+	srv := tre.NewTimeServer(set, serverKey, sched, tre.WithClock(func() time.Time { return now }))
+	if _, err := srv.PublishUpTo(now); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(5 * time.Minute)
+	if _, err := srv.PublishUpTo(now); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	from := sched.Label(start)
+	to := sched.Label(now) // strictly-before bound: fetches 5 labels
+	if err := run([]string{"catchup", "-preset", preset,
+		"-server", ts.URL, "-server-pub", join("server.pub"),
+		"-from", from, "-to", to, "-granularity", "1m"}); err != nil {
+		t.Fatalf("catchup: %v", err)
+	}
+
+	// Bad ranges fail cleanly.
+	if err := run([]string{"catchup", "-preset", preset,
+		"-server", ts.URL, "-server-pub", join("server.pub"),
+		"-from", to, "-to", from, "-granularity", "1m"}); err == nil {
+		t.Fatal("reversed range must fail")
+	}
+	if err := run([]string{"catchup", "-preset", preset}); err == nil {
+		t.Fatal("missing flags must fail")
+	}
+}

@@ -1,0 +1,106 @@
+// Command treparams generates, validates and inspects pairing parameter
+// sets.
+//
+//	treparams list
+//	treparams show -preset SS512
+//	treparams gen -pbits 1536 -qbits 256 -out my.params
+//	treparams validate -in my.params
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"timedrelease/tre"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "treparams:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "list":
+		for _, n := range tre.PresetNames() {
+			set := tre.MustPreset(n)
+			fmt.Printf("%-8s |p|=%4d bits  |q|=%3d bits\n", n, set.P.BitLen(), set.Q.BitLen())
+		}
+		return nil
+
+	case "show":
+		fs := flag.NewFlagSet("show", flag.ContinueOnError)
+		preset := fs.String("preset", "SS512", "preset name")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		set, err := tre.Preset(*preset)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(set.Marshal())
+		return nil
+
+	case "gen":
+		fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+		pBits := fs.Int("pbits", 1536, "field prime size in bits")
+		qBits := fs.Int("qbits", 256, "group order size in bits")
+		out := fs.String("out", "", "output file (default stdout)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		set, err := tre.GenerateParams(nil, *pBits, *qBits)
+		if err != nil {
+			return err
+		}
+		if err := set.Validate(); err != nil {
+			return fmt.Errorf("generated set failed validation: %w", err)
+		}
+		if *out == "" {
+			os.Stdout.Write(set.Marshal())
+			return nil
+		}
+		return os.WriteFile(*out, set.Marshal(), 0o644)
+
+	case "validate":
+		fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+		in := fs.String("in", "", "parameter file to validate")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *in == "" {
+			return fmt.Errorf("-in is required")
+		}
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		set, err := tre.UnmarshalParams(raw)
+		if err != nil {
+			return err
+		}
+		if err := set.Validate(); err != nil {
+			return err
+		}
+		fmt.Printf("ok: %s |p|=%d |q|=%d\n", set.Name, set.P.BitLen(), set.Q.BitLen())
+		return nil
+
+	default:
+		return usage()
+	}
+}
+
+func usage() error {
+	fmt.Fprintln(os.Stderr, `usage:
+  treparams list
+  treparams show -preset <name>
+  treparams gen -pbits N -qbits N [-out file]
+  treparams validate -in file`)
+	return fmt.Errorf("unknown or missing subcommand")
+}

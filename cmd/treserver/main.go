@@ -1,0 +1,127 @@
+// Command treserver runs a passive time server: it signs and publishes
+// one self-authenticating key update per epoch and serves the public
+// archive over HTTP. It never interacts with senders or receivers and
+// keeps no per-user state.
+//
+//	treserver -preset SS512 -addr :8440 -granularity 1m \
+//	          -key server.key -archive updates.log
+//
+// On first run with a missing key file, a fresh server key is generated
+// and saved. The archive file persists published updates across
+// restarts; missed epochs are backfilled on startup.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"timedrelease/internal/keyfile"
+	"timedrelease/tre"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "treserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		preset      = flag.String("preset", "SS512", "parameter preset")
+		addr        = flag.String("addr", ":8440", "listen address")
+		granularity = flag.Duration("granularity", time.Minute, "epoch width (must divide 24h)")
+		keyPath     = flag.String("key", "treserver.key", "server key file (created if missing)")
+		archPath    = flag.String("archive", "", "durable archive file (in-memory if empty)")
+	)
+	flag.Parse()
+
+	set, err := tre.Preset(*preset)
+	if err != nil {
+		return err
+	}
+	sched, err := tre.NewSchedule(*granularity)
+	if err != nil {
+		return err
+	}
+
+	key, err := loadOrCreateKey(*keyPath, set)
+	if err != nil {
+		return err
+	}
+
+	var srv *tre.TimeServer
+	if *archPath != "" {
+		arch, err := tre.OpenFileArchive(*archPath, set)
+		if err != nil {
+			return err
+		}
+		srv = tre.NewTimeServer(set, key, sched, tre.WithArchive(arch))
+	} else {
+		srv = tre.NewTimeServer(set, key, sched)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 2)
+	go func() {
+		fmt.Printf("treserver: %s params, %v epochs, listening on %s\n", set.Name, *granularity, *addr)
+		if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	go func() {
+		if err := srv.Run(ctx); !errors.Is(err, context.Canceled) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("treserver: shutting down")
+	case err := <-errCh:
+		if err != nil {
+			return err
+		}
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpServer.Shutdown(shutdownCtx)
+}
+
+func loadOrCreateKey(path string, set *tre.Params) (*tre.ServerKeyPair, error) {
+	if _, err := os.Stat(path); err == nil {
+		key, err := keyfile.LoadServerKey(path, set)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("treserver: loaded key from %s\n", path)
+		return key, nil
+	}
+	key, err := tre.NewScheme(set).ServerKeyGen(nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := keyfile.SaveServerKey(path, set, key); err != nil {
+		return nil, err
+	}
+	fmt.Printf("treserver: generated new key in %s\n", path)
+	return key, nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"timedrelease/tre"
+)
+
+func TestLoadOrCreateKey(t *testing.T) {
+	set := tre.MustPreset("Test160")
+	path := filepath.Join(t.TempDir(), "server.key")
+
+	// First call creates the key.
+	k1, err := loadOrCreateKey(path, set)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	// Second call loads the same key.
+	k2, err := loadOrCreateKey(path, set)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if k1.S.Cmp(k2.S) != 0 {
+		t.Fatal("reloaded key differs from created key")
+	}
+	if !set.Curve.Equal(k1.Pub.SG, k2.Pub.SG) {
+		t.Fatal("reloaded public key differs")
+	}
+}

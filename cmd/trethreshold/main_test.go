@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"timedrelease/internal/keyfile"
+	"timedrelease/tre"
+)
+
+func TestDealPartialCombineFlow(t *testing.T) {
+	dir := t.TempDir()
+	const preset = "Test160"
+
+	if err := run([]string{"deal", "-preset", preset, "-k", "2", "-n", "3", "-out-dir", dir}); err != nil {
+		t.Fatalf("deal: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := os.Stat(filepath.Join(dir, "share-1.key")); err != nil {
+			t.Fatalf("share %d missing: %v", i, err)
+		}
+	}
+
+	const label = "2027-01-01T00:00:00Z"
+	p1 := filepath.Join(dir, "p1.bin")
+	p3 := filepath.Join(dir, "p3.bin")
+	if err := run([]string{"partial", "-preset", preset, "-share", filepath.Join(dir, "share-1.key"), "-label", label, "-out", p1}); err != nil {
+		t.Fatalf("partial 1: %v", err)
+	}
+	if err := run([]string{"partial", "-preset", preset, "-share", filepath.Join(dir, "share-3.key"), "-label", label, "-out", p3}); err != nil {
+		t.Fatalf("partial 3: %v", err)
+	}
+
+	updPath := filepath.Join(dir, "update.bin")
+	if err := run([]string{"combine", "-preset", preset, "-group", filepath.Join(dir, "group.pub"),
+		"-k", "2", "-in", p1, "-in", p3, "-out", updPath}); err != nil {
+		t.Fatalf("combine: %v", err)
+	}
+
+	// The combined update must decrypt real traffic sealed to the group
+	// key.
+	set := tre.MustPreset(preset)
+	codec := tre.NewCodec(set)
+	rawGroup, err := keyfile.LoadPublic(filepath.Join(dir, "group.pub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupPub, err := codec.UnmarshalServerPublicKey(rawGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawUpd, err := os.ReadFile(updPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, err := codec.UnmarshalKeyUpdate(rawUpd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := tre.NewScheme(set)
+	if !scheme.VerifyUpdate(groupPub, upd) {
+		t.Fatal("combined update must verify against the group key")
+	}
+	user, err := scheme.UserKeyGen(groupPub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := scheme.EncryptCCA(nil, groupPub, user.Pub, label, []byte("threshold CLI flow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scheme.DecryptCCA(groupPub, user, upd, ct)
+	if err != nil || string(got) != "threshold CLI flow" {
+		t.Fatalf("decrypt: %q %v", got, err)
+	}
+}
+
+func TestCombineRejectsTooFew(t *testing.T) {
+	dir := t.TempDir()
+	const preset = "Test160"
+	if err := run([]string{"deal", "-preset", preset, "-k", "2", "-n", "3", "-out-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(dir, "p1.bin")
+	if err := run([]string{"partial", "-preset", preset, "-share", filepath.Join(dir, "share-1.key"), "-label", "l", "-out", p1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"combine", "-preset", preset, "-group", filepath.Join(dir, "group.pub"),
+		"-k", "2", "-in", p1}); err == nil {
+		t.Fatal("combine with one partial for k=2 must fail")
+	}
+}
+
+func TestExportServerKey(t *testing.T) {
+	dir := t.TempDir()
+	const preset = "Test160"
+	if err := run([]string{"deal", "-preset", preset, "-k", "1", "-n", "2", "-out-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "shard1.key")
+	if err := run([]string{"export-server-key", "-preset", preset,
+		"-share", filepath.Join(dir, "share-1.key"), "-out", out}); err != nil {
+		t.Fatalf("export-server-key: %v", err)
+	}
+	set := tre.MustPreset(preset)
+	if _, err := keyfile.LoadServerKey(out, set); err != nil {
+		t.Fatalf("exported key must load as an ordinary server key: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no args must fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("bad subcommand must fail")
+	}
+	if err := run([]string{"partial"}); err == nil {
+		t.Fatal("partial without flags must fail")
+	}
+	if err := run([]string{"combine"}); err == nil {
+		t.Fatal("combine without flags must fail")
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: the complete TRE flow in one process — server key
+// generation, user key generation, encrypting a message "into the
+// future", the single broadcast key update, and decryption.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"timedrelease/tre"
+)
+
+func main() {
+	// The paper-era parameter size (512-bit field, 160-bit group).
+	set := tre.MustPreset("SS512")
+	scheme := tre.NewScheme(set)
+
+	// 1. The time server generates its key pair once and publishes
+	//    (G, sG). It will never talk to any user.
+	server, err := scheme.ServerKeyGen(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Alice generates her key pair bound to the server: (aG, a·sG).
+	//    The aG half is what a CA would certify.
+	alice, err := scheme.UserKeyGen(server.Pub, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Bob encrypts to Alice with a release label. He talks to NOBODY:
+	//    the server's public key and Alice's public key are all he needs,
+	//    and the well-formedness check ê(aG,sG)=ê(G,asG) runs inside
+	//    Encrypt.
+	const releaseAt = "2027-01-01T00:00:00Z"
+	msg := []byte("happy new year, alice!")
+	ct, err := scheme.EncryptCCA(nil, server.Pub, alice.Pub, releaseAt, msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sealed %q until %s\n", msg, releaseAt)
+
+	// 4. Before the release, Alice's private key alone is useless: the
+	//    pairing value requires the update s·H1(T), which does not exist
+	//    yet anywhere outside the server's head.
+	wrongUpd := scheme.IssueUpdate(server, "2026-12-31T23:59:00Z")
+	if _, err := scheme.DecryptCCA(server.Pub, alice, wrongUpd, ct); err != nil {
+		fmt.Println("before release: decryption correctly fails:", err)
+	}
+
+	// 5. New Year arrives. The server broadcasts ONE update for all users
+	//    — a BLS signature on the label, self-authenticating:
+	upd := scheme.IssueUpdate(server, releaseAt)
+	if !scheme.VerifyUpdate(server.Pub, upd) {
+		log.Fatal("update failed verification")
+	}
+	fmt.Println("update published and verified: ê(G, I_T) = ê(sG, H1(T))")
+
+	// 6. Alice decrypts with her private key + the public update.
+	opened, err := scheme.DecryptCCA(server.Pub, alice, upd, ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("opened: %q\n", opened)
+}

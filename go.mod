@@ -1,0 +1,3 @@
+module timedrelease
+
+go 1.22

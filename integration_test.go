@@ -1,0 +1,232 @@
+// End-to-end integration tests: everything composed through the public
+// facade against a LIVE time server running its real publication loop on
+// the wall clock (500 ms epochs). These are the "whole system" checks —
+// each subsystem's behaviour is pinned by its own package tests; here we
+// assert the composition a deployment would actually run.
+package timedrelease
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"timedrelease/tre"
+)
+
+// liveStack is a running server + verifying client on real time.
+type liveStack struct {
+	set    *tre.Params
+	scheme *tre.Scheme
+	key    *tre.ServerKeyPair
+	sched  tre.Schedule
+	server *tre.TimeServer
+	client *tre.TimeClient
+	cancel context.CancelFunc
+}
+
+func startLiveStack(t *testing.T) *liveStack {
+	t.Helper()
+	set := tre.MustPreset("Test160")
+	scheme := tre.NewScheme(set)
+	key, err := scheme.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tre.MustSchedule(500 * time.Millisecond)
+	srv := tre.NewTimeServer(set, key, sched)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("time server: %v", err)
+		}
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+
+	return &liveStack{
+		set:    set,
+		scheme: scheme,
+		key:    key,
+		sched:  sched,
+		server: srv,
+		client: tre.NewTimeClient(ts.URL, set, key.Pub, tre.WithHTTPClient(ts.Client())),
+		cancel: cancel,
+	}
+}
+
+func TestIntegrationFullLifecycleOnWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	st := startLiveStack(t)
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelCtx()
+
+	alice, err := st.scheme.UserKeyGen(st.key.Pub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seal to an epoch two ticks ahead, then decrypt after release.
+	releaseAt := st.sched.LabelAt(st.sched.Index(time.Now()) + 2)
+	msg := []byte("integration: the full stack on real time")
+	ct, err := st.scheme.EncryptCCA(nil, st.key.Pub, alice.Pub, releaseAt, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Early fetch fails; long-poll wait succeeds once the server's Run
+	// loop crosses the boundary.
+	if _, err := st.client.Update(ctx, releaseAt); !errors.Is(err, tre.ErrNotYetPublished) {
+		t.Fatalf("early fetch: %v", err)
+	}
+	upd, err := st.client.WaitForReleaseLongPoll(ctx, releaseAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.scheme.DecryptCCA(st.key.Pub, alice, upd, ct)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("decrypt after live release: %q %v", got, err)
+	}
+}
+
+func TestIntegrationManyReceiversOneUpdate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	st := startLiveStack(t)
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelCtx()
+
+	const nReceivers = 8
+	type receiver struct {
+		key *tre.UserKeyPair
+		ct  *tre.CCACiphertext
+	}
+	releaseAt := st.sched.LabelAt(st.sched.Index(time.Now()) + 2)
+	receivers := make([]receiver, nReceivers)
+	for i := range receivers {
+		key, err := st.scheme.UserKeyGen(st.key.Pub, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := st.scheme.EncryptCCA(nil, st.key.Pub, key.Pub, releaseAt,
+			[]byte(fmt.Sprintf("message for receiver %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		receivers[i] = receiver{key: key, ct: ct}
+	}
+
+	// All receivers wait concurrently; all are released by ONE update.
+	var wg sync.WaitGroup
+	errs := make(chan error, nReceivers)
+	for i, r := range receivers {
+		wg.Add(1)
+		go func(i int, r receiver) {
+			defer wg.Done()
+			upd, err := st.client.WaitForRelease(ctx, releaseAt, 50*time.Millisecond)
+			if err != nil {
+				errs <- fmt.Errorf("receiver %d wait: %w", i, err)
+				return
+			}
+			got, err := st.scheme.DecryptCCA(st.key.Pub, r.key, upd, r.ct)
+			if err != nil {
+				errs <- fmt.Errorf("receiver %d decrypt: %w", i, err)
+				return
+			}
+			if want := fmt.Sprintf("message for receiver %d", i); string(got) != want {
+				errs <- fmt.Errorf("receiver %d got %q", i, got)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The headline property, observed live: the server signed each epoch
+	// once, no matter how many receivers were waiting.
+	if st.server.Published() > 30 { // generous bound: runtime/500ms + backfill
+		t.Fatalf("server published %d updates — expected one per epoch, not per receiver", st.server.Published())
+	}
+}
+
+func TestIntegrationVariantsComposeOverOneServer(t *testing.T) {
+	// The same server key simultaneously powers TRE, ID-TRE, policy
+	// locks and epoch-key insulation — one authority, many schemes.
+	set := tre.MustPreset("Test160")
+	scheme := tre.NewScheme(set)
+	server, err := scheme.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const label = "2026-07-05T12:00:00Z"
+	upd := scheme.IssueUpdate(server, label)
+
+	// TRE with insulated decryption.
+	alice, err := scheme.UserKeyGen(server.Pub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treCT, err := scheme.Encrypt(nil, server.Pub, alice.Pub, label, []byte("tre"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ek := scheme.DeriveEpochKey(alice, upd)
+	if got, err := scheme.DecryptWithEpochKey(ek, treCT); err != nil || string(got) != "tre" {
+		t.Fatalf("insulated TRE: %q %v", got, err)
+	}
+
+	// ID-TRE sharing the same update stream.
+	id := tre.NewIDScheme(set)
+	idCT, err := id.Encrypt(nil, server.Pub, "bob", label, []byte("id-tre"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobKey := id.ExtractUserKey(server, "bob")
+	if got, err := id.Decrypt(bobKey, upd, idCT); err != nil || string(got) != "id-tre" {
+		t.Fatalf("ID-TRE: %q %v", got, err)
+	}
+
+	// Policy lock with a threshold policy, CCA mode.
+	pl := tre.NewPolicyScheme(set)
+	policy, err := tre.ThresholdPolicy(2, []string{"legal", "finance", "security"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plCT, err := pl.EncryptCCA(nil, server.Pub, alice.Pub, policy, []byte("policy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	atts := []tre.Attestation{pl.Attest(server, "security"), pl.Attest(server, "legal")}
+	if got, err := pl.DecryptCCA(server.Pub, alice, atts, plCT); err != nil || string(got) != "policy" {
+		t.Fatalf("policy CCA: %q %v", got, err)
+	}
+
+	// Multi-recipient broadcast under the same label.
+	carol, err := scheme.UserKeyGen(server.Pub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := scheme.EncryptMulti(nil, server.Pub,
+		[]tre.UserPublicKey{alice.Pub, carol.Pub}, label, []byte("press release"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range []*tre.UserKeyPair{alice, carol} {
+		if got, err := scheme.DecryptMulti(u, upd, multi, i); err != nil || string(got) != "press release" {
+			t.Fatalf("multi slot %d: %q %v", i, got, err)
+		}
+	}
+}

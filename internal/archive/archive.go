@@ -1,0 +1,198 @@
+// Package archive stores published time-bound key updates. The paper's
+// model (§3) has the server "keep a list of old key updates (whose
+// release time has passed) at a publicly accessible place", so a
+// receiver who missed a broadcast can always catch up. The archive is
+// the only state the time server accumulates — none of it is about
+// users.
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/wire"
+)
+
+// Archive is the store of published updates. Implementations must be
+// safe for concurrent use.
+type Archive interface {
+	// Put stores an update. Storing the same label twice is a no-op if
+	// the points agree and an error if they conflict (a server must never
+	// publish two different updates for one instant).
+	Put(u core.KeyUpdate) error
+	// Get returns the update for a label, if published.
+	Get(label string) (core.KeyUpdate, bool)
+	// Labels returns all published labels in lexicographic order (which,
+	// for canonical RFC 3339 labels, is chronological order).
+	Labels() []string
+	// Len returns the number of stored updates.
+	Len() int
+}
+
+// ErrConflict reports two different updates for the same label.
+var ErrConflict = errors.New("archive: conflicting update for label")
+
+// Memory is an in-memory archive.
+type Memory struct {
+	mu sync.RWMutex
+	m  map[string]core.KeyUpdate
+}
+
+// NewMemory returns an empty in-memory archive.
+func NewMemory() *Memory {
+	return &Memory{m: make(map[string]core.KeyUpdate)}
+}
+
+// Put implements Archive.
+func (a *Memory) Put(u core.KeyUpdate) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.m[u.Label]; ok {
+		if prev.Point.X == nil || u.Point.X == nil {
+			if prev.Point.IsInfinity() != u.Point.IsInfinity() {
+				return ErrConflict
+			}
+			return nil
+		}
+		if prev.Point.X.Cmp(u.Point.X) != 0 || prev.Point.Y.Cmp(u.Point.Y) != 0 {
+			return ErrConflict
+		}
+		return nil
+	}
+	a.m[u.Label] = u
+	return nil
+}
+
+// Get implements Archive.
+func (a *Memory) Get(label string) (core.KeyUpdate, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	u, ok := a.m[label]
+	return u, ok
+}
+
+// Labels implements Archive.
+func (a *Memory) Labels() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.m))
+	for l := range a.m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len implements Archive.
+func (a *Memory) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.m)
+}
+
+// File is a durable archive: an append-only log of wire-encoded updates
+// with an in-memory index. It survives server restarts, so an operator
+// can restore the full public history.
+type File struct {
+	mem   *Memory
+	codec *wire.Codec
+
+	mu sync.Mutex // serialises appends
+	f  *os.File
+}
+
+// OpenFile opens (or creates) a file-backed archive, replaying existing
+// records into the in-memory index.
+func OpenFile(path string, codec *wire.Codec) (*File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("archive: opening %s: %w", path, err)
+	}
+	a := &File{mem: NewMemory(), codec: codec, f: f}
+	if err := a.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("archive: seeking to end: %w", err)
+	}
+	return a, nil
+}
+
+// replay loads every length-prefixed record from the log.
+func (a *File) replay() error {
+	if _, err := a.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("archive: seeking to start: %w", err)
+	}
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(a.f, lenBuf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("archive: corrupt log (record length): %w", err)
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > 1<<20 {
+			return errors.New("archive: corrupt log (oversized record)")
+		}
+		rec := make([]byte, n)
+		if _, err := io.ReadFull(a.f, rec); err != nil {
+			return fmt.Errorf("archive: corrupt log (record body): %w", err)
+		}
+		u, err := a.codec.UnmarshalKeyUpdate(rec)
+		if err != nil {
+			return fmt.Errorf("archive: corrupt log (record decode): %w", err)
+		}
+		if err := a.mem.Put(u); err != nil {
+			return err
+		}
+	}
+}
+
+// Put implements Archive, appending new records durably.
+func (a *File) Put(u core.KeyUpdate) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.mem.Get(u.Label); ok {
+		return a.mem.Put(u) // dedupe/conflict check only; nothing to append
+	}
+	rec := a.codec.MarshalKeyUpdate(u)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(rec)))
+	if _, err := a.f.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("archive: appending record: %w", err)
+	}
+	if _, err := a.f.Write(rec); err != nil {
+		return fmt.Errorf("archive: appending record: %w", err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("archive: syncing log: %w", err)
+	}
+	return a.mem.Put(u)
+}
+
+// Get implements Archive.
+func (a *File) Get(label string) (core.KeyUpdate, bool) { return a.mem.Get(label) }
+
+// Labels implements Archive.
+func (a *File) Labels() []string { return a.mem.Labels() }
+
+// Len implements Archive.
+func (a *File) Len() int { return a.mem.Len() }
+
+// Close releases the underlying file.
+func (a *File) Close() error { return a.f.Close() }
+
+// Interface compliance.
+var (
+	_ Archive = (*Memory)(nil)
+	_ Archive = (*File)(nil)
+)

@@ -1,0 +1,162 @@
+package archive
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/params"
+	"timedrelease/internal/wire"
+)
+
+func fixtures(t *testing.T) (*core.Scheme, *core.ServerKeyPair, *wire.Codec) {
+	t.Helper()
+	set := params.MustPreset("Test160")
+	sc := core.NewScheme(set)
+	key, err := sc.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, key, wire.NewCodec(set)
+}
+
+func testArchiveContract(t *testing.T, a Archive, sc *core.Scheme, key *core.ServerKeyPair) {
+	t.Helper()
+	labels := []string{
+		"2026-07-05T10:00:00Z",
+		"2026-07-05T11:00:00Z",
+		"2026-07-05T12:00:00Z",
+	}
+	// Insert out of order; Labels() must sort.
+	for _, i := range []int{2, 0, 1} {
+		if err := a.Put(sc.IssueUpdate(key, labels[i])); err != nil {
+			t.Fatalf("Put(%s): %v", labels[i], err)
+		}
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+	got := a.Labels()
+	for i := range labels {
+		if got[i] != labels[i] {
+			t.Fatalf("Labels()[%d] = %q, want %q", i, got[i], labels[i])
+		}
+	}
+	u, ok := a.Get(labels[1])
+	if !ok || u.Label != labels[1] {
+		t.Fatalf("Get(%s): %v %v", labels[1], u, ok)
+	}
+	if _, ok := a.Get("2030-01-01T00:00:00Z"); ok {
+		t.Fatal("Get of unpublished label must miss")
+	}
+	// Idempotent re-put.
+	if err := a.Put(sc.IssueUpdate(key, labels[0])); err != nil {
+		t.Fatalf("idempotent Put: %v", err)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len after re-put = %d", a.Len())
+	}
+	// Conflicting update for the same label is rejected.
+	conflict := core.KeyUpdate{Label: labels[0], Point: sc.Set.G}
+	if err := a.Put(conflict); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting Put: err=%v, want ErrConflict", err)
+	}
+}
+
+func TestMemoryArchive(t *testing.T) {
+	sc, key, _ := fixtures(t)
+	testArchiveContract(t, NewMemory(), sc, key)
+}
+
+func TestFileArchive(t *testing.T) {
+	sc, key, codec := fixtures(t)
+	path := filepath.Join(t.TempDir(), "updates.log")
+	a, err := OpenFile(path, codec)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	testArchiveContract(t, a, sc, key)
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: everything must be back, and updates must still verify.
+	b, err := OpenFile(path, codec)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer b.Close()
+	if b.Len() != 3 {
+		t.Fatalf("Len after reopen = %d, want 3", b.Len())
+	}
+	for _, l := range b.Labels() {
+		u, ok := b.Get(l)
+		if !ok {
+			t.Fatalf("lost update %s", l)
+		}
+		if !sc.VerifyUpdate(key.Pub, u) {
+			t.Fatalf("update %s no longer verifies after reload", l)
+		}
+	}
+	// Appending after reopen must work.
+	if err := b.Put(sc.IssueUpdate(key, "2026-07-05T13:00:00Z")); err != nil {
+		t.Fatalf("Put after reopen: %v", err)
+	}
+}
+
+func TestFileArchiveRejectsCorruptLog(t *testing.T) {
+	sc, key, codec := fixtures(t)
+	path := filepath.Join(t.TempDir(), "updates.log")
+	a, err := OpenFile(path, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(sc.IssueUpdate(key, "2026-07-05T10:00:00Z")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	// Truncate mid-record.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, codec); err == nil {
+		t.Fatal("corrupt log must be rejected")
+	}
+}
+
+func TestMemoryArchiveConcurrent(t *testing.T) {
+	sc, key, _ := fixtures(t)
+	a := NewMemory()
+	done := make(chan struct{})
+	labels := []string{"a", "b", "c", "d"}
+	ups := make([]core.KeyUpdate, len(labels))
+	for i, l := range labels {
+		ups[i] = sc.IssueUpdate(key, l)
+	}
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				if err := a.Put(ups[i%len(ups)]); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				a.Get(labels[j%len(labels)])
+				a.Labels()
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if a.Len() != len(labels) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(labels))
+	}
+}

@@ -1,0 +1,90 @@
+package bfibe
+
+import (
+	"bytes"
+	"testing"
+
+	"timedrelease/internal/params"
+)
+
+func setup(t *testing.T) (*Scheme, *MasterKey) {
+	t.Helper()
+	sc := NewScheme(params.MustPreset("Test160"))
+	mk, err := sc.MasterKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, mk
+}
+
+func TestRoundTrip(t *testing.T) {
+	sc, mk := setup(t)
+	msg := []byte("to alice, via her identity alone")
+	ct, err := sc.Encrypt(nil, mk.Pub, "alice", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv := sc.Extract(mk, "alice")
+	got, err := sc.Decrypt(priv, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestWrongIdentityFails(t *testing.T) {
+	sc, mk := setup(t)
+	msg := []byte("alice only")
+	ct, err := sc.Encrypt(nil, mk.Pub, "alice", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob := sc.Extract(mk, "bob")
+	got, err := sc.Decrypt(bob, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("bob must not decrypt alice's ciphertext")
+	}
+}
+
+func TestWrongMasterFails(t *testing.T) {
+	sc, mk := setup(t)
+	other, err := sc.MasterKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	ct, err := sc.Encrypt(nil, mk.Pub, "alice", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien := sc.Extract(other, "alice")
+	got, err := sc.Decrypt(alien, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("a key from a different PKG must not decrypt")
+	}
+}
+
+func TestMalformedCiphertext(t *testing.T) {
+	sc, mk := setup(t)
+	priv := sc.Extract(mk, "alice")
+	if _, err := sc.Decrypt(priv, nil); err == nil {
+		t.Fatal("nil ciphertext must be rejected")
+	}
+}
+
+func TestExtractIsDeterministic(t *testing.T) {
+	sc, mk := setup(t)
+	a := sc.Extract(mk, "alice")
+	b := sc.Extract(mk, "alice")
+	if !sc.Set.Curve.Equal(a.D, b.D) {
+		t.Fatal("extraction must be deterministic")
+	}
+}

@@ -1,0 +1,82 @@
+// Package escrow implements May's trusted escrow agent (1993), the
+// earliest server-based approach the paper surveys (§2.2): senders give
+// the agent the PLAINTEXT message, its release time, and the recipient;
+// the agent stores everything and hands messages over when their time
+// comes.
+//
+// The implementation exists to measure the two failures the paper
+// attributes to it (experiment E2): the agent's state grows with every
+// escrowed message, and the agent learns the message, the release time
+// and both identities — there is no anonymity to account for because the
+// API itself consumes it.
+package escrow
+
+import (
+	"sync"
+	"time"
+)
+
+// Deposit is one escrowed message. Note the fields: the agent holds the
+// plaintext and knows everyone involved.
+type Deposit struct {
+	Sender    string
+	Recipient string
+	ReleaseAt time.Time
+	Message   []byte
+}
+
+// Agent is the trusted escrow server.
+type Agent struct {
+	mu       sync.Mutex
+	deposits []Deposit
+	bytes    int64
+}
+
+// NewAgent returns an empty escrow agent.
+func NewAgent() *Agent { return &Agent{} }
+
+// Deposit stores a message until its release time. This is the
+// sender-server interaction the paper's model eliminates.
+func (a *Agent) Deposit(d Deposit) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cp := d
+	cp.Message = append([]byte(nil), d.Message...)
+	a.deposits = append(a.deposits, cp)
+	a.bytes += int64(len(d.Message))
+}
+
+// Collect returns (and removes) every deposit for the recipient whose
+// release time has passed at now.
+func (a *Agent) Collect(recipient string, now time.Time) [][]byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out [][]byte
+	kept := a.deposits[:0]
+	for _, d := range a.deposits {
+		if d.Recipient == recipient && !d.ReleaseAt.After(now) {
+			out = append(out, d.Message)
+			a.bytes -= int64(len(d.Message))
+			continue
+		}
+		kept = append(kept, d)
+	}
+	a.deposits = kept
+	return out
+}
+
+// Pending returns the number of messages the agent is holding — state
+// that grows linearly with traffic, unlike the paper's server whose only
+// state is one update per epoch.
+func (a *Agent) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.deposits)
+}
+
+// StoredBytes returns the total plaintext bytes held in escrow.
+func (a *Agent) StoredBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.bytes
+}

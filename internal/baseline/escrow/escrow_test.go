@@ -1,0 +1,67 @@
+package escrow
+
+import (
+	"testing"
+	"time"
+)
+
+var (
+	t0      = time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	release = t0.Add(time.Hour)
+)
+
+func TestDepositAndCollect(t *testing.T) {
+	a := NewAgent()
+	a.Deposit(Deposit{Sender: "s1", Recipient: "alice", ReleaseAt: release, Message: []byte("bid A")})
+	a.Deposit(Deposit{Sender: "s2", Recipient: "alice", ReleaseAt: release, Message: []byte("bid B")})
+	a.Deposit(Deposit{Sender: "s3", Recipient: "bob", ReleaseAt: release, Message: []byte("bid C")})
+
+	// Before release: nothing comes out, everything is held.
+	if got := a.Collect("alice", t0); len(got) != 0 {
+		t.Fatalf("early collect returned %d messages", len(got))
+	}
+	if a.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", a.Pending())
+	}
+
+	// At release: alice gets hers, bob's stays.
+	got := a.Collect("alice", release)
+	if len(got) != 2 {
+		t.Fatalf("collect returned %d messages, want 2", len(got))
+	}
+	if a.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", a.Pending())
+	}
+	// Second collect is empty (messages removed).
+	if got := a.Collect("alice", release); len(got) != 0 {
+		t.Fatal("double collect must be empty")
+	}
+}
+
+func TestStateGrowsWithMessages(t *testing.T) {
+	// The scalability failure the paper calls out: the agent's storage is
+	// linear in escrowed traffic.
+	a := NewAgent()
+	msg := make([]byte, 1000)
+	for i := 0; i < 50; i++ {
+		a.Deposit(Deposit{Recipient: "r", ReleaseAt: release, Message: msg})
+	}
+	if a.StoredBytes() != 50_000 {
+		t.Fatalf("StoredBytes = %d, want 50000", a.StoredBytes())
+	}
+	a.Collect("r", release)
+	if a.StoredBytes() != 0 {
+		t.Fatalf("StoredBytes after collect = %d", a.StoredBytes())
+	}
+}
+
+func TestDepositCopiesMessage(t *testing.T) {
+	a := NewAgent()
+	msg := []byte("mutable")
+	a.Deposit(Deposit{Recipient: "r", ReleaseAt: release, Message: msg})
+	msg[0] = 'X'
+	got := a.Collect("r", release)
+	if len(got) != 1 || string(got[0]) != "mutable" {
+		t.Fatal("agent must defensively copy deposits")
+	}
+}

@@ -1,0 +1,150 @@
+// Package rsw implements the Rivest–Shamir–Wagner time-lock puzzle
+// (MIT/LCS/TR-684), the canonical representative of the "time-lock
+// puzzle" approach the paper argues against (§2.1).
+//
+// A puzzle hides a message behind t sequential modular squarings: the
+// creator, knowing φ(n), computes a^(2^t) mod n in two exponentiations,
+// while a solver must perform all t squarings one after another — an
+// inherently sequential computation that takes (roughly) t / rate
+// seconds on a machine performing `rate` squarings per second.
+//
+// The package exists to measure the paper's criticism quantitatively
+// (experiment E3): the achieved release time is RELATIVE (it starts when
+// the solver starts, not at an absolute instant) and COARSE (it scales
+// with the solver's speed, which the creator must guess).
+package rsw
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"timedrelease/internal/rohash"
+)
+
+// Puzzle is a time-lock puzzle: recovering Key requires t sequential
+// squarings mod n.
+type Puzzle struct {
+	N   *big.Int // RSA modulus p·q (factorisation discarded)
+	A   *big.Int // base
+	T   uint64   // number of sequential squarings
+	Enc []byte   // message ⊕ H(a^(2^t) mod n)
+}
+
+// New creates a puzzle hiding msg behind t squarings of a modBits-bit
+// modulus. The creator-side shortcut computes 2^t mod φ(n) first, so
+// creation is cheap regardless of t (this asymmetry is the whole point
+// of the construction).
+func New(rng io.Reader, modBits int, t uint64, msg []byte) (*Puzzle, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if modBits < 64 {
+		return nil, errors.New("rsw: modulus too small")
+	}
+	if t == 0 {
+		return nil, errors.New("rsw: t must be positive")
+	}
+	p, err := rand.Prime(rng, modBits/2)
+	if err != nil {
+		return nil, fmt.Errorf("rsw: generating p: %w", err)
+	}
+	q, err := rand.Prime(rng, modBits-modBits/2)
+	if err != nil {
+		return nil, fmt.Errorf("rsw: generating q: %w", err)
+	}
+	n := new(big.Int).Mul(p, q)
+	phi := new(big.Int).Mul(new(big.Int).Sub(p, big.NewInt(1)), new(big.Int).Sub(q, big.NewInt(1)))
+
+	a, err := rand.Int(rng, n)
+	if err != nil {
+		return nil, fmt.Errorf("rsw: sampling base: %w", err)
+	}
+	if a.Sign() == 0 {
+		a.SetInt64(2)
+	}
+
+	// Creator shortcut: e = 2^t mod φ(n), b = a^e mod n.
+	e := new(big.Int).Exp(big.NewInt(2), new(big.Int).SetUint64(t), phi)
+	b := new(big.Int).Exp(a, e, n)
+
+	return &Puzzle{
+		N:   n,
+		A:   a,
+		T:   t,
+		Enc: rohash.XOR(msg, mask(b, len(msg))),
+	}, nil
+}
+
+// Solve recovers the message by brute sequential squaring — the only
+// known strategy without the factorisation. It returns the plaintext
+// and the wall-clock time spent squaring.
+func (p *Puzzle) Solve() ([]byte, time.Duration) {
+	start := time.Now()
+	b := new(big.Int).Set(p.A)
+	for i := uint64(0); i < p.T; i++ {
+		b.Mul(b, b)
+		b.Mod(b, p.N)
+	}
+	return rohash.XOR(p.Enc, mask(b, len(p.Enc))), time.Since(start)
+}
+
+// mask derives a message-length mask from the puzzle solution.
+func mask(b *big.Int, n int) []byte {
+	return rohash.Expand("RSW-mask", b.Bytes(), n)
+}
+
+// CalibrateRate measures this machine's sequential squaring rate
+// (squarings/second) for a modBits-bit modulus, sampling for roughly the
+// given duration.
+func CalibrateRate(modBits int, sample time.Duration) (float64, error) {
+	pz, err := New(nil, modBits, 1, []byte("x"))
+	if err != nil {
+		return 0, err
+	}
+	b, err := rand.Int(rand.Reader, pz.N)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	start := time.Now()
+	for time.Since(start) < sample {
+		for i := 0; i < 1024; i++ {
+			b.Mul(b, b)
+			b.Mod(b, pz.N)
+		}
+		count += 1024
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, errors.New("rsw: calibration too short")
+	}
+	return float64(count) / elapsed, nil
+}
+
+// TForDelay returns the squaring count that targets the given delay on a
+// machine with the given rate — what a puzzle creator must guess about
+// the recipient's hardware.
+func TForDelay(delay time.Duration, rate float64) uint64 {
+	t := rate * delay.Seconds()
+	if t < 1 {
+		return 1
+	}
+	return uint64(t)
+}
+
+// PredictedSolveTime models the solve latency of a machine whose speed
+// is `speedFactor` times the calibrated rate, with the solver starting
+// `startDelay` after receiving the puzzle. This is the analytic model
+// behind experiment E3; Solve provides the measured ground truth for
+// speedFactor = 1, startDelay = 0.
+func PredictedSolveTime(t uint64, rate, speedFactor float64, startDelay time.Duration) time.Duration {
+	if rate <= 0 || speedFactor <= 0 {
+		return 0
+	}
+	solve := float64(t) / (rate * speedFactor)
+	return startDelay + time.Duration(solve*float64(time.Second))
+}

@@ -1,0 +1,139 @@
+package rsw
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestPuzzleRoundTrip(t *testing.T) {
+	msg := []byte("locked behind sequential squarings")
+	pz, err := New(nil, 256, 1000, msg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got, elapsed := pz.Solve()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("solve mismatch")
+	}
+	if elapsed <= 0 {
+		t.Fatal("solve must take measurable time")
+	}
+}
+
+func TestCreationIsCheapRegardlessOfT(t *testing.T) {
+	// The creator shortcut: puzzle creation must not scale with t.
+	msg := []byte("m")
+	start := time.Now()
+	if _, err := New(nil, 256, 1, msg); err != nil {
+		t.Fatal(err)
+	}
+	small := time.Since(start)
+
+	start = time.Now()
+	if _, err := New(nil, 256, 1_000_000_000, msg); err != nil {
+		t.Fatal(err)
+	}
+	huge := time.Since(start)
+
+	// Allow generous noise (prime generation dominates), but creation
+	// with t = 1e9 must not take a billion squarings (~minutes).
+	if huge > small*100+time.Second {
+		t.Fatalf("creation scales with t: t=1 took %v, t=1e9 took %v", small, huge)
+	}
+}
+
+func TestSolveTimeScalesWithT(t *testing.T) {
+	msg := []byte("m")
+	timeFor := func(tSquarings uint64) time.Duration {
+		pz, err := New(nil, 512, tSquarings, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, d := pz.Solve()
+		if !bytes.Equal(got, msg) {
+			t.Fatal("solve mismatch")
+		}
+		return d
+	}
+	d1 := timeFor(20_000)
+	d4 := timeFor(80_000)
+	// Expect roughly 4×; accept [2×, 8×] to be robust on noisy machines.
+	if d4 < d1*2 || d4 > d1*8 {
+		t.Logf("warning: scaling outside [2x,8x]: %v vs %v (noisy machine?)", d1, d4)
+	}
+	if d4 <= d1 {
+		t.Fatalf("solve time must grow with t: %v (t=20k) vs %v (t=80k)", d1, d4)
+	}
+}
+
+func TestWrongSolutionGivesGarbage(t *testing.T) {
+	msg := []byte("secret")
+	pz, err := New(nil, 256, 500, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop squaring early: result must not be the message.
+	short := &Puzzle{N: pz.N, A: pz.A, T: pz.T - 1, Enc: pz.Enc}
+	got, _ := short.Solve()
+	if bytes.Equal(got, msg) {
+		t.Fatal("undersquared solution must not reveal the message")
+	}
+}
+
+func TestCalibrateAndPredict(t *testing.T) {
+	rate, err := CalibrateRate(512, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("CalibrateRate: %v", err)
+	}
+	if rate < 1000 {
+		t.Fatalf("implausibly slow squaring rate: %v/s", rate)
+	}
+	tCount := TForDelay(2*time.Second, rate)
+	if tCount == 0 {
+		t.Fatal("TForDelay returned 0")
+	}
+	// A machine 2x faster finishes in half the time; a slow starter adds
+	// its delay.
+	base := PredictedSolveTime(tCount, rate, 1, 0)
+	fast := PredictedSolveTime(tCount, rate, 2, 0)
+	lazy := PredictedSolveTime(tCount, rate, 1, time.Hour)
+	if fast >= base {
+		t.Fatal("faster machine must finish sooner")
+	}
+	if lazy < time.Hour {
+		t.Fatal("start delay must add to release error")
+	}
+	if got := PredictedSolveTime(tCount, 0, 1, 0); got != 0 {
+		t.Fatal("zero rate must predict 0")
+	}
+}
+
+func TestPredictionMatchesMeasurement(t *testing.T) {
+	// The analytic model used by E3 must roughly match a real solve.
+	rate, err := CalibrateRate(512, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 200 * time.Millisecond
+	tCount := TForDelay(target, rate)
+	pz, err := New(nil, 512, tCount, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, measured := pz.Solve()
+	// Within 5x either way (CI machines jitter); the point is order of
+	// magnitude agreement.
+	if measured < target/5 || measured > target*5 {
+		t.Fatalf("measured %v for target %v — model badly off", measured, target)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 32, 10, []byte("m")); err == nil {
+		t.Fatal("tiny modulus must be rejected")
+	}
+	if _, err := New(nil, 256, 0, []byte("m")); err == nil {
+		t.Fatal("t=0 must be rejected")
+	}
+}

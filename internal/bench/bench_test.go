@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	tables, err := RunAll(Config{Quick: true})
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(tables) != len(Experiments()) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(Experiments()))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", tab.ID)
+		}
+		text := tab.String()
+		if !strings.Contains(text, tab.ID) || !strings.Contains(text, tab.Title) {
+			t.Errorf("%s: rendering lacks header", tab.ID)
+		}
+		md := tab.Markdown()
+		if !strings.HasPrefix(md, "### "+tab.ID) {
+			t.Errorf("%s: markdown lacks header", tab.ID)
+		}
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	tab, err := RunOne("E6", Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "E6" {
+		t.Fatalf("RunOne returned %s", tab.ID)
+	}
+	if _, err := RunOne("E99", Config{Quick: true}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestTableAddPanicsOnArity(t *testing.T) {
+	tab := &Table{ID: "X", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch must panic")
+		}
+	}()
+	tab.Add("only one")
+}
+
+func TestE2ScalabilityShape(t *testing.T) {
+	// The TRE rows must show constant messages; the Mont rows linear.
+	tab, err := RunE2(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var treMsgs, montMsgs []string
+	for _, row := range tab.Rows {
+		switch {
+		case strings.HasPrefix(row[0], "TRE (this paper)"):
+			treMsgs = append(treMsgs, row[2])
+		case strings.HasPrefix(row[0], "Mont"):
+			montMsgs = append(montMsgs, row[2])
+		}
+	}
+	for _, m := range treMsgs {
+		if m != "1" {
+			t.Fatalf("TRE messages = %v, want all 1", treMsgs)
+		}
+	}
+	if len(montMsgs) < 2 || montMsgs[0] == montMsgs[len(montMsgs)-1] {
+		t.Fatalf("Mont messages should grow: %v", montMsgs)
+	}
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+
+	"timedrelease/internal/threshold"
+)
+
+// RunE12 measures the k-of-n threshold time-server extension: the cost
+// of issuing/verifying partial updates and of Lagrange combination, as
+// the threshold grows. The combined update is byte-identical to the
+// single-server one, so receiver-side cost is unchanged by construction;
+// the price of availability is paid entirely at the servers and the
+// combiner.
+func RunE12(cfg Config) (*Table, error) {
+	set, err := cfg.set()
+	if err != nil {
+		return nil, err
+	}
+	const label = "2026-07-05T12:00:00Z"
+	iters := cfg.iters(10)
+
+	configs := [][2]int{{1, 1}, {2, 3}, {3, 5}, {5, 9}, {7, 10}}
+	if cfg.Quick {
+		configs = configs[:3]
+	}
+
+	t := &Table{
+		ID:    "E12",
+		Title: fmt.Sprintf("Threshold time servers: k-of-n update reconstruction (%s)", set.Name),
+		Claim: "extension: Shamir-shared updates trade §5.3.5's all-N liveness requirement for any-k availability at zero receiver cost",
+		Columns: []string{
+			"k-of-n", "issue partial", "verify partial", "combine k", "tolerates crashes", "colluders needed",
+		},
+	}
+
+	for _, kn := range configs {
+		k, n := kn[0], kn[1]
+		setup, err := threshold.Deal(set, nil, k, n)
+		if err != nil {
+			return nil, err
+		}
+		partials := make([]threshold.PartialUpdate, n)
+		for i, sh := range setup.Shares {
+			partials[i] = threshold.IssuePartial(set, sh, label)
+		}
+		issue := timeOp(iters, func() {
+			threshold.IssuePartial(set, setup.Shares[0], label)
+		})
+		verify := timeOp(iters, func() {
+			if !threshold.VerifyPartial(set, setup.Shares[0].Pub, partials[0]) {
+				panic("verify failed")
+			}
+		})
+		combine := timeOp(iters, func() {
+			if _, err := threshold.Combine(set, setup.GroupPub, partials[:k], k); err != nil {
+				panic(err)
+			}
+		})
+		t.Add(fmt.Sprintf("%d-of-%d", k, n), ms(issue), ms(verify), ms(combine),
+			fmt.Sprintf("%d", n-k), fmt.Sprintf("%d", k))
+	}
+	t.Note("combine = k Lagrange-weighted scalar multiplications + one self-authentication pairing check")
+	t.Note("the combined update equals the single-server s·H1(T), so every receiver codepath and every measurement in E1/E7/E8 applies unchanged")
+	return t, nil
+}

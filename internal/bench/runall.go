@@ -1,0 +1,50 @@
+package bench
+
+import "fmt"
+
+// Experiment pairs an experiment ID with its runner.
+type Experiment struct {
+	ID  string
+	Run func(Config) (*Table, error)
+}
+
+// Experiments lists every experiment in DESIGN.md §3 order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"E1", RunE1},
+		{"E2", RunE2},
+		{"E3", RunE3},
+		{"E4", RunE4},
+		{"E5", RunE5},
+		{"E6", RunE6},
+		{"E7", RunE7},
+		{"E8", RunE8},
+		{"E9", RunE9},
+		{"E10", RunE10},
+		{"E11", RunE11},
+		{"E12", RunE12},
+	}
+}
+
+// RunAll executes every experiment and returns the tables in order.
+func RunAll(cfg Config) ([]*Table, error) {
+	var out []*Table
+	for _, e := range Experiments() {
+		t, err := e.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// RunOne executes a single experiment by ID.
+func RunOne(id string, cfg Config) (*Table, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run(cfg)
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown experiment %q", id)
+}

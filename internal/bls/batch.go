@@ -1,0 +1,59 @@
+package bls
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/params"
+)
+
+// batchExponentBits sizes the random blinding exponents of batch
+// verification; a forged signature slips through with probability
+// ~2^-batchExponentBits per batch.
+const batchExponentBits = 128
+
+// VerifyBatch checks many same-key signatures with ONE pairing equation
+// instead of one per signature:
+//
+//	ê(G, Σ eᵢ·σᵢ) = ê(sG, Σ eᵢ·H1(mᵢ))
+//
+// for fresh random 128-bit blinders eᵢ. If every σᵢ = s·H1(mᵢ) the
+// equation holds; if any signature is wrong, the random combination
+// detects it except with probability ~2⁻¹²⁸. This is the fast path for a
+// receiver catching up on many archived key updates at once: 2 Miller
+// loops total instead of 2 per update (measured in E6).
+//
+// A false batch tells you *something* failed but not what; fall back to
+// per-signature Verify to locate offenders.
+func VerifyBatch(set *params.Set, pub PublicKey, dst string, msgs [][]byte, sigs []Signature, rng io.Reader) (bool, error) {
+	if len(msgs) != len(sigs) {
+		return false, fmt.Errorf("bls: %d messages for %d signatures", len(msgs), len(sigs))
+	}
+	if len(msgs) == 0 {
+		return true, nil
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	limit := new(big.Int).Lsh(big.NewInt(1), batchExponentBits)
+
+	sigSum := curve.Infinity()
+	hashSum := curve.Infinity()
+	for i, sig := range sigs {
+		if sig.Point.IsInfinity() || !set.Curve.InSubgroup(sig.Point) {
+			return false, nil
+		}
+		e, err := rand.Int(rng, limit)
+		if err != nil {
+			return false, fmt.Errorf("bls: sampling batch blinder: %w", err)
+		}
+		e.Add(e, big.NewInt(1)) // e ∈ [1, 2^128]
+		sigSum = set.Curve.Add(sigSum, set.Curve.ScalarMult(e, sig.Point))
+		h := set.Curve.HashToGroup(dst, msgs[i])
+		hashSum = set.Curve.Add(hashSum, set.Curve.ScalarMult(e, h))
+	}
+	return set.Pairing.SamePairing(pub.G, sigSum, pub.SG, hashSum), nil
+}

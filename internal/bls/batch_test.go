@@ -1,0 +1,88 @@
+package bls
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestVerifyBatchAccepts(t *testing.T) {
+	set, k := testSetup(t)
+	var msgs [][]byte
+	var sigs []Signature
+	for i := 0; i < 8; i++ {
+		m := []byte(fmt.Sprintf("epoch-%d", i))
+		msgs = append(msgs, m)
+		sigs = append(sigs, k.Sign(set, "time", m))
+	}
+	ok, err := VerifyBatch(set, k.Pub, "time", msgs, sigs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("batch of genuine signatures must verify")
+	}
+}
+
+func TestVerifyBatchDetectsOneBadSignature(t *testing.T) {
+	set, k := testSetup(t)
+	var msgs [][]byte
+	var sigs []Signature
+	for i := 0; i < 8; i++ {
+		m := []byte(fmt.Sprintf("epoch-%d", i))
+		msgs = append(msgs, m)
+		sigs = append(sigs, k.Sign(set, "time", m))
+	}
+	// Corrupt exactly one signature in the middle.
+	sigs[4].Point = set.Curve.Add(sigs[4].Point, set.G)
+	ok, err := VerifyBatch(set, k.Pub, "time", msgs, sigs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("batch with a corrupted signature must fail")
+	}
+}
+
+func TestVerifyBatchDetectsSwappedSignatures(t *testing.T) {
+	// Two valid signatures on swapped messages: each pair is individually
+	// wrong even though the sums of naive (unblinded) combinations would
+	// match — the random blinders must catch it.
+	set, k := testSetup(t)
+	msgs := [][]byte{[]byte("a"), []byte("b")}
+	sigs := []Signature{k.Sign(set, "time", msgs[1]), k.Sign(set, "time", msgs[0])}
+	ok, err := VerifyBatch(set, k.Pub, "time", msgs, sigs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("swapped signatures must fail batch verification")
+	}
+}
+
+func TestVerifyBatchEdgeCases(t *testing.T) {
+	set, k := testSetup(t)
+	// Empty batch: vacuously true.
+	ok, err := VerifyBatch(set, k.Pub, "time", nil, nil, nil)
+	if err != nil || !ok {
+		t.Fatalf("empty batch: %v %v", ok, err)
+	}
+	// Length mismatch is an error, not a false.
+	if _, err := VerifyBatch(set, k.Pub, "time", [][]byte{[]byte("m")}, nil, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	// Identity signature rejected.
+	ok, err = VerifyBatch(set, k.Pub, "time", [][]byte{[]byte("m")}, []Signature{{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("identity signature must fail")
+	}
+	// Single-element batch agrees with Verify.
+	m := []byte("solo")
+	sig := k.Sign(set, "time", m)
+	ok, err = VerifyBatch(set, k.Pub, "time", [][]byte{m}, []Signature{sig}, nil)
+	if err != nil || !ok {
+		t.Fatalf("single batch: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package bls implements Boneh–Lynn–Shacham short signatures over the
+// Type-1 pairing group. In the paper, a time-bound key update I_T is
+// exactly a BLS signature s·H1(T) by the time server — "self-
+// authenticated" because anyone can check ê(G, I_T) = ê(sG, H1(T))
+// without any additional signature (§5.3.1).
+//
+// The package also provides same-key aggregation (point addition of
+// signatures), which the policy-lock generalisation uses to combine the
+// updates of all conditions in an AND clause into one decryption key.
+package bls
+
+import (
+	"errors"
+	"io"
+	"math/big"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/params"
+)
+
+// PublicKey is a BLS verification key: the generator used and s·G.
+type PublicKey struct {
+	G  curve.Point // generator of the subgroup
+	SG curve.Point // s·G
+}
+
+// PrivateKey is a BLS signing key.
+type PrivateKey struct {
+	S   *big.Int
+	Pub PublicKey
+}
+
+// Signature is a BLS short signature: a single compressed group element.
+type Signature struct {
+	Point curve.Point // s·H1(msg)
+}
+
+// GenerateKey creates a key pair over the canonical generator of set.
+func GenerateKey(set *params.Set, rng io.Reader) (*PrivateKey, error) {
+	return GenerateKeyWithGenerator(set, set.G, rng)
+}
+
+// GenerateKeyWithGenerator creates a key pair over an explicit generator
+// g (the multi-server construction gives each server its own generator).
+func GenerateKeyWithGenerator(set *params.Set, g curve.Point, rng io.Reader) (*PrivateKey, error) {
+	if g.IsInfinity() || !set.Curve.InSubgroup(g) {
+		return nil, errors.New("bls: generator must be a non-identity subgroup point")
+	}
+	s, err := set.Curve.RandScalar(rng)
+	if err != nil {
+		return nil, err
+	}
+	return NewPrivateKey(set, g, s)
+}
+
+// NewPrivateKey builds a key pair from an explicit scalar (used by
+// deterministic tests and key-recovery tools). The scalar must be in
+// [1, q-1].
+func NewPrivateKey(set *params.Set, g curve.Point, s *big.Int) (*PrivateKey, error) {
+	if s.Sign() <= 0 || s.Cmp(set.Q) >= 0 {
+		return nil, errors.New("bls: scalar out of range [1, q-1]")
+	}
+	return &PrivateKey{
+		S:   new(big.Int).Set(s),
+		Pub: PublicKey{G: g.Clone(), SG: set.Curve.ScalarMult(s, g)},
+	}, nil
+}
+
+// Sign produces the short signature s·H1(msg) under the domain-separated
+// hash oracle dst.
+func (k *PrivateKey) Sign(set *params.Set, dst string, msg []byte) Signature {
+	h := set.Curve.HashToGroup(dst, msg)
+	return Signature{Point: set.Curve.ScalarMult(k.S, h)}
+}
+
+// Verify checks ê(G, sig) = ê(sG, H1(msg)). It rejects identity or
+// out-of-subgroup signature points.
+func Verify(set *params.Set, pub PublicKey, dst string, msg []byte, sig Signature) bool {
+	if sig.Point.IsInfinity() || !set.Curve.InSubgroup(sig.Point) {
+		return false
+	}
+	h := set.Curve.HashToGroup(dst, msg)
+	return set.Pairing.SamePairing(pub.G, sig.Point, pub.SG, h)
+}
+
+// Aggregate sums signatures by the same key over distinct messages into
+// one signature: Σ s·H1(mᵢ) = s·ΣH1(mᵢ).
+func Aggregate(set *params.Set, sigs []Signature) Signature {
+	acc := curve.Infinity()
+	for _, s := range sigs {
+		acc = set.Curve.Add(acc, s.Point)
+	}
+	return Signature{Point: acc}
+}
+
+// VerifyAggregate checks a same-key aggregate over the message list:
+// ê(G, agg) = ê(sG, Σ H1(mᵢ)). Messages must be distinct for the usual
+// aggregate-security argument; this function does not enforce that.
+func VerifyAggregate(set *params.Set, pub PublicKey, dst string, msgs [][]byte, agg Signature) bool {
+	if agg.Point.IsInfinity() || !set.Curve.InSubgroup(agg.Point) {
+		return false
+	}
+	hsum := curve.Infinity()
+	for _, m := range msgs {
+		hsum = set.Curve.Add(hsum, set.Curve.HashToGroup(dst, m))
+	}
+	return set.Pairing.SamePairing(pub.G, agg.Point, pub.SG, hsum)
+}

@@ -1,0 +1,140 @@
+package bls
+
+import (
+	"math/big"
+	"testing"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/params"
+)
+
+func testSetup(t *testing.T) (*params.Set, *PrivateKey) {
+	t.Helper()
+	set := params.MustPreset("Test160")
+	k, err := GenerateKey(set, nil)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return set, k
+}
+
+func TestSignVerify(t *testing.T) {
+	set, k := testSetup(t)
+	msg := []byte("2026-07-05T12:00:00Z")
+	sig := k.Sign(set, "time", msg)
+	if !Verify(set, k.Pub, "time", msg, sig) {
+		t.Fatal("genuine signature must verify")
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	set, k := testSetup(t)
+	msg := []byte("message")
+	sig := k.Sign(set, "dst", msg)
+
+	if Verify(set, k.Pub, "dst", []byte("other message"), sig) {
+		t.Fatal("signature must not verify for a different message")
+	}
+	if Verify(set, k.Pub, "other-dst", msg, sig) {
+		t.Fatal("signature must not verify under a different domain")
+	}
+
+	other, err := GenerateKey(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(set, other.Pub, "dst", msg, sig) {
+		t.Fatal("signature must not verify under another key")
+	}
+
+	tampered := Signature{Point: set.Curve.Add(sig.Point, set.G)}
+	if Verify(set, k.Pub, "dst", msg, tampered) {
+		t.Fatal("tampered signature must not verify")
+	}
+	if Verify(set, k.Pub, "dst", msg, Signature{Point: curve.Infinity()}) {
+		t.Fatal("identity signature must not verify")
+	}
+}
+
+func TestSignatureIsDeterministic(t *testing.T) {
+	// s·H1(m) has no signing nonce — the same (key, message) always gives
+	// the same short signature. This is what lets the time server publish
+	// one canonical update per instant.
+	set, k := testSetup(t)
+	s1 := k.Sign(set, "time", []byte("T"))
+	s2 := k.Sign(set, "time", []byte("T"))
+	if !set.Curve.Equal(s1.Point, s2.Point) {
+		t.Fatal("BLS signatures must be deterministic")
+	}
+}
+
+func TestNewPrivateKeyValidation(t *testing.T) {
+	set, _ := testSetup(t)
+	if _, err := NewPrivateKey(set, set.G, new(big.Int)); err == nil {
+		t.Fatal("zero scalar must be rejected")
+	}
+	if _, err := NewPrivateKey(set, set.G, set.Q); err == nil {
+		t.Fatal("scalar = q must be rejected")
+	}
+	if _, err := GenerateKeyWithGenerator(set, curve.Infinity(), nil); err == nil {
+		t.Fatal("identity generator must be rejected")
+	}
+}
+
+func TestCustomGenerator(t *testing.T) {
+	set, _ := testSetup(t)
+	g, err := set.Curve.RandomSubgroupPoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := GenerateKeyWithGenerator(set, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("per-server generator")
+	sig := k.Sign(set, "time", msg)
+	if !Verify(set, k.Pub, "time", msg, sig) {
+		t.Fatal("signature under custom generator must verify")
+	}
+}
+
+func TestAggregateSameKey(t *testing.T) {
+	set, k := testSetup(t)
+	msgs := [][]byte{[]byte("cond-a"), []byte("cond-b"), []byte("cond-c")}
+	sigs := make([]Signature, len(msgs))
+	for i, m := range msgs {
+		sigs[i] = k.Sign(set, "policy", m)
+	}
+	agg := Aggregate(set, sigs)
+	if !VerifyAggregate(set, k.Pub, "policy", msgs, agg) {
+		t.Fatal("aggregate of genuine signatures must verify")
+	}
+	// Aggregate over a different message set must fail.
+	if VerifyAggregate(set, k.Pub, "policy", msgs[:2], agg) {
+		t.Fatal("aggregate must not verify against a subset of messages")
+	}
+	// Dropping one component signature must fail.
+	partial := Aggregate(set, sigs[:2])
+	if VerifyAggregate(set, k.Pub, "policy", msgs, partial) {
+		t.Fatal("partial aggregate must not verify")
+	}
+	// Point-sum identity: aggregate equals s·Σ H1(mᵢ).
+	hsum := curve.Infinity()
+	for _, m := range msgs {
+		hsum = set.Curve.Add(hsum, set.Curve.HashToGroup("policy", m))
+	}
+	want := set.Curve.ScalarMult(k.S, hsum)
+	if !set.Curve.Equal(agg.Point, want) {
+		t.Fatal("aggregate != s·ΣH1(mᵢ)")
+	}
+}
+
+func TestSignatureSize(t *testing.T) {
+	// "Short signature": one compressed group element.
+	set, k := testSetup(t)
+	sig := k.Sign(set, "time", []byte("m"))
+	enc := set.Curve.Marshal(sig.Point)
+	if len(enc) != set.Curve.MarshalSize() {
+		t.Fatalf("signature encodes to %d bytes, want %d", len(enc), set.Curve.MarshalSize())
+	}
+}

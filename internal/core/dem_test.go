@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+// Direct unit tests for the AES-CTR + HMAC data-encapsulation mechanism
+// behind EncryptHybrid (the higher-level paths are covered in cca_test).
+
+func demTestKey(t *testing.T) []byte {
+	t.Helper()
+	key := make([]byte, hybridKeyLen)
+	if _, err := rand.Read(key); err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestDEMSealOpenRoundTrip(t *testing.T) {
+	key := demTestKey(t)
+	for _, msg := range [][]byte{
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte("block boundary "), 64),
+	} {
+		box, err := demSeal(rand.Reader, key, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := demOpen(key, box)
+		if err != nil {
+			t.Fatalf("demOpen(%d bytes): %v", len(msg), err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatal("round trip mismatch")
+		}
+		// Overhead is exactly IV + tag.
+		if len(box) != hybridIVLen+len(msg)+hybridTagLen {
+			t.Fatalf("box is %d bytes for %d-byte msg", len(box), len(msg))
+		}
+	}
+}
+
+func TestDEMFreshIVs(t *testing.T) {
+	key := demTestKey(t)
+	msg := []byte("same message twice")
+	b1, err := demSeal(rand.Reader, key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := demSeal(rand.Reader, key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1[:hybridIVLen], b2[:hybridIVLen]) {
+		t.Fatal("IVs must be fresh per seal")
+	}
+	if bytes.Equal(b1, b2) {
+		t.Fatal("sealing must be randomised")
+	}
+}
+
+func TestDEMRejects(t *testing.T) {
+	key := demTestKey(t)
+	box, err := demSeal(rand.Reader, key, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-byte flip anywhere in the box must be caught.
+	for i := 0; i < len(box); i += 3 {
+		mutated := append([]byte(nil), box...)
+		mutated[i] ^= 1
+		if _, err := demOpen(key, mutated); !errors.Is(err, ErrAuthFailed) {
+			t.Fatalf("flip at %d: err=%v, want ErrAuthFailed", i, err)
+		}
+	}
+	// Wrong key.
+	if _, err := demOpen(demTestKey(t), box); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("wrong key: err=%v", err)
+	}
+	// Too short to contain IV+tag.
+	if _, err := demOpen(key, box[:hybridIVLen]); !errors.Is(err, ErrInvalidCiphertext) {
+		t.Fatalf("short box: err=%v", err)
+	}
+	// Truncated body (tag over different bytes).
+	if _, err := demOpen(key, box[:len(box)-1]); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("truncated box: err=%v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/pairing"
+	"timedrelease/internal/rohash"
+)
+
+// Ciphertext is the basic TRE ciphertext C = ⟨U, V⟩ = ⟨rG, M ⊕ H2(K)⟩
+// of §5.1. Deliberately, it carries neither the release label nor any
+// party identity: the paper's privacy goals include hiding the release
+// time, so applications that want to transmit the label do so in an
+// outer envelope (package wire).
+type Ciphertext struct {
+	U curve.Point
+	V []byte
+}
+
+// Encrypt implements §5.1 Encryption: verify the receiver key's
+// well-formedness, pick r ∈ Z_q^*, compute K = ê(r·asG, H1(T)) and
+// return ⟨rG, M ⊕ H2(K)⟩. This basic scheme is one-way/CPA-secure (the
+// paper presents it pre-Fujisaki-Okamoto); use EncryptCCA for
+// chosen-ciphertext security.
+func (sc *Scheme) Encrypt(rng io.Reader, spub ServerPublicKey, upub UserPublicKey, label string, msg []byte) (*Ciphertext, error) {
+	if !sc.VerifyUserPublicKey(spub, upub) {
+		return nil, ErrInvalidPublicKey
+	}
+	r, err := sc.Set.Curve.RandScalar(rng)
+	if err != nil {
+		return nil, fmt.Errorf("tre: sampling encryption randomness: %w", err)
+	}
+	u, k, err := sc.encapsulate(spub, upub, label, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{U: u, V: rohash.XOR(msg, sc.maskH2(k, len(msg)))}, nil
+}
+
+// Decrypt implements §5.1 Decryption: K' = ê(U, I_T)^a, M = V ⊕ H2(K').
+// The caller should have verified the update against the server public
+// key (VerifyUpdate); the basic scheme cannot itself detect a wrong or
+// forged update — it simply produces an unrelated bitstring, exactly as
+// in the paper. Use the CCA variants for integrity.
+func (sc *Scheme) Decrypt(upriv *UserKeyPair, upd KeyUpdate, ct *Ciphertext) ([]byte, error) {
+	if ct == nil || !sc.Set.Curve.IsOnCurve(ct.U) {
+		return nil, ErrInvalidCiphertext
+	}
+	k := sc.decapsulate(upriv, upd, ct.U)
+	return rohash.XOR(ct.V, sc.maskH2(k, len(ct.V))), nil
+}
+
+// encapsulate computes (U, K) = (rG, ê(r·asG, H1(label))). Computing the
+// pairing on the pre-multiplied point r·asG replaces a G2 exponentiation
+// with a (cheaper) G1 scalar multiplication.
+//
+// It also applies the sender-side defence of §5.1 item 6: a cheating
+// server could have chosen its generator as G = H1(T*) for a label T*
+// it wants to eavesdrop; if the chosen label hashes onto the server's
+// generator, encryption refuses ("there should not be a large
+// difference, from the sender's point of view, between using T and
+// using T plus one second").
+func (sc *Scheme) encapsulate(spub ServerPublicKey, upub UserPublicKey, label string, r *big.Int) (curve.Point, pairing.GT, error) {
+	c := sc.Set.Curve
+	h := sc.hashLabel(label)
+	if c.Equal(h, spub.G) {
+		return curve.Point{}, pairing.GT{}, ErrUnsafeLabel
+	}
+	u := c.ScalarMult(r, spub.G)
+	k := sc.Set.Pairing.Pair(c.ScalarMult(r, upub.ASG), h)
+	return u, k, nil
+}
+
+// SafeLabel reports whether a release label avoids the §5.1 item 6
+// generator collision for this server. Encrypt and friends check it
+// automatically; senders picking labels programmatically can use it to
+// perturb a label (e.g. add one second) instead of failing.
+func (sc *Scheme) SafeLabel(spub ServerPublicKey, label string) bool {
+	return !sc.Set.Curve.Equal(sc.hashLabel(label), spub.G)
+}
+
+// decapsulate computes K' = ê(U, I_T)^a as ê(a·U, I_T).
+func (sc *Scheme) decapsulate(upriv *UserKeyPair, upd KeyUpdate, u curve.Point) pairing.GT {
+	c := sc.Set.Curve
+	return sc.Set.Pairing.Pair(c.ScalarMult(upriv.A, u), upd.Point)
+}
+
+// maskH2 is the paper's H2: G2 → {0,1}^n, instantiated as a
+// domain-separated SHA-256 expander over the canonical encoding of K.
+func (sc *Scheme) maskH2(k pairing.GT, n int) []byte {
+	return rohash.Expand("TRE-H2", sc.Set.Pairing.E2.Bytes(k), n)
+}

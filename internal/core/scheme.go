@@ -1,0 +1,174 @@
+// Package core implements the paper's primary contribution: the TRE
+// timed-release public-key encryption scheme of Chan–Blake §5.1,
+// together with the CCA-secure variants (§5: Fujisaki–Okamoto and
+// REACT), the key-insulation mechanism (§5.3.3) and server-change
+// re-keying (§5.3.4).
+//
+// Roles and flow:
+//
+//   - The time server generates (G, sG) once, then — completely
+//     passively — publishes the time-bound key update I_T = s·H1(T) when
+//     each instant T arrives. One update serves every user.
+//   - A user generates private a and public key (aG, a·sG).
+//   - A sender encrypts to (receiver public key, release label T) with
+//     no server interaction: C = ⟨rG, M ⊕ H2(ê(r·asG, H1(T)))⟩.
+//   - The receiver decrypts with private key a and the (public) update:
+//     K' = ê(U, I_T)^a.
+//
+// Decryption therefore requires BOTH the receiver's private key and the
+// server's update — neither alone suffices, the server never learns who
+// communicates, and one broadcast update unlocks every ciphertext with
+// that release time.
+package core
+
+import (
+	"errors"
+	"io"
+	"math/big"
+
+	"timedrelease/internal/bls"
+	"timedrelease/internal/curve"
+	"timedrelease/internal/params"
+	"timedrelease/internal/rohash"
+)
+
+// TimeDomain is the H1 domain-separation tag for time labels. Key
+// updates and encryption must agree on it, and it is distinct from every
+// other oracle in the repository (identities, policies, HIBE nodes).
+const TimeDomain = "time-label"
+
+// Errors returned by the scheme.
+var (
+	ErrInvalidPublicKey  = errors.New("tre: user public key fails the pairing well-formedness check")
+	ErrInvalidUpdate     = errors.New("tre: time-bound key update fails verification")
+	ErrInvalidCiphertext = errors.New("tre: ciphertext is malformed or inconsistent")
+	ErrLabelMismatch     = errors.New("tre: key update is for a different label")
+	ErrAuthFailed        = errors.New("tre: ciphertext integrity check failed")
+	ErrUnsafeLabel       = errors.New("tre: release label hashes onto the server generator (paper §5.1 item 6); perturb the label")
+)
+
+// Scheme binds the TRE algorithms to a parameter set.
+type Scheme struct {
+	Set *params.Set
+}
+
+// NewScheme returns a TRE scheme instance over the given parameters.
+func NewScheme(set *params.Set) *Scheme { return &Scheme{Set: set} }
+
+// ServerPublicKey is the time server's public key PK_S = (G, sG).
+type ServerPublicKey struct {
+	G  curve.Point // the server's generator
+	SG curve.Point // s·G
+}
+
+// ServerKeyPair holds the time server's private scalar and public key.
+type ServerKeyPair struct {
+	S   *big.Int
+	Pub ServerPublicKey
+}
+
+// ServerKeyGen generates a time-server key pair over the canonical
+// generator of the parameter set.
+func (sc *Scheme) ServerKeyGen(rng io.Reader) (*ServerKeyPair, error) {
+	k, err := bls.GenerateKey(sc.Set, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &ServerKeyPair{S: k.S, Pub: ServerPublicKey{G: k.Pub.G, SG: k.Pub.SG}}, nil
+}
+
+// KeyUpdate is the time-bound key update I_T = s·H1(T): a BLS short
+// signature on the time label, identical for all users, and
+// self-authenticating against the server public key.
+type KeyUpdate struct {
+	Label string
+	Point curve.Point // s·H1(Label)
+}
+
+// IssueUpdate produces the update for a label. In deployment this is
+// called by the time server exactly when the labelled instant arrives —
+// the scheme itself has no notion of clocks (see internal/timeserver).
+func (sc *Scheme) IssueUpdate(server *ServerKeyPair, label string) KeyUpdate {
+	k := bls.PrivateKey{S: server.S, Pub: bls.PublicKey(server.Pub)}
+	sig := k.Sign(sc.Set, TimeDomain, []byte(label))
+	return KeyUpdate{Label: label, Point: sig.Point}
+}
+
+// VerifyUpdate checks the self-authentication equation
+// ê(G, I_T) = ê(sG, H1(T)).
+func (sc *Scheme) VerifyUpdate(spub ServerPublicKey, u KeyUpdate) bool {
+	return bls.Verify(sc.Set, bls.PublicKey(spub), TimeDomain, []byte(u.Label), bls.Signature{Point: u.Point})
+}
+
+// UserPublicKey is PK_U = (aG, a·sG). AG is always taken over the
+// canonical parameter-set generator (this is the CA-certified half and
+// stays fixed across server changes, §5.3.4); ASG binds the key to the
+// chosen server's secret so decryption necessarily involves a key
+// update.
+type UserPublicKey struct {
+	AG  curve.Point // a·G
+	ASG curve.Point // a·sG
+}
+
+// UserKeyPair holds a user's private scalar and public key.
+type UserKeyPair struct {
+	A   *big.Int
+	Pub UserPublicKey
+}
+
+// UserKeyGen generates a user key pair bound to the given time server.
+func (sc *Scheme) UserKeyGen(spub ServerPublicKey, rng io.Reader) (*UserKeyPair, error) {
+	a, err := sc.Set.Curve.RandScalar(rng)
+	if err != nil {
+		return nil, err
+	}
+	return sc.UserKeyFromScalar(spub, a)
+}
+
+// UserKeyFromScalar derives the key pair for an explicit private scalar
+// a ∈ [1, q-1].
+func (sc *Scheme) UserKeyFromScalar(spub ServerPublicKey, a *big.Int) (*UserKeyPair, error) {
+	if a.Sign() <= 0 || a.Cmp(sc.Set.Q) >= 0 {
+		return nil, errors.New("tre: private scalar out of range [1, q-1]")
+	}
+	c := sc.Set.Curve
+	return &UserKeyPair{
+		A: new(big.Int).Set(a),
+		Pub: UserPublicKey{
+			AG:  c.ScalarMult(a, sc.Set.G),
+			ASG: c.ScalarMult(a, spub.SG),
+		},
+	}, nil
+}
+
+// UserKeyFromPassword derives the private scalar from a human-memorable
+// password and salt, as the paper suggests ("the secret key a could be
+// generated by applying a good hash function to a human-memorable
+// password"). The salt must be unique per user.
+func (sc *Scheme) UserKeyFromPassword(spub ServerPublicKey, password, salt []byte) (*UserKeyPair, error) {
+	a := rohash.ToScalarNonZero("TRE-password-key", rohash.Concat(salt, password), sc.Set.Q)
+	return sc.UserKeyFromScalar(spub, a)
+}
+
+// VerifyUserPublicKey performs the sender-side well-formedness check
+// ê(aG, sG) = ê(G, a·sG) (Encryption step 1): it guarantees the key is
+// really of the form (aG, a·sG), so the receiver cannot decrypt without
+// the server's update. The first pairing argument pairs the certified
+// AG (over the canonical generator) with the server's sG; the second
+// pairs the canonical generator with ASG — equal exactly when
+// ASG = a·sG for the same a.
+func (sc *Scheme) VerifyUserPublicKey(spub ServerPublicKey, upub UserPublicKey) bool {
+	if upub.AG.IsInfinity() || upub.ASG.IsInfinity() {
+		return false
+	}
+	c := sc.Set.Curve
+	if !c.InSubgroup(upub.AG) || !c.InSubgroup(upub.ASG) {
+		return false
+	}
+	return sc.Set.Pairing.SamePairing(upub.AG, spub.SG, sc.Set.G, upub.ASG)
+}
+
+// hashLabel is the paper's H1 applied to a time label.
+func (sc *Scheme) hashLabel(label string) curve.Point {
+	return sc.Set.Curve.HashToGroup(TimeDomain, []byte(label))
+}

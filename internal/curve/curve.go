@@ -1,0 +1,224 @@
+// Package curve implements the supersingular elliptic curve
+//
+//	E: y² = x³ + x  over F_p,  p ≡ 3 (mod 4)
+//
+// which is the Gap Diffie-Hellman group G1 of the paper. The curve has
+// exactly p+1 points over F_p and embedding degree 2; a prime q | p+1
+// defines the order-q subgroup the schemes operate in, and the
+// distortion map ψ(x, y) = (−x, i·y) into E(F_{p²}) makes the Tate
+// pairing symmetric (Type-1).
+//
+// The package provides affine and Jacobian arithmetic, scalar
+// multiplication, hashing to the subgroup (the paper's H1), and a
+// canonical compressed point encoding.
+package curve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"timedrelease/internal/ff"
+)
+
+var (
+	big1 = big.NewInt(1)
+	big3 = big.NewInt(3)
+)
+
+// Curve binds the base field to the subgroup structure q·h = p+1.
+type Curve struct {
+	F *ff.Field // base field F_p
+	Q *big.Int  // prime order of the working subgroup
+	H *big.Int  // cofactor, q·h = p+1
+}
+
+// Point is an affine point on E, or the point at infinity.
+// The zero value is the point at infinity.
+type Point struct {
+	X, Y *big.Int
+	inf  bool
+}
+
+// New returns a curve context after checking the structural relation
+// q·h = p+1 and that p ≡ 3 (mod 4) (supersingularity of y² = x³+x).
+func New(f *ff.Field, q, h *big.Int) (*Curve, error) {
+	if f == nil || q == nil || h == nil {
+		return nil, errors.New("curve: nil parameter")
+	}
+	p := f.P()
+	if new(big.Int).Mod(p, big.NewInt(4)).Cmp(big3) != 0 {
+		return nil, errors.New("curve: p ≡ 3 (mod 4) required for supersingular y²=x³+x")
+	}
+	prod := new(big.Int).Mul(q, h)
+	if prod.Cmp(new(big.Int).Add(p, big1)) != 0 {
+		return nil, errors.New("curve: group order mismatch, need q·h = p+1")
+	}
+	if q.Bit(0) == 0 {
+		return nil, errors.New("curve: subgroup order q must be odd")
+	}
+	return &Curve{F: f, Q: new(big.Int).Set(q), H: new(big.Int).Set(h)}, nil
+}
+
+// Infinity returns the point at infinity (the group identity).
+func Infinity() Point { return Point{inf: true} }
+
+// NewPoint returns the affine point (x, y) after an on-curve check.
+func (c *Curve) NewPoint(x, y *big.Int) (Point, error) {
+	p := Point{X: c.F.Reduce(x), Y: c.F.Reduce(y)}
+	if !c.IsOnCurve(p) {
+		return Point{}, errors.New("curve: point is not on the curve")
+	}
+	return p, nil
+}
+
+// IsInfinity reports whether p is the identity.
+func (p Point) IsInfinity() bool { return p.inf }
+
+// rhs returns x³ + x mod p.
+func (c *Curve) rhs(x *big.Int) *big.Int {
+	x3 := c.F.Mul(c.F.Sqr(x), x)
+	return c.F.Add(x3, x)
+}
+
+// IsOnCurve reports whether p satisfies the curve equation (infinity is
+// on the curve).
+func (c *Curve) IsOnCurve(p Point) bool {
+	if p.inf {
+		return true
+	}
+	if !c.F.IsResidue(p.X) || !c.F.IsResidue(p.Y) {
+		return false
+	}
+	return c.F.Equal(c.F.Sqr(p.Y), c.rhs(p.X))
+}
+
+// InSubgroup reports whether p lies in the order-q subgroup.
+func (c *Curve) InSubgroup(p Point) bool {
+	if !c.IsOnCurve(p) {
+		return false
+	}
+	return c.ScalarMult(c.Q, p).inf
+}
+
+// Equal reports whether two points are equal.
+func (c *Curve) Equal(p, q Point) bool {
+	if p.inf || q.inf {
+		return p.inf == q.inf
+	}
+	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
+}
+
+// Neg returns -p.
+func (c *Curve) Neg(p Point) Point {
+	if p.inf {
+		return p
+	}
+	return Point{X: new(big.Int).Set(p.X), Y: c.F.Neg(p.Y)}
+}
+
+// Add returns p+q using affine formulas.
+func (c *Curve) Add(p, q Point) Point {
+	if p.inf {
+		return q
+	}
+	if q.inf {
+		return p
+	}
+	if p.X.Cmp(q.X) == 0 {
+		if p.Y.Cmp(q.Y) != 0 || p.Y.Sign() == 0 {
+			// q = -p (or doubling a 2-torsion point): identity.
+			return Infinity()
+		}
+		return c.Double(p)
+	}
+	lambda := c.F.Mul(c.F.Sub(q.Y, p.Y), c.F.Inv(c.F.Sub(q.X, p.X)))
+	return c.chord(p, q, lambda)
+}
+
+// Double returns 2p using affine formulas. The tangent slope for
+// y² = x³ + x is (3x² + 1)/(2y).
+func (c *Curve) Double(p Point) Point {
+	if p.inf || p.Y.Sign() == 0 {
+		return Infinity()
+	}
+	num := c.F.Add(c.F.Mul(big3, c.F.Sqr(p.X)), big1)
+	lambda := c.F.Mul(num, c.F.Inv(c.F.Double(p.Y)))
+	return c.chord(p, p, lambda)
+}
+
+// chord completes an affine add/double given the line slope λ through
+// p and q: x3 = λ² − x_p − x_q, y3 = λ(x_p − x3) − y_p.
+func (c *Curve) chord(p, q Point, lambda *big.Int) Point {
+	x3 := c.F.Sub(c.F.Sub(c.F.Sqr(lambda), p.X), q.X)
+	y3 := c.F.Sub(c.F.Mul(lambda, c.F.Sub(p.X, x3)), p.Y)
+	return Point{X: x3, Y: y3}
+}
+
+// Sub returns p−q.
+func (c *Curve) Sub(p, q Point) Point { return c.Add(p, c.Neg(q)) }
+
+// ScalarMult returns k·p. Scalars may be any non-negative integer; they
+// are used as-is (callers working in the subgroup reduce mod q). The
+// computation uses Jacobian coordinates with a single final inversion.
+func (c *Curve) ScalarMult(k *big.Int, p Point) Point {
+	if k.Sign() < 0 {
+		panic("curve: negative scalar")
+	}
+	if k.Sign() == 0 || p.inf {
+		return Infinity()
+	}
+	acc := jacInfinity()
+	base := c.toJac(p)
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = c.jacDouble(acc)
+		if k.Bit(i) == 1 {
+			acc = c.jacAdd(acc, base)
+		}
+	}
+	return c.fromJac(acc)
+}
+
+// ScalarMultAffine is the pure-affine double-and-add ladder. It computes
+// the same result as ScalarMult and exists for the coordinate-system
+// ablation in experiment E4.
+func (c *Curve) ScalarMultAffine(k *big.Int, p Point) Point {
+	if k.Sign() < 0 {
+		panic("curve: negative scalar")
+	}
+	acc := Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = c.Double(acc)
+		if k.Bit(i) == 1 {
+			acc = c.Add(acc, p)
+		}
+	}
+	return acc
+}
+
+// RandScalar returns a uniform scalar in Z_q^* — the range from which
+// the paper draws private keys and encryption randomness.
+func (c *Curve) RandScalar(rng io.Reader) (*big.Int, error) {
+	qf, err := ff.NewField(c.Q)
+	if err != nil {
+		return nil, fmt.Errorf("curve: subgroup order: %w", err)
+	}
+	return qf.RandNonZero(rng)
+}
+
+// Clone returns an independent copy of p.
+func (p Point) Clone() Point {
+	if p.inf {
+		return Infinity()
+	}
+	return Point{X: new(big.Int).Set(p.X), Y: new(big.Int).Set(p.Y)}
+}
+
+// String renders the point for debugging.
+func (p Point) String() string {
+	if p.inf {
+		return "∞"
+	}
+	return fmt.Sprintf("(%v, %v)", p.X, p.Y)
+}

@@ -1,0 +1,95 @@
+package curve
+
+import "math/big"
+
+// jacPoint is a point in Jacobian projective coordinates
+// (X : Y : Z) ↔ affine (X/Z², Y/Z³); Z = 0 encodes infinity.
+// Jacobian arithmetic avoids the per-operation field inversion of the
+// affine formulas, which dominates scalar-multiplication cost with
+// math/big arithmetic (measured in experiment E4).
+type jacPoint struct {
+	X, Y, Z *big.Int
+}
+
+func jacInfinity() jacPoint {
+	return jacPoint{X: big.NewInt(1), Y: big.NewInt(1), Z: new(big.Int)}
+}
+
+func (j jacPoint) isInf() bool { return j.Z.Sign() == 0 }
+
+func (c *Curve) toJac(p Point) jacPoint {
+	if p.inf {
+		return jacInfinity()
+	}
+	return jacPoint{X: new(big.Int).Set(p.X), Y: new(big.Int).Set(p.Y), Z: big.NewInt(1)}
+}
+
+func (c *Curve) fromJac(j jacPoint) Point {
+	if j.isInf() {
+		return Infinity()
+	}
+	zInv := c.F.Inv(j.Z)
+	zInv2 := c.F.Sqr(zInv)
+	x := c.F.Mul(j.X, zInv2)
+	y := c.F.Mul(j.Y, c.F.Mul(zInv2, zInv))
+	return Point{X: x, Y: y}
+}
+
+// jacDouble doubles a Jacobian point on y² = x³ + a·x with a = 1:
+//
+//	M  = 3X² + a·Z⁴
+//	S  = 4XY²
+//	X' = M² − 2S
+//	Y' = M(S − X') − 8Y⁴
+//	Z' = 2YZ
+func (c *Curve) jacDouble(p jacPoint) jacPoint {
+	if p.isInf() || p.Y.Sign() == 0 {
+		return jacInfinity()
+	}
+	f := c.F
+	y2 := f.Sqr(p.Y)
+	z2 := f.Sqr(p.Z)
+	m := f.Add(f.Mul(big3, f.Sqr(p.X)), f.Sqr(z2)) // a = 1 ⇒ a·Z⁴ = Z⁴
+	s := f.Mul(big.NewInt(4), f.Mul(p.X, y2))
+	x3 := f.Sub(f.Sqr(m), f.Double(s))
+	y4 := f.Sqr(y2)
+	y3 := f.Sub(f.Mul(m, f.Sub(s, x3)), f.Mul(big.NewInt(8), y4))
+	z3 := f.Double(f.Mul(p.Y, p.Z))
+	return jacPoint{X: x3, Y: y3, Z: z3}
+}
+
+// jacAdd adds two Jacobian points with the general formulas:
+//
+//	U1 = X1·Z2², U2 = X2·Z1², S1 = Y1·Z2³, S2 = Y2·Z1³
+//	H = U2 − U1, R = S2 − S1
+//	X3 = R² − H³ − 2·U1·H², Y3 = R(U1·H² − X3) − S1·H³, Z3 = Z1·Z2·H
+func (c *Curve) jacAdd(p, q jacPoint) jacPoint {
+	if p.isInf() {
+		return q
+	}
+	if q.isInf() {
+		return p
+	}
+	f := c.F
+	z1s := f.Sqr(p.Z)
+	z2s := f.Sqr(q.Z)
+	u1 := f.Mul(p.X, z2s)
+	u2 := f.Mul(q.X, z1s)
+	s1 := f.Mul(p.Y, f.Mul(z2s, q.Z))
+	s2 := f.Mul(q.Y, f.Mul(z1s, p.Z))
+	h := f.Sub(u2, u1)
+	r := f.Sub(s2, s1)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			return c.jacDouble(p)
+		}
+		return jacInfinity()
+	}
+	h2 := f.Sqr(h)
+	h3 := f.Mul(h2, h)
+	u1h2 := f.Mul(u1, h2)
+	x3 := f.Sub(f.Sub(f.Sqr(r), h3), f.Double(u1h2))
+	y3 := f.Sub(f.Mul(r, f.Sub(u1h2, x3)), f.Mul(s1, h3))
+	z3 := f.Mul(f.Mul(p.Z, q.Z), h)
+	return jacPoint{X: x3, Y: y3, Z: z3}
+}

@@ -1,0 +1,74 @@
+package curve
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestWNAFRecoding(t *testing.T) {
+	// The recoded digits must reconstruct the scalar, with every non-zero
+	// digit odd and within (−2^(w−1), 2^(w−1)).
+	prop := func(k uint64) bool {
+		n := new(big.Int).SetUint64(k)
+		digits := wnaf(n, wnafWindow)
+		acc := new(big.Int)
+		for i := len(digits) - 1; i >= 0; i-- {
+			acc.Lsh(acc, 1)
+			acc.Add(acc, big.NewInt(int64(digits[i])))
+			d := digits[i]
+			if d != 0 && (d%2 == 0 || d >= 8 || d <= -8) {
+				return false
+			}
+		}
+		return acc.Cmp(n) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarMultWNAFMatchesLadder(t *testing.T) {
+	c := testCurve(t)
+	g := testGen(t, c)
+	prop := func(k uint64) bool {
+		s := new(big.Int).SetUint64(k)
+		return c.Equal(c.ScalarMultWNAF(s, g), c.ScalarMult(s, g))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+	// Full-width scalars too.
+	for i := 0; i < 10; i++ {
+		k, err := c.RandScalar(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Equal(c.ScalarMultWNAF(k, g), c.ScalarMult(k, g)) {
+			t.Fatalf("wNAF disagrees with ladder for %v", k)
+		}
+	}
+}
+
+func TestScalarMultWNAFEdgeCases(t *testing.T) {
+	c := testCurve(t)
+	g := testGen(t, c)
+	if !c.ScalarMultWNAF(new(big.Int), g).IsInfinity() {
+		t.Fatal("0·g != ∞")
+	}
+	if !c.Equal(c.ScalarMultWNAF(big.NewInt(1), g), g) {
+		t.Fatal("1·g != g")
+	}
+	if !c.ScalarMultWNAF(big.NewInt(7), Infinity()).IsInfinity() {
+		t.Fatal("k·∞ != ∞")
+	}
+	if !c.ScalarMultWNAF(c.Q, g).IsInfinity() {
+		t.Fatal("q·g != ∞")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative scalar must panic")
+		}
+	}()
+	c.ScalarMultWNAF(big.NewInt(-2), g)
+}

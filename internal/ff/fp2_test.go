@@ -1,0 +1,198 @@
+package ff
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func testFp2(t *testing.T) *Fp2 {
+	t.Helper()
+	e, err := NewFp2(testField(t))
+	if err != nil {
+		t.Fatalf("NewFp2: %v", err)
+	}
+	return e
+}
+
+func (e *Fp2) randQuick(x, y int64) Fp2Elem {
+	return Fp2Elem{A: randElem(e.Fp, x), B: randElem(e.Fp, y)}
+}
+
+func TestNewFp2RequiresPMod4(t *testing.T) {
+	// p = 5 ≡ 1 (mod 4): x²+1 is reducible, construction must fail.
+	f, err := NewField(big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFp2(f); err == nil {
+		t.Fatal("NewFp2 must reject p ≡ 1 (mod 4)")
+	}
+}
+
+func TestFp2FieldAxiomsQuick(t *testing.T) {
+	e := testFp2(t)
+	cfg := &quick.Config{MaxCount: 150}
+
+	ring := func(x1, y1, x2, y2, x3, y3 int64) bool {
+		a, b, c := e.randQuick(x1, y1), e.randQuick(x2, y2), e.randQuick(x3, y3)
+		if !e.Equal(e.Add(a, b), e.Add(b, a)) || !e.Equal(e.Mul(a, b), e.Mul(b, a)) {
+			return false
+		}
+		if !e.Equal(e.Mul(e.Mul(a, b), c), e.Mul(a, e.Mul(b, c))) {
+			return false
+		}
+		return e.Equal(e.Mul(a, e.Add(b, c)), e.Add(e.Mul(a, b), e.Mul(a, c)))
+	}
+	if err := quick.Check(ring, cfg); err != nil {
+		t.Error(err)
+	}
+
+	inverse := func(x, y int64) bool {
+		a := e.randQuick(x, y)
+		if e.IsZero(a) {
+			return true
+		}
+		return e.IsOne(e.Mul(a, e.Inv(a)))
+	}
+	if err := quick.Check(inverse, cfg); err != nil {
+		t.Error(err)
+	}
+
+	sqr := func(x, y int64) bool {
+		a := e.randQuick(x, y)
+		return e.Equal(e.Sqr(a), e.Mul(a, a))
+	}
+	if err := quick.Check(sqr, cfg); err != nil {
+		t.Error(err)
+	}
+
+	conj := func(x1, y1, x2, y2 int64) bool {
+		a, b := e.randQuick(x1, y1), e.randQuick(x2, y2)
+		// Conjugation is a field automorphism.
+		if !e.Equal(e.Conj(e.Mul(a, b)), e.Mul(e.Conj(a), e.Conj(b))) {
+			return false
+		}
+		// Norm = a·conj(a) lands in F_p (imaginary part 0).
+		n := e.Mul(a, e.Conj(a))
+		return n.B.Sign() == 0 && e.Fp.Equal(n.A, e.Norm(a))
+	}
+	if err := quick.Check(conj, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConjIsFrobenius(t *testing.T) {
+	// conj(z) must equal z^p — this identity is what FinalExp relies on.
+	e := testFp2(t)
+	for i := 0; i < 8; i++ {
+		z, err := e.Rand(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Equal(e.Conj(z), e.Exp(z, e.Fp.P())) {
+			t.Fatal("conj(z) != z^p")
+		}
+	}
+}
+
+func TestIUnitSquaresToMinusOne(t *testing.T) {
+	e := testFp2(t)
+	i := e.New(new(big.Int), big.NewInt(1))
+	minusOne := e.New(e.Fp.Neg(big.NewInt(1)), new(big.Int))
+	if !e.Equal(e.Sqr(i), minusOne) {
+		t.Fatal("i² != -1")
+	}
+}
+
+func TestFp2ExpLaws(t *testing.T) {
+	e := testFp2(t)
+	z, err := e.Rand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := big.NewInt(12345), big.NewInt(67891)
+	// z^(a+b) == z^a · z^b
+	sum := new(big.Int).Add(a, b)
+	if !e.Equal(e.Exp(z, sum), e.Mul(e.Exp(z, a), e.Exp(z, b))) {
+		t.Fatal("exponent addition law fails")
+	}
+	// (z^a)^b == z^(ab)
+	prod := new(big.Int).Mul(a, b)
+	if !e.Equal(e.Exp(e.Exp(z, a), b), e.Exp(z, prod)) {
+		t.Fatal("exponent multiplication law fails")
+	}
+	if !e.IsOne(e.Exp(z, new(big.Int))) {
+		t.Fatal("z^0 != 1")
+	}
+}
+
+func TestFp2OrderOfMultiplicativeGroup(t *testing.T) {
+	// z^(p²−1) = 1 for all z ≠ 0.
+	e := testFp2(t)
+	p2m1 := new(big.Int).Mul(e.Fp.P(), e.Fp.P())
+	p2m1.Sub(p2m1, big.NewInt(1))
+	for i := 0; i < 5; i++ {
+		z, err := e.Rand(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.IsZero(z) {
+			continue
+		}
+		if !e.IsOne(e.Exp(z, p2m1)) {
+			t.Fatal("z^(p²-1) != 1")
+		}
+	}
+}
+
+func TestFp2BytesRoundTrip(t *testing.T) {
+	e := testFp2(t)
+	for i := 0; i < 16; i++ {
+		z, err := e.Rand(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := e.Bytes(z)
+		back, err := e.SetBytes(enc)
+		if err != nil {
+			t.Fatalf("SetBytes: %v", err)
+		}
+		if !e.Equal(z, back) {
+			t.Fatal("round trip mismatch")
+		}
+	}
+	if _, err := e.SetBytes([]byte{1, 2, 3}); err == nil {
+		t.Fatal("wrong-length encoding must be rejected")
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	e := testFp2(t)
+	z, err := e.Rand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three := big.NewInt(3)
+	if !e.Equal(e.MulScalar(z, three), e.Add(z, e.Add(z, z))) {
+		t.Fatal("MulScalar(z,3) != z+z+z")
+	}
+}
+
+func TestFp2InvZeroPanics(t *testing.T) {
+	e := testFp2(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) must panic")
+		}
+	}()
+	e.Inv(e.Zero())
+}
+
+func TestFp2String(t *testing.T) {
+	e := testFp2(t)
+	s := e.New(big.NewInt(3), big.NewInt(7)).String()
+	if s != "3 + 7·i" {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,144 @@
+// Package keyfile stores key material on disk for the CLI tools: a
+// small text format with hex-encoded fields, private files written with
+// 0600 permissions. Public halves are embedded so a key file is
+// self-contained (no recomputation against a possibly-changed parameter
+// set can silently alter the public key).
+package keyfile
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"math/big"
+	"os"
+	"strings"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/params"
+	"timedrelease/internal/wire"
+)
+
+const (
+	header     = "tre-key-v1"
+	typeServer = "server"
+	typeUser   = "user"
+)
+
+// SaveServerKey writes a time-server key pair.
+func SaveServerKey(path string, set *params.Set, key *core.ServerKeyPair) error {
+	codec := wire.NewCodec(set)
+	body := render(typeServer, key.S, codec.MarshalServerPublicKey(key.Pub))
+	return os.WriteFile(path, body, 0o600)
+}
+
+// LoadServerKey reads a time-server key pair.
+func LoadServerKey(path string, set *params.Set) (*core.ServerKeyPair, error) {
+	scalar, pub, err := parse(path, typeServer)
+	if err != nil {
+		return nil, err
+	}
+	spub, err := wire.NewCodec(set).UnmarshalServerPublicKey(pub)
+	if err != nil {
+		return nil, fmt.Errorf("keyfile: %s: %w", path, err)
+	}
+	if err := checkScalar(scalar, set); err != nil {
+		return nil, fmt.Errorf("keyfile: %s: %w", path, err)
+	}
+	if !set.Curve.Equal(spub.SG, set.Curve.ScalarMult(scalar, spub.G)) {
+		return nil, fmt.Errorf("keyfile: %s: public key does not match scalar", path)
+	}
+	return &core.ServerKeyPair{S: scalar, Pub: spub}, nil
+}
+
+// SaveUserKey writes a user key pair.
+func SaveUserKey(path string, set *params.Set, key *core.UserKeyPair) error {
+	codec := wire.NewCodec(set)
+	body := render(typeUser, key.A, codec.MarshalUserPublicKey(key.Pub))
+	return os.WriteFile(path, body, 0o600)
+}
+
+// LoadUserKey reads a user key pair.
+func LoadUserKey(path string, set *params.Set) (*core.UserKeyPair, error) {
+	scalar, pub, err := parse(path, typeUser)
+	if err != nil {
+		return nil, err
+	}
+	upub, err := wire.NewCodec(set).UnmarshalUserPublicKey(pub)
+	if err != nil {
+		return nil, fmt.Errorf("keyfile: %s: %w", path, err)
+	}
+	if err := checkScalar(scalar, set); err != nil {
+		return nil, fmt.Errorf("keyfile: %s: %w", path, err)
+	}
+	if !set.Curve.Equal(upub.AG, set.Curve.ScalarMult(scalar, set.G)) {
+		return nil, fmt.Errorf("keyfile: %s: public key does not match scalar", path)
+	}
+	return &core.UserKeyPair{A: scalar, Pub: upub}, nil
+}
+
+// SavePublic writes raw public-key bytes (server or user wire encoding).
+func SavePublic(path string, encoded []byte) error {
+	return os.WriteFile(path, []byte(fmt.Sprintf("%x\n", encoded)), 0o644)
+}
+
+// LoadPublic reads raw public-key bytes written by SavePublic.
+func LoadPublic(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("keyfile: %w", err)
+	}
+	var out []byte
+	if _, err := fmt.Sscanf(strings.TrimSpace(string(raw)), "%x", &out); err != nil {
+		return nil, fmt.Errorf("keyfile: %s: bad hex: %w", path, err)
+	}
+	return out, nil
+}
+
+func render(kind string, scalar *big.Int, pub []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\ntype=%s\nscalar=%s\npub=%x\n", header, kind, scalar.Text(16), pub)
+	return b.Bytes()
+}
+
+func parse(path, wantKind string) (*big.Int, []byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("keyfile: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	if !sc.Scan() || sc.Text() != header {
+		return nil, nil, fmt.Errorf("keyfile: %s: bad header", path)
+	}
+	kv := map[string]string{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("keyfile: %s: malformed line %q", path, line)
+		}
+		kv[k] = v
+	}
+	if kv["type"] != wantKind {
+		return nil, nil, fmt.Errorf("keyfile: %s: type %q, want %q", path, kv["type"], wantKind)
+	}
+	scalar, ok := new(big.Int).SetString(kv["scalar"], 16)
+	if !ok {
+		return nil, nil, fmt.Errorf("keyfile: %s: bad scalar", path)
+	}
+	var pub []byte
+	if _, err := fmt.Sscanf(kv["pub"], "%x", &pub); err != nil {
+		return nil, nil, fmt.Errorf("keyfile: %s: bad pub: %w", path, err)
+	}
+	return scalar, pub, nil
+}
+
+func checkScalar(s *big.Int, set *params.Set) error {
+	if s.Sign() <= 0 || s.Cmp(set.Q) >= 0 {
+		return errors.New("scalar out of range [1, q-1]")
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package keyfile
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	"os"
+	"strconv"
+	"strings"
+
+	"timedrelease/internal/params"
+	"timedrelease/internal/threshold"
+)
+
+// Threshold-share files: like key files but carrying the share index and
+// the group public key, so a shard operator's file is self-contained.
+
+const shareHeader = "tre-share-v1"
+
+// SaveShare writes one threshold share plus the group public key.
+func SaveShare(path string, set *params.Set, setup *threshold.Setup, share threshold.Share) error {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\nk=%d\nn=%d\nindex=%d\nscalar=%s\npub=%x\ngroup=%x\n",
+		shareHeader, setup.K, setup.N, share.Index, share.S.Text(16),
+		set.Curve.Marshal(share.Pub),
+		append(set.Curve.Marshal(setup.GroupPub.G), set.Curve.Marshal(setup.GroupPub.SG)...))
+	return os.WriteFile(path, b.Bytes(), 0o600)
+}
+
+// LoadedShare is a share file's contents.
+type LoadedShare struct {
+	K, N  int
+	Share threshold.Share
+	Group [2][]byte // compressed G, sG of the group public key
+}
+
+// LoadShare reads and validates a share file.
+func LoadShare(path string, set *params.Set) (*LoadedShare, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("keyfile: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] != shareHeader {
+		return nil, fmt.Errorf("keyfile: %s: bad share header", path)
+	}
+	kv := map[string]string{}
+	for _, line := range lines[1:] {
+		k, v, ok := strings.Cut(strings.TrimSpace(line), "=")
+		if !ok {
+			return nil, fmt.Errorf("keyfile: %s: malformed line %q", path, line)
+		}
+		kv[k] = v
+	}
+	k, err1 := strconv.Atoi(kv["k"])
+	n, err2 := strconv.Atoi(kv["n"])
+	idx, err3 := strconv.Atoi(kv["index"])
+	if err1 != nil || err2 != nil || err3 != nil || k < 1 || n < k || idx < 1 || idx > n {
+		return nil, fmt.Errorf("keyfile: %s: bad k/n/index", path)
+	}
+	scalar, ok := new(big.Int).SetString(kv["scalar"], 16)
+	if !ok {
+		return nil, fmt.Errorf("keyfile: %s: bad scalar", path)
+	}
+	if err := checkScalar(scalar, set); err != nil {
+		return nil, fmt.Errorf("keyfile: %s: %w", path, err)
+	}
+	var pubRaw, groupRaw []byte
+	if _, err := fmt.Sscanf(kv["pub"], "%x", &pubRaw); err != nil {
+		return nil, fmt.Errorf("keyfile: %s: bad pub: %w", path, err)
+	}
+	if _, err := fmt.Sscanf(kv["group"], "%x", &groupRaw); err != nil {
+		return nil, fmt.Errorf("keyfile: %s: bad group: %w", path, err)
+	}
+	pub, err := set.Curve.UnmarshalSubgroup(pubRaw)
+	if err != nil {
+		return nil, fmt.Errorf("keyfile: %s: pub: %w", path, err)
+	}
+	if !set.Curve.Equal(pub, set.Curve.ScalarMult(scalar, set.G)) {
+		return nil, fmt.Errorf("keyfile: %s: share public point does not match scalar", path)
+	}
+	half := set.Curve.MarshalSize()
+	if len(groupRaw) != 2*half {
+		return nil, fmt.Errorf("keyfile: %s: bad group key length", path)
+	}
+	return &LoadedShare{
+		K: k, N: n,
+		Share: threshold.Share{Index: idx, S: scalar, Pub: pub},
+		Group: [2][]byte{groupRaw[:half], groupRaw[half:]},
+	}, nil
+}

@@ -1,0 +1,190 @@
+// Package multiserver implements the multiple-time-server extension of
+// paper §5.3.5: to decrypt, the receiver needs the time-bound key
+// updates of ALL N servers (plus their own private key), so early
+// release requires colluding with every server the sender chose.
+//
+// Each server i has its own generator Gᵢ and key pair (sᵢ, sᵢGᵢ). The
+// receiver publishes a combined key a·Σ sᵢGᵢ alongside the certified aG;
+// the sender verifies it with one pairing equation and produces
+//
+//	C = ⟨rG₁, …, rG_N, M ⊕ H2(K)⟩,  K = ê(r·a·Σ sᵢGᵢ, H1(T))
+//	                                  = Π ê(Gᵢ, H1(T))^{r·a·sᵢ}.
+//
+// Decryption multiplies per-server pairings ê(a·rGᵢ, sᵢH1(T)); the
+// implementation shares one final exponentiation across all N Miller
+// loops (the separate-exponentiation path is kept for the E5 ablation).
+package multiserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/curve"
+	"timedrelease/internal/pairing"
+	"timedrelease/internal/params"
+	"timedrelease/internal/rohash"
+)
+
+// Scheme binds the multi-server algorithms to a parameter set.
+type Scheme struct {
+	Set *params.Set
+}
+
+// NewScheme returns a multi-server TRE instance.
+func NewScheme(set *params.Set) *Scheme { return &Scheme{Set: set} }
+
+// ServerGroup is the ordered list of time servers chosen by the sender.
+type ServerGroup []core.ServerPublicKey
+
+// SumSG returns Σ sᵢGᵢ, the aggregate the receiver's combined key is
+// built from.
+func (sc *Scheme) SumSG(servers ServerGroup) curve.Point {
+	acc := curve.Infinity()
+	for _, s := range servers {
+		acc = sc.Set.Curve.Add(acc, s.SG)
+	}
+	return acc
+}
+
+// UserPublicKey is the receiver's key for a specific server group: the
+// CA-certified aG plus the combined point a·Σ sᵢGᵢ.
+type UserPublicKey struct {
+	AG       curve.Point // a·G over the canonical generator (certified)
+	Combined curve.Point // a·Σ sᵢGᵢ
+}
+
+// UserKeyPair holds the private scalar and the group-specific public
+// key.
+type UserKeyPair struct {
+	A   *big.Int
+	Pub UserPublicKey
+}
+
+// UserKeyGen generates a fresh key pair for the server group.
+func (sc *Scheme) UserKeyGen(servers ServerGroup, rng io.Reader) (*UserKeyPair, error) {
+	a, err := sc.Set.Curve.RandScalar(rng)
+	if err != nil {
+		return nil, err
+	}
+	return sc.UserKeyFromScalar(servers, a)
+}
+
+// UserKeyFromScalar derives the group key for an existing private
+// scalar — this is how a receiver answers a sender's request to use a
+// particular server group without changing identity keys.
+func (sc *Scheme) UserKeyFromScalar(servers ServerGroup, a *big.Int) (*UserKeyPair, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("multiserver: empty server group")
+	}
+	if a.Sign() <= 0 || a.Cmp(sc.Set.Q) >= 0 {
+		return nil, errors.New("multiserver: private scalar out of range [1, q-1]")
+	}
+	c := sc.Set.Curve
+	return &UserKeyPair{
+		A: new(big.Int).Set(a),
+		Pub: UserPublicKey{
+			AG:       c.ScalarMult(a, sc.Set.G),
+			Combined: c.ScalarMult(a, sc.SumSG(servers)),
+		},
+	}, nil
+}
+
+// VerifyUserPublicKey is the sender's "same trick as above" check
+// (§5.3.5): ê(aG, Σ sᵢGᵢ) = ê(G, a·Σ sᵢGᵢ), with aG over the canonical
+// generator.
+func (sc *Scheme) VerifyUserPublicKey(servers ServerGroup, upub UserPublicKey) bool {
+	if len(servers) == 0 || upub.AG.IsInfinity() || upub.Combined.IsInfinity() {
+		return false
+	}
+	c := sc.Set.Curve
+	if !c.InSubgroup(upub.AG) || !c.InSubgroup(upub.Combined) {
+		return false
+	}
+	return sc.Set.Pairing.SamePairing(upub.AG, sc.SumSG(servers), sc.Set.G, upub.Combined)
+}
+
+// Ciphertext carries one header point rGᵢ per server plus the masked
+// message.
+type Ciphertext struct {
+	Us []curve.Point // rG₁ … rG_N
+	V  []byte
+}
+
+// Encrypt verifies the receiver's combined key and produces the
+// N-header ciphertext.
+func (sc *Scheme) Encrypt(rng io.Reader, servers ServerGroup, upub UserPublicKey, label string, msg []byte) (*Ciphertext, error) {
+	if !sc.VerifyUserPublicKey(servers, upub) {
+		return nil, core.ErrInvalidPublicKey
+	}
+	r, err := sc.Set.Curve.RandScalar(rng)
+	if err != nil {
+		return nil, fmt.Errorf("multiserver: sampling encryption randomness: %w", err)
+	}
+	c := sc.Set.Curve
+	us := make([]curve.Point, len(servers))
+	for i, s := range servers {
+		us[i] = c.ScalarMult(r, s.G)
+	}
+	h := c.HashToGroup(core.TimeDomain, []byte(label))
+	k := sc.Set.Pairing.Pair(c.ScalarMult(r, upub.Combined), h)
+	return &Ciphertext{Us: us, V: rohash.XOR(msg, sc.mask(k, len(msg)))}, nil
+}
+
+// Decrypt recovers the message from the receiver's private scalar and
+// one key update per server (all for the same label, in server order).
+// The N pairings share a single final exponentiation.
+func (sc *Scheme) Decrypt(upriv *UserKeyPair, updates []core.KeyUpdate, ct *Ciphertext) ([]byte, error) {
+	k, err := sc.decapsulate(upriv, updates, ct, true)
+	if err != nil {
+		return nil, err
+	}
+	return rohash.XOR(ct.V, sc.mask(k, len(ct.V))), nil
+}
+
+// DecryptSeparate is Decrypt without the shared-final-exponentiation
+// optimisation (N independent full pairings, then a product). It exists
+// for the E5 ablation and must agree with Decrypt bit-for-bit.
+func (sc *Scheme) DecryptSeparate(upriv *UserKeyPair, updates []core.KeyUpdate, ct *Ciphertext) ([]byte, error) {
+	k, err := sc.decapsulate(upriv, updates, ct, false)
+	if err != nil {
+		return nil, err
+	}
+	return rohash.XOR(ct.V, sc.mask(k, len(ct.V))), nil
+}
+
+func (sc *Scheme) decapsulate(upriv *UserKeyPair, updates []core.KeyUpdate, ct *Ciphertext, shared bool) (pairing.GT, error) {
+	if ct == nil || len(ct.Us) == 0 {
+		return pairing.GT{}, core.ErrInvalidCiphertext
+	}
+	if len(updates) != len(ct.Us) {
+		return pairing.GT{}, fmt.Errorf("multiserver: %d updates for %d headers", len(updates), len(ct.Us))
+	}
+	label := updates[0].Label
+	c := sc.Set.Curve
+	pairs := make([]pairing.PointPair, 0, len(ct.Us))
+	for i, u := range ct.Us {
+		if !c.IsOnCurve(u) {
+			return pairing.GT{}, core.ErrInvalidCiphertext
+		}
+		if updates[i].Label != label {
+			return pairing.GT{}, core.ErrLabelMismatch
+		}
+		pairs = append(pairs, pairing.PointPair{P: c.ScalarMult(upriv.A, u), Q: updates[i].Point})
+	}
+	if shared {
+		return sc.Set.Pairing.PairProduct(pairs), nil
+	}
+	acc := sc.Set.Pairing.E2.One()
+	for _, pq := range pairs {
+		acc = sc.Set.Pairing.E2.Mul(acc, sc.Set.Pairing.Pair(pq.P, pq.Q))
+	}
+	return acc, nil
+}
+
+// mask is the scheme's H2 expander.
+func (sc *Scheme) mask(k pairing.GT, n int) []byte {
+	return rohash.Expand("MSTRE-H2", sc.Set.Pairing.E2.Bytes(k), n)
+}

@@ -1,0 +1,185 @@
+// Package pairing implements the modified Tate pairing
+//
+//	ê : G1 × G1 → G2 ⊂ F_{p²}*,  ê(P, Q) = f_{q,P}(ψ(Q))^((p²−1)/q)
+//
+// on the supersingular curve of package curve, where
+// ψ(x, y) = (−x, i·y) is the distortion map into E(F_{p²}). ψ makes the
+// pairing symmetric and non-degenerate on the single subgroup G1 — the
+// Type-1 setting the paper's constructions require (ê(P, P) ≠ 1).
+//
+// Miller's algorithm is run with denominator elimination: every vertical
+// line evaluated at ψ(Q) = (−x_Q, i·y_Q) has value −x_Q − x ∈ F_p, and
+// the final exponentiation (p²−1)/q = (p−1)·h kills all of F_p*, so
+// vertical-line factors can be skipped entirely.
+package pairing
+
+import (
+	"errors"
+	"math/big"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/ff"
+)
+
+// GT is the target group: the order-q subgroup of F_{p²}*.
+type GT = ff.Fp2Elem
+
+// Pairing binds a curve context to its extension field and caches the
+// final exponentiation exponent.
+type Pairing struct {
+	C  *curve.Curve
+	E2 *ff.Fp2
+
+	finalExp *big.Int // (p²−1)/q = (p−1)·h
+}
+
+// New returns a pairing context for c.
+func New(c *curve.Curve) (*Pairing, error) {
+	if c == nil {
+		return nil, errors.New("pairing: nil curve")
+	}
+	e2, err := ff.NewFp2(c.F)
+	if err != nil {
+		return nil, err
+	}
+	pm1 := new(big.Int).Sub(c.F.P(), big.NewInt(1))
+	return &Pairing{
+		C:        c,
+		E2:       e2,
+		finalExp: new(big.Int).Mul(pm1, c.H),
+	}, nil
+}
+
+// Pair computes ê(P, Q). Both points must lie in the order-q subgroup;
+// if either is the identity the result is 1.
+func (pr *Pairing) Pair(p, q curve.Point) GT {
+	if p.IsInfinity() || q.IsInfinity() {
+		return pr.E2.One()
+	}
+	return pr.FinalExp(pr.Miller(p, q))
+}
+
+// PairAfterMiller exposes the two phases separately so callers can
+// multiply several Miller values and share one final exponentiation
+// (see PairProduct); it exists for the E5 ablation.
+func (pr *Pairing) PairAfterMiller(f GT) GT { return pr.FinalExp(f) }
+
+// FinalExp raises an unreduced Miller value to (p²−1)/q, mapping it into
+// the order-q target group. The (p−1) factor is applied via the
+// Frobenius identity z^(p−1) = conj(z)·z⁻¹, leaving an exponentiation by
+// the (much smaller) cofactor h.
+func (pr *Pairing) FinalExp(f GT) GT {
+	e2 := pr.E2
+	if e2.IsZero(f) {
+		// Cannot happen for valid subgroup inputs (see Miller); treat as
+		// degenerate.
+		return e2.One()
+	}
+	t := e2.Mul(e2.Conj(f), e2.Inv(f)) // f^(p−1)
+	return e2.Exp(t, pr.C.H)           // then ^h, total (p−1)h = (p²−1)/q
+}
+
+// Miller evaluates the Miller function f_{q,P} at ψ(Q), without the
+// final exponentiation. P and Q must be non-identity subgroup points.
+func (pr *Pairing) Miller(p, q curve.Point) GT {
+	e2 := pr.E2
+	f := e2.One()
+	v := p.Clone()
+	ord := pr.C.Q
+	for i := ord.BitLen() - 2; i >= 0; i-- {
+		f = e2.Sqr(f)
+		var g GT
+		v, g = pr.lineDouble(v, q)
+		f = e2.Mul(f, g)
+		if ord.Bit(i) == 1 {
+			v, g = pr.lineAdd(v, p, q)
+			f = e2.Mul(f, g)
+		}
+	}
+	return f
+}
+
+// lineEval evaluates the (non-vertical) line of slope λ through the
+// affine point a, at the distorted point ψ(Q) = (−x_Q, i·y_Q):
+//
+//	g = i·y_Q − λ·(−x_Q) − (y_a − λ·x_a)
+//	  = (λ·(x_Q + x_a) − y_a) + y_Q·i  ∈ F_{p²}.
+//
+// Since q is odd and Q has order q, y_Q ≠ 0, so g ≠ 0 always — the
+// Miller value never collapses to zero.
+func (pr *Pairing) lineEval(a, q curve.Point, lambda *big.Int) GT {
+	fp := pr.C.F
+	re := fp.Sub(fp.Mul(lambda, fp.Add(q.X, a.X)), a.Y)
+	return ff.Fp2Elem{A: re, B: new(big.Int).Set(q.Y)}
+}
+
+// lineDouble returns (2v, g) where g is the tangent-line factor at v
+// evaluated at ψ(q). Vertical tangents (y=0) and the identity contribute
+// the factor 1 under denominator elimination.
+func (pr *Pairing) lineDouble(v, q curve.Point) (curve.Point, GT) {
+	if v.IsInfinity() {
+		return v, pr.E2.One()
+	}
+	if v.Y.Sign() == 0 {
+		return curve.Infinity(), pr.E2.One()
+	}
+	fp := pr.C.F
+	num := fp.Add(fp.Mul(big.NewInt(3), fp.Sqr(v.X)), big.NewInt(1))
+	lambda := fp.Mul(num, fp.Inv(fp.Double(v.Y)))
+	g := pr.lineEval(v, q, lambda)
+	return pr.C.Double(v), g
+}
+
+// lineAdd returns (v+p, g) where g is the chord-line factor through v
+// and p evaluated at ψ(q). The vertical chord v + (−v) contributes 1.
+func (pr *Pairing) lineAdd(v, p, q curve.Point) (curve.Point, GT) {
+	if v.IsInfinity() {
+		return p, pr.E2.One()
+	}
+	if p.IsInfinity() {
+		return v, pr.E2.One()
+	}
+	if v.X.Cmp(p.X) == 0 {
+		if v.Y.Cmp(p.Y) == 0 {
+			// Chord degenerates to the tangent; only reachable if the loop
+			// ever adds a point to itself, which the Miller schedule avoids.
+			return pr.lineDouble(v, q)
+		}
+		return curve.Infinity(), pr.E2.One()
+	}
+	fp := pr.C.F
+	lambda := fp.Mul(fp.Sub(p.Y, v.Y), fp.Inv(fp.Sub(p.X, v.X)))
+	g := pr.lineEval(v, q, lambda)
+	return pr.C.Add(v, p), g
+}
+
+// PointPair is one (P, Q) factor of a pairing product.
+type PointPair struct {
+	P, Q curve.Point
+}
+
+// PairProduct computes Π ê(Pᵢ, Qᵢ) with a single shared final
+// exponentiation — the optimisation used by multi-server decryption
+// (paper §5.3.5) and pairing-equation checks.
+func (pr *Pairing) PairProduct(pairs []PointPair) GT {
+	acc := pr.E2.One()
+	for _, pq := range pairs {
+		if pq.P.IsInfinity() || pq.Q.IsInfinity() {
+			continue
+		}
+		acc = pr.E2.Mul(acc, pr.Miller(pq.P, pq.Q))
+	}
+	return pr.FinalExp(acc)
+}
+
+// SamePairing reports whether ê(a1, b1) == ê(a2, b2), evaluated as a
+// single product ê(−a1, b1)·ê(a2, b2) == 1 so only one final
+// exponentiation is needed. This is the workhorse behind key-update
+// verification and public-key well-formedness checks.
+func (pr *Pairing) SamePairing(a1, b1, a2, b2 curve.Point) bool {
+	gt := pr.PairProduct([]PointPair{
+		{P: pr.C.Neg(a1), Q: b1},
+		{P: a2, Q: b2},
+	})
+	return pr.E2.IsOne(gt)
+}

@@ -1,0 +1,189 @@
+// Package params generates and validates the public parameters of the
+// Type-1 pairing setting: primes p ≡ 3 (mod 4) and q with q·h = p+1,
+// defining the curve y² = x³ + x over F_p with an order-q Gap
+// Diffie-Hellman subgroup (paper §4).
+//
+// A parameter set is fully determined by (p, q): the cofactor is
+// h = (p+1)/q and the canonical generator is derived by hashing the
+// primes onto the subgroup, so parameter sets are self-contained and
+// anyone can re-derive and audit them. Embedded presets cover a fast
+// test size and the 2005-era through modern production sizes.
+package params
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/ff"
+	"timedrelease/internal/pairing"
+	"timedrelease/internal/rohash"
+)
+
+// primalityRounds is the Miller-Rabin round count used for generation
+// and validation; combined with big.Int's Baillie-PSW test this gives a
+// negligible error probability.
+const primalityRounds = 64
+
+// Set is a complete, ready-to-use parameter set. All fields are
+// populated by the constructors; treat them as read-only.
+type Set struct {
+	Name string   // human-readable label ("SS512", ...)
+	P    *big.Int // base-field prime, p ≡ 3 (mod 4)
+	Q    *big.Int // subgroup order, prime, q | p+1
+	H    *big.Int // cofactor (p+1)/q
+
+	Curve   *curve.Curve
+	Pairing *pairing.Pairing
+	G       curve.Point // canonical subgroup generator
+}
+
+// FromPQ assembles a parameter set from the two primes, deriving the
+// cofactor, curve, pairing and canonical generator. Structural relations
+// are checked; call Validate for (slower) primality checks.
+func FromPQ(name string, p, q *big.Int) (*Set, error) {
+	if p == nil || q == nil {
+		return nil, errors.New("params: nil prime")
+	}
+	pp1 := new(big.Int).Add(p, big.NewInt(1))
+	h, rem := new(big.Int).QuoRem(pp1, q, new(big.Int))
+	if rem.Sign() != 0 {
+		return nil, errors.New("params: q does not divide p+1")
+	}
+	f, err := ff.NewField(p)
+	if err != nil {
+		return nil, fmt.Errorf("params: %w", err)
+	}
+	c, err := curve.New(f, q, h)
+	if err != nil {
+		return nil, fmt.Errorf("params: %w", err)
+	}
+	pr, err := pairing.New(c)
+	if err != nil {
+		return nil, fmt.Errorf("params: %w", err)
+	}
+	s := &Set{Name: name, P: new(big.Int).Set(p), Q: new(big.Int).Set(q), H: h, Curve: c, Pairing: pr}
+	s.G = s.deriveGenerator()
+	if s.G.IsInfinity() {
+		return nil, errors.New("params: derived generator is the identity")
+	}
+	return s, nil
+}
+
+// deriveGenerator hashes (p, q) onto the subgroup, giving a canonical
+// generator anyone can recompute from the primes alone.
+func (s *Set) deriveGenerator() curve.Point {
+	seed := rohash.Concat([]byte("generator"), s.P.Bytes(), s.Q.Bytes())
+	return s.Curve.HashToGroup("params", seed)
+}
+
+// Validate performs the full (slow) audit of a parameter set: primality
+// of p and q, the congruence and divisibility relations, that q is not a
+// factor of the cofactor, and that the canonical generator matches.
+func (s *Set) Validate() error {
+	if !s.P.ProbablyPrime(primalityRounds) {
+		return errors.New("params: p is not prime")
+	}
+	if !s.Q.ProbablyPrime(primalityRounds) {
+		return errors.New("params: q is not prime")
+	}
+	if new(big.Int).Mod(s.P, big.NewInt(4)).Int64() != 3 {
+		return errors.New("params: p ≢ 3 (mod 4)")
+	}
+	pp1 := new(big.Int).Add(s.P, big.NewInt(1))
+	if new(big.Int).Mul(s.Q, s.H).Cmp(pp1) != 0 {
+		return errors.New("params: q·h ≠ p+1")
+	}
+	if new(big.Int).Mod(s.H, s.Q).Sign() == 0 {
+		return errors.New("params: q² divides p+1")
+	}
+	if !s.Curve.InSubgroup(s.G) {
+		return errors.New("params: generator not in subgroup")
+	}
+	if !s.Curve.Equal(s.G, s.deriveGenerator()) {
+		return errors.New("params: generator is not the canonical derivation")
+	}
+	return nil
+}
+
+// Generate creates a fresh parameter set with a pBits-bit p and a
+// qBits-bit q. It samples q prime, then cofactors h ≡ 0 (mod 4) until
+// p = h·q − 1 is a pBits-bit prime (p ≡ 3 mod 4 holds by construction
+// since q is odd and 4 | h).
+func Generate(rng io.Reader, pBits, qBits int) (*Set, error) {
+	if qBits < 16 || pBits < qBits+8 {
+		return nil, fmt.Errorf("params: unusable sizes pBits=%d qBits=%d", pBits, qBits)
+	}
+	rng = orRand(rng)
+	q, err := randPrime(rng, qBits)
+	if err != nil {
+		return nil, err
+	}
+	hBits := pBits - qBits
+	for tries := 0; tries < 100000; tries++ {
+		h, err := randBits(rng, hBits)
+		if err != nil {
+			return nil, err
+		}
+		h.SetBit(h, 0, 0)
+		h.SetBit(h, 1, 0) // h ≡ 0 (mod 4) ⇒ p = hq−1 ≡ 3 (mod 4)
+		if h.BitLen() < 3 {
+			continue
+		}
+		p := new(big.Int).Mul(h, q)
+		p.Sub(p, big.NewInt(1))
+		if p.BitLen() != pBits {
+			continue
+		}
+		if !p.ProbablyPrime(primalityRounds) {
+			continue
+		}
+		if new(big.Int).Mod(h, q).Sign() == 0 {
+			continue
+		}
+		return FromPQ(fmt.Sprintf("gen-%d-%d", pBits, qBits), p, q)
+	}
+	return nil, errors.New("params: no prime found (try different sizes)")
+}
+
+// Marshal renders the set in a small self-describing text format.
+func (s *Set) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "tre-params-v1\nname=%s\np=%s\nq=%s\n", s.Name, s.P.Text(16), s.Q.Text(16))
+	return b.Bytes()
+}
+
+// Unmarshal parses the format produced by Marshal and rebuilds the set
+// (including structural checks).
+func Unmarshal(data []byte) (*Set, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	if !sc.Scan() || sc.Text() != "tre-params-v1" {
+		return nil, errors.New("params: bad header")
+	}
+	kv := map[string]string{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("params: malformed line %q", line)
+		}
+		kv[k] = v
+	}
+	p, ok := new(big.Int).SetString(kv["p"], 16)
+	if !ok {
+		return nil, errors.New("params: bad p")
+	}
+	q, ok := new(big.Int).SetString(kv["q"], 16)
+	if !ok {
+		return nil, errors.New("params: bad q")
+	}
+	return FromPQ(kv["name"], p, q)
+}

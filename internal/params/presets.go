@@ -1,0 +1,91 @@
+package params
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+)
+
+// Preset parameter sets. Each is defined by its two primes; everything
+// else (cofactor, curve, pairing, canonical generator) is re-derived at
+// load time, so the embedded data is fully auditable. All presets were
+// produced by Generate and pass Validate.
+//
+//   - Test160 — 160-bit p, 80-bit q. NOT secure; exists so the test
+//     suite runs fast. Security levels this small are trivially
+//     breakable.
+//   - SS512 — 512-bit p, 160-bit q. The size contemporary with the
+//     paper (2005) and with Boneh–Franklin; roughly 80-bit security
+//     then, inadequate today.
+//   - SS1024 — 1024-bit p, 224-bit q.
+//   - SS1536 — 1536-bit p, 256-bit q. The conservative modern choice
+//     for this (Type-1, embedding degree 2) pairing family.
+var presetPrimes = map[string][2]string{
+	"Test160": {
+		"cab69233645ff2ec9acee7e93cf76c09cab9c52f",
+		"ccf7a522ae5901e73051",
+	},
+	"SS512": {
+		"ad1b4018db0dcf94ca80575c821b9aefd402ad39db7a7d85fb0f8e71989659c2af8599a5b178cf01ddb933717119e7db4055e2b5e452590b660633ca3f0897b7",
+		"eb390909eda970c020a00be910961312ae13722b",
+	},
+	"SS1024": {
+		"ad9a6e357557eb15668567fb42048d4265160edec9ae4d134bd4ab8d3cb48e659bf1198c17a1ac94870d40a0b013c456c52a86d827ba47dcadcdb78b45baa254d8bdd82e9c5c47088070a72b0b31238218a74808edb04c9da0be604bdc70995cc1e0c0b3664622935cc3eb7bf830b69e1145326b4e562226b65da09c6e4d447b",
+		"d4d5f7f4ac6206c04a504269bfeb5b2f179f428d4530c35947146d33",
+	},
+	"SS1536": {
+		"c0c3c234817de96ec923161d24e228ffc379123f7cbf08d2502126593960dc6b69fb15f83d3fc042e46a1b8f7de24ea66456fba42d24ef4961b6bdc552c5d4df08597ced47dd0989af0bb40f65e413fc3c8f2dbf5a71c26934b02395bce25a7352f687afc0f8b3f16f02ca4e6d800e69c2f1611c81a8154940fcaba4a739ed39f908f599ff696cbe40efaaca991ad73449bd26be1d463553e9b9784f1f81c576c6ea58203889a127c1ba39cc9c601cec080eef1da3afb2ec82bfb482206e0783",
+		"cae3e41f01cce588747f53badc528fe46cd9e4307351017c1410d98912d23d55",
+	},
+}
+
+var (
+	presetMu    sync.Mutex
+	presetCache = map[string]*Set{}
+)
+
+// Preset returns the named embedded parameter set, building and caching
+// it on first use. Known names: Test160, SS512, SS1024, SS1536.
+func Preset(name string) (*Set, error) {
+	presetMu.Lock()
+	defer presetMu.Unlock()
+	if s, ok := presetCache[name]; ok {
+		return s, nil
+	}
+	primes, ok := presetPrimes[name]
+	if !ok {
+		return nil, fmt.Errorf("params: unknown preset %q (have %v)", name, PresetNames())
+	}
+	p, ok1 := new(big.Int).SetString(primes[0], 16)
+	q, ok2 := new(big.Int).SetString(primes[1], 16)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("params: corrupt preset %q", name)
+	}
+	s, err := FromPQ(name, p, q)
+	if err != nil {
+		return nil, fmt.Errorf("params: building preset %q: %w", name, err)
+	}
+	presetCache[name] = s
+	return s, nil
+}
+
+// MustPreset is Preset for known-good names; it panics on error and is
+// intended for tests and examples.
+func MustPreset(name string) *Set {
+	s, err := Preset(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// PresetNames lists the embedded presets in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presetPrimes))
+	for n := range presetPrimes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,84 @@
+// Package rohash provides the domain-separated, variable-output hash
+// expansion used to instantiate the paper's random oracles H1–H4
+// (Section 4 and Section 5.1 of Chan–Blake).
+//
+// All expansion is SHA-256 in counter mode with unambiguous length
+// prefixes: block_j = SHA-256(len(dst)‖dst‖j‖data). Distinct dst strings
+// yield independent oracles.
+package rohash
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+)
+
+// Expand derives outLen bytes from (dst, data). dst is a domain
+// separation tag; every logical oracle in the library uses a distinct
+// tag.
+func Expand(dst string, data []byte, outLen int) []byte {
+	if outLen <= 0 {
+		return nil
+	}
+	out := make([]byte, 0, outLen+sha256.Size)
+	var ctr [4]byte
+	h := sha256.New()
+	for j := 0; len(out) < outLen; j++ {
+		binary.BigEndian.PutUint32(ctr[:], uint32(j))
+		h.Reset()
+		var dlen [4]byte
+		binary.BigEndian.PutUint32(dlen[:], uint32(len(dst)))
+		h.Write(dlen[:])
+		h.Write([]byte(dst))
+		h.Write(ctr[:])
+		h.Write(data)
+		out = h.Sum(out)
+	}
+	return out[:outLen]
+}
+
+// ToInt hashes (dst, data) to an integer in [0, mod). It expands to
+// 128 bits beyond the modulus size so the reduction bias is negligible.
+func ToInt(dst string, data []byte, mod *big.Int) *big.Int {
+	n := (mod.BitLen() + 7 + 128) / 8
+	raw := Expand(dst, data, n)
+	return new(big.Int).Mod(new(big.Int).SetBytes(raw), mod)
+}
+
+// ToScalarNonZero hashes (dst, data) to a scalar in [1, q-1], i.e. a
+// uniform element of Z_q^* — the range the paper draws encryption
+// randomness from.
+func ToScalarNonZero(dst string, data []byte, q *big.Int) *big.Int {
+	qm1 := new(big.Int).Sub(q, big.NewInt(1))
+	r := ToInt(dst, data, qm1)
+	return r.Add(r, big.NewInt(1))
+}
+
+// Concat is a small helper for building unambiguous multi-part hash
+// inputs: each part is prefixed with its 4-byte big-endian length.
+func Concat(parts ...[]byte) []byte {
+	n := 0
+	for _, p := range parts {
+		n += 4 + len(p)
+	}
+	out := make([]byte, 0, n)
+	var l [4]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint32(l[:], uint32(len(p)))
+		out = append(out, l[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// XOR returns dst = a ⊕ b; the arguments must have equal length.
+func XOR(a, b []byte) []byte {
+	if len(a) != len(b) {
+		panic("rohash: XOR length mismatch")
+	}
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}

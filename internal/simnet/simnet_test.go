@@ -1,0 +1,114 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"timedrelease/internal/baseline/bfibe"
+	"timedrelease/internal/core"
+	"timedrelease/internal/params"
+)
+
+const label = "2026-07-05T12:00:00Z"
+
+func TestTREEpochCostIsConstantInReceivers(t *testing.T) {
+	set := params.MustPreset("Test160")
+	sc := core.NewScheme(set)
+	server, err := sc.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t10 := TREEpoch(set, server, label, 10)
+	t10k := TREEpoch(set, server, label, 10_000)
+	if t10.MessagesSent != 1 || t10k.MessagesSent != 1 {
+		t.Fatal("TRE must broadcast exactly one update")
+	}
+	if t10.BytesSent != t10k.BytesSent || t10.CryptoOps != t10k.CryptoOps {
+		t.Fatal("TRE server cost must be independent of receiver count")
+	}
+	if t10.PerUserState != 0 {
+		t.Fatal("TRE server must hold no per-user state")
+	}
+	if t10.SecureChannel || t10.LearnsContent {
+		t.Fatal("TRE needs no secure channel and sees no content")
+	}
+}
+
+func TestMontIBEEpochCostIsLinear(t *testing.T) {
+	set := params.MustPreset("Test160")
+	ibe := bfibe.NewScheme(set)
+	mk, err := ibe.MasterKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t10 := MontIBEEpoch(set, mk, label, 10)
+	t100 := MontIBEEpoch(set, mk, label, 100)
+	if t100.MessagesSent != 10*t10.MessagesSent || t100.BytesSent != 10*t10.BytesSent {
+		t.Fatal("Mont/IBE cost must be linear in receivers")
+	}
+	if !t10.SecureChannel {
+		t.Fatal("IBE key delivery requires a secure channel")
+	}
+	if t10.CryptoOps != 10 {
+		t.Fatalf("expected one extraction per user, got %d", t10.CryptoOps)
+	}
+}
+
+func TestEscrowEpochHoldsPlaintext(t *testing.T) {
+	rel := time.Date(2026, 7, 5, 13, 0, 0, 0, time.UTC)
+	tl := EscrowEpoch(20, 3, 500, rel)
+	if !tl.LearnsContent {
+		t.Fatal("escrow agent sees plaintext")
+	}
+	if tl.StateBytes != 20*3*500 {
+		t.Fatalf("StateBytes = %d, want 30000", tl.StateBytes)
+	}
+	if tl.MessagesSent != 60 {
+		t.Fatalf("MessagesSent = %d", tl.MessagesSent)
+	}
+}
+
+func TestRivestHorizonLinear(t *testing.T) {
+	set := params.MustPreset("Test160")
+	h10, err := RivestHorizon(set, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h100, err := RivestHorizon(set, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h100.BytesSent != 10*h10.BytesSent || h100.StateBytes != 10*h10.StateBytes {
+		t.Fatal("Rivest publication/storage must be linear in horizon")
+	}
+}
+
+func TestTallyString(t *testing.T) {
+	set := params.MustPreset("Test160")
+	sc := core.NewScheme(set)
+	server, err := sc.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TREEpoch(set, server, label, 5).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestUnicastFallback(t *testing.T) {
+	set := params.MustPreset("Test160")
+	sc := core.NewScheme(set)
+	server, err := sc.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := TREEpoch(set, server, label, 50)
+	u := TREEpochUnicast(set, server, label, 50)
+	if u.MessagesSent != 50 || u.BytesSent != 50*b.BytesSent {
+		t.Fatal("unicast fallback must scale bytes by n")
+	}
+	if u.CryptoOps != b.CryptoOps {
+		t.Fatal("even unicast TRE signs only once")
+	}
+}

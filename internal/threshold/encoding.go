@@ -1,0 +1,49 @@
+package threshold
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"timedrelease/internal/params"
+)
+
+// Wire encoding for partial updates (index ‖ label-len ‖ label ‖ point),
+// used when shard operators exchange partials out of band (e.g. the
+// trethreshold CLI). Strict: truncation, trailing bytes and non-subgroup
+// points are rejected.
+
+// MarshalPartial encodes a partial update.
+func MarshalPartial(set *params.Set, pu PartialUpdate) []byte {
+	out := binary.BigEndian.AppendUint16(nil, uint16(pu.Index))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(pu.Label)))
+	out = append(out, pu.Label...)
+	return append(out, set.Curve.Marshal(pu.Point)...)
+}
+
+// UnmarshalPartial decodes a partial update. Verification against the
+// shard's public key is separate (VerifyPartial).
+func UnmarshalPartial(set *params.Set, data []byte) (PartialUpdate, error) {
+	if len(data) < 4 {
+		return PartialUpdate{}, errors.New("threshold: truncated partial update")
+	}
+	idx := int(binary.BigEndian.Uint16(data[:2]))
+	if idx == 0 {
+		return PartialUpdate{}, errors.New("threshold: partial index must be >= 1")
+	}
+	lblLen := int(binary.BigEndian.Uint16(data[2:4]))
+	rest := data[4:]
+	if len(rest) < lblLen {
+		return PartialUpdate{}, errors.New("threshold: truncated partial label")
+	}
+	label := string(rest[:lblLen])
+	rest = rest[lblLen:]
+	if len(rest) != set.Curve.MarshalSize() {
+		return PartialUpdate{}, fmt.Errorf("threshold: partial point is %d bytes, want %d", len(rest), set.Curve.MarshalSize())
+	}
+	pt, err := set.Curve.UnmarshalSubgroup(rest)
+	if err != nil {
+		return PartialUpdate{}, fmt.Errorf("threshold: partial point: %w", err)
+	}
+	return PartialUpdate{Index: idx, Label: label, Point: pt}, nil
+}

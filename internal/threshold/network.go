@@ -1,0 +1,89 @@
+package threshold
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/params"
+	"timedrelease/internal/timeserver"
+)
+
+// Deployment note: a threshold shard IS an ordinary passive time server.
+// Server i runs internal/timeserver with the key pair (sᵢ, (G, sᵢG)) —
+// its published "updates" are exactly the partial updates sᵢ·H1(T), and
+// the standard client verifies them against the shard's public key. No
+// new server code or protocol is needed; only the receiver-side quorum
+// logic below is threshold-aware.
+
+// ShardServerKey converts a dealt share into the key pair its time
+// server process runs with.
+func ShardServerKey(set *params.Set, share Share) *core.ServerKeyPair {
+	return &core.ServerKeyPair{
+		S:   share.S,
+		Pub: core.ServerPublicKey{G: set.G, SG: share.Pub},
+	}
+}
+
+// Shard pairs a share index with a verifying client pinned to that
+// shard's public key.
+type Shard struct {
+	Index  int
+	Client *timeserver.Client
+}
+
+// QuorumClient fetches partial updates from all shards concurrently and
+// combines the first k that verify into the group update.
+type QuorumClient struct {
+	Set      *params.Set
+	GroupPub core.ServerPublicKey
+	K        int
+	Shards   []Shard
+}
+
+// Update returns the group's key update for label, succeeding as soon
+// as any K shards have delivered verified partials. Slow, crashed, or
+// Byzantine shards (whose responses fail the pinned-key check inside
+// each client) simply don't count toward the quorum; outstanding
+// requests are cancelled once the quorum is met.
+func (qc *QuorumClient) Update(ctx context.Context, label string) (core.KeyUpdate, error) {
+	if qc.K < 1 || len(qc.Shards) < qc.K {
+		return core.KeyUpdate{}, fmt.Errorf("threshold: %d shards cannot meet quorum %d", len(qc.Shards), qc.K)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		index int
+		upd   core.KeyUpdate
+		err   error
+	}
+	// Buffered to shard count so late responders never block and no
+	// goroutine outlives the buffered send.
+	results := make(chan result, len(qc.Shards))
+	for _, sh := range qc.Shards {
+		go func(sh Shard) {
+			u, err := sh.Client.Update(ctx, label)
+			results <- result{index: sh.Index, upd: u, err: err}
+		}(sh)
+	}
+
+	var (
+		partials []PartialUpdate
+		failures []error
+	)
+	for range qc.Shards {
+		r := <-results
+		if r.err != nil {
+			failures = append(failures, fmt.Errorf("shard %d: %w", r.index, r.err))
+			continue
+		}
+		partials = append(partials, PartialUpdate{Index: r.index, Label: r.upd.Label, Point: r.upd.Point})
+		if len(partials) == qc.K {
+			return Combine(qc.Set, qc.GroupPub, partials, qc.K)
+		}
+	}
+	return core.KeyUpdate{}, fmt.Errorf("threshold: quorum not reached (%d of %d needed): %w",
+		len(partials), qc.K, errors.Join(failures...))
+}

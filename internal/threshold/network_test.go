@@ -1,0 +1,157 @@
+package threshold
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/params"
+	"timedrelease/internal/timefmt"
+	"timedrelease/internal/timeserver"
+)
+
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// netEnv spins up one httptest time server per shard.
+type netEnv struct {
+	set    *params.Set
+	setup  *Setup
+	label  string
+	shards []Shard
+	stops  []func()
+}
+
+func newNetEnv(t *testing.T, k, n int, publish []bool) *netEnv {
+	t.Helper()
+	set := params.MustPreset("Test160")
+	setup, err := Deal(set, nil, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := timefmt.MustSchedule(time.Minute)
+	now := time.Date(2026, 7, 5, 12, 0, 30, 0, time.UTC)
+	ck := &clock{t: now}
+	env := &netEnv{set: set, setup: setup, label: sched.Label(now)}
+	for i, sh := range setup.Shares {
+		srv := timeserver.NewServer(set, ShardServerKey(set, sh), sched, timeserver.WithClock(ck.Now))
+		if publish == nil || publish[i] {
+			if _, err := srv.PublishUpTo(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		client := timeserver.NewClient(ts.URL, set, ShardServerKey(set, sh).Pub, timeserver.WithHTTPClient(ts.Client()))
+		env.shards = append(env.shards, Shard{Index: sh.Index, Client: client})
+	}
+	return env
+}
+
+func TestQuorumUpdateAllAlive(t *testing.T) {
+	e := newNetEnv(t, 3, 5, nil)
+	qc := &QuorumClient{Set: e.set, GroupPub: e.setup.GroupPub, K: 3, Shards: e.shards}
+	upd, err := qc.Update(context.Background(), e.label)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if !core.NewScheme(e.set).VerifyUpdate(e.setup.GroupPub, upd) {
+		t.Fatal("quorum update must verify against the group key")
+	}
+
+	// And it decrypts ordinary TRE traffic addressed to the group key.
+	sc := core.NewScheme(e.set)
+	user, err := sc.UserKeyGen(e.setup.GroupPub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("via the quorum")
+	ct, err := sc.Encrypt(nil, e.setup.GroupPub, user.Pub, e.label, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.Decrypt(user, upd, ct)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("decrypt: %q %v", got, err)
+	}
+}
+
+func TestQuorumSurvivesCrashedShards(t *testing.T) {
+	// Shards 1 and 3 never published (simulating downtime): quorum of 3
+	// must still be met by the other three.
+	e := newNetEnv(t, 3, 5, []bool{true, false, true, false, true})
+	qc := &QuorumClient{Set: e.set, GroupPub: e.setup.GroupPub, K: 3, Shards: e.shards}
+	upd, err := qc.Update(context.Background(), e.label)
+	if err != nil {
+		t.Fatalf("Update with 2 crashed shards: %v", err)
+	}
+	if !core.NewScheme(e.set).VerifyUpdate(e.setup.GroupPub, upd) {
+		t.Fatal("update must verify")
+	}
+}
+
+func TestQuorumFailsBelowThreshold(t *testing.T) {
+	// Only 2 of 5 shards are up; quorum 3 must fail with a useful error.
+	e := newNetEnv(t, 3, 5, []bool{true, false, true, false, false})
+	qc := &QuorumClient{Set: e.set, GroupPub: e.setup.GroupPub, K: 3, Shards: e.shards}
+	if _, err := qc.Update(context.Background(), e.label); err == nil {
+		t.Fatal("quorum below threshold must fail")
+	}
+}
+
+func TestQuorumRejectsByzantineShard(t *testing.T) {
+	// One shard serves updates under a DIFFERENT key (a compromised or
+	// impersonated server). Its client rejects them, so it contributes
+	// nothing; the honest majority still meets quorum.
+	e := newNetEnv(t, 3, 5, nil)
+	set := e.set
+	sched := timefmt.MustSchedule(time.Minute)
+	now := time.Date(2026, 7, 5, 12, 0, 30, 0, time.UTC)
+
+	evilKey, err := core.NewScheme(set).ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := timeserver.NewServer(set, evilKey, sched, timeserver.WithClock(func() time.Time { return now }))
+	if _, err := evil.PublishUpTo(now); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(evil.Handler())
+	t.Cleanup(ts.Close)
+	// The shard-2 slot now points at the evil server but still pins the
+	// honest shard-2 key.
+	honestPub := ShardServerKey(set, e.setup.Shares[1]).Pub
+	e.shards[1] = Shard{
+		Index:  e.setup.Shares[1].Index,
+		Client: timeserver.NewClient(ts.URL, set, honestPub, timeserver.WithHTTPClient(ts.Client())),
+	}
+
+	qc := &QuorumClient{Set: set, GroupPub: e.setup.GroupPub, K: 3, Shards: e.shards}
+	upd, err := qc.Update(context.Background(), e.label)
+	if err != nil {
+		t.Fatalf("Update with 1 Byzantine shard: %v", err)
+	}
+	if !core.NewScheme(set).VerifyUpdate(e.setup.GroupPub, upd) {
+		t.Fatal("update must verify")
+	}
+}
+
+func TestQuorumValidation(t *testing.T) {
+	e := newNetEnv(t, 2, 3, nil)
+	qc := &QuorumClient{Set: e.set, GroupPub: e.setup.GroupPub, K: 4, Shards: e.shards}
+	if _, err := qc.Update(context.Background(), e.label); err == nil {
+		t.Fatal("K > #shards must fail fast")
+	}
+}

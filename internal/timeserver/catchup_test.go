@@ -1,0 +1,101 @@
+package timeserver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCatchUpFetchesAndVerifiesMany(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// The receiver was offline for 10 epochs; the server backfills them.
+	e.clock.Advance(10 * time.Minute)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := e.client.Labels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) < 10 {
+		t.Fatalf("expected at least 10 labels, got %d", len(labels))
+	}
+
+	ups, err := e.client.CatchUp(context.Background(), labels)
+	if err != nil {
+		t.Fatalf("CatchUp: %v", err)
+	}
+	if len(ups) != len(labels) {
+		t.Fatalf("got %d updates for %d labels", len(ups), len(labels))
+	}
+	for i, u := range ups {
+		if u.Label != labels[i] {
+			t.Fatalf("update %d is for %q, want %q", i, u.Label, labels[i])
+		}
+		if !e.sc.VerifyUpdate(e.key.Pub, u) {
+			t.Fatalf("update %s invalid", u.Label)
+		}
+	}
+	if e.client.CachedLen() != len(labels) {
+		t.Fatalf("cache holds %d, want %d", e.client.CachedLen(), len(labels))
+	}
+
+	// Second catch-up over the same range is served entirely from cache.
+	before := e.server.Served()
+	if _, err := e.client.CatchUp(context.Background(), labels); err != nil {
+		t.Fatal(err)
+	}
+	if e.server.Served() != before {
+		t.Fatal("cached catch-up must not hit the server")
+	}
+}
+
+func TestCatchUpRejectsForgedUpdateAndNamesIt(t *testing.T) {
+	e := newEnv(t)
+	impostorKey, err := e.sc.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impostor := NewServer(e.set, impostorKey, e.sched, WithClock(e.clock.Now))
+	if _, err := impostor.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	e.clock.Advance(3 * time.Minute)
+	if _, err := impostor.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestHTTP(t, impostor)
+	c := NewClient(ts.URL, e.set, e.key.Pub, WithHTTPClient(ts.Client())) // pins the REAL key
+
+	labels, err := c.Labels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.CatchUp(context.Background(), labels)
+	if !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("err=%v, want ErrBadUpdate", err)
+	}
+}
+
+func TestCatchUpUnpublishedLabel(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	labels := []string{e.sched.Label(e.clock.Now()), e.sched.Next(e.clock.Now())}
+	if _, err := e.client.CatchUp(context.Background(), labels); !errors.Is(err, ErrNotYetPublished) {
+		t.Fatalf("err=%v, want ErrNotYetPublished", err)
+	}
+}
+
+func TestCatchUpEmpty(t *testing.T) {
+	e := newEnv(t)
+	ups, err := e.client.CatchUp(context.Background(), nil)
+	if err != nil || len(ups) != 0 {
+		t.Fatalf("empty catch-up: %v %v", ups, err)
+	}
+}

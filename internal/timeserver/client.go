@@ -1,0 +1,253 @@
+package timeserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/params"
+	"timedrelease/internal/timefmt"
+	"timedrelease/internal/wire"
+)
+
+// ErrNotYetPublished is returned when the requested update's release
+// instant has not arrived (or the server has not published it yet).
+var ErrNotYetPublished = errors.New("timeserver: update not yet published")
+
+// ErrBadUpdate is returned when a fetched update fails the
+// self-authentication check against the pinned server key — e.g. a
+// compromised or impersonated server.
+var ErrBadUpdate = errors.New("timeserver: update failed verification against pinned server key")
+
+// Client fetches and verifies key updates from a time server. The
+// server's public key is pinned at construction (the trust anchor);
+// every fetched update is verified before it is returned or cached, so a
+// malicious transport can cause unavailability but never a wrong
+// decryption key.
+type Client struct {
+	base  string
+	http  *http.Client
+	sc    *core.Scheme
+	spub  core.ServerPublicKey
+	codec *wire.Codec
+
+	mu    sync.RWMutex
+	cache map[string]core.KeyUpdate
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the HTTP client (timeouts, transports).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// NewClient returns a client for the server at baseURL, verifying all
+// updates against the pinned public key spub.
+func NewClient(baseURL string, set *params.Set, spub core.ServerPublicKey, opts ...ClientOption) *Client {
+	c := &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		http:  &http.Client{Timeout: 30 * time.Second},
+		sc:    core.NewScheme(set),
+		spub:  spub,
+		codec: wire.NewCodec(set),
+		cache: make(map[string]core.KeyUpdate),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// ServerPublicKey returns the pinned key.
+func (c *Client) ServerPublicKey() core.ServerPublicKey { return c.spub }
+
+// Update returns the verified update for label, from cache if possible.
+func (c *Client) Update(ctx context.Context, label string) (core.KeyUpdate, error) {
+	c.mu.RLock()
+	u, ok := c.cache[label]
+	c.mu.RUnlock()
+	if ok {
+		return u, nil
+	}
+	body, status, err := c.get(ctx, "/v1/update/"+label)
+	if err != nil {
+		return core.KeyUpdate{}, err
+	}
+	if status == http.StatusNotFound {
+		return core.KeyUpdate{}, ErrNotYetPublished
+	}
+	if status != http.StatusOK {
+		return core.KeyUpdate{}, fmt.Errorf("timeserver: unexpected status %d", status)
+	}
+	return c.verifyAndCache(label, body)
+}
+
+// Latest returns the newest verified update the server has published.
+func (c *Client) Latest(ctx context.Context) (core.KeyUpdate, error) {
+	body, status, err := c.get(ctx, "/v1/latest")
+	if err != nil {
+		return core.KeyUpdate{}, err
+	}
+	if status == http.StatusNotFound {
+		return core.KeyUpdate{}, ErrNotYetPublished
+	}
+	if status != http.StatusOK {
+		return core.KeyUpdate{}, fmt.Errorf("timeserver: unexpected status %d", status)
+	}
+	u, err := c.codec.UnmarshalKeyUpdate(body)
+	if err != nil {
+		return core.KeyUpdate{}, err
+	}
+	return c.verifyAndCache(u.Label, body)
+}
+
+// Labels returns all published labels.
+func (c *Client) Labels(ctx context.Context) ([]string, error) {
+	body, status, err := c.get(ctx, "/v1/labels")
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("timeserver: unexpected status %d", status)
+	}
+	if len(body) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(body), "\n"), nil
+}
+
+// WaitForRelease blocks until the update for label is published (polling
+// with the given interval), the context is cancelled, or a fetched
+// update fails verification. This is the receiver "waiting in alert" of
+// paper §3.
+func (c *Client) WaitForRelease(ctx context.Context, label string, poll time.Duration) (core.KeyUpdate, error) {
+	if poll <= 0 {
+		poll = time.Second
+	}
+	for {
+		u, err := c.Update(ctx, label)
+		switch {
+		case err == nil:
+			return u, nil
+		case errors.Is(err, ErrNotYetPublished):
+			// keep waiting
+		default:
+			return core.KeyUpdate{}, err
+		}
+		timer := time.NewTimer(poll)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return core.KeyUpdate{}, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// verifyAndCache decodes, verifies and caches an update body.
+func (c *Client) verifyAndCache(label string, body []byte) (core.KeyUpdate, error) {
+	u, err := c.codec.UnmarshalKeyUpdate(body)
+	if err != nil {
+		return core.KeyUpdate{}, err
+	}
+	if u.Label != label {
+		return core.KeyUpdate{}, fmt.Errorf("timeserver: server returned update for %q, asked for %q", u.Label, label)
+	}
+	if !c.sc.VerifyUpdate(c.spub, u) {
+		return core.KeyUpdate{}, ErrBadUpdate
+	}
+	c.mu.Lock()
+	c.cache[u.Label] = u
+	c.mu.Unlock()
+	return u, nil
+}
+
+// CachedLen reports how many verified updates the client holds (update
+// fetches are amortised across any number of ciphertexts — experiment
+// E8).
+func (c *Client) CachedLen() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.cache)
+}
+
+func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("timeserver: building request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("timeserver: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, 0, fmt.Errorf("timeserver: reading response: %w", err)
+	}
+	return body, resp.StatusCode, nil
+}
+
+// FetchBootstrap retrieves (parameters, server public key, schedule)
+// from an untrusted-transport server for first-time setup. The caller
+// must authenticate the returned key out of band before pinning it —
+// exactly like a CA root.
+func FetchBootstrap(ctx context.Context, baseURL string, h *http.Client) (*params.Set, core.ServerPublicKey, timefmt.Schedule, error) {
+	if h == nil {
+		h = &http.Client{Timeout: 30 * time.Second}
+	}
+	base := strings.TrimRight(baseURL, "/")
+	get := func(path string) ([]byte, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := h.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("timeserver: %s returned %d", path, resp.StatusCode)
+		}
+		return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	}
+
+	rawParams, err := get("/v1/params")
+	if err != nil {
+		return nil, core.ServerPublicKey{}, timefmt.Schedule{}, fmt.Errorf("timeserver: fetching params: %w", err)
+	}
+	set, err := params.Unmarshal(rawParams)
+	if err != nil {
+		return nil, core.ServerPublicKey{}, timefmt.Schedule{}, err
+	}
+	rawKey, err := get("/v1/server-key")
+	if err != nil {
+		return nil, core.ServerPublicKey{}, timefmt.Schedule{}, fmt.Errorf("timeserver: fetching server key: %w", err)
+	}
+	spub, err := wire.NewCodec(set).UnmarshalServerPublicKey(rawKey)
+	if err != nil {
+		return nil, core.ServerPublicKey{}, timefmt.Schedule{}, err
+	}
+	rawSched, err := get("/v1/schedule")
+	if err != nil {
+		return nil, core.ServerPublicKey{}, timefmt.Schedule{}, fmt.Errorf("timeserver: fetching schedule: %w", err)
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(string(rawSched)))
+	if err != nil {
+		return nil, core.ServerPublicKey{}, timefmt.Schedule{}, fmt.Errorf("timeserver: parsing schedule: %w", err)
+	}
+	sched, err := timefmt.NewSchedule(d)
+	if err != nil {
+		return nil, core.ServerPublicKey{}, timefmt.Schedule{}, err
+	}
+	return set, spub, sched, nil
+}

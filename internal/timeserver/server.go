@@ -1,0 +1,264 @@
+// Package timeserver implements the paper's completely passive time
+// server and a verifying client.
+//
+// The server's only job (§3) is to publish the time-bound key update
+// I_T = s·H1(T) when instant T arrives, and to keep old updates publicly
+// readable. Passivity is enforced structurally: the HTTP handler is
+// built over a read-only view (public parameters, server public key,
+// archive of already-published updates) and has no path to the signing
+// key — a request can never cause an update to be created, so asking for
+// a future label cannot leak it. The server keeps no per-user state and
+// logs nothing about requesters, matching the paper's GPS analogy.
+package timeserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"timedrelease/internal/archive"
+	"timedrelease/internal/core"
+	"timedrelease/internal/params"
+	"timedrelease/internal/timefmt"
+	"timedrelease/internal/wire"
+)
+
+// Server signs and publishes time-bound key updates on a schedule.
+type Server struct {
+	sc    *core.Scheme
+	key   *core.ServerKeyPair
+	sched timefmt.Schedule
+	arch  archive.Archive
+	codec *wire.Codec
+	clock func() time.Time
+
+	published atomic.Int64 // updates published (for experiments)
+	served    atomic.Int64 // HTTP requests served
+	notify    *notifier    // wakes long-poll waiters on publish
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithArchive substitutes the update archive (default: in-memory).
+func WithArchive(a archive.Archive) Option {
+	return func(s *Server) { s.arch = a }
+}
+
+// WithClock substitutes the time source (tests and simulations).
+func WithClock(clock func() time.Time) Option {
+	return func(s *Server) { s.clock = clock }
+}
+
+// NewServer creates a time server for the given parameter set, signing
+// key and epoch schedule.
+func NewServer(set *params.Set, key *core.ServerKeyPair, sched timefmt.Schedule, opts ...Option) *Server {
+	s := &Server{
+		sc:     core.NewScheme(set),
+		key:    key,
+		sched:  sched,
+		arch:   archive.NewMemory(),
+		codec:  wire.NewCodec(set),
+		clock:  time.Now,
+		notify: newNotifier(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// PublicKey returns the server's public key (the trust anchor clients
+// pin).
+func (s *Server) PublicKey() core.ServerPublicKey { return s.key.Pub }
+
+// Schedule returns the epoch schedule.
+func (s *Server) Schedule() timefmt.Schedule { return s.sched }
+
+// PublishUpTo signs and archives the updates of every epoch whose start
+// is at or before now and which is not yet published, from the epoch of
+// the earliest archived label (or the current epoch on first call).
+// This is the catch-up path after a restart: the paper's server "does
+// not need to remember any information of key updates since it can
+// generate a key update for any particular instant directly using its
+// private key".
+func (s *Server) PublishUpTo(now time.Time) (int, error) {
+	cur := s.sched.Index(now)
+	from := cur
+	if labels := s.arch.Labels(); len(labels) > 0 {
+		if t, err := s.sched.ParseLabel(labels[len(labels)-1]); err == nil {
+			from = s.sched.Index(t) + 1
+		}
+	}
+	n := 0
+	for i := from; i <= cur; i++ {
+		label := s.sched.LabelAt(i)
+		if _, ok := s.arch.Get(label); ok {
+			continue
+		}
+		if err := s.arch.Put(s.sc.IssueUpdate(s.key, label)); err != nil {
+			return n, fmt.Errorf("timeserver: archiving update %s: %w", label, err)
+		}
+		s.published.Add(1)
+		n++
+	}
+	if n > 0 {
+		s.notify.wake()
+	}
+	return n, nil
+}
+
+// PublishLabel signs and archives one specific label, refusing labels
+// whose epoch has not yet arrived — the trust assumption "the server
+// should not give out any I_t at an instant t' < t" (§3).
+func (s *Server) PublishLabel(label string) error {
+	t, err := s.sched.ParseLabel(label)
+	if err != nil {
+		return err
+	}
+	if t.After(s.clock()) {
+		return ErrFutureLabel
+	}
+	if err := s.arch.Put(s.sc.IssueUpdate(s.key, label)); err != nil {
+		return err
+	}
+	s.published.Add(1)
+	s.notify.wake()
+	return nil
+}
+
+// ErrFutureLabel reports an attempt to publish an update before its
+// instant has arrived.
+var ErrFutureLabel = errors.New("timeserver: refusing to publish an update for a future instant")
+
+// Run publishes updates as epochs pass until ctx is cancelled. It
+// catches up immediately on entry, then wakes at every epoch boundary.
+func (s *Server) Run(ctx context.Context) error {
+	for {
+		if _, err := s.PublishUpTo(s.clock()); err != nil {
+			return err
+		}
+		now := s.clock()
+		next := s.sched.Start(s.sched.Index(now) + 1)
+		timer := time.NewTimer(next.Sub(now))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// Published returns the number of updates this server has published —
+// note it is independent of the number of users (experiment E2).
+func (s *Server) Published() int64 { return s.published.Load() }
+
+// Served returns the number of HTTP requests served.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Handler returns the public HTTP API. It closes over only the
+// read-only view of the server — parameters, public key, schedule and
+// the archive — so no request can reach the signing key.
+//
+//	GET /v1/params        → parameter set (text format)
+//	GET /v1/server-key    → wire-encoded server public key
+//	GET /v1/schedule      → granularity (text, time.Duration format)
+//	GET /v1/update/{label}→ wire-encoded update, 404 until published
+//	GET /v1/wait/{label}  → long-poll variant (?timeout=25s)
+//	GET /v1/latest        → most recent update
+//	GET /v1/labels        → newline-separated published labels
+//	GET /v1/healthz       → 200 ok
+func (s *Server) Handler() http.Handler {
+	view := &publicView{
+		set:    s.sc.Set,
+		pub:    s.key.Pub,
+		sched:  s.sched,
+		arch:   s.arch,
+		codec:  s.codec,
+		served: &s.served,
+		notify: s.notify,
+	}
+	return view.routes()
+}
+
+// publicView is the request-handling half of the server. It deliberately
+// has no reference to *Server or the private key.
+type publicView struct {
+	set    *params.Set
+	pub    core.ServerPublicKey
+	sched  timefmt.Schedule
+	arch   archive.Archive
+	codec  *wire.Codec
+	served *atomic.Int64
+	notify *notifier
+}
+
+func (v *publicView) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/params", v.count(v.handleParams))
+	mux.HandleFunc("GET /v1/server-key", v.count(v.handleServerKey))
+	mux.HandleFunc("GET /v1/schedule", v.count(v.handleSchedule))
+	mux.HandleFunc("GET /v1/update/{label}", v.count(v.handleUpdate))
+	mux.HandleFunc("GET /v1/wait/{label}", v.count(v.handleWait))
+	mux.HandleFunc("GET /v1/latest", v.count(v.handleLatest))
+	mux.HandleFunc("GET /v1/labels", v.count(v.handleLabels))
+	mux.HandleFunc("GET /v1/healthz", v.count(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}))
+	return mux
+}
+
+func (v *publicView) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v.served.Add(1)
+		h(w, r)
+	}
+}
+
+func (v *publicView) handleParams(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(v.set.Marshal())
+}
+
+func (v *publicView) handleServerKey(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(v.codec.MarshalServerPublicKey(v.pub))
+}
+
+func (v *publicView) handleSchedule(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, v.sched.Granularity)
+}
+
+func (v *publicView) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	label := r.PathValue("label")
+	u, ok := v.arch.Get(label)
+	if !ok {
+		// Future or unknown label: nothing is revealed, nothing is signed.
+		http.Error(w, "update not published", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(v.codec.MarshalKeyUpdate(u))
+}
+
+func (v *publicView) handleLatest(w http.ResponseWriter, _ *http.Request) {
+	labels := v.arch.Labels()
+	if len(labels) == 0 {
+		http.Error(w, "no updates published yet", http.StatusNotFound)
+		return
+	}
+	u, _ := v.arch.Get(labels[len(labels)-1])
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(v.codec.MarshalKeyUpdate(u))
+}
+
+func (v *publicView) handleLabels(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, strings.Join(v.arch.Labels(), "\n"))
+}

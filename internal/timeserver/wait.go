@@ -1,0 +1,110 @@
+package timeserver
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"timedrelease/internal/core"
+)
+
+// notifier broadcasts "something was published" to any number of
+// waiting request handlers by closing and replacing a channel. It
+// carries no information about what was published or who is waiting —
+// consistent with the server's no-user-state property.
+type notifier struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newNotifier() *notifier {
+	return &notifier{ch: make(chan struct{})}
+}
+
+// wake releases every current waiter.
+func (n *notifier) wake() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	close(n.ch)
+	n.ch = make(chan struct{})
+}
+
+// wait returns a channel closed at the next wake.
+func (n *notifier) wait() <-chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ch
+}
+
+// Long-poll limits.
+const (
+	defaultWaitTimeout = 25 * time.Second
+	maxWaitTimeout     = 2 * time.Minute
+)
+
+// handleWait is the long-poll variant of handleUpdate: it blocks until
+// the label's update is published, the requested timeout passes, or the
+// client goes away. Receivers "waiting in alert" for a release (paper
+// §3) get the update the instant it exists, without polling. The handler
+// still only reads published data — it cannot cause a release.
+func (v *publicView) handleWait(w http.ResponseWriter, r *http.Request) {
+	label := r.PathValue("label")
+	timeout := defaultWaitTimeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad timeout", http.StatusBadRequest)
+			return
+		}
+		timeout = min(d, maxWaitTimeout)
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+
+	for {
+		// Subscribe BEFORE checking the archive so a publish between the
+		// check and the wait cannot be missed.
+		woken := v.notify.wait()
+		if u, ok := v.arch.Get(label); ok {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(v.codec.MarshalKeyUpdate(u))
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-deadline.C:
+			http.Error(w, "update not published within timeout", http.StatusNotFound)
+			return
+		case <-woken:
+		}
+	}
+}
+
+// WaitForReleaseLongPoll blocks until the update for label is published,
+// using the server's long-poll endpoint instead of client-side polling:
+// one outstanding request per ~25s instead of one per poll interval, and
+// delivery latency bounded by the network rather than the poll period.
+func (c *Client) WaitForReleaseLongPoll(ctx context.Context, label string) (core.KeyUpdate, error) {
+	for {
+		body, status, err := c.get(ctx, "/v1/wait/"+label+"?timeout="+defaultWaitTimeout.String())
+		if err != nil {
+			return core.KeyUpdate{}, err
+		}
+		switch status {
+		case http.StatusOK:
+			return c.verifyAndCache(label, body)
+		case http.StatusNotFound:
+			// Timed out server-side; re-issue (also check ctx).
+			select {
+			case <-ctx.Done():
+				return core.KeyUpdate{}, ctx.Err()
+			default:
+			}
+		default:
+			return core.KeyUpdate{}, fmt.Errorf("timeserver: unexpected status %d", status)
+		}
+	}
+}

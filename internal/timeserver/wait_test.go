@@ -1,0 +1,124 @@
+package timeserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLongPollDeliversOnPublish(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	target := e.sched.Next(e.clock.Now())
+
+	// Start several long-poll waiters before the update exists.
+	const waiters = 4
+	results := make(chan error, waiters)
+	var started sync.WaitGroup
+	started.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			started.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			u, err := e.client.WaitForReleaseLongPoll(ctx, target)
+			if err == nil && u.Label != target {
+				err = errors.New("wrong label")
+			}
+			results <- err
+		}()
+	}
+	started.Wait()
+	time.Sleep(50 * time.Millisecond) // let the requests reach the handler
+
+	// Publish: every waiter must return promptly.
+	e.clock.Advance(time.Minute)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatalf("waiter %d: %v", i, err)
+			}
+		case <-deadline:
+			t.Fatal("long-poll waiters did not return after publish")
+		}
+	}
+}
+
+func TestLongPollTimesOutWith404(t *testing.T) {
+	e := newEnv(t)
+	resp, err := e.ts.Client().Get(e.ts.URL + "/v1/wait/never?timeout=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestLongPollImmediateWhenAlreadyPublished(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	label := e.sched.Label(e.clock.Now())
+	start := time.Now()
+	u, err := e.client.WaitForReleaseLongPoll(context.Background(), label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Label != label {
+		t.Fatalf("label %q", u.Label)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("already-published long-poll should return immediately")
+	}
+}
+
+func TestLongPollRejectsBadTimeout(t *testing.T) {
+	e := newEnv(t)
+	for _, q := range []string{"timeout=bogus", "timeout=-5s"} {
+		resp, err := e.ts.Client().Get(fmt.Sprintf("%s/v1/wait/x?%s", e.ts.URL, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestLongPollVerifiesAgainstPinnedKey(t *testing.T) {
+	// Long-poll from an impostor server must fail verification just like
+	// the plain fetch path.
+	e := newEnv(t)
+	impostorKey, err := e.sc.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impostor := NewServer(e.set, impostorKey, e.sched, WithClock(e.clock.Now))
+	if _, err := impostor.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestHTTP(t, impostor)
+	c := NewClient(ts.URL, e.set, e.key.Pub, WithHTTPClient(ts.Client()))
+	label := e.sched.Label(e.clock.Now())
+	if _, err := c.WaitForReleaseLongPoll(context.Background(), label); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("err=%v, want ErrBadUpdate", err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package wire defines canonical binary encodings for every object that
+// crosses a trust boundary: public keys, time-bound key updates,
+// ciphertexts, and the application-level envelope a sender actually
+// transmits. All encodings are length-delimited, versioned and strict —
+// any trailing garbage, truncation, or non-canonical point encoding is
+// rejected, and points are checked for subgroup membership on decode.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/curve"
+	"timedrelease/internal/params"
+)
+
+// Version is the wire-format version byte leading every envelope.
+const Version byte = 1
+
+// ErrTruncated reports an input shorter than its structure requires.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrTrailing reports unconsumed bytes after a complete structure.
+var ErrTrailing = errors.New("wire: trailing bytes after structure")
+
+// Codec marshals and unmarshals protocol objects for one parameter set
+// (point sizes depend on the field width).
+type Codec struct {
+	Set *params.Set
+}
+
+// NewCodec returns a codec bound to the parameter set.
+func NewCodec(set *params.Set) *Codec { return &Codec{Set: set} }
+
+// --- primitive helpers -------------------------------------------------
+
+type reader struct {
+	buf []byte
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.buf) < n {
+		return nil, ErrTruncated
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+func (r *reader) u16() (int, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint16(b)), nil
+}
+
+func (r *reader) u32() (int, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(b)
+	if v > 1<<31 {
+		return 0, errors.New("wire: length field too large")
+	}
+	return int(v), nil
+}
+
+func (r *reader) bytes16() ([]byte, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(n)
+}
+
+func (r *reader) bytes32() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(n)
+}
+
+func (r *reader) done() error {
+	if len(r.buf) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+func appendU16(b []byte, v int) []byte {
+	if v < 0 || v > 0xffff {
+		panic("wire: u16 overflow")
+	}
+	return binary.BigEndian.AppendUint16(b, uint16(v))
+}
+
+func appendU32(b []byte, v int) []byte {
+	if v < 0 || int64(v) > 1<<31 {
+		panic("wire: u32 overflow")
+	}
+	return binary.BigEndian.AppendUint32(b, uint32(v))
+}
+
+func appendBytes16(b, data []byte) []byte {
+	b = appendU16(b, len(data))
+	return append(b, data...)
+}
+
+func appendBytes32(b, data []byte) []byte {
+	b = appendU32(b, len(data))
+	return append(b, data...)
+}
+
+// point reads one compressed point with subgroup validation.
+func (c *Codec) point(r *reader) (curve.Point, error) {
+	raw, err := r.take(c.Set.Curve.MarshalSize())
+	if err != nil {
+		return curve.Point{}, err
+	}
+	return c.Set.Curve.UnmarshalSubgroup(raw)
+}
+
+// --- public keys --------------------------------------------------------
+
+// MarshalServerPublicKey encodes (G, sG).
+func (c *Codec) MarshalServerPublicKey(pk core.ServerPublicKey) []byte {
+	out := c.Set.Curve.Marshal(pk.G)
+	return append(out, c.Set.Curve.Marshal(pk.SG)...)
+}
+
+// UnmarshalServerPublicKey decodes and validates (G, sG).
+func (c *Codec) UnmarshalServerPublicKey(data []byte) (core.ServerPublicKey, error) {
+	r := &reader{buf: data}
+	g, err := c.point(r)
+	if err != nil {
+		return core.ServerPublicKey{}, fmt.Errorf("wire: server key G: %w", err)
+	}
+	sg, err := c.point(r)
+	if err != nil {
+		return core.ServerPublicKey{}, fmt.Errorf("wire: server key sG: %w", err)
+	}
+	if g.IsInfinity() || sg.IsInfinity() {
+		return core.ServerPublicKey{}, errors.New("wire: server key contains the identity")
+	}
+	if err := r.done(); err != nil {
+		return core.ServerPublicKey{}, err
+	}
+	return core.ServerPublicKey{G: g, SG: sg}, nil
+}
+
+// MarshalUserPublicKey encodes (aG, asG).
+func (c *Codec) MarshalUserPublicKey(pk core.UserPublicKey) []byte {
+	out := c.Set.Curve.Marshal(pk.AG)
+	return append(out, c.Set.Curve.Marshal(pk.ASG)...)
+}
+
+// UnmarshalUserPublicKey decodes and validates (aG, asG). Note that the
+// pairing well-formedness check is separate (core.VerifyUserPublicKey) —
+// this only enforces curve/subgroup validity.
+func (c *Codec) UnmarshalUserPublicKey(data []byte) (core.UserPublicKey, error) {
+	r := &reader{buf: data}
+	ag, err := c.point(r)
+	if err != nil {
+		return core.UserPublicKey{}, fmt.Errorf("wire: user key aG: %w", err)
+	}
+	asg, err := c.point(r)
+	if err != nil {
+		return core.UserPublicKey{}, fmt.Errorf("wire: user key asG: %w", err)
+	}
+	if err := r.done(); err != nil {
+		return core.UserPublicKey{}, err
+	}
+	return core.UserPublicKey{AG: ag, ASG: asg}, nil
+}
+
+// --- key updates ----------------------------------------------------------
+
+// MarshalKeyUpdate encodes a time-bound key update (label ‖ point).
+func (c *Codec) MarshalKeyUpdate(u core.KeyUpdate) []byte {
+	out := appendBytes16(nil, []byte(u.Label))
+	return append(out, c.Set.Curve.Marshal(u.Point)...)
+}
+
+// UnmarshalKeyUpdate decodes an update. The signature itself still
+// requires verification against the server public key (VerifyUpdate).
+func (c *Codec) UnmarshalKeyUpdate(data []byte) (core.KeyUpdate, error) {
+	r := &reader{buf: data}
+	label, err := r.bytes16()
+	if err != nil {
+		return core.KeyUpdate{}, fmt.Errorf("wire: update label: %w", err)
+	}
+	pt, err := c.point(r)
+	if err != nil {
+		return core.KeyUpdate{}, fmt.Errorf("wire: update point: %w", err)
+	}
+	if err := r.done(); err != nil {
+		return core.KeyUpdate{}, err
+	}
+	return core.KeyUpdate{Label: string(label), Point: pt}, nil
+}

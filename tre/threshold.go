@@ -1,0 +1,66 @@
+package tre
+
+import (
+	"io"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/threshold"
+)
+
+// k-of-n threshold time servers (extension; see DESIGN.md): the server
+// secret is Shamir-shared, each server publishes a partial update, and
+// any k partials interpolate into the ordinary update s·H1(T) — byte-
+// identical to the single-server one, so receivers are unchanged. This
+// is the availability-oriented dual of the §5.3.5 N-of-N construction.
+type (
+	// ThresholdSetup is the output of the dealing ceremony.
+	ThresholdSetup = threshold.Setup
+	// ThresholdShare is one server's signing share.
+	ThresholdShare = threshold.Share
+	// PartialUpdate is one server's per-epoch contribution.
+	PartialUpdate = threshold.PartialUpdate
+)
+
+// ErrBadCombination reports a threshold combination that failed the
+// group self-authentication check.
+var ErrBadCombination = threshold.ErrBadCombination
+
+// ThresholdDeal runs the trusted dealing ceremony for k-of-n servers.
+func ThresholdDeal(set *Params, rng io.Reader, k, n int) (*ThresholdSetup, error) {
+	return threshold.Deal(set, rng, k, n)
+}
+
+// IssuePartialUpdate produces one server's partial update for a label.
+func IssuePartialUpdate(set *Params, share ThresholdShare, label string) PartialUpdate {
+	return threshold.IssuePartial(set, share, label)
+}
+
+// VerifyPartialUpdate checks a partial against the issuing server's
+// public share point (ThresholdShare.Pub).
+func VerifyPartialUpdate(set *Params, sharePub curve.Point, pu PartialUpdate) bool {
+	return threshold.VerifyPartial(set, sharePub, pu)
+}
+
+// CombinePartialUpdates interpolates any k verified partials into the
+// ordinary key update and checks it against the group public key.
+func CombinePartialUpdates(set *Params, groupPub ServerPublicKey, partials []PartialUpdate, k int) (KeyUpdate, error) {
+	return threshold.Combine(set, groupPub, partials, k)
+}
+
+// Point is a point of the pairing group G1, as it appears inside public
+// keys, updates and ciphertexts.
+type Point = curve.Point
+
+// Shard pairs a share index with a verifying client pinned to that
+// shard's public key.
+type Shard = threshold.Shard
+
+// QuorumClient fetches partial updates from threshold shards
+// concurrently and combines the first k that verify.
+type QuorumClient = threshold.QuorumClient
+
+// ShardServerKey converts a dealt share into the key pair its (ordinary,
+// unmodified) time-server process runs with.
+func ShardServerKey(set *Params, share ThresholdShare) *ServerKeyPair {
+	return threshold.ShardServerKey(set, share)
+}

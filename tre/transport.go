@@ -1,0 +1,132 @@
+package tre
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"timedrelease/internal/archive"
+	"timedrelease/internal/hibe"
+	"timedrelease/internal/resilient"
+	"timedrelease/internal/timefmt"
+	"timedrelease/internal/timeserver"
+	"timedrelease/internal/wire"
+)
+
+// Time labels and schedules.
+type (
+	// Schedule carves time into fixed-width epochs with canonical
+	// RFC 3339 labels.
+	Schedule = timefmt.Schedule
+)
+
+// NewSchedule returns a schedule with the given epoch width (must
+// divide 24h).
+func NewSchedule(granularity time.Duration) (Schedule, error) {
+	return timefmt.NewSchedule(granularity)
+}
+
+// MustSchedule is NewSchedule for known-good constants.
+func MustSchedule(granularity time.Duration) Schedule {
+	return timefmt.MustSchedule(granularity)
+}
+
+// The passive time server and its verifying client.
+type (
+	// TimeServer publishes one self-authenticating update per epoch and
+	// keeps the public archive; request handling cannot reach the signing
+	// key.
+	TimeServer = timeserver.Server
+	// TimeClient fetches updates and verifies every one against a pinned
+	// server key before use.
+	TimeClient = timeserver.Client
+	// Archive stores published updates (see NewMemoryArchive /
+	// OpenFileArchive).
+	Archive = archive.Archive
+)
+
+// Time-server errors.
+var (
+	ErrNotYetPublished = timeserver.ErrNotYetPublished
+	ErrBadUpdate       = timeserver.ErrBadUpdate
+	ErrFutureLabel     = timeserver.ErrFutureLabel
+)
+
+// NewTimeServer creates a passive time server.
+func NewTimeServer(set *Params, key *ServerKeyPair, sched Schedule, opts ...timeserver.Option) *TimeServer {
+	return timeserver.NewServer(set, key, sched, opts...)
+}
+
+// WithArchive substitutes the server's update archive.
+func WithArchive(a Archive) timeserver.Option { return timeserver.WithArchive(a) }
+
+// WithClock substitutes the server's time source (tests, simulations).
+func WithClock(clock func() time.Time) timeserver.Option { return timeserver.WithClock(clock) }
+
+// NewTimeClient creates a client pinned to the given server public key.
+func NewTimeClient(baseURL string, set *Params, spub ServerPublicKey, opts ...timeserver.ClientOption) *TimeClient {
+	return timeserver.NewClient(baseURL, set, spub, opts...)
+}
+
+// WithHTTPClient substitutes the client's HTTP transport.
+func WithHTTPClient(h *http.Client) timeserver.ClientOption {
+	return timeserver.WithHTTPClient(h)
+}
+
+// FetchBootstrap retrieves (params, server key, schedule) for first-time
+// setup; authenticate the key out of band before pinning.
+func FetchBootstrap(ctx context.Context, baseURL string, h *http.Client) (*Params, ServerPublicKey, Schedule, error) {
+	return timeserver.FetchBootstrap(ctx, baseURL, h)
+}
+
+// NewMemoryArchive returns an in-memory update archive.
+func NewMemoryArchive() Archive { return archive.NewMemory() }
+
+// OpenFileArchive opens (or creates) a durable append-only archive.
+func OpenFileArchive(path string, set *Params) (Archive, error) {
+	return archive.OpenFile(path, wire.NewCodec(set))
+}
+
+// Wire encodings.
+type (
+	// Codec marshals keys, updates, ciphertexts and envelopes.
+	Codec = wire.Codec
+	// Envelope is the application-level message wrapper (optional label +
+	// ciphertext payload).
+	Envelope = wire.Envelope
+	// EnvelopeKind tags the ciphertext variant inside an envelope.
+	EnvelopeKind = wire.Kind
+)
+
+// Envelope kinds.
+const (
+	KindBasic  = wire.KindBasic
+	KindCCA    = wire.KindCCA
+	KindREACT  = wire.KindREACT
+	KindHybrid = wire.KindHybrid
+)
+
+// NewCodec returns a codec for the parameter set.
+func NewCodec(set *Params) *Codec { return wire.NewCodec(set) }
+
+// Missing-update resilience (paper §6 future work): a HIBE time tree
+// whose per-epoch publication covers ALL past epochs in O(log N) keys.
+type (
+	// ResilientScheme is the time-tree scheme.
+	ResilientScheme = resilient.Scheme
+	// TreeRootKey is the time server's HIBE root key.
+	TreeRootKey = hibe.RootKey
+	// TreeNodeKey is a published (or derived) subtree key bundle.
+	TreeNodeKey = hibe.NodeKey
+	// TreeCiphertext is a ciphertext addressed to one epoch leaf.
+	TreeCiphertext = hibe.Ciphertext
+)
+
+// ErrNotCovered reports that the published cover does not reach the
+// requested epoch yet.
+var ErrNotCovered = resilient.ErrNotCovered
+
+// NewResilientScheme returns a time-tree scheme over 2^depth epochs.
+func NewResilientScheme(set *Params, depth int) (*ResilientScheme, error) {
+	return resilient.NewScheme(set, depth)
+}

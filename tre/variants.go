@@ -1,0 +1,71 @@
+package tre
+
+import (
+	"timedrelease/internal/idtre"
+	"timedrelease/internal/multiserver"
+	"timedrelease/internal/policylock"
+)
+
+// Identity-based timed release encryption (paper §5.2). The same time
+// server and key updates serve both TRE and ID-TRE; the trade-off is
+// inherent key escrow (the server can decrypt).
+type (
+	// IDScheme exposes the ID-TRE algorithms.
+	IDScheme = idtre.Scheme
+	// IDUserPrivateKey is an extracted identity key s·H1(ID).
+	IDUserPrivateKey = idtre.UserPrivateKey
+	// IDCiphertext is the ID-TRE ciphertext.
+	IDCiphertext = idtre.Ciphertext
+	// IDCCACiphertext is the FO-transformed ID-TRE ciphertext.
+	IDCCACiphertext = idtre.CCACiphertext
+)
+
+// NewIDScheme returns an ID-TRE instance over the parameter set.
+func NewIDScheme(set *Params) *IDScheme { return idtre.NewScheme(set) }
+
+// Multi-server timed release encryption (paper §5.3.5): decryption
+// requires the updates of ALL chosen servers.
+type (
+	// MultiScheme exposes the multi-server algorithms.
+	MultiScheme = multiserver.Scheme
+	// ServerGroup is the ordered list of chosen time servers.
+	ServerGroup = multiserver.ServerGroup
+	// MultiUserKeyPair is a receiver's key for a server group.
+	MultiUserKeyPair = multiserver.UserKeyPair
+	// MultiUserPublicKey is (aG, a·Σ sᵢGᵢ).
+	MultiUserPublicKey = multiserver.UserPublicKey
+	// MultiCiphertext carries one header point per server.
+	MultiCiphertext = multiserver.Ciphertext
+)
+
+// NewMultiScheme returns a multi-server TRE instance.
+func NewMultiScheme(set *Params) *MultiScheme { return multiserver.NewScheme(set) }
+
+// Policy-lock encryption (paper §5.3.2): release is gated on witness
+// attestations of arbitrary conditions instead of the passage of time.
+type (
+	// PolicyScheme exposes the policy-lock algorithms.
+	PolicyScheme = policylock.Scheme
+	// Policy is a monotone DNF access structure.
+	Policy = policylock.Policy
+	// Attestation is the witness's signature on a condition.
+	Attestation = policylock.Attestation
+	// PolicyCiphertext is a policy-locked message.
+	PolicyCiphertext = policylock.Ciphertext
+)
+
+// ErrPolicyUnsatisfied is returned when no policy clause is fully
+// attested.
+var ErrPolicyUnsatisfied = policylock.ErrPolicyUnsatisfied
+
+// NewPolicyScheme returns a policy-lock instance.
+func NewPolicyScheme(set *Params) *PolicyScheme { return policylock.NewScheme(set) }
+
+// ParsePolicy parses "a & b | c" (AND binds tighter than OR).
+func ParsePolicy(expr string) (Policy, error) { return policylock.ParsePolicy(expr) }
+
+// ThresholdPolicy builds the k-of-n policy over the conditions as a DNF
+// expansion (refused beyond 256 clauses).
+func ThresholdPolicy(k int, conditions []string) (Policy, error) {
+	return policylock.Threshold(k, conditions)
+}
