@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench experiments experiments-quick fuzz clean
+.PHONY: all build test vet cover bench bench-pairing race experiments experiments-quick fuzz clean
 
 all: build vet test
 
@@ -22,6 +22,16 @@ cover:
 # The full testing.B suite (mirrors the experiment workloads).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Pairing-strategy comparison (affine vs projective vs prepared vs
+# product) at Test160 and SS512, recorded as BENCH_pairing.json.
+bench-pairing:
+	$(GO) run ./cmd/trebench -pairing BENCH_pairing.json
+
+# Race detector across the whole module (exercises the parallel pairing
+# products and batch verification pool).
+race:
+	$(GO) test -race ./...
 
 # Regenerate the EXPERIMENTS.md tables at full scope (~2-3 minutes).
 experiments:

@@ -20,6 +20,7 @@ import (
 	"timedrelease/internal/bls"
 	"timedrelease/internal/core"
 	"timedrelease/internal/multiserver"
+	"timedrelease/internal/pairing"
 	"timedrelease/internal/resilient"
 	"timedrelease/internal/simnet"
 	"timedrelease/internal/threshold"
@@ -254,6 +255,58 @@ func benchmarkPrimitives(b *testing.B, preset string) {
 
 func BenchmarkE4_Test160(b *testing.B) { benchmarkPrimitives(b, "Test160") }
 func BenchmarkE4_SS512(b *testing.B)   { benchmarkPrimitives(b, "SS512") }
+
+// --- Pairing paths: affine reference vs optimised implementations -----------
+
+// benchmarkPairingPaths compares every Miller-loop evaluation strategy on
+// one point pair: the affine reference (one field inversion per loop
+// iteration), the inversion-free projective loop (the default Pair), the
+// fixed-argument prepared path, and the n-pair product with its shared
+// final exponentiation. `make bench-pairing` renders the same comparison
+// into BENCH_pairing.json.
+func benchmarkPairingPaths(b *testing.B, preset string) {
+	set := tre.MustPreset(preset)
+	pr := set.Pairing
+	p := set.Curve.HashToGroup("bench-pairing", []byte("P"))
+	q := set.Curve.HashToGroup("bench-pairing", []byte("Q"))
+	prep := pr.Precompute(p)
+	pairs := make([]pairing.PointPair, 4)
+	for i := range pairs {
+		pairs[i] = pairing.PointPair{
+			P: set.Curve.HashToGroup("bench-pairing", []byte{byte(i)}),
+			Q: set.Curve.HashToGroup("bench-pairing", []byte{byte(16 + i)}),
+		}
+	}
+
+	b.Run("Affine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr.PairAffine(p, q)
+		}
+	})
+	b.Run("Projective", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr.Pair(p, q)
+		}
+	})
+	b.Run("Precompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr.Precompute(p)
+		}
+	})
+	b.Run("Prepared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr.PairPrepared(prep, q)
+		}
+	})
+	b.Run("Product4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr.PairProduct(pairs)
+		}
+	})
+}
+
+func BenchmarkPairing_Test160(b *testing.B) { benchmarkPairingPaths(b, "Test160") }
+func BenchmarkPairing_SS512(b *testing.B)   { benchmarkPairingPaths(b, "SS512") }
 
 // --- E5: multi-server ---------------------------------------------------------
 

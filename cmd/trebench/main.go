@@ -6,6 +6,7 @@
 //	trebench -exp E2          # one experiment
 //	trebench -preset SS1024   # different parameter size
 //	trebench -markdown        # emit markdown instead of aligned text
+//	trebench -pairing F.json  # pairing-strategy comparison → JSON file
 package main
 
 import (
@@ -23,10 +24,35 @@ func main() {
 		exp      = flag.String("exp", "", "run a single experiment (E1..E10)")
 		preset   = flag.String("preset", "", "parameter preset (default SS512, Test160 with -quick)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+		pairingF = flag.String("pairing", "", "run the pairing-strategy comparison and write the JSON report to this file")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Quick: *quick, Preset: *preset}
+
+	if *pairingF != "" {
+		rep, table, err := bench.RunPairing(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trebench:", err)
+			os.Exit(1)
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trebench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*pairingF, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "trebench:", err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Print(table.Markdown())
+		} else {
+			fmt.Print(table.String())
+		}
+		fmt.Fprintf(os.Stderr, "\ntrebench: pairing report written to %s\n", *pairingF)
+		return
+	}
 
 	var (
 		tables []*bench.Table

@@ -86,5 +86,6 @@ func RunE5(cfg Config) (*Table, error) {
 	}
 	t.Note("ciphertext carries one header point rGᵢ per server; the masked payload is shared")
 	t.Note("shared column multiplies the N Miller values and performs ONE final exponentiation (the PairProduct optimisation)")
+	t.Note("PairProduct additionally runs the N Miller loops on a GOMAXPROCS-bounded worker pool with a deterministic index-order merge; on multi-core hosts the shared column scales with cores")
 	return t, nil
 }

@@ -1,0 +1,78 @@
+package bls
+
+import (
+	"io"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/pairing"
+	"timedrelease/internal/params"
+)
+
+// PreparedPublicKey is a verification key with the Miller-loop line
+// schedules of both pairing arguments that stay fixed across
+// verifications — the generator G and the key sG — precomputed once.
+// Every Verify/VerifyAggregate/VerifyBatch against the same key then
+// skips all Miller-loop point arithmetic (one field multiplication per
+// stored line instead), which is the dominant cost of verification.
+//
+// Preparation costs roughly one pairing; it pays for itself from the
+// second verification on. A PreparedPublicKey is immutable and safe for
+// concurrent use. The time-server trust anchor is the canonical
+// consumer: core.Scheme caches one per server key, so update
+// verification (ê(G, I_T) = ê(sG, H1(T))) is always on this path.
+type PreparedPublicKey struct {
+	Pub PublicKey
+
+	// g and sg hold the prepared line schedules of Pub.G and Pub.SG.
+	g, sg *pairing.PreparedPoint
+}
+
+// PreparePublicKey precomputes the fixed-argument pairing schedules of
+// pub for repeated verification.
+func PreparePublicKey(set *params.Set, pub PublicKey) *PreparedPublicKey {
+	return &PreparedPublicKey{
+		Pub: pub,
+		g:   set.Pairing.Precompute(pub.G),
+		sg:  set.Pairing.Precompute(pub.SG),
+	}
+}
+
+// G returns the prepared schedule of the generator; core reuses it for
+// checks that pair against G with a varying second argument.
+func (pk *PreparedPublicKey) G() *pairing.PreparedPoint { return pk.g }
+
+// SG returns the prepared schedule of s·G.
+func (pk *PreparedPublicKey) SG() *pairing.PreparedPoint { return pk.sg }
+
+// Verify checks ê(G, sig) = ê(sG, H1(msg)) over the precomputed
+// schedules; it accepts exactly the signatures Verify accepts.
+func (pk *PreparedPublicKey) Verify(set *params.Set, dst string, msg []byte, sig Signature) bool {
+	if sig.Point.IsInfinity() || !set.Curve.InSubgroup(sig.Point) {
+		return false
+	}
+	h := set.Curve.HashToGroup(dst, msg)
+	return set.Pairing.SamePairingPrepared(pk.g, sig.Point, pk.sg, h)
+}
+
+// VerifyAggregate checks a same-key aggregate signature over the message
+// list, like the package-level VerifyAggregate but on the prepared path.
+func (pk *PreparedPublicKey) VerifyAggregate(set *params.Set, dst string, msgs [][]byte, agg Signature) bool {
+	if agg.Point.IsInfinity() || !set.Curve.InSubgroup(agg.Point) {
+		return false
+	}
+	hsum := curve.Infinity()
+	for _, m := range msgs {
+		hsum = set.Curve.Add(hsum, set.Curve.HashToGroup(dst, m))
+	}
+	return set.Pairing.SamePairingPrepared(pk.g, agg.Point, pk.sg, hsum)
+}
+
+// VerifyBatch checks many same-key signatures with one blinded pairing
+// equation, like the package-level VerifyBatch but with the two Miller
+// loops on the prepared path. See VerifyBatch for the security argument
+// and failure semantics.
+func (pk *PreparedPublicKey) VerifyBatch(set *params.Set, dst string, msgs [][]byte, sigs []Signature, rng io.Reader) (bool, error) {
+	return verifyBatch(set, dst, msgs, sigs, rng, func(sigSum, hashSum curve.Point) bool {
+		return set.Pairing.SamePairingPrepared(pk.g, sigSum, pk.sg, hashSum)
+	})
+}

@@ -1,0 +1,101 @@
+package bls
+
+import (
+	"fmt"
+	"testing"
+
+	"timedrelease/internal/curve"
+)
+
+// TestPreparedVerifyAgreesWithVerify runs the prepared verifier against
+// the plain one on genuine, tampered, wrong-message, wrong-key and
+// identity signatures — the two must accept and reject identically.
+func TestPreparedVerifyAgreesWithVerify(t *testing.T) {
+	set, k := testSetup(t)
+	pk := PreparePublicKey(set, k.Pub)
+	other, err := GenerateKey(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherPk := PreparePublicKey(set, other.Pub)
+
+	msg := []byte("2026-08-06T00:00:00Z")
+	sig := k.Sign(set, "time", msg)
+	cases := []struct {
+		name string
+		pk   *PreparedPublicKey
+		pub  PublicKey
+		dst  string
+		msg  []byte
+		sig  Signature
+	}{
+		{"genuine", pk, k.Pub, "time", msg, sig},
+		{"wrong message", pk, k.Pub, "time", []byte("other"), sig},
+		{"wrong domain", pk, k.Pub, "other", msg, sig},
+		{"wrong key", otherPk, other.Pub, "time", msg, sig},
+		{"tampered", pk, k.Pub, "time", msg, Signature{Point: set.Curve.Add(sig.Point, set.G)}},
+		{"identity", pk, k.Pub, "time", msg, Signature{Point: curve.Infinity()}},
+	}
+	for _, tc := range cases {
+		plain := Verify(set, tc.pub, tc.dst, tc.msg, tc.sig)
+		prep := tc.pk.Verify(set, tc.dst, tc.msg, tc.sig)
+		if plain != prep {
+			t.Errorf("%s: Verify=%v but prepared Verify=%v", tc.name, plain, prep)
+		}
+	}
+}
+
+func TestPreparedVerifyAggregate(t *testing.T) {
+	set, k := testSetup(t)
+	pk := PreparePublicKey(set, k.Pub)
+	msgs := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	agg := Signature{Point: curve.Infinity()}
+	for _, m := range msgs {
+		agg.Point = set.Curve.Add(agg.Point, k.Sign(set, "time", m).Point)
+	}
+	if !pk.VerifyAggregate(set, "time", msgs, agg) {
+		t.Fatal("genuine aggregate must verify on the prepared path")
+	}
+	if VerifyAggregate(set, k.Pub, "time", msgs, agg) != pk.VerifyAggregate(set, "time", msgs, agg) {
+		t.Fatal("prepared and plain aggregate verification disagree")
+	}
+	bad := Signature{Point: set.Curve.Add(agg.Point, set.G)}
+	if pk.VerifyAggregate(set, "time", msgs, bad) {
+		t.Fatal("tampered aggregate must fail on the prepared path")
+	}
+}
+
+func TestPreparedVerifyBatch(t *testing.T) {
+	set, k := testSetup(t)
+	pk := PreparePublicKey(set, k.Pub)
+	var msgs [][]byte
+	var sigs []Signature
+	for i := 0; i < 8; i++ {
+		m := []byte(fmt.Sprintf("epoch-%d", i))
+		msgs = append(msgs, m)
+		sigs = append(sigs, k.Sign(set, "time", m))
+	}
+	ok, err := pk.VerifyBatch(set, "time", msgs, sigs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("genuine batch must verify on the prepared path")
+	}
+	sigs[3].Point = set.Curve.Add(sigs[3].Point, set.G)
+	ok, err = pk.VerifyBatch(set, "time", msgs, sigs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("corrupted batch must fail on the prepared path")
+	}
+	// Empty and mismatched inputs behave like the package function.
+	ok, err = pk.VerifyBatch(set, "time", nil, nil, nil)
+	if err != nil || !ok {
+		t.Fatalf("empty batch: %v %v", ok, err)
+	}
+	if _, err := pk.VerifyBatch(set, "time", msgs[:1], nil, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}

@@ -29,5 +29,8 @@ func (sc *Scheme) VerifyReKeyedKey(certifiedAG curve.Point, newServer ServerPubl
 		return false
 	}
 	// ê(G, ASG') = ê(G, G')^{as'} must equal ê(s'G', aG) = ê(G', G)^{s'a}.
-	return sc.Set.Pairing.SamePairing(sc.Set.G, newPub.ASG, newServer.SG, certifiedAG)
+	// Both first arguments (the canonical generator and the new server's
+	// s'G') are fixed per server, so the prepared cache applies.
+	pk := sc.PreparedServerKey(ServerPublicKey{G: sc.Set.G, SG: newServer.SG})
+	return sc.Set.Pairing.SamePairingPrepared(pk.G(), newPub.ASG, pk.SG(), certifiedAG)
 }

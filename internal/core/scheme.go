@@ -25,6 +25,7 @@ import (
 	"errors"
 	"io"
 	"math/big"
+	"sync"
 
 	"timedrelease/internal/bls"
 	"timedrelease/internal/curve"
@@ -50,10 +51,38 @@ var (
 // Scheme binds the TRE algorithms to a parameter set.
 type Scheme struct {
 	Set *params.Set
+
+	// prepared caches fixed-argument pairing precomputations per server
+	// key (keyed by the compressed encodings of G and sG). The points of
+	// a server key stay fixed across every update and public-key
+	// verification, so each Miller-loop line schedule is computed once
+	// per key and reused for the lifetime of the Scheme. The map is
+	// bounded by the number of distinct server keys seen — in practice
+	// one, or a handful under server change (§5.3.4).
+	mu       sync.Mutex
+	prepared map[string]*bls.PreparedPublicKey
 }
 
 // NewScheme returns a TRE scheme instance over the given parameters.
-func NewScheme(set *params.Set) *Scheme { return &Scheme{Set: set} }
+func NewScheme(set *params.Set) *Scheme {
+	return &Scheme{Set: set, prepared: make(map[string]*bls.PreparedPublicKey)}
+}
+
+// PreparedServerKey returns the cached fixed-argument pairing
+// precomputation for a server key, building it on first use. Safe for
+// concurrent use; the returned key is immutable.
+func (sc *Scheme) PreparedServerKey(spub ServerPublicKey) *bls.PreparedPublicKey {
+	c := sc.Set.Curve
+	key := string(c.Marshal(spub.G)) + string(c.Marshal(spub.SG))
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if pk, ok := sc.prepared[key]; ok {
+		return pk
+	}
+	pk := bls.PreparePublicKey(sc.Set, bls.PublicKey(spub))
+	sc.prepared[key] = pk
+	return pk
+}
 
 // ServerPublicKey is the time server's public key PK_S = (G, sG).
 type ServerPublicKey struct {
@@ -95,9 +124,10 @@ func (sc *Scheme) IssueUpdate(server *ServerKeyPair, label string) KeyUpdate {
 }
 
 // VerifyUpdate checks the self-authentication equation
-// ê(G, I_T) = ê(sG, H1(T)).
+// ê(G, I_T) = ê(sG, H1(T)). Both first pairing arguments are the fixed
+// server key, so the check runs on the cached prepared path.
 func (sc *Scheme) VerifyUpdate(spub ServerPublicKey, u KeyUpdate) bool {
-	return bls.Verify(sc.Set, bls.PublicKey(spub), TimeDomain, []byte(u.Label), bls.Signature{Point: u.Point})
+	return sc.PreparedServerKey(spub).Verify(sc.Set, TimeDomain, []byte(u.Label), bls.Signature{Point: u.Point})
 }
 
 // UserPublicKey is PK_U = (aG, a·sG). AG is always taken over the
@@ -165,7 +195,11 @@ func (sc *Scheme) VerifyUserPublicKey(spub ServerPublicKey, upub UserPublicKey) 
 	if !c.InSubgroup(upub.AG) || !c.InSubgroup(upub.ASG) {
 		return false
 	}
-	return sc.Set.Pairing.SamePairing(upub.AG, spub.SG, sc.Set.G, upub.ASG)
+	// By pairing symmetry ê(aG, sG) = ê(sG, aG), so the fixed server
+	// points can sit in the prepared first slots; the varying user points
+	// pair as cheap second arguments.
+	pk := sc.PreparedServerKey(ServerPublicKey{G: sc.Set.G, SG: spub.SG})
+	return sc.Set.Pairing.SamePairingPrepared(pk.SG(), upub.AG, pk.G(), upub.ASG)
 }
 
 // hashLabel is the paper's H1 applied to a time label.

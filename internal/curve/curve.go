@@ -32,6 +32,8 @@ type Curve struct {
 	F *ff.Field // base field F_p
 	Q *big.Int  // prime order of the working subgroup
 	H *big.Int  // cofactor, q·h = p+1
+
+	qField *ff.Field // scalar field Z_q, built once at construction
 }
 
 // Point is an affine point on E, or the point at infinity.
@@ -58,8 +60,16 @@ func New(f *ff.Field, q, h *big.Int) (*Curve, error) {
 	if q.Bit(0) == 0 {
 		return nil, errors.New("curve: subgroup order q must be odd")
 	}
-	return &Curve{F: f, Q: new(big.Int).Set(q), H: new(big.Int).Set(h)}, nil
+	qf, err := ff.NewField(q)
+	if err != nil {
+		return nil, fmt.Errorf("curve: subgroup order: %w", err)
+	}
+	return &Curve{F: f, Q: new(big.Int).Set(q), H: new(big.Int).Set(h), qField: qf}, nil
 }
+
+// ScalarField returns the arithmetic context for Z_q, the scalar field
+// of the working subgroup.
+func (c *Curve) ScalarField() *ff.Field { return c.qField }
 
 // Infinity returns the point at infinity (the group identity).
 func Infinity() Point { return Point{inf: true} }
@@ -198,13 +208,11 @@ func (c *Curve) ScalarMultAffine(k *big.Int, p Point) Point {
 }
 
 // RandScalar returns a uniform scalar in Z_q^* — the range from which
-// the paper draws private keys and encryption randomness.
+// the paper draws private keys and encryption randomness. The scalar
+// field context is cached on the curve (this is hit once per Encrypt
+// and keygen).
 func (c *Curve) RandScalar(rng io.Reader) (*big.Int, error) {
-	qf, err := ff.NewField(c.Q)
-	if err != nil {
-		return nil, fmt.Errorf("curve: subgroup order: %w", err)
-	}
-	return qf.RandNonZero(rng)
+	return c.qField.RandNonZero(rng)
 }
 
 // Clone returns an independent copy of p.

@@ -127,6 +127,73 @@ func (f *Field) Exp(a, e *big.Int) *big.Int {
 	return new(big.Int).Exp(a, e, f.p)
 }
 
+// Destination-passing variants of the core operations. They write the
+// result into dst (which may alias either operand — math/big handles
+// aliasing) and return dst, so hot loops can reuse a fixed set of
+// integers instead of allocating one per operation. The Miller loop in
+// package pairing is the primary consumer.
+
+// AddInto sets dst = a+b mod p and returns dst.
+func (f *Field) AddInto(dst, a, b *big.Int) *big.Int {
+	dst.Add(a, b)
+	if dst.Cmp(f.p) >= 0 {
+		dst.Sub(dst, f.p)
+	}
+	return dst
+}
+
+// SubInto sets dst = a-b mod p and returns dst.
+func (f *Field) SubInto(dst, a, b *big.Int) *big.Int {
+	dst.Sub(a, b)
+	if dst.Sign() < 0 {
+		dst.Add(dst, f.p)
+	}
+	return dst
+}
+
+// DoubleInto sets dst = 2a mod p and returns dst.
+func (f *Field) DoubleInto(dst, a *big.Int) *big.Int {
+	return f.AddInto(dst, a, a)
+}
+
+// MulInto sets dst = a·b mod p and returns dst.
+func (f *Field) MulInto(dst, a, b *big.Int) *big.Int {
+	dst.Mul(a, b)
+	return dst.Mod(dst, f.p)
+}
+
+// SqrInto sets dst = a² mod p and returns dst.
+func (f *Field) SqrInto(dst, a *big.Int) *big.Int {
+	return f.MulInto(dst, a, a)
+}
+
+// InvBatch returns the inverses of all xs with a single modular
+// inversion (Montgomery's trick: invert the running product, then peel
+// the prefix products back off). It panics if any element is zero, like
+// Inv. The one inversion plus 3(n-1) multiplications replace n
+// inversions, which is what makes fixed-argument pairing precomputation
+// cheap to normalise.
+func (f *Field) InvBatch(xs []*big.Int) []*big.Int {
+	n := len(xs)
+	out := make([]*big.Int, n)
+	if n == 0 {
+		return out
+	}
+	// prefix[i] = x_0·…·x_{i-1}; prefix[0] = 1.
+	prefix := make([]*big.Int, n)
+	acc := big.NewInt(1)
+	for i, x := range xs {
+		prefix[i] = new(big.Int).Set(acc)
+		f.MulInto(acc, acc, x)
+	}
+	inv := f.Inv(acc) // panics on zero product, i.e. any zero input
+	for i := n - 1; i >= 0; i-- {
+		out[i] = f.Mul(inv, prefix[i])
+		f.MulInto(inv, inv, xs[i])
+	}
+	return out
+}
+
 // Legendre returns the Legendre symbol (a/p): 1 if a is a non-zero
 // square, -1 if a non-square, 0 if a ≡ 0 (mod p).
 func (f *Field) Legendre(a *big.Int) int {

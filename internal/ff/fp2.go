@@ -116,6 +116,44 @@ func (e *Fp2) Inv(x Fp2Elem) Fp2Elem {
 	return Fp2Elem{A: e.Fp.Mul(x.A, nInv), B: e.Fp.Mul(e.Fp.Neg(x.B), nInv)}
 }
 
+// Scratch holds the temporaries the destination-passing F_{p²}
+// operations need. One Scratch serves any number of sequential MulInto/
+// SqrInto calls; it must not be shared between goroutines.
+type Scratch struct {
+	t0, t1, t2 *big.Int
+}
+
+// NewScratch allocates a scratch space for MulInto/SqrInto.
+func NewScratch() *Scratch {
+	return &Scratch{t0: new(big.Int), t1: new(big.Int), t2: new(big.Int)}
+}
+
+// MulInto sets dst = x·y, reusing dst's limbs and the scratch space, and
+// performing no heap allocation beyond what math/big grows internally.
+// dst may alias x or y. This is the hot-path variant of Mul used by the
+// Miller loop, where the accumulator is multiplied twice per iteration.
+func (e *Fp2) MulInto(dst *Fp2Elem, x, y Fp2Elem, s *Scratch) {
+	fp := e.Fp
+	fp.MulInto(s.t0, x.A, y.A) // ac
+	fp.MulInto(s.t1, x.B, y.B) // bd
+	s.t2.Add(x.A, x.B)
+	dst.A.Add(y.A, y.B) // dst.A as a 4th temp: all reads of x, y are done
+	fp.MulInto(s.t2, s.t2, dst.A)
+	fp.AddInto(dst.A, s.t0, s.t1)
+	fp.SubInto(dst.B, s.t2, dst.A) // (a+b)(c+d) − ac − bd
+	fp.SubInto(dst.A, s.t0, s.t1)  // ac − bd
+}
+
+// SqrInto sets dst = x² in place; dst may alias x.
+func (e *Fp2) SqrInto(dst *Fp2Elem, x Fp2Elem, s *Scratch) {
+	fp := e.Fp
+	s.t0.Add(x.A, x.B)
+	fp.SubInto(s.t1, x.A, x.B)
+	fp.MulInto(s.t2, x.A, x.B)
+	fp.MulInto(dst.A, s.t0, s.t1) // (a+b)(a−b); t0 < 2p is fine, MulInto reduces
+	fp.DoubleInto(dst.B, s.t2)
+}
+
 // Exp returns x^k for a non-negative exponent k, by square-and-multiply
 // over the bits of k from most to least significant.
 func (e *Fp2) Exp(x Fp2Elem, k *big.Int) Fp2Elem {
@@ -123,10 +161,11 @@ func (e *Fp2) Exp(x Fp2Elem, k *big.Int) Fp2Elem {
 		panic("ff: negative exponent in F_{p²}")
 	}
 	r := e.One()
+	s := NewScratch()
 	for i := k.BitLen() - 1; i >= 0; i-- {
-		r = e.Sqr(r)
+		e.SqrInto(&r, r, s)
 		if k.Bit(i) == 1 {
-			r = e.Mul(r, x)
+			e.MulInto(&r, r, x, s)
 		}
 	}
 	return r

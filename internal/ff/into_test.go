@@ -1,0 +1,141 @@
+package ff
+
+import (
+	"math/big"
+	"testing"
+)
+
+func intoTestField(t *testing.T) *Field {
+	t.Helper()
+	p, _ := new(big.Int).SetString("8f98a3660038a5b78edf9f53", 16)
+	f, err := NewField(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func (f *Field) mustRand(t *testing.T) *big.Int {
+	t.Helper()
+	r, err := f.Rand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFieldIntoOpsMatchAllocating(t *testing.T) {
+	f := intoTestField(t)
+	for i := 0; i < 50; i++ {
+		a, b := f.mustRand(t), f.mustRand(t)
+		dst := new(big.Int)
+		if f.AddInto(dst, a, b).Cmp(f.Add(a, b)) != 0 {
+			t.Fatal("AddInto != Add")
+		}
+		if f.SubInto(dst, a, b).Cmp(f.Sub(a, b)) != 0 {
+			t.Fatal("SubInto != Sub")
+		}
+		if f.MulInto(dst, a, b).Cmp(f.Mul(a, b)) != 0 {
+			t.Fatal("MulInto != Mul")
+		}
+		if f.SqrInto(dst, a).Cmp(f.Sqr(a)) != 0 {
+			t.Fatal("SqrInto != Sqr")
+		}
+		if f.DoubleInto(dst, a).Cmp(f.Double(a)) != 0 {
+			t.Fatal("DoubleInto != Double")
+		}
+	}
+}
+
+func TestFieldIntoOpsTolerateAliasing(t *testing.T) {
+	f := intoTestField(t)
+	a, b := f.mustRand(t), f.mustRand(t)
+	want := f.Mul(a, b)
+	x := new(big.Int).Set(a)
+	if f.MulInto(x, x, b).Cmp(want) != 0 {
+		t.Fatal("MulInto with dst==a wrong")
+	}
+	x.Set(b)
+	if f.MulInto(x, a, x).Cmp(want) != 0 {
+		t.Fatal("MulInto with dst==b wrong")
+	}
+	x.Set(a)
+	if f.SqrInto(x, x).Cmp(f.Sqr(a)) != 0 {
+		t.Fatal("SqrInto with dst==a wrong")
+	}
+	x.Set(a)
+	if f.SubInto(x, x, b).Cmp(f.Sub(a, b)) != 0 {
+		t.Fatal("SubInto with dst==a wrong")
+	}
+}
+
+func TestInvBatch(t *testing.T) {
+	f := intoTestField(t)
+	for _, n := range []int{0, 1, 2, 17} {
+		xs := make([]*big.Int, n)
+		for i := range xs {
+			x, err := f.RandNonZero(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs[i] = x
+		}
+		invs := f.InvBatch(xs)
+		if len(invs) != n {
+			t.Fatalf("InvBatch returned %d results for %d inputs", len(invs), n)
+		}
+		for i := range xs {
+			if invs[i].Cmp(f.Inv(xs[i])) != 0 {
+				t.Fatalf("InvBatch[%d] != Inv", i)
+			}
+		}
+	}
+}
+
+func TestInvBatchPanicsOnZero(t *testing.T) {
+	f := intoTestField(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InvBatch with a zero element must panic like Inv")
+		}
+	}()
+	f.InvBatch([]*big.Int{big.NewInt(5), new(big.Int)})
+}
+
+func TestFp2IntoOpsMatchAllocating(t *testing.T) {
+	f := intoTestField(t)
+	e2, err := NewFp2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch()
+	for i := 0; i < 50; i++ {
+		x, err := e2.Rand(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := e2.Rand(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := e2.Zero()
+		e2.MulInto(&dst, x, y, s)
+		if !e2.Equal(dst, e2.Mul(x, y)) {
+			t.Fatal("Fp2 MulInto != Mul")
+		}
+		e2.SqrInto(&dst, x, s)
+		if !e2.Equal(dst, e2.Sqr(x)) {
+			t.Fatal("Fp2 SqrInto != Sqr")
+		}
+		// Aliased accumulator, the Miller-loop pattern f = f·x then f = f².
+		acc := e2.New(x.A, x.B)
+		e2.MulInto(&acc, acc, y, s)
+		if !e2.Equal(acc, e2.Mul(x, y)) {
+			t.Fatal("Fp2 MulInto with dst==x wrong")
+		}
+		e2.SqrInto(&acc, acc, s)
+		if !e2.Equal(acc, e2.Sqr(e2.Mul(x, y))) {
+			t.Fatal("Fp2 SqrInto with dst==x wrong")
+		}
+	}
+}

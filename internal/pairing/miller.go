@@ -1,0 +1,203 @@
+package pairing
+
+import (
+	"math/big"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/ff"
+)
+
+var (
+	big1 = big.NewInt(1)
+	big3 = big.NewInt(3)
+)
+
+// millerState walks the Miller loop's point accumulator in Jacobian
+// coordinates (X : Y : Z) ↔ affine (X/Z², Y/Z³), producing for each
+// doubling/addition step the coefficients (A, B, C) of the line value
+//
+//	g = A·x_Q + B + C·y_Q·i  ∈ F_{p²}
+//
+// evaluated at the distorted point ψ(Q) = (−x_Q, i·y_Q). The
+// coefficients equal the affine line value scaled by a non-zero F_p
+// factor (2YZ³ for tangents, Z_new = Z·H for chords), which the final
+// exponentiation kills — the denominator-elimination argument extended
+// to projective denominators. No step performs a field inversion.
+//
+// All temporaries are allocated once per state and reused, so a full
+// Miller loop performs no big.Int allocations in its inner loop beyond
+// math/big's internal growth.
+type millerState struct {
+	fp      *ff.Field
+	X, Y, Z *big.Int
+
+	t1, t2, t3, t4, t5, t6 *big.Int
+}
+
+func newMillerState(fp *ff.Field, p curve.Point) *millerState {
+	return &millerState{
+		fp: fp,
+		X:  new(big.Int).Set(p.X),
+		Y:  new(big.Int).Set(p.Y),
+		Z:  big.NewInt(1),
+		t1: new(big.Int), t2: new(big.Int), t3: new(big.Int),
+		t4: new(big.Int), t5: new(big.Int), t6: new(big.Int),
+	}
+}
+
+// isInf reports whether the accumulator is the point at infinity.
+func (st *millerState) isInf() bool { return st.Z.Sign() == 0 }
+
+// dbl advances V ← 2V and writes the tangent-line coefficients into
+// (a, b, c). It returns false when the step contributes the factor 1
+// instead (V at infinity, or a vertical tangent at a 2-torsion point),
+// mirroring the affine lineDouble semantics exactly.
+//
+// With M = 3X² + Z⁴ (curve a-coefficient 1) and the affine tangent slope
+// λ = M/(2YZ), scaling the affine line by 2YZ³ gives
+//
+//	A = M·Z², B = M·X − 2Y², C = 2YZ³,
+//
+// and the point update is the standard Jacobian doubling
+// X' = M² − 2S, Y' = M(S − X') − 8Y⁴, Z' = 2YZ with S = 4XY².
+func (st *millerState) dbl(a, b, c *big.Int) bool {
+	if st.isInf() {
+		return false
+	}
+	if st.Y.Sign() == 0 {
+		st.Z.SetInt64(0)
+		return false
+	}
+	fp := st.fp
+	yy := fp.SqrInto(st.t1, st.Y) // Y²
+	zz := fp.SqrInto(st.t2, st.Z) // Z²
+	m := fp.SqrInto(st.t3, zz)    // Z⁴ (a = 1 ⇒ a·Z⁴ = Z⁴)
+	sq := fp.SqrInto(st.t4, st.X) // X²
+	fp.AddInto(m, m, sq)
+	fp.AddInto(m, m, sq)
+	fp.AddInto(m, m, sq) // M = 3X² + Z⁴
+
+	// Line coefficients from the pre-update point.
+	fp.MulInto(a, m, zz)     // A = M·Z²
+	fp.MulInto(b, m, st.X)   //
+	fp.DoubleInto(st.t4, yy) // 2Y² (X² no longer needed)
+	fp.SubInto(b, b, st.t4)  // B = M·X − 2Y²
+	zNew := fp.MulInto(st.t5, st.Y, st.Z)
+	fp.DoubleInto(zNew, zNew) // Z' = 2YZ
+	fp.MulInto(c, zNew, zz)   // C = 2YZ·Z² = 2YZ³
+
+	// Point update; every read of the old X, Y happens before its write.
+	s := fp.MulInto(st.t6, st.X, yy)
+	fp.DoubleInto(s, s)
+	fp.DoubleInto(s, s) // S = 4XY²
+	fp.SqrInto(st.X, m)
+	fp.SubInto(st.X, st.X, s)
+	fp.SubInto(st.X, st.X, s) // X' = M² − 2S
+	fp.SqrInto(yy, yy)
+	fp.DoubleInto(yy, yy)
+	fp.DoubleInto(yy, yy)
+	fp.DoubleInto(yy, yy)      // 8Y⁴
+	fp.SubInto(s, s, st.X)     // S − X'
+	fp.MulInto(st.Y, m, s)     //
+	fp.SubInto(st.Y, st.Y, yy) // Y' = M(S − X') − 8Y⁴
+	st.Z.Set(zNew)
+	return true
+}
+
+// add advances V ← V + p for the fixed affine point p and writes the
+// chord-line coefficients into (a, b, c); it returns false when the step
+// contributes the factor 1 (V or p at infinity, or the vertical chord
+// V + (−V)), mirroring the affine lineAdd semantics.
+//
+// Mixed Jacobian+affine addition: with U2 = x_p·Z², S2 = y_p·Z³,
+// H = U2 − X, R = S2 − Y, the affine chord slope is λ = R/(Z·H);
+// scaling the affine line by Z' = Z·H gives
+//
+//	A = R, B = R·x_p − Z'·y_p, C = Z',
+//
+// and X3 = R² − H³ − 2XH², Y3 = R(XH² − X3) − Y·H³, Z3 = Z·H.
+func (st *millerState) add(p curve.Point, a, b, c *big.Int) bool {
+	if p.IsInfinity() {
+		return false
+	}
+	if st.isInf() {
+		st.X.Set(p.X)
+		st.Y.Set(p.Y)
+		st.Z.SetInt64(1)
+		return false
+	}
+	fp := st.fp
+	zz := fp.SqrInto(st.t1, st.Z)     // Z²
+	u2 := fp.MulInto(st.t2, p.X, zz)  // x_p·Z²
+	s2 := fp.MulInto(st.t3, zz, st.Z) //
+	fp.MulInto(s2, p.Y, s2)           // y_p·Z³
+	h := fp.SubInto(u2, u2, st.X)     // H = U2 − X
+	r := fp.SubInto(s2, s2, st.Y)     // R = S2 − Y
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			// V and p are the same point: the chord degenerates to the
+			// tangent, exactly as in the affine reference.
+			return st.dbl(a, b, c)
+		}
+		// Vertical chord V + (−V): factor 1, accumulator to infinity.
+		st.Z.SetInt64(0)
+		return false
+	}
+	zNew := fp.MulInto(st.t4, st.Z, h) // Z3 = Z·H
+
+	// Line coefficients.
+	a.Set(r)
+	fp.MulInto(st.t5, zNew, p.Y)
+	fp.MulInto(b, r, p.X)
+	fp.SubInto(b, b, st.t5) // B = R·x_p − Z3·y_p
+	c.Set(zNew)             // C = Z3
+
+	// Point update.
+	hh := fp.SqrInto(st.t5, h)        // H²
+	xh := fp.MulInto(st.t6, st.X, hh) // X·H²
+	fp.MulInto(hh, hh, h)             // H³ (H² no longer needed)
+	fp.SqrInto(st.X, r)
+	fp.SubInto(st.X, st.X, hh)
+	fp.SubInto(st.X, st.X, xh)
+	fp.SubInto(st.X, st.X, xh) // X3 = R² − H³ − 2XH²
+	fp.MulInto(st.Y, st.Y, hh) // Y·H³
+	fp.SubInto(xh, xh, st.X)   // XH² − X3
+	fp.MulInto(xh, r, xh)      // R(XH² − X3)
+	fp.SubInto(st.Y, xh, st.Y) // Y3
+	st.Z.Set(zNew)
+	return true
+}
+
+// Miller evaluates the Miller function f_{q,P} at ψ(Q) in Jacobian
+// coordinates — zero field inversions, no per-iteration heap
+// allocation — without the final exponentiation. P and Q must be
+// non-identity subgroup points. The value differs from MillerAffine's by
+// a non-zero F_p^* factor per line, which FinalExp eliminates; Pair
+// therefore returns identical group elements over either loop.
+func (pr *Pairing) Miller(p, q curve.Point) GT {
+	fp := pr.C.F
+	e2 := pr.E2
+	st := newMillerState(fp, p)
+	f := GT{A: big.NewInt(1), B: new(big.Int)}
+	g := GT{A: new(big.Int), B: new(big.Int)}
+	s := ff.NewScratch()
+	a, b, c := new(big.Int), new(big.Int), new(big.Int)
+	for _, addBit := range pr.schedule {
+		e2.SqrInto(&f, f, s)
+		if st.dbl(a, b, c) {
+			fp.MulInto(g.A, a, q.X)
+			fp.AddInto(g.A, g.A, b)
+			fp.MulInto(g.B, c, q.Y)
+			e2.MulInto(&f, f, g, s)
+		}
+		if addBit {
+			if st.add(p, a, b, c) {
+				fp.MulInto(g.A, a, q.X)
+				fp.AddInto(g.A, g.A, b)
+				fp.MulInto(g.B, c, q.Y)
+				e2.MulInto(&f, f, g, s)
+			}
+		}
+	}
+	return f
+}

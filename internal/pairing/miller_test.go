@@ -1,0 +1,208 @@
+package pairing
+
+import (
+	"math/big"
+	"testing"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/ff"
+)
+
+// The preset primes of params.Preset("Test160") and ("SS512"), embedded
+// here because package params depends on pairing (importing it back
+// would cycle). The differential tests must run at the real parameter
+// sizes — SS512 is the paper-era size the optimised paths are for.
+var presetPrimes = map[string][2]string{
+	"Test160": {
+		"cab69233645ff2ec9acee7e93cf76c09cab9c52f",
+		"ccf7a522ae5901e73051",
+	},
+	"SS512": {
+		"ad1b4018db0dcf94ca80575c821b9aefd402ad39db7a7d85fb0f8e71989659c2af8599a5b178cf01ddb933717119e7db4055e2b5e452590b660633ca3f0897b7",
+		"eb390909eda970c020a00be910961312ae13722b",
+	},
+}
+
+func presetPairing(t *testing.T, name string) *Pairing {
+	t.Helper()
+	primes, ok := presetPrimes[name]
+	if !ok {
+		t.Fatalf("unknown preset %q", name)
+	}
+	p, q := mustInt(primes[0]), mustInt(primes[1])
+	f, err := ff.NewField(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp1 := new(big.Int).Add(p, big.NewInt(1))
+	h := new(big.Int).Quo(pp1, q)
+	c, err := curve.New(f, q, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// randomSubgroupPoints derives n deterministic "random" subgroup points.
+func randomSubgroupPoints(t *testing.T, pr *Pairing, n int, tag string) []curve.Point {
+	t.Helper()
+	pts := make([]curve.Point, n)
+	for i := range pts {
+		pts[i] = pr.C.HashToGroup("miller-diff-"+tag, []byte{byte(i)})
+		if pts[i].IsInfinity() {
+			t.Fatal("hash produced the identity")
+		}
+	}
+	return pts
+}
+
+func forEachPreset(t *testing.T, fn func(t *testing.T, pr *Pairing)) {
+	for _, name := range []string{"Test160", "SS512"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			fn(t, presetPairing(t, name))
+		})
+	}
+}
+
+// TestProjectiveAgreesWithAffine is the headline differential test: the
+// inversion-free Jacobian Miller loop must produce identical pairing
+// values to the affine reference on random points, at both the test and
+// the paper-era parameter sizes.
+func TestProjectiveAgreesWithAffine(t *testing.T) {
+	forEachPreset(t, func(t *testing.T, pr *Pairing) {
+		ps := randomSubgroupPoints(t, pr, 4, "P")
+		qs := randomSubgroupPoints(t, pr, 4, "Q")
+		for i := range ps {
+			fast := pr.Pair(ps[i], qs[i])
+			ref := pr.PairAffine(ps[i], qs[i])
+			if !pr.E2.Equal(fast, ref) {
+				t.Fatalf("projective Pair != affine Pair for point pair %d", i)
+			}
+		}
+	})
+}
+
+// TestPreparedAgreesWithAffine checks the fixed-argument path: both the
+// final pairing value and — because prepared lines are normalised to the
+// same affine (λ, μ) form — the raw Miller value must match the affine
+// reference bit for bit.
+func TestPreparedAgreesWithAffine(t *testing.T) {
+	forEachPreset(t, func(t *testing.T, pr *Pairing) {
+		ps := randomSubgroupPoints(t, pr, 3, "P")
+		qs := randomSubgroupPoints(t, pr, 3, "Q")
+		for i := range ps {
+			prep := pr.Precompute(ps[i])
+			if !pr.E2.Equal(pr.MillerPrepared(prep, qs[i]), pr.MillerAffine(ps[i], qs[i])) {
+				t.Fatalf("MillerPrepared != MillerAffine for point pair %d", i)
+			}
+			if !pr.E2.Equal(pr.PairPrepared(prep, qs[i]), pr.PairAffine(ps[i], qs[i])) {
+				t.Fatalf("PairPrepared != affine Pair for point pair %d", i)
+			}
+		}
+	})
+}
+
+// TestPairProductAgreesWithAffine checks the (parallel) product path
+// against the sequential affine reference with one final exponentiation
+// applied to the product of affine Miller values.
+func TestPairProductAgreesWithAffine(t *testing.T) {
+	forEachPreset(t, func(t *testing.T, pr *Pairing) {
+		ps := randomSubgroupPoints(t, pr, 5, "P")
+		qs := randomSubgroupPoints(t, pr, 5, "Q")
+		pairs := make([]PointPair, len(ps))
+		acc := pr.E2.One()
+		for i := range ps {
+			pairs[i] = PointPair{P: ps[i], Q: qs[i]}
+			acc = pr.E2.Mul(acc, pr.MillerAffine(ps[i], qs[i]))
+		}
+		if !pr.E2.Equal(pr.PairProduct(pairs), pr.FinalExp(acc)) {
+			t.Fatal("parallel PairProduct != affine reference product")
+		}
+	})
+}
+
+// TestBilinearityOptimisedPaths re-runs the bilinearity property
+// ê(aP, bQ) = ê(P, Q)^{ab} on the projective and prepared paths.
+func TestBilinearityOptimisedPaths(t *testing.T) {
+	forEachPreset(t, func(t *testing.T, pr *Pairing) {
+		p := pr.C.HashToGroup("bilin", []byte("P"))
+		q := pr.C.HashToGroup("bilin", []byte("Q"))
+		base := pr.Pair(p, q)
+		for _, ab := range [][2]int64{{2, 3}, {7, 11}, {941, 353}} {
+			a, b := big.NewInt(ab[0]), big.NewInt(ab[1])
+			aP, bQ := pr.C.ScalarMult(a, p), pr.C.ScalarMult(b, q)
+			want := pr.E2.Exp(base, new(big.Int).Mul(a, b))
+			if !pr.E2.Equal(pr.Pair(aP, bQ), want) {
+				t.Fatalf("projective: ê(%dP, %dQ) != ê(P,Q)^%d", ab[0], ab[1], ab[0]*ab[1])
+			}
+			if !pr.E2.Equal(pr.PairPrepared(pr.Precompute(aP), bQ), want) {
+				t.Fatalf("prepared: ê(%dP, %dQ) != ê(P,Q)^%d", ab[0], ab[1], ab[0]*ab[1])
+			}
+		}
+	})
+}
+
+func TestSamePairingPrepared(t *testing.T) {
+	pr := testPairing(t)
+	p, q := gen(t, pr, 30), gen(t, pr, 31)
+	s := big.NewInt(987123)
+	sP, sQ := pr.C.ScalarMult(s, p), pr.C.ScalarMult(s, q)
+	prepSP := pr.Precompute(sP)
+	prepP := pr.Precompute(p)
+	// ê(sP, Q) == ê(P, sQ)
+	if !pr.SamePairingPrepared(prepSP, q, prepP, sQ) {
+		t.Fatal("SamePairingPrepared false negative")
+	}
+	if pr.SamePairingPrepared(prepSP, q, prepP, q) {
+		t.Fatal("SamePairingPrepared false positive")
+	}
+	// Cross-check against the unprepared implementation.
+	if pr.SamePairingPrepared(prepSP, q, prepP, sQ) != pr.SamePairing(sP, q, p, sQ) {
+		t.Fatal("prepared and unprepared SamePairing disagree")
+	}
+}
+
+func TestPreparedIdentity(t *testing.T) {
+	pr := testPairing(t)
+	p := gen(t, pr, 32)
+	prepInf := pr.Precompute(curve.Infinity())
+	if !prepInf.IsInfinity() {
+		t.Fatal("Precompute(∞) must report infinity")
+	}
+	if !pr.E2.IsOne(pr.PairPrepared(prepInf, p)) {
+		t.Fatal("ê(∞, P) must be 1 on the prepared path")
+	}
+	prep := pr.Precompute(p)
+	if !pr.E2.IsOne(pr.PairPrepared(prep, curve.Infinity())) {
+		t.Fatal("ê(P, ∞) must be 1 on the prepared path")
+	}
+	// Degenerate SamePairingPrepared combinations.
+	if !pr.SamePairingPrepared(prepInf, p, prep, curve.Infinity()) {
+		t.Fatal("1 == 1 must hold for degenerate sides")
+	}
+	if pr.SamePairingPrepared(prepInf, p, prep, p) {
+		t.Fatal("1 == ê(P,P) must fail for non-degenerate rhs")
+	}
+}
+
+// TestPairProductParallelDeterministic runs the same product many times
+// to shake out scheduling nondeterminism in the parallel merge (also
+// exercised with -race by `make race`).
+func TestPairProductParallelDeterministic(t *testing.T) {
+	pr := testPairing(t)
+	pairs := make([]PointPair, 8)
+	for i := range pairs {
+		pairs[i] = PointPair{P: gen(t, pr, byte(40+i)), Q: gen(t, pr, byte(60+i))}
+	}
+	first := pr.PairProduct(pairs)
+	for run := 0; run < 10; run++ {
+		if !pr.E2.Equal(pr.PairProduct(pairs), first) {
+			t.Fatal("PairProduct result varies across runs")
+		}
+	}
+}

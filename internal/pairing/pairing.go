@@ -10,7 +10,18 @@
 // Miller's algorithm is run with denominator elimination: every vertical
 // line evaluated at ψ(Q) = (−x_Q, i·y_Q) has value −x_Q − x ∈ F_p, and
 // the final exponentiation (p²−1)/q = (p−1)·h kills all of F_p*, so
-// vertical-line factors can be skipped entirely.
+// vertical-line factors can be skipped entirely. The same argument
+// licenses the projective Miller loop (miller.go): line values may be
+// scaled by any non-zero F_p factor, so the loop runs in Jacobian
+// coordinates with zero per-iteration inversions. The affine loop is
+// kept as MillerAffine, the reference implementation for differential
+// testing (à la curve.ScalarMultAffine and experiment E4).
+//
+// For pairings whose first argument is fixed across many evaluations
+// (update verification, BLS verification, user-key well-formedness
+// checks) Precompute stores the full schedule of line coefficients once;
+// PairPrepared then costs one field multiplication per line. See
+// prepared.go and docs/PAIRING.md.
 package pairing
 
 import (
@@ -19,18 +30,25 @@ import (
 
 	"timedrelease/internal/curve"
 	"timedrelease/internal/ff"
+	"timedrelease/internal/parallel"
 )
 
 // GT is the target group: the order-q subgroup of F_{p²}*.
 type GT = ff.Fp2Elem
 
 // Pairing binds a curve context to its extension field and caches the
-// final exponentiation exponent.
+// final exponentiation exponent and the Miller-loop schedule.
 type Pairing struct {
 	C  *curve.Curve
 	E2 *ff.Fp2
 
 	finalExp *big.Int // (p²−1)/q = (p−1)·h
+
+	// schedule[k] reports whether Miller iteration k (processing bit
+	// BitLen-2-k of q) performs an addition step after its doubling
+	// step. Precomputed once here instead of re-walking ord.Bit(i) in
+	// every loop.
+	schedule []bool
 }
 
 // New returns a pairing context for c.
@@ -43,20 +61,37 @@ func New(c *curve.Curve) (*Pairing, error) {
 		return nil, err
 	}
 	pm1 := new(big.Int).Sub(c.F.P(), big.NewInt(1))
+	ord := c.Q
+	schedule := make([]bool, 0, ord.BitLen()-1)
+	for i := ord.BitLen() - 2; i >= 0; i-- {
+		schedule = append(schedule, ord.Bit(i) == 1)
+	}
 	return &Pairing{
 		C:        c,
 		E2:       e2,
 		finalExp: new(big.Int).Mul(pm1, c.H),
+		schedule: schedule,
 	}, nil
 }
 
-// Pair computes ê(P, Q). Both points must lie in the order-q subgroup;
-// if either is the identity the result is 1.
+// Pair computes ê(P, Q) with the projective (inversion-free) Miller
+// loop. Both points must lie in the order-q subgroup; if either is the
+// identity the result is 1.
 func (pr *Pairing) Pair(p, q curve.Point) GT {
 	if p.IsInfinity() || q.IsInfinity() {
 		return pr.E2.One()
 	}
 	return pr.FinalExp(pr.Miller(p, q))
+}
+
+// PairAffine computes ê(P, Q) with the affine reference Miller loop. It
+// returns the same value as Pair and exists for differential testing and
+// the E4/pairing-bench ablations.
+func (pr *Pairing) PairAffine(p, q curve.Point) GT {
+	if p.IsInfinity() || q.IsInfinity() {
+		return pr.E2.One()
+	}
+	return pr.FinalExp(pr.MillerAffine(p, q))
 }
 
 // PairAfterMiller exposes the two phases separately so callers can
@@ -67,7 +102,10 @@ func (pr *Pairing) PairAfterMiller(f GT) GT { return pr.FinalExp(f) }
 // FinalExp raises an unreduced Miller value to (p²−1)/q, mapping it into
 // the order-q target group. The (p−1) factor is applied via the
 // Frobenius identity z^(p−1) = conj(z)·z⁻¹, leaving an exponentiation by
-// the (much smaller) cofactor h.
+// the (much smaller) cofactor h. Because x ↦ x^((p²−1)/q) kills every
+// element of F_p^*, Miller values that differ by a non-zero F_p factor —
+// as the affine, projective and prepared loops' values do — map to the
+// same target-group element.
 func (pr *Pairing) FinalExp(f GT) GT {
 	e2 := pr.E2
 	if e2.IsZero(f) {
@@ -79,19 +117,22 @@ func (pr *Pairing) FinalExp(f GT) GT {
 	return e2.Exp(t, pr.C.H)           // then ^h, total (p−1)h = (p²−1)/q
 }
 
-// Miller evaluates the Miller function f_{q,P} at ψ(Q), without the
-// final exponentiation. P and Q must be non-identity subgroup points.
-func (pr *Pairing) Miller(p, q curve.Point) GT {
+// MillerAffine evaluates the Miller function f_{q,P} at ψ(Q) in affine
+// coordinates, without the final exponentiation. P and Q must be
+// non-identity subgroup points. This is the reference implementation:
+// one field inversion per doubling/addition step. Miller (miller.go)
+// computes a value equal up to an F_p^* factor with no inversions at
+// all; the two agree exactly after FinalExp.
+func (pr *Pairing) MillerAffine(p, q curve.Point) GT {
 	e2 := pr.E2
 	f := e2.One()
-	v := p.Clone()
-	ord := pr.C.Q
-	for i := ord.BitLen() - 2; i >= 0; i-- {
+	v := p
+	for _, addBit := range pr.schedule {
 		f = e2.Sqr(f)
 		var g GT
 		v, g = pr.lineDouble(v, q)
 		f = e2.Mul(f, g)
-		if ord.Bit(i) == 1 {
+		if addBit {
 			v, g = pr.lineAdd(v, p, q)
 			f = e2.Mul(f, g)
 		}
@@ -106,11 +147,12 @@ func (pr *Pairing) Miller(p, q curve.Point) GT {
 //	  = (λ·(x_Q + x_a) − y_a) + y_Q·i  ∈ F_{p²}.
 //
 // Since q is odd and Q has order q, y_Q ≠ 0, so g ≠ 0 always — the
-// Miller value never collapses to zero.
+// Miller value never collapses to zero. The returned element shares
+// q.Y; callers consume it immediately without mutation.
 func (pr *Pairing) lineEval(a, q curve.Point, lambda *big.Int) GT {
 	fp := pr.C.F
 	re := fp.Sub(fp.Mul(lambda, fp.Add(q.X, a.X)), a.Y)
-	return ff.Fp2Elem{A: re, B: new(big.Int).Set(q.Y)}
+	return ff.Fp2Elem{A: re, B: q.Y}
 }
 
 // lineDouble returns (2v, g) where g is the tangent-line factor at v
@@ -124,7 +166,7 @@ func (pr *Pairing) lineDouble(v, q curve.Point) (curve.Point, GT) {
 		return curve.Infinity(), pr.E2.One()
 	}
 	fp := pr.C.F
-	num := fp.Add(fp.Mul(big.NewInt(3), fp.Sqr(v.X)), big.NewInt(1))
+	num := fp.Add(fp.Mul(big3, fp.Sqr(v.X)), big1)
 	lambda := fp.Mul(num, fp.Inv(fp.Double(v.Y)))
 	g := pr.lineEval(v, q, lambda)
 	return pr.C.Double(v), g
@@ -158,16 +200,38 @@ type PointPair struct {
 	P, Q curve.Point
 }
 
+// parallelThreshold is the minimum number of non-trivial factors before
+// PairProduct fans Miller loops out to the worker pool; below it the
+// goroutine overhead is not worth a loop that short.
+const parallelThreshold = 2
+
 // PairProduct computes Π ê(Pᵢ, Qᵢ) with a single shared final
 // exponentiation — the optimisation used by multi-server decryption
-// (paper §5.3.5) and pairing-equation checks.
+// (paper §5.3.5) and pairing-equation checks. With more than one factor
+// the Miller loops run across a GOMAXPROCS-bounded worker pool; the
+// values are then merged in index order (multiplication in F_{p²} is
+// commutative, so the result is bit-identical to the sequential loop).
 func (pr *Pairing) PairProduct(pairs []PointPair) GT {
-	acc := pr.E2.One()
-	for _, pq := range pairs {
+	millers := make([]GT, len(pairs))
+	work := func(i int) {
+		pq := pairs[i]
 		if pq.P.IsInfinity() || pq.Q.IsInfinity() {
-			continue
+			millers[i] = pr.E2.One()
+			return
 		}
-		acc = pr.E2.Mul(acc, pr.Miller(pq.P, pq.Q))
+		millers[i] = pr.Miller(pq.P, pq.Q)
+	}
+	if len(pairs) >= parallelThreshold {
+		parallel.For(len(pairs), work)
+	} else {
+		for i := range pairs {
+			work(i)
+		}
+	}
+	acc := pr.E2.One()
+	s := ff.NewScratch()
+	for _, m := range millers {
+		pr.E2.MulInto(&acc, acc, m, s)
 	}
 	return pr.FinalExp(acc)
 }
@@ -175,7 +239,8 @@ func (pr *Pairing) PairProduct(pairs []PointPair) GT {
 // SamePairing reports whether ê(a1, b1) == ê(a2, b2), evaluated as a
 // single product ê(−a1, b1)·ê(a2, b2) == 1 so only one final
 // exponentiation is needed. This is the workhorse behind key-update
-// verification and public-key well-formedness checks.
+// verification and public-key well-formedness checks; when the first
+// arguments are fixed across calls, SamePairingPrepared is faster still.
 func (pr *Pairing) SamePairing(a1, b1, a2, b2 curve.Point) bool {
 	gt := pr.PairProduct([]PointPair{
 		{P: pr.C.Neg(a1), Q: b1},

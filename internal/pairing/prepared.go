@@ -1,0 +1,177 @@
+package pairing
+
+import (
+	"math/big"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/ff"
+)
+
+// lineCoeff is one precomputed Miller line in normalised affine form:
+// evaluated at ψ(Q) the line's value is
+//
+//	g = λ·x_Q + μ + y_Q·i.
+//
+// vertical marks steps that contribute the factor 1 under denominator
+// elimination (the coefficients are then nil).
+type lineCoeff struct {
+	lambda, mu *big.Int
+	vertical   bool
+}
+
+// preparedStep is one iteration of the fixed Miller schedule: the
+// doubling line, plus the addition line on iterations whose schedule
+// bit is set.
+type preparedStep struct {
+	dbl    lineCoeff
+	hasAdd bool
+	add    lineCoeff
+}
+
+// PreparedPoint stores the full schedule of Miller line coefficients
+// for a fixed first pairing argument P. The walk of V = kP, the slopes,
+// and the vertical-step pattern depend only on P and the group order,
+// so they are computed once here; PairPrepared then evaluates each
+// stored line at a fresh Q with a single field multiplication — no
+// point arithmetic and no inversions at all.
+//
+// A PreparedPoint is immutable after construction and safe for
+// concurrent use by multiple goroutines. Typical fixed arguments in
+// this repository: the server generator G and public key sG (update
+// verification, BLS verification, user-key well-formedness checks).
+type PreparedPoint struct {
+	infinity bool
+	steps    []preparedStep
+}
+
+// Precompute walks the Miller loop for the fixed first argument p and
+// stores every line's normalised (λ, μ) coefficients. The walk itself
+// runs in Jacobian coordinates; the projective denominators of all
+// steps are then inverted with ONE modular inversion (ff.InvBatch), so
+// preparation costs about one inversion plus one inversion-free Miller
+// loop.
+func (pr *Pairing) Precompute(p curve.Point) *PreparedPoint {
+	if p.IsInfinity() {
+		return &PreparedPoint{infinity: true}
+	}
+	fp := pr.C.F
+	st := newMillerState(fp, p)
+	steps := make([]preparedStep, len(pr.schedule))
+
+	// Record each step's projective line (A, B, C): λ = A/C, μ = B/C.
+	var as, bs, cs []*big.Int
+	record := func(ok bool) lineCoeff {
+		if !ok {
+			return lineCoeff{vertical: true}
+		}
+		return lineCoeff{} // coefficients filled in after batch inversion
+	}
+	a, b, c := new(big.Int), new(big.Int), new(big.Int)
+	push := func() {
+		as = append(as, new(big.Int).Set(a))
+		bs = append(bs, new(big.Int).Set(b))
+		cs = append(cs, new(big.Int).Set(c))
+	}
+	for k, addBit := range pr.schedule {
+		ok := st.dbl(a, b, c)
+		steps[k].dbl = record(ok)
+		if ok {
+			push()
+		}
+		if addBit {
+			steps[k].hasAdd = true
+			ok = st.add(p, a, b, c)
+			steps[k].add = record(ok)
+			if ok {
+				push()
+			}
+		}
+	}
+
+	// One inversion for every denominator in the schedule.
+	inv := fp.InvBatch(cs)
+	i := 0
+	normalise := func(lc *lineCoeff) {
+		if lc.vertical {
+			return
+		}
+		lc.lambda = fp.Mul(as[i], inv[i])
+		lc.mu = fp.Mul(bs[i], inv[i])
+		i++
+	}
+	for k := range steps {
+		normalise(&steps[k].dbl)
+		if steps[k].hasAdd {
+			normalise(&steps[k].add)
+		}
+	}
+	return &PreparedPoint{steps: steps}
+}
+
+// IsInfinity reports whether the prepared point is the group identity.
+func (pp *PreparedPoint) IsInfinity() bool { return pp.infinity }
+
+// MillerPrepared evaluates the Miller function f_{q,P} at ψ(Q) from the
+// stored line schedule of P: per line one field multiplication and one
+// addition, with no point arithmetic. Q must be a non-identity subgroup
+// point and pp must not be the prepared identity. The value equals
+// MillerAffine(P, Q) exactly (same normalised lines), so it can be
+// multiplied freely with other Miller values before a shared FinalExp.
+func (pr *Pairing) MillerPrepared(pp *PreparedPoint, q curve.Point) GT {
+	fp := pr.C.F
+	e2 := pr.E2
+	f := GT{A: big.NewInt(1), B: new(big.Int)}
+	// The imaginary part of every line value is the constant y_Q.
+	g := GT{A: new(big.Int), B: q.Y}
+	s := ff.NewScratch()
+	eval := func(lc *lineCoeff) {
+		fp.MulInto(g.A, lc.lambda, q.X)
+		fp.AddInto(g.A, g.A, lc.mu)
+		e2.MulInto(&f, f, g, s)
+	}
+	for k := range pp.steps {
+		st := &pp.steps[k]
+		e2.SqrInto(&f, f, s)
+		if !st.dbl.vertical {
+			eval(&st.dbl)
+		}
+		if st.hasAdd && !st.add.vertical {
+			eval(&st.add)
+		}
+	}
+	return f
+}
+
+// PairPrepared computes ê(P, Q) from the precomputed schedule of P.
+// It returns bit-for-bit the same value as Pair(P, Q).
+func (pr *Pairing) PairPrepared(pp *PreparedPoint, q curve.Point) GT {
+	if pp.infinity || q.IsInfinity() {
+		return pr.E2.One()
+	}
+	return pr.FinalExp(pr.MillerPrepared(pp, q))
+}
+
+// SamePairingPrepared reports whether ê(P1, q1) == ê(P2, q2) for two
+// prepared first arguments, with two table-driven Miller loops and one
+// shared final exponentiation. The equality is evaluated as
+// ê(P1, −q1)·ê(P2, q2) == 1: negating the *second* argument is free and
+// inverts the pairing by bilinearity, so no negated PreparedPoint is
+// needed.
+func (pr *Pairing) SamePairingPrepared(p1 *PreparedPoint, q1 curve.Point, p2 *PreparedPoint, q2 curve.Point) bool {
+	e2 := pr.E2
+	lhsTrivial := p1.infinity || q1.IsInfinity()
+	rhsTrivial := p2.infinity || q2.IsInfinity()
+	switch {
+	case lhsTrivial && rhsTrivial:
+		return true
+	case lhsTrivial:
+		return e2.IsOne(pr.PairPrepared(p2, q2))
+	case rhsTrivial:
+		return e2.IsOne(pr.PairPrepared(p1, q1))
+	}
+	m := e2.Mul(
+		pr.MillerPrepared(p1, pr.C.Neg(q1)),
+		pr.MillerPrepared(p2, q2),
+	)
+	return e2.IsOne(pr.FinalExp(m))
+}

@@ -1,0 +1,53 @@
+// Package parallel provides a minimal bounded fork-join helper for the
+// CPU-bound hot paths of this repository (Miller loops in pairing
+// products, blinded sums in BLS batch verification). It deliberately has
+// no dependencies and no configuration beyond GOMAXPROCS: callers hand
+// it an index space and an independent per-index function, and combine
+// the results themselves in deterministic index order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(0) … fn(n-1) across a worker pool bounded by
+// runtime.GOMAXPROCS(0). Each index is executed exactly once; indices
+// are claimed dynamically so uneven work is balanced. For returns after
+// every call has completed. When n ≤ 1 or only one processor is
+// available it degenerates to a plain loop on the calling goroutine, so
+// sequential behaviour (and determinism of anything fn does) is
+// preserved exactly.
+//
+// fn must be safe to call concurrently for distinct indices; writes
+// should go to per-index slots (e.g. out[i]) so no further
+// synchronisation is needed.
+func For(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -58,14 +58,15 @@ func (c *Client) CatchUp(ctx context.Context, labels []string) ([]core.KeyUpdate
 		fetched = append(fetched, u)
 	}
 
-	// Batch-verify everything fetched with one pairing equation.
+	// Batch-verify everything fetched with one pairing equation, over the
+	// Miller-loop schedules precomputed for the pinned server key.
 	msgs := make([][]byte, len(fetched))
 	sigs := make([]bls.Signature, len(fetched))
 	for i, u := range fetched {
 		msgs[i] = []byte(u.Label)
 		sigs[i] = bls.Signature{Point: u.Point}
 	}
-	ok, err := bls.VerifyBatch(c.sc.Set, bls.PublicKey(c.spub), core.TimeDomain, msgs, sigs, nil)
+	ok, err := c.sc.PreparedServerKey(c.spub).VerifyBatch(c.sc.Set, core.TimeDomain, msgs, sigs, nil)
 	if err != nil {
 		return nil, err
 	}
