@@ -1,10 +1,28 @@
 # Convenience targets; everything is plain `go` underneath.
+# Run `make help` for the full list; `make check` is the pre-commit
+# gate (vet + gofmt + race tests).
 
 GO ?= go
 
-.PHONY: all build test vet cover bench bench-pairing race experiments experiments-quick fuzz clean
+.PHONY: all help build test vet fmt-check check cover bench bench-pairing bench-field race experiments experiments-quick fuzz clean
 
 all: build vet test
+
+help:
+	@echo "Targets:"
+	@echo "  all                build + vet + test (default)"
+	@echo "  check              pre-commit gate: vet + gofmt -l + race tests"
+	@echo "  build              go build ./..."
+	@echo "  test               go test ./..."
+	@echo "  vet                go vet ./..."
+	@echo "  cover              per-package coverage summary"
+	@echo "  bench              the full testing.B suite"
+	@echo "  bench-pairing      pairing backend/strategy ablation -> BENCH_pairing.json"
+	@echo "  bench-field        field backend micro-benchmark -> BENCH_field.json"
+	@echo "  race               go test -race ./..."
+	@echo "  experiments        regenerate the EXPERIMENTS.md tables (slow)"
+	@echo "  experiments-quick  reduced sweeps at Test160"
+	@echo "  fuzz               short fuzz campaign (wire decoders + field backends)"
 
 build:
 	$(GO) build ./...
@@ -15,6 +33,17 @@ vet:
 test:
 	$(GO) test ./...
 
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Pre-commit gate: static checks plus the race detector over the
+# internal packages (where all the concurrency lives).
+check: vet fmt-check
+	$(GO) test -race ./internal/...
+
 # Per-package coverage summary.
 cover:
 	$(GO) test -cover ./...
@@ -23,10 +52,16 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Pairing-strategy comparison (affine vs projective vs prepared vs
-# product) at Test160 and SS512, recorded as BENCH_pairing.json.
+# Pairing-strategy and backend comparison (affine vs projective vs
+# prepared vs product, bigint vs montgomery) at Test160 and SS512,
+# recorded as BENCH_pairing.json.
 bench-pairing:
 	$(GO) run ./cmd/trebench -pairing BENCH_pairing.json
+
+# Field-backend micro-benchmark (Mul/Sqr/Inv, bigint vs montgomery),
+# recorded as BENCH_field.json.
+bench-field:
+	$(GO) run ./cmd/trebench -field BENCH_field.json
 
 # Race detector across the whole module (exercises the parallel pairing
 # products and batch verification pool).
@@ -40,11 +75,14 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/trebench -quick
 
-# Short fuzz campaign over every wire decoder.
+# Short fuzz campaign over every wire decoder and the differential
+# field-arithmetic targets (Montgomery backend vs big.Int reference).
 fuzz:
 	$(GO) test -fuzz FuzzUnmarshalKeyUpdate -fuzztime 30s ./internal/wire
 	$(GO) test -fuzz FuzzUnmarshalCCACiphertext -fuzztime 30s ./internal/wire
 	$(GO) test -fuzz FuzzUnmarshalEnvelope -fuzztime 30s ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzFpArith -fuzztime 30s ./internal/ff
+	$(GO) test -run XXX -fuzz FuzzFp2Arith -fuzztime 30s ./internal/ff
 
 clean:
 	$(GO) clean ./...

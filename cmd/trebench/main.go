@@ -7,6 +7,7 @@
 //	trebench -preset SS1024   # different parameter size
 //	trebench -markdown        # emit markdown instead of aligned text
 //	trebench -pairing F.json  # pairing-strategy comparison → JSON file
+//	trebench -field F.json    # field-backend micro-benchmark → JSON file
 package main
 
 import (
@@ -25,10 +26,35 @@ func main() {
 		preset   = flag.String("preset", "", "parameter preset (default SS512, Test160 with -quick)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 		pairingF = flag.String("pairing", "", "run the pairing-strategy comparison and write the JSON report to this file")
+		fieldF   = flag.String("field", "", "run the field-backend micro-benchmark and write the JSON report to this file")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Quick: *quick, Preset: *preset}
+
+	if *fieldF != "" {
+		rep, table, err := bench.RunField(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trebench:", err)
+			os.Exit(1)
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trebench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*fieldF, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "trebench:", err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Print(table.Markdown())
+		} else {
+			fmt.Print(table.String())
+		}
+		fmt.Fprintf(os.Stderr, "\ntrebench: field report written to %s\n", *fieldF)
+		return
+	}
 
 	if *pairingF != "" {
 		rep, table, err := bench.RunPairing(cfg)

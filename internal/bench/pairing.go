@@ -14,10 +14,11 @@ import (
 // before the inversion-free rewrite — so they quantify exactly what the
 // optimisation bought.
 type PairingRow struct {
-	Preset string `json:"preset"`
-	PBits  int    `json:"p_bits"`
-	QBits  int    `json:"q_bits"`
-	Iters  int    `json:"iters"`
+	Preset  string `json:"preset"`
+	Backend string `json:"backend"` // "bigint" (reference) or "montgomery" (fixed-limb)
+	PBits   int    `json:"p_bits"`
+	QBits   int    `json:"q_bits"`
+	Iters   int    `json:"iters"`
 
 	AffineNS     int64 `json:"affine_ns"`     // reference: one F_p inversion per loop iteration
 	ProjectiveNS int64 `json:"projective_ns"` // inversion-free Jacobian loop (Pair default)
@@ -81,37 +82,70 @@ func RunPairing(cfg Config) (*PairingReport, *Table, error) {
 
 		var sink any
 		affine := timeOp(iters, func() { sink = pr.PairAffine(p, q) })
-		projective := timeOp(iters, func() { sink = pr.Pair(p, q) })
 		precompute := timeOp(iters, func() { sink = pr.Precompute(p) })
-		prepared := timeOp(iters, func() { sink = pr.PairPrepared(prep, q) })
-		product := timeOp(iters, func() { sink = pr.PairProduct(pairs) })
-		verify := timeOp(iters, func() {
-			if !pr.SamePairingPrepared(prep, q, prep, q) {
-				panic("trivially equal pairings differ")
-			}
-		})
 		_ = sink
 
-		row := PairingRow{
-			Preset:            set.Name,
-			PBits:             set.P.BitLen(),
-			QBits:             set.Q.BitLen(),
-			Iters:             iters,
-			AffineNS:          affine.Nanoseconds(),
-			ProjectiveNS:      projective.Nanoseconds(),
-			PrecomputeNS:      precompute.Nanoseconds(),
-			PreparedNS:        prepared.Nanoseconds(),
-			ProductNS:         product.Nanoseconds(),
-			VerifyNS:          verify.Nanoseconds(),
-			SpeedupProjective: float64(affine.Nanoseconds()) / float64(projective.Nanoseconds()),
-			SpeedupPrepared:   float64(affine.Nanoseconds()) / float64(prepared.Nanoseconds()),
+		// One row per backend: "bigint" pins the reference code paths
+		// (the implementation of record before the fixed-limb backend),
+		// "montgomery" the routed defaults. Both are re-measured on the
+		// same machine so the ablation is apples-to-apples.
+		type backendOps struct {
+			name       string
+			projective func() any
+			prepared   func() any
+			product    func() any
+			verify     func() bool
 		}
-		rep.Rows = append(rep.Rows, row)
-		t.Add(fmt.Sprintf("%s (|p|=%d,|q|=%d)", set.Name, row.PBits, row.QBits),
-			ms(affine), ms(projective), ms(prepared), ms(precompute), ms(product),
-			fmt.Sprintf("%.2fx", row.SpeedupProjective), fmt.Sprintf("%.2fx", row.SpeedupPrepared))
+		backends := []backendOps{
+			{
+				name:       "bigint",
+				projective: func() any { return pr.PairBig(p, q) },
+				prepared:   func() any { return pr.PairPreparedBig(prep, q) },
+				product:    func() any { return pr.PairProductBig(pairs) },
+				verify:     func() bool { return pr.SamePairingPreparedBig(prep, q, prep, q) },
+			},
+			{
+				name:       "montgomery",
+				projective: func() any { return pr.Pair(p, q) },
+				prepared:   func() any { return pr.PairPrepared(prep, q) },
+				product:    func() any { return pr.PairProduct(pairs) },
+				verify:     func() bool { return pr.SamePairingPrepared(prep, q, prep, q) },
+			},
+		}
+		for _, b := range backends {
+			projective := timeOp(iters, func() { sink = b.projective() })
+			prepared := timeOp(iters, func() { sink = b.prepared() })
+			product := timeOp(iters, func() { sink = b.product() })
+			verify := timeOp(iters, func() {
+				if !b.verify() {
+					panic("trivially equal pairings differ")
+				}
+			})
+			_ = sink
+
+			row := PairingRow{
+				Preset:            set.Name,
+				Backend:           b.name,
+				PBits:             set.P.BitLen(),
+				QBits:             set.Q.BitLen(),
+				Iters:             iters,
+				AffineNS:          affine.Nanoseconds(),
+				ProjectiveNS:      projective.Nanoseconds(),
+				PrecomputeNS:      precompute.Nanoseconds(),
+				PreparedNS:        prepared.Nanoseconds(),
+				ProductNS:         product.Nanoseconds(),
+				VerifyNS:          verify.Nanoseconds(),
+				SpeedupProjective: float64(affine.Nanoseconds()) / float64(projective.Nanoseconds()),
+				SpeedupPrepared:   float64(affine.Nanoseconds()) / float64(prepared.Nanoseconds()),
+			}
+			rep.Rows = append(rep.Rows, row)
+			t.Add(fmt.Sprintf("%s/%s (|p|=%d,|q|=%d)", set.Name, b.name, row.PBits, row.QBits),
+				ms(affine), ms(projective), ms(prepared), ms(precompute), ms(product),
+				fmt.Sprintf("%.2fx", row.SpeedupProjective), fmt.Sprintf("%.2fx", row.SpeedupPrepared))
+		}
 	}
 	t.Note("affine = per-iteration field inversion (the pre-optimisation reference, kept as PairAffine); projective = Jacobian inversion-free loop (Pair)")
+	t.Note("bigint rows pin the *Big reference methods; montgomery rows are the routed defaults on the fixed-limb backend")
 	t.Note("prepared excludes the one-off Precompute cost (shown separately); it amortises after one reuse of the fixed argument")
 	t.Note("product = PairProduct over 4 pairs: parallel Miller loops, one shared final exponentiation")
 	return rep, t, nil

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"timedrelease/internal/params"
+)
+
+// TestRoundTripAcrossBackendsAndPresets is the end-to-end differential
+// check of the Montgomery field backend: at both the fast test preset
+// and the paper-scale SS512 preset, a full Encrypt/Decrypt round trip
+// must succeed, and the encapsulated pairing value computed on the
+// routed (Montgomery) path must agree bit-for-bit with the big.Int
+// reference pairing.
+func TestRoundTripAcrossBackendsAndPresets(t *testing.T) {
+	for _, name := range []string{"Test160", "SS512"} {
+		t.Run(name, func(t *testing.T) {
+			set := params.MustPreset(name)
+			if set.Curve.F.Mont() == nil {
+				t.Fatalf("%s: no Montgomery backend", name)
+			}
+			sc := NewScheme(set)
+			server, err := sc.ServerKeyGen(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			user, err := sc.UserKeyGen(server.Pub, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Key material must match the big.Int scalar ladder exactly.
+			c := set.Curve
+			if !c.Equal(user.Pub.AG, c.ScalarMultBig(user.A, set.G)) ||
+				!c.Equal(user.Pub.ASG, c.ScalarMultBig(user.A, server.Pub.SG)) {
+				t.Fatal("fixed-base keygen disagrees with reference ladder")
+			}
+
+			// Pairing backends must agree on the scheme's own points.
+			upd := sc.IssueUpdate(server, testLabel)
+			h := sc.hashLabel(testLabel)
+			if !set.Pairing.E2.Equal(
+				set.Pairing.Pair(user.Pub.ASG, h),
+				set.Pairing.PairBig(user.Pub.ASG, h),
+			) {
+				t.Fatal("Pair and PairBig disagree on scheme points")
+			}
+
+			msg := []byte("release at T, not before")
+			ct, err := sc.Encrypt(nil, server.Pub, user.Pub, testLabel, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sc.Decrypt(user, upd, ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatal("round trip mismatch")
+			}
+
+			cca, err := sc.EncryptCCA(nil, server.Pub, user.Pub, testLabel, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = sc.DecryptCCA(server.Pub, user, upd, cca)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatal("CCA round trip mismatch")
+			}
+		})
+	}
+}

@@ -69,7 +69,7 @@ func (sc *Scheme) encapsulate(spub ServerPublicKey, upub UserPublicKey, label st
 	if c.Equal(h, spub.G) {
 		return curve.Point{}, pairing.GT{}, ErrUnsafeLabel
 	}
-	u := c.ScalarMult(r, spub.G)
+	u := c.ScalarMultBase(sc.baseTable(spub.G), r)
 	k := sc.Set.Pairing.Pair(c.ScalarMult(r, upub.ASG), h)
 	return u, k, nil
 }

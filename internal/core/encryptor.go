@@ -76,8 +76,10 @@ func (e *Encryptor) Encrypt(rng io.Reader, label string, msg []byte) (*Ciphertex
 	if err != nil {
 		return nil, err
 	}
-	u := e.sc.Set.Curve.ScalarMult(r, e.spub.G)
-	k := e.sc.Set.Pairing.E2.Exp(base, r)
+	u := e.sc.Set.Curve.ScalarMultBase(e.sc.baseTable(e.spub.G), r)
+	// Pairing values are unitary (norm 1 after the final exponentiation),
+	// so the signed-window ladder with free inversion applies.
+	k := e.sc.Set.Pairing.E2.ExpUnitary(base, r)
 	return &Ciphertext{U: u, V: rohash.XOR(msg, e.sc.maskH2(k, len(msg)))}, nil
 }
 
@@ -96,8 +98,8 @@ func (e *Encryptor) EncryptCCA(rng io.Reader, label string, msg []byte) (*CCACip
 	if err != nil {
 		return nil, err
 	}
-	u := e.sc.Set.Curve.ScalarMult(r, e.spub.G)
-	k := e.sc.Set.Pairing.E2.Exp(base, r)
+	u := e.sc.Set.Curve.ScalarMultBase(e.sc.baseTable(e.spub.G), r)
+	k := e.sc.Set.Pairing.E2.ExpUnitary(base, r) // unitary: pairing value
 	return &CCACiphertext{
 		U: u,
 		W: rohash.XOR(sigma, e.sc.maskH2(k, seedLen)),

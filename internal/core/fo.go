@@ -70,7 +70,7 @@ func (sc *Scheme) foOpen(spub ServerPublicKey, k pairing.GT, ct *CCACiphertext) 
 	sigma := rohash.XOR(ct.W, sc.maskH2(k, seedLen))
 	msg := rohash.XOR(ct.V, rohash.Expand("TRE-H4", sigma, len(ct.V)))
 	r := rohash.ToScalarNonZero("TRE-H3", rohash.Concat(sigma, msg), sc.Set.Q)
-	if !sc.Set.Curve.Equal(ct.U, sc.Set.Curve.ScalarMult(r, spub.G)) {
+	if !sc.Set.Curve.Equal(ct.U, sc.Set.Curve.ScalarMultBase(sc.baseTable(spub.G), r)) {
 		return nil, ErrAuthFailed
 	}
 	return msg, nil

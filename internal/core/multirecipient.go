@@ -45,7 +45,7 @@ func (sc *Scheme) EncryptMulti(rng io.Reader, spub ServerPublicKey, recipients [
 		return nil, fmt.Errorf("tre: sampling encryption randomness: %w", err)
 	}
 	ct := &MultiRecipientCiphertext{
-		U:  c.ScalarMult(r, spub.G),
+		U:  c.ScalarMultBase(sc.baseTable(spub.G), r),
 		Vs: make([][]byte, len(recipients)),
 	}
 	for i, upub := range recipients {

@@ -61,11 +61,37 @@ type Scheme struct {
 	// one, or a handful under server change (§5.3.4).
 	mu       sync.Mutex
 	prepared map[string]*bls.PreparedPublicKey
+
+	// bases caches fixed-base scalar-multiplication tables, keyed like
+	// prepared. The multiplied points of keygen and encryption are the
+	// canonical generator and the server key halves — all fixed for the
+	// lifetime of a Scheme — so a·G, a·sG and r·G all run on the
+	// windowed fixed-base ladder after the first use of each point.
+	bases map[string]*curve.BaseTable
 }
 
 // NewScheme returns a TRE scheme instance over the given parameters.
 func NewScheme(set *params.Set) *Scheme {
-	return &Scheme{Set: set, prepared: make(map[string]*bls.PreparedPublicKey)}
+	return &Scheme{
+		Set:      set,
+		prepared: make(map[string]*bls.PreparedPublicKey),
+		bases:    make(map[string]*curve.BaseTable),
+	}
+}
+
+// baseTable returns the cached fixed-base table for p, building it on
+// first use. Safe for concurrent use; the returned table is immutable.
+func (sc *Scheme) baseTable(p curve.Point) *curve.BaseTable {
+	c := sc.Set.Curve
+	key := string(c.Marshal(p))
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if t, ok := sc.bases[key]; ok {
+		return t
+	}
+	t := c.PrecomputeBase(p)
+	sc.bases[key] = t
+	return t
 }
 
 // PreparedServerKey returns the cached fixed-argument pairing
@@ -165,8 +191,8 @@ func (sc *Scheme) UserKeyFromScalar(spub ServerPublicKey, a *big.Int) (*UserKeyP
 	return &UserKeyPair{
 		A: new(big.Int).Set(a),
 		Pub: UserPublicKey{
-			AG:  c.ScalarMult(a, sc.Set.G),
-			ASG: c.ScalarMult(a, spub.SG),
+			AG:  c.ScalarMultBase(sc.baseTable(sc.Set.G), a),
+			ASG: c.ScalarMultBase(sc.baseTable(spub.SG), a),
 		},
 	}, nil
 }

@@ -1,0 +1,175 @@
+package curve
+
+import (
+	"math/big"
+
+	"timedrelease/internal/ff"
+)
+
+// baseWindow is the wNAF width for fixed-base scalar multiplication.
+// Width 8 stores 2^(8-2) = 64 odd multiples and cuts the expected
+// additions to ~m/9 for an m-bit scalar; the table is built once per
+// base point, so the larger window pays for itself immediately on
+// repeated bases (the system generator G, a server's sG).
+const baseWindow = 8
+
+// BaseTable holds the precomputed odd multiples (2i+1)·P of a fixed
+// base point in affine form, plus Montgomery-domain copies when the
+// field has a limb backend so ScalarMultBase runs mixed additions
+// (Z = 1) without any per-call conversion of the table.
+//
+// A BaseTable is immutable after construction and safe for concurrent
+// use by multiple goroutines.
+type BaseTable struct {
+	infinity bool
+
+	// x, y are the affine coordinates of (2i+1)·P; inf marks the (only
+	// theoretically reachable) identity entries of low-order bases.
+	x, y []*big.Int
+	inf  []bool
+
+	// xm, ym are the same coordinates in Montgomery form (nil without a
+	// limb backend).
+	xm, ym []ff.MontElem
+}
+
+// PrecomputeBase builds the fixed-base table for p: the odd multiples
+// 1·P, 3·P, …, 127·P, computed in Jacobian coordinates and normalised
+// to affine with ONE modular inversion (ff.InvBatch).
+func (c *Curve) PrecomputeBase(p Point) *BaseTable {
+	if p.IsInfinity() {
+		return &BaseTable{infinity: true}
+	}
+	const tableSize = 1 << (baseWindow - 2)
+	jac := make([]jacPoint, tableSize)
+	jac[0] = c.toJac(p)
+	twoP := c.jacDouble(jac[0])
+	for i := 1; i < tableSize; i++ {
+		jac[i] = c.jacAdd(jac[i-1], twoP)
+	}
+
+	t := &BaseTable{
+		x:   make([]*big.Int, tableSize),
+		y:   make([]*big.Int, tableSize),
+		inf: make([]bool, tableSize),
+	}
+	// Batch inversion rejects zeros, so identity entries (possible only
+	// for bases of order < 2^baseWindow, which the subgroup never
+	// produces) are masked with Z = 1 and flagged.
+	zs := make([]*big.Int, tableSize)
+	for i := range jac {
+		if jac[i].isInf() {
+			t.inf[i] = true
+			zs[i] = big.NewInt(1)
+		} else {
+			zs[i] = jac[i].Z
+		}
+	}
+	inv := c.F.InvBatch(zs)
+	m := c.F.Mont()
+	if m != nil {
+		t.xm = make([]ff.MontElem, tableSize)
+		t.ym = make([]ff.MontElem, tableSize)
+	}
+	for i := range jac {
+		if t.inf[i] {
+			t.x[i], t.y[i] = new(big.Int), new(big.Int)
+		} else {
+			zi2 := c.F.Sqr(inv[i])
+			t.x[i] = c.F.Mul(jac[i].X, zi2)
+			t.y[i] = c.F.Mul(jac[i].Y, c.F.Mul(zi2, inv[i]))
+		}
+		if m != nil {
+			t.xm[i], t.ym[i] = m.NewElem(), m.NewElem()
+			m.ToMont(t.xm[i], t.x[i])
+			m.ToMont(t.ym[i], t.y[i])
+		}
+	}
+	return t
+}
+
+// IsInfinity reports whether the table's base point is the identity.
+func (t *BaseTable) IsInfinity() bool { return t.infinity }
+
+// Base returns the table's base point 1·P.
+func (t *BaseTable) Base() Point {
+	if t.infinity {
+		return Infinity()
+	}
+	return Point{X: new(big.Int).Set(t.x[0]), Y: new(big.Int).Set(t.y[0])}
+}
+
+// ScalarMultBase computes k·P from the fixed-base table: one doubling
+// per scalar bit and one mixed addition (table entry has Z = 1) per
+// non-zero wNAF digit, with negative digits costing only a Y negation.
+// It returns exactly ScalarMult(k, P) (property-tested), on the
+// Montgomery backend when available.
+func (c *Curve) ScalarMultBase(t *BaseTable, k *big.Int) Point {
+	if k.Sign() < 0 {
+		panic("curve: negative scalar")
+	}
+	if k.Sign() == 0 || t.infinity {
+		return Infinity()
+	}
+	digits := wnaf(k, baseWindow)
+	if m := c.F.Mont(); m != nil && t.xm != nil {
+		return c.scalarMultBaseMont(m, t, digits)
+	}
+
+	acc := jacInfinity()
+	for i := len(digits) - 1; i >= 0; i-- {
+		acc = c.jacDouble(acc)
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		j := d
+		if j < 0 {
+			j = -j
+		}
+		j = (j - 1) / 2
+		if t.inf[j] {
+			continue
+		}
+		e := jacPoint{X: t.x[j], Y: t.y[j], Z: big1}
+		if d < 0 {
+			e.Y = c.F.Neg(e.Y)
+		}
+		acc = c.jacAdd(acc, e)
+	}
+	return c.fromJac(acc)
+}
+
+// scalarMultBaseMont is the table ladder on Montgomery limb vectors.
+func (c *Curve) scalarMultBaseMont(m *ff.Mont, t *BaseTable, digits []int) Point {
+	o := newJacMontOps(m)
+	acc := newJacMontPoint(m)
+	o.setInfinity(acc)
+	// e is the reusable addend; its Z stays 1 (mixed addition). Table
+	// limbs are copied in so add never aliases immutable table storage.
+	e := newJacMontPoint(m)
+	m.SetOne(e.Z)
+	for i := len(digits) - 1; i >= 0; i-- {
+		o.double(acc, acc)
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		j := d
+		if j < 0 {
+			j = -j
+		}
+		j = (j - 1) / 2
+		if t.inf[j] {
+			continue
+		}
+		m.Set(e.X, t.xm[j])
+		if d < 0 {
+			m.Neg(e.Y, t.ym[j])
+		} else {
+			m.Set(e.Y, t.ym[j])
+		}
+		o.add(acc, acc, e)
+	}
+	return o.fromJacMont(acc)
+}

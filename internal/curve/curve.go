@@ -171,8 +171,27 @@ func (c *Curve) Sub(p, q Point) Point { return c.Add(p, c.Neg(q)) }
 
 // ScalarMult returns k·p. Scalars may be any non-negative integer; they
 // are used as-is (callers working in the subgroup reduce mod q). The
-// computation uses Jacobian coordinates with a single final inversion.
+// computation uses Jacobian coordinates with a single final inversion,
+// on the Montgomery limb backend when the field provides one and on the
+// big.Int reference ladder (ScalarMultBig) otherwise. The two paths
+// return identical points.
 func (c *Curve) ScalarMult(k *big.Int, p Point) Point {
+	if k.Sign() < 0 {
+		panic("curve: negative scalar")
+	}
+	if k.Sign() == 0 || p.inf {
+		return Infinity()
+	}
+	if m := c.F.Mont(); m != nil {
+		return c.scalarMultMont(m, k, p)
+	}
+	return c.ScalarMultBig(k, p)
+}
+
+// ScalarMultBig is the big.Int reference Jacobian ladder. It computes
+// the same result as ScalarMult and pins the Montgomery backend in the
+// differential tests and the backend ablation of experiment E4.
+func (c *Curve) ScalarMultBig(k *big.Int, p Point) Point {
 	if k.Sign() < 0 {
 		panic("curve: negative scalar")
 	}

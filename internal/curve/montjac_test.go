@@ -1,0 +1,141 @@
+package curve
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// TestScalarMultBackendsAgree pins the Montgomery ladder (the routed
+// ScalarMult) against the big.Int reference on random scalars and
+// points, including the structural edge scalars 0, 1, 2, q−1, q, q+1
+// and the cofactor.
+func TestScalarMultBackendsAgree(t *testing.T) {
+	c := testCurve(t)
+	if c.F.Mont() == nil {
+		t.Fatal("test field has no Montgomery backend")
+	}
+	g := testGen(t, c)
+
+	scalars := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2), big.NewInt(3),
+		new(big.Int).Sub(c.Q, big.NewInt(1)), new(big.Int).Set(c.Q),
+		new(big.Int).Add(c.Q, big.NewInt(1)), new(big.Int).Set(c.H),
+	}
+	for i := 0; i < 40; i++ {
+		k, err := c.RandScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalars = append(scalars, k)
+	}
+	for _, k := range scalars {
+		want := c.ScalarMultBig(k, g)
+		got := c.ScalarMult(k, g)
+		if !c.Equal(got, want) {
+			t.Fatalf("backend mismatch at k=%v: mont %v, big %v", k, got, want)
+		}
+		if !c.Equal(c.ScalarMultWNAF(k, g), want) {
+			t.Fatalf("wNAF mismatch at k=%v", k)
+		}
+	}
+}
+
+// TestScalarMultMontNonGenerator exercises the Montgomery ladder on
+// points outside the subgroup (full-order and 2-torsion structure shows
+// up via the cofactor), where intermediate infinities and Y = 0 cases
+// are reachable.
+func TestScalarMultMontNonGenerator(t *testing.T) {
+	c := testCurve(t)
+	p, err := c.RandomPoint(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := new(big.Int).Add(c.F.P(), big.NewInt(1)) // #E = p+1
+	for _, k := range []*big.Int{
+		big.NewInt(1), big.NewInt(2), c.H, order,
+		new(big.Int).Add(order, big.NewInt(5)),
+	} {
+		if !c.Equal(c.ScalarMult(k, p), c.ScalarMultBig(k, p)) {
+			t.Fatalf("backend mismatch on curve point at k=%v", k)
+		}
+	}
+}
+
+// TestScalarMultBaseMatchesScalarMult is the satellite differential
+// test: the fixed-base table path must return exactly ScalarMult's
+// result for random and edge scalars.
+func TestScalarMultBaseMatchesScalarMult(t *testing.T) {
+	c := testCurve(t)
+	g := testGen(t, c)
+	tab := c.PrecomputeBase(g)
+	if tab.IsInfinity() {
+		t.Fatal("table for non-identity base reports infinity")
+	}
+	if !c.Equal(tab.Base(), g) {
+		t.Fatal("table base point mismatch")
+	}
+
+	scalars := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		big.NewInt(127), big.NewInt(128), // table edge: largest odd multiple
+		new(big.Int).Sub(c.Q, big.NewInt(1)), new(big.Int).Set(c.Q),
+	}
+	for i := 0; i < 40; i++ {
+		k, err := c.RandScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalars = append(scalars, k)
+	}
+	for _, k := range scalars {
+		want := c.ScalarMult(k, g)
+		if got := c.ScalarMultBase(tab, k); !c.Equal(got, want) {
+			t.Fatalf("ScalarMultBase mismatch at k=%v: got %v want %v", k, got, want)
+		}
+	}
+}
+
+// TestScalarMultBaseIdentityTable covers the identity base point and
+// the negative-scalar panic.
+func TestScalarMultBaseIdentityTable(t *testing.T) {
+	c := testCurve(t)
+	tab := c.PrecomputeBase(Infinity())
+	if !tab.IsInfinity() || !tab.Base().IsInfinity() {
+		t.Fatal("identity table not flagged")
+	}
+	if !c.ScalarMultBase(tab, big.NewInt(5)).IsInfinity() {
+		t.Fatal("k·∞ must be ∞")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative scalar must panic")
+		}
+	}()
+	g := testGen(t, c)
+	c.ScalarMultBase(c.PrecomputeBase(g), big.NewInt(-1))
+}
+
+// TestScalarMultBaseLowOrderBase exercises the table ladder on bases
+// outside the subgroup, including the 2-torsion point (0, 0) whose
+// doublings hit the identity mid-ladder, and a cofactor-order point.
+func TestScalarMultBaseLowOrderBase(t *testing.T) {
+	c := testCurve(t)
+	two, err := c.NewPoint(new(big.Int), new(big.Int)) // (0,0): y²=x³+x holds
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.RandomPoint(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []Point{two, c.ScalarMult(c.Q, p)} {
+		tab := c.PrecomputeBase(base)
+		for _, k := range []int64{0, 1, 2, 3, 63, 64, 127, 255, 1000} {
+			kk := big.NewInt(k)
+			if got, want := c.ScalarMultBase(tab, kk), c.ScalarMult(kk, base); !c.Equal(got, want) {
+				t.Fatalf("low-order base mismatch at k=%d: got %v want %v", k, got, want)
+			}
+		}
+	}
+}

@@ -37,6 +37,13 @@ type Field struct {
 	byteLen int      // fixed-width encoding length
 
 	pMinus1 *big.Int // p-1, cached for Rand and exponent reductions
+
+	// mont is the fixed-limb Montgomery backend, built automatically
+	// for every supported (odd, <= 2048-bit) modulus. The big.Int
+	// methods on Field remain the executable reference; hot paths
+	// (pairing, Jacobian ladders, F_{p²} exponentiation) run on the
+	// backend end-to-end. Nil when the modulus is unsupported.
+	mont *Mont
 }
 
 // NewField returns a field context for the odd prime p. The primality of
@@ -49,11 +56,13 @@ func NewField(p *big.Int) (*Field, error) {
 	if p.Bit(0) == 0 || p.Cmp(big3) < 0 {
 		return nil, errors.New("ff: modulus must be an odd prime >= 3")
 	}
-	return &Field{
+	f := &Field{
 		p:       new(big.Int).Set(p),
 		byteLen: (p.BitLen() + 7) / 8,
 		pMinus1: new(big.Int).Sub(p, big1),
-	}, nil
+	}
+	f.mont = newMont(f.p)
+	return f, nil
 }
 
 // P returns a copy of the field modulus.

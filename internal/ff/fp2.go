@@ -13,6 +13,11 @@ import (
 // supersingular curve y² = x³ + x needs anyway.
 type Fp2 struct {
 	Fp *Field
+
+	// mont is the limb-vector twin of this context (nil when the base
+	// field has no Montgomery backend); Exp and ExpUnitary run on it
+	// end-to-end, converting once at the boundary.
+	mont *Fp2Mont
 }
 
 // Fp2Elem is an element a + b·i of F_{p²} with a, b reduced mod p.
@@ -29,7 +34,11 @@ func NewFp2(fp *Field) (*Fp2, error) {
 	if new(big.Int).Mod(fp.p, big4).Cmp(big3) != 0 {
 		return nil, errors.New("ff: F_{p²} = F_p[i]/(i²+1) needs p ≡ 3 (mod 4)")
 	}
-	return &Fp2{Fp: fp}, nil
+	e := &Fp2{Fp: fp}
+	if fp.mont != nil {
+		e.mont = &Fp2Mont{M: fp.mont}
+	}
+	return e, nil
 }
 
 // Zero returns the additive identity.
@@ -154,18 +163,85 @@ func (e *Fp2) SqrInto(dst *Fp2Elem, x Fp2Elem, s *Scratch) {
 	fp.DoubleInto(dst.B, s.t2)
 }
 
-// Exp returns x^k for a non-negative exponent k, by square-and-multiply
-// over the bits of k from most to least significant.
+// Exp returns x^k for a non-negative exponent k. With a Montgomery
+// backend available the whole ladder runs on limb vectors (one
+// conversion each way at the boundary, no big.Int work per bit);
+// otherwise it falls back to destination-passing square-and-multiply
+// over Scratch, which allocates nothing per bit either.
 func (e *Fp2) Exp(x Fp2Elem, k *big.Int) Fp2Elem {
 	if k.Sign() < 0 {
 		panic("ff: negative exponent in F_{p²}")
 	}
+	if em := e.mont; em != nil {
+		xm := em.NewElem()
+		em.ToMont(&xm, x)
+		em.ExpInto(&xm, xm, k, em.NewScratch())
+		return em.FromMont(xm)
+	}
+	return e.ExpBig(x, k)
+}
+
+// expBig is the big.Int reference ladder behind Exp.
+func (e *Fp2) ExpBig(x Fp2Elem, k *big.Int) Fp2Elem {
 	r := e.One()
 	s := NewScratch()
 	for i := k.BitLen() - 1; i >= 0; i-- {
 		e.SqrInto(&r, r, s)
 		if k.Bit(i) == 1 {
 			e.MulInto(&r, r, x, s)
+		}
+	}
+	return r
+}
+
+// ExpUnitary returns x^k for a UNITARY x — an element of norm 1, such
+// as any pairing output — exploiting that inversion is a free
+// conjugation there: the exponent is recoded in width-5 signed NAF,
+// roughly a third fewer multiplications than Exp. The unitarity
+// precondition is the caller's responsibility (the result is wrong
+// otherwise); it is preserved by every GT operation, so scheme-level
+// callers exponentiate pairing values with it (Decrypt, Encryptor,
+// the final exponentiation's cofactor step).
+func (e *Fp2) ExpUnitary(x Fp2Elem, k *big.Int) Fp2Elem {
+	if k.Sign() < 0 {
+		panic("ff: negative exponent in F_{p²}")
+	}
+	if em := e.mont; em != nil {
+		xm := em.NewElem()
+		em.ToMont(&xm, x)
+		em.ExpUnitaryInto(&xm, xm, k, em.NewScratch())
+		return em.FromMont(xm)
+	}
+	return e.ExpUnitaryBig(x, k)
+}
+
+// ExpUnitaryBig is the big.Int reference ladder behind ExpUnitary: the
+// same signed-window recoding, conjugating table entries for negative
+// digits. Exported for differential tests and the backend ablation.
+func (e *Fp2) ExpUnitaryBig(x Fp2Elem, k *big.Int) Fp2Elem {
+	if k.Sign() < 0 {
+		panic("ff: negative exponent in F_{p²}")
+	}
+	if k.Sign() == 0 {
+		return e.One()
+	}
+	const tableSize = 1 << (expUnitaryWindow - 2)
+	s := NewScratch()
+	var table [tableSize]Fp2Elem
+	table[0] = Fp2Elem{A: new(big.Int).Set(x.A), B: new(big.Int).Set(x.B)}
+	sq := e.Sqr(x)
+	for i := 1; i < tableSize; i++ {
+		table[i] = e.Mul(table[i-1], sq)
+	}
+	digits := wnafDigits(k, expUnitaryWindow)
+	r := e.One()
+	for i := len(digits) - 1; i >= 0; i-- {
+		e.SqrInto(&r, r, s)
+		switch d := digits[i]; {
+		case d > 0:
+			e.MulInto(&r, r, table[(d-1)/2], s)
+		case d < 0:
+			e.MulInto(&r, r, e.Conj(table[(-d-1)/2]), s)
 		}
 	}
 	return r

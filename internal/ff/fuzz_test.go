@@ -1,0 +1,119 @@
+package ff
+
+import (
+	"math/big"
+	"testing"
+)
+
+// fuzzField builds the SS512 field once; the full-width modulus is the
+// harshest carry/borrow shape the backend supports.
+var fuzzFieldOnce *Field
+
+func fuzzSetup(f *testing.F) *Field {
+	f.Helper()
+	if fuzzFieldOnce == nil {
+		p, _ := new(big.Int).SetString(montTestPrimes[1], 16)
+		fld, err := NewField(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		fuzzFieldOnce = fld
+	}
+	return fuzzFieldOnce
+}
+
+// fuzzReduce maps arbitrary fuzzer bytes to a canonical field element.
+func fuzzReduce(fld *Field, b []byte) *big.Int {
+	return fld.Reduce(new(big.Int).SetBytes(b))
+}
+
+// FuzzFpArith cross-checks every Montgomery base-field operation
+// against the big.Int reference on fuzzer-chosen operands.
+func FuzzFpArith(f *testing.F) {
+	fld := fuzzSetup(f)
+	f.Add([]byte{0}, []byte{1})
+	f.Add(fld.P().Bytes(), new(big.Int).Sub(fld.P(), big.NewInt(1)).Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, []byte{2})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		if len(ab) > 128 || len(bb) > 128 {
+			return
+		}
+		a, b := fuzzReduce(fld, ab), fuzzReduce(fld, bb)
+		m := fld.Mont()
+		am, bm, rm := m.NewElem(), m.NewElem(), m.NewElem()
+		m.ToMont(am, a)
+		m.ToMont(bm, b)
+		if got := m.FromMont(nil, am); got.Cmp(a) != 0 {
+			t.Fatalf("round trip: got %v want %v", got, a)
+		}
+		check := func(op string, want *big.Int) {
+			t.Helper()
+			if got := m.FromMont(nil, rm); got.Cmp(want) != 0 {
+				t.Fatalf("%s(%v, %v) = %v, want %v", op, a, b, got, want)
+			}
+		}
+		m.Add(rm, am, bm)
+		check("Add", fld.Add(a, b))
+		m.Sub(rm, am, bm)
+		check("Sub", fld.Sub(a, b))
+		m.Mul(rm, am, bm)
+		check("Mul", fld.Mul(a, b))
+		m.Sqr(rm, am)
+		check("Sqr", fld.Sqr(a))
+		m.Neg(rm, am)
+		check("Neg", fld.Neg(a))
+		if a.Sign() != 0 {
+			m.Inv(rm, am)
+			check("Inv", fld.Inv(a))
+		}
+		m.Exp(rm, am, b)
+		check("Exp", fld.Exp(a, b))
+	})
+}
+
+// FuzzFp2Arith cross-checks the extension-field limb operations against
+// the big.Int Fp2 reference on fuzzer-chosen operands.
+func FuzzFp2Arith(f *testing.F) {
+	fld := fuzzSetup(f)
+	e2, err := NewFp2(fld)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{0}, []byte{1}, []byte{2}, []byte{3})
+	f.Add([]byte{1}, []byte{0}, []byte{0}, []byte{0})
+	f.Fuzz(func(t *testing.T, xa, xb, ya, yb []byte) {
+		if len(xa) > 128 || len(xb) > 128 || len(ya) > 128 || len(yb) > 128 {
+			return
+		}
+		x := Fp2Elem{A: fuzzReduce(fld, xa), B: fuzzReduce(fld, xb)}
+		y := Fp2Elem{A: fuzzReduce(fld, ya), B: fuzzReduce(fld, yb)}
+		em := e2.Mont()
+		s := em.NewScratch()
+		xm, ym, rm := em.NewElem(), em.NewElem(), em.NewElem()
+		em.ToMont(&xm, x)
+		em.ToMont(&ym, y)
+		check := func(op string, want Fp2Elem) {
+			t.Helper()
+			if got := em.FromMont(rm); !e2.Equal(got, want) {
+				t.Fatalf("%s mismatch: got %v want %v", op, got, want)
+			}
+		}
+		em.MulInto(&rm, xm, ym, s)
+		check("Mul", e2.Mul(x, y))
+		em.SqrInto(&rm, xm, s)
+		check("Sqr", e2.Sqr(x))
+		em.AddInto(&rm, xm, ym)
+		check("Add", e2.Add(x, y))
+		em.SubInto(&rm, xm, ym)
+		check("Sub", e2.Sub(x, y))
+		em.ConjInto(&rm, xm)
+		check("Conj", e2.Conj(x))
+		if !e2.IsZero(x) {
+			em.InvInto(&rm, xm, s)
+			check("Inv", e2.Inv(x))
+		}
+		k := new(big.Int).SetBytes(yb)
+		em.ExpInto(&rm, xm, k, s)
+		check("Exp", e2.ExpBig(x, k))
+	})
+}

@@ -1,0 +1,258 @@
+package ff
+
+import "math/big"
+
+// Fp2MontElem is an element a + b·i of F_{p²} with both coordinates in
+// Montgomery form. It is the limb-vector twin of Fp2Elem: the pairing's
+// Miller loops, the final exponentiation and the G2 exponentiation hot
+// paths all work on this representation and convert at the boundary.
+type Fp2MontElem struct {
+	A, B MontElem
+}
+
+// Fp2Mont bundles the quadratic-extension operations over the
+// Montgomery backend. Obtain one from Fp2.Mont; it is immutable and
+// safe for concurrent use (scratch is caller-provided, as with
+// Fp2.MulInto).
+type Fp2Mont struct {
+	M *Mont
+}
+
+// Mont returns the limb-vector backend of the extension field, or nil
+// when the base field has none.
+func (e *Fp2) Mont() *Fp2Mont { return e.mont }
+
+// NewElem returns a fresh zero element.
+func (e *Fp2Mont) NewElem() Fp2MontElem {
+	return Fp2MontElem{A: e.M.NewElem(), B: e.M.NewElem()}
+}
+
+// One returns a fresh multiplicative identity.
+func (e *Fp2Mont) One() Fp2MontElem {
+	x := e.NewElem()
+	e.M.SetOne(x.A)
+	return x
+}
+
+// Set copies src into dst.
+func (e *Fp2Mont) Set(dst *Fp2MontElem, src Fp2MontElem) {
+	copy(dst.A, src.A)
+	copy(dst.B, src.B)
+}
+
+// SetOne sets dst = 1.
+func (e *Fp2Mont) SetOne(dst *Fp2MontElem) {
+	e.M.SetOne(dst.A)
+	e.M.SetZero(dst.B)
+}
+
+// IsZero reports whether x == 0.
+func (e *Fp2Mont) IsZero(x Fp2MontElem) bool { return e.M.IsZero(x.A) && e.M.IsZero(x.B) }
+
+// IsOne reports whether x == 1.
+func (e *Fp2Mont) IsOne(x Fp2MontElem) bool { return e.M.IsOne(x.A) && e.M.IsZero(x.B) }
+
+// Equal reports whether x == y (Montgomery form is canonical).
+func (e *Fp2Mont) Equal(x, y Fp2MontElem) bool {
+	return e.M.Equal(x.A, y.A) && e.M.Equal(x.B, y.B)
+}
+
+// ToMont converts a reduced Fp2Elem into Montgomery form.
+func (e *Fp2Mont) ToMont(dst *Fp2MontElem, x Fp2Elem) {
+	e.M.ToMont(dst.A, x.A)
+	e.M.ToMont(dst.B, x.B)
+}
+
+// FromMont converts back to the big.Int representation.
+func (e *Fp2Mont) FromMont(x Fp2MontElem) Fp2Elem {
+	return Fp2Elem{A: e.M.FromMont(nil, x.A), B: e.M.FromMont(nil, x.B)}
+}
+
+// AddInto sets dst = x + y; dst may alias either operand.
+func (e *Fp2Mont) AddInto(dst *Fp2MontElem, x, y Fp2MontElem) {
+	e.M.Add(dst.A, x.A, y.A)
+	e.M.Add(dst.B, x.B, y.B)
+}
+
+// SubInto sets dst = x - y; dst may alias either operand.
+func (e *Fp2Mont) SubInto(dst *Fp2MontElem, x, y Fp2MontElem) {
+	e.M.Sub(dst.A, x.A, y.A)
+	e.M.Sub(dst.B, x.B, y.B)
+}
+
+// NegInto sets dst = -x; dst may alias x.
+func (e *Fp2Mont) NegInto(dst *Fp2MontElem, x Fp2MontElem) {
+	e.M.Neg(dst.A, x.A)
+	e.M.Neg(dst.B, x.B)
+}
+
+// ConjInto sets dst = conj(x) = a - b·i; dst may alias x. As in the
+// big.Int path, conjugation is the p-power Frobenius of F_{p²}, and for
+// unitary elements (norm 1) it equals inversion — the identity behind
+// ExpUnitaryInto and the Frobenius final-exponentiation step.
+func (e *Fp2Mont) ConjInto(dst *Fp2MontElem, x Fp2MontElem) {
+	if &dst.A[0] != &x.A[0] {
+		copy(dst.A, x.A)
+	}
+	e.M.Neg(dst.B, x.B)
+}
+
+// Fp2MontScratch holds the temporaries of the destination-passing
+// F_{p²} limb operations; one per goroutine, exactly like Scratch.
+type Fp2MontScratch struct {
+	t0, t1, t2, t3 MontElem
+}
+
+// NewScratch allocates scratch space sized for this context.
+func (e *Fp2Mont) NewScratch() *Fp2MontScratch {
+	return &Fp2MontScratch{
+		t0: e.M.NewElem(), t1: e.M.NewElem(), t2: e.M.NewElem(), t3: e.M.NewElem(),
+	}
+}
+
+// MulInto sets dst = x·y with the 3-multiplication Karatsuba schedule
+// on limb vectors; dst may alias x or y.
+func (e *Fp2Mont) MulInto(dst *Fp2MontElem, x, y Fp2MontElem, s *Fp2MontScratch) {
+	m := e.M
+	m.Mul(s.t0, x.A, y.A) // ac
+	m.Mul(s.t1, x.B, y.B) // bd
+	m.Add(s.t2, x.A, x.B)
+	m.Add(s.t3, y.A, y.B)
+	m.Mul(s.t2, s.t2, s.t3) // (a+b)(c+d)
+	m.Add(s.t3, s.t0, s.t1) // ac + bd; all reads of x, y are done
+	m.Sub(dst.B, s.t2, s.t3)
+	m.Sub(dst.A, s.t0, s.t1)
+}
+
+// SqrInto sets dst = x² via (a+b)(a−b) + 2ab·i; dst may alias x.
+func (e *Fp2Mont) SqrInto(dst *Fp2MontElem, x Fp2MontElem, s *Fp2MontScratch) {
+	m := e.M
+	m.Add(s.t0, x.A, x.B)
+	m.Sub(s.t1, x.A, x.B)
+	m.Mul(s.t2, x.A, x.B)
+	m.Mul(dst.A, s.t0, s.t1)
+	m.Double(dst.B, s.t2)
+}
+
+// MulScalarInto sets dst = x·c for a base-field (Montgomery-form)
+// scalar c; dst may alias x.
+func (e *Fp2Mont) MulScalarInto(dst *Fp2MontElem, x Fp2MontElem, c MontElem) {
+	e.M.Mul(dst.A, x.A, c)
+	e.M.Mul(dst.B, x.B, c)
+}
+
+// InvInto sets dst = x⁻¹ = conj(x)/norm(x), with the one base-field
+// inversion on the Fermat limb path; dst may alias x. Panics on zero.
+func (e *Fp2Mont) InvInto(dst *Fp2MontElem, x Fp2MontElem, s *Fp2MontScratch) {
+	if e.IsZero(x) {
+		panic("ff: inverse of zero in F_{p²} (Montgomery backend)")
+	}
+	m := e.M
+	m.Sqr(s.t0, x.A)
+	m.Sqr(s.t1, x.B)
+	m.Add(s.t0, s.t0, s.t1) // norm = a² + b²
+	m.Inv(s.t0, s.t0)
+	m.Mul(dst.A, x.A, s.t0)
+	m.Mul(dst.B, x.B, s.t0)
+	m.Neg(dst.B, dst.B)
+}
+
+// ExpInto sets dst = x^k for a non-negative exponent, square-and-
+// multiply on limb vectors; dst may alias x.
+func (e *Fp2Mont) ExpInto(dst *Fp2MontElem, x Fp2MontElem, k *big.Int, s *Fp2MontScratch) {
+	if k.Sign() < 0 {
+		panic("ff: negative exponent in F_{p²}")
+	}
+	base := e.NewElem()
+	e.Set(&base, x)
+	acc := e.One()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		e.SqrInto(&acc, acc, s)
+		if k.Bit(i) == 1 {
+			e.MulInto(&acc, acc, base, s)
+		}
+	}
+	e.Set(dst, acc)
+}
+
+// expUnitaryWindow is the wNAF window width of ExpUnitaryInto. Width 5
+// precomputes 2^(5-2) = 8 odd powers and cuts the multiplication count
+// from k/2 (square-and-multiply) to ~k/6 for a k-bit exponent.
+const expUnitaryWindow = 5
+
+// ExpUnitaryInto sets dst = x^k for a UNITARY x (norm(x) = 1, i.e.
+// x·conj(x) = 1 — every pairing output and every f^(p−1) value
+// qualifies) and non-negative k. Because inversion is a free
+// conjugation for unitary elements, the exponent is recoded in signed
+// windowed NAF: negative digits multiply by a conjugated table entry
+// instead of requiring a stored inverse. dst may alias x. The
+// precondition is the caller's responsibility; for non-unitary x the
+// result is simply wrong (differential tests pin the unitary case
+// against ExpInto).
+func (e *Fp2Mont) ExpUnitaryInto(dst *Fp2MontElem, x Fp2MontElem, k *big.Int, s *Fp2MontScratch) {
+	if k.Sign() < 0 {
+		panic("ff: negative exponent in F_{p²}")
+	}
+	if k.Sign() == 0 {
+		e.SetOne(dst)
+		return
+	}
+	// Odd powers x, x³, …, x^(2·tableSize−1).
+	const tableSize = 1 << (expUnitaryWindow - 2)
+	var table [tableSize]Fp2MontElem
+	table[0] = e.NewElem()
+	e.Set(&table[0], x)
+	sq := e.NewElem()
+	e.SqrInto(&sq, x, s)
+	for i := 1; i < tableSize; i++ {
+		table[i] = e.NewElem()
+		e.MulInto(&table[i], table[i-1], sq, s)
+	}
+	digits := wnafDigits(k, expUnitaryWindow)
+	acc := e.One()
+	neg := e.NewElem()
+	for i := len(digits) - 1; i >= 0; i-- {
+		e.SqrInto(&acc, acc, s)
+		switch d := digits[i]; {
+		case d > 0:
+			e.MulInto(&acc, acc, table[(d-1)/2], s)
+		case d < 0:
+			e.ConjInto(&neg, table[(-d-1)/2])
+			e.MulInto(&acc, acc, neg, s)
+		}
+	}
+	e.Set(dst, acc)
+}
+
+// wnafDigits returns the width-w non-adjacent form of k, least
+// significant digit first: digits are zero or odd in
+// (−2^(w−1), 2^(w−1)), and non-zero digits are separated by at least
+// w−1 zeros.
+func wnafDigits(k *big.Int, w uint) []int {
+	n := new(big.Int).Set(k)
+	mod := int64(1) << w
+	half := int64(1) << (w - 1)
+	digits := make([]int, 0, k.BitLen()+1)
+	tmp := new(big.Int)
+	for n.Sign() > 0 {
+		if n.Bit(0) == 1 {
+			d := int64(0)
+			for i := uint(0); i < w; i++ {
+				d |= int64(n.Bit(int(i))) << i
+			}
+			if d >= half {
+				d -= mod
+			}
+			digits = append(digits, int(d))
+			if d > 0 {
+				n.Sub(n, tmp.SetInt64(d))
+			} else {
+				n.Add(n, tmp.SetInt64(-d))
+			}
+		} else {
+			digits = append(digits, 0)
+		}
+		n.Rsh(n, 1)
+	}
+	return digits
+}

@@ -1,0 +1,265 @@
+package pairing
+
+import (
+	"timedrelease/internal/curve"
+	"timedrelease/internal/ff"
+)
+
+// montCtx carries everything the Montgomery-backend pairing paths need:
+// the limb contexts and the wNAF recoding of the cofactor used by the
+// final exponentiation. Built once in New when the field supports the
+// backend; nil otherwise, in which case every public entry point runs
+// the big.Int reference code.
+type montCtx struct {
+	m   *ff.Mont
+	e2m *ff.Fp2Mont
+}
+
+func newMontCtx(e2 *ff.Fp2) *montCtx {
+	e2m := e2.Mont()
+	if e2m == nil {
+		return nil
+	}
+	return &montCtx{m: e2m.M, e2m: e2m}
+}
+
+// millerStateMont is millerState on Montgomery limb vectors: the same
+// Jacobian walk and projective line coefficients, with every field
+// operation a fixed-width CIOS multiplication or lazy-reduced add/sub.
+// See millerState for the formula derivations; the two implementations
+// are kept line-for-line parallel and are pinned to exact agreement by
+// the differential tests.
+type millerStateMont struct {
+	m       *ff.Mont
+	X, Y, Z ff.MontElem
+
+	t1, t2, t3, t4, t5, t6 ff.MontElem
+}
+
+func newMillerStateMont(m *ff.Mont, px, py ff.MontElem) *millerStateMont {
+	st := &millerStateMont{
+		m: m,
+		X: m.NewElem(), Y: m.NewElem(), Z: m.NewElem(),
+		t1: m.NewElem(), t2: m.NewElem(), t3: m.NewElem(),
+		t4: m.NewElem(), t5: m.NewElem(), t6: m.NewElem(),
+	}
+	m.Set(st.X, px)
+	m.Set(st.Y, py)
+	m.SetOne(st.Z)
+	return st
+}
+
+func (st *millerStateMont) isInf() bool { return st.m.IsZero(st.Z) }
+
+// dbl is millerState.dbl on limbs: advance V ← 2V, emit the tangent
+// line's projective coefficients (A, B, C) = (M·Z², M·X − 2Y², 2YZ³),
+// or return false for a factor-1 step.
+func (st *millerStateMont) dbl(a, b, c ff.MontElem) bool {
+	if st.isInf() {
+		return false
+	}
+	m := st.m
+	if m.IsZero(st.Y) {
+		m.SetZero(st.Z)
+		return false
+	}
+	yy := st.t1
+	m.Sqr(yy, st.Y) // Y²
+	zz := st.t2
+	m.Sqr(zz, st.Z) // Z²
+	mm := st.t3
+	m.Sqr(mm, zz) // Z⁴ (a = 1 ⇒ a·Z⁴ = Z⁴)
+	sq := st.t4
+	m.Sqr(sq, st.X) // X²
+	m.Add(mm, mm, sq)
+	m.Add(mm, mm, sq)
+	m.Add(mm, mm, sq) // M = 3X² + Z⁴
+
+	// Line coefficients from the pre-update point.
+	m.Mul(a, mm, zz)    // A = M·Z²
+	m.Mul(b, mm, st.X)  //
+	m.Double(st.t4, yy) // 2Y² (X² no longer needed)
+	m.Sub(b, b, st.t4)  // B = M·X − 2Y²
+	zNew := st.t5
+	m.Mul(zNew, st.Y, st.Z)
+	m.Double(zNew, zNew) // Z' = 2YZ
+	m.Mul(c, zNew, zz)   // C = 2YZ·Z² = 2YZ³
+
+	// Point update; every read of the old X, Y happens before its write.
+	s := st.t6
+	m.Mul(s, st.X, yy)
+	m.Double(s, s)
+	m.Double(s, s) // S = 4XY²
+	m.Sqr(st.X, mm)
+	m.Sub(st.X, st.X, s)
+	m.Sub(st.X, st.X, s) // X' = M² − 2S
+	m.Sqr(yy, yy)
+	m.Double(yy, yy)
+	m.Double(yy, yy)
+	m.Double(yy, yy)      // 8Y⁴
+	m.Sub(s, s, st.X)     // S − X'
+	m.Mul(st.Y, mm, s)    //
+	m.Sub(st.Y, st.Y, yy) // Y' = M(S − X') − 8Y⁴
+	m.Set(st.Z, zNew)
+	return true
+}
+
+// add is millerState.add on limbs: advance V ← V + P for the fixed
+// Montgomery-form affine point (px, py), emitting the chord line's
+// coefficients (A, B, C) = (R, R·x_p − Z'·y_p, Z'), or false for a
+// factor-1 step.
+func (st *millerStateMont) add(px, py ff.MontElem, a, b, c ff.MontElem) bool {
+	m := st.m
+	if st.isInf() {
+		m.Set(st.X, px)
+		m.Set(st.Y, py)
+		m.SetOne(st.Z)
+		return false
+	}
+	zz := st.t1
+	m.Sqr(zz, st.Z) // Z²
+	u2 := st.t2
+	m.Mul(u2, px, zz) // x_p·Z²
+	s2 := st.t3
+	m.Mul(s2, zz, st.Z) //
+	m.Mul(s2, py, s2)   // y_p·Z³
+	h := u2
+	m.Sub(h, u2, st.X) // H = U2 − X
+	r := s2
+	m.Sub(r, s2, st.Y) // R = S2 − Y
+	if m.IsZero(h) {
+		if m.IsZero(r) {
+			// V and P coincide: tangent step, as in the references.
+			return st.dbl(a, b, c)
+		}
+		// Vertical chord V + (−V): factor 1, accumulator to infinity.
+		m.SetZero(st.Z)
+		return false
+	}
+	zNew := st.t4
+	m.Mul(zNew, st.Z, h) // Z3 = Z·H
+
+	// Line coefficients.
+	m.Set(a, r)
+	m.Mul(st.t5, zNew, py)
+	m.Mul(b, r, px)
+	m.Sub(b, b, st.t5) // B = R·x_p − Z3·y_p
+	m.Set(c, zNew)     // C = Z3
+
+	// Point update.
+	hh := st.t5
+	m.Sqr(hh, h) // H²
+	xh := st.t6
+	m.Mul(xh, st.X, hh) // X·H²
+	m.Mul(hh, hh, h)    // H³ (H² no longer needed)
+	m.Sqr(st.X, r)
+	m.Sub(st.X, st.X, hh)
+	m.Sub(st.X, st.X, xh)
+	m.Sub(st.X, st.X, xh) // X3 = R² − H³ − 2XH²
+	m.Mul(st.Y, st.Y, hh) // Y·H³
+	m.Sub(xh, xh, st.X)   // XH² − X3
+	m.Mul(xh, r, xh)      // R(XH² − X3)
+	m.Sub(st.Y, xh, st.Y) // Y3
+	m.Set(st.Z, zNew)
+	return true
+}
+
+// toMontPoint converts an affine point's coordinates into Montgomery
+// form (the point must not be the identity).
+func (mc *montCtx) toMontPoint(p curve.Point) (x, y ff.MontElem) {
+	x, y = mc.m.NewElem(), mc.m.NewElem()
+	mc.m.ToMont(x, p.X)
+	mc.m.ToMont(y, p.Y)
+	return x, y
+}
+
+// millerMont is the Montgomery-backend twin of Miller: the Jacobian
+// inversion-free loop entirely on limb vectors. P and Q must be
+// non-identity subgroup points; the returned value is in Montgomery
+// form and bit-for-bit equal (after conversion) to Miller's.
+func (pr *Pairing) millerMont(p, q curve.Point) ff.Fp2MontElem {
+	mc := pr.mont
+	m, e2m := mc.m, mc.e2m
+	px, py := mc.toMontPoint(p)
+	qx, qy := mc.toMontPoint(q)
+	st := newMillerStateMont(m, px, py)
+	f := e2m.One()
+	g := e2m.NewElem()
+	s := e2m.NewScratch()
+	a, b, c := m.NewElem(), m.NewElem(), m.NewElem()
+	eval := func() {
+		m.Mul(g.A, a, qx)
+		m.Add(g.A, g.A, b)
+		m.Mul(g.B, c, qy)
+		e2m.MulInto(&f, f, g, s)
+	}
+	for _, addBit := range pr.schedule {
+		e2m.SqrInto(&f, f, s)
+		if st.dbl(a, b, c) {
+			eval()
+		}
+		if addBit {
+			if st.add(px, py, a, b, c) {
+				eval()
+			}
+		}
+	}
+	return f
+}
+
+// finalExpMont raises a Montgomery-form Miller value to (p²−1)/q. The
+// (p−1) factor is the Frobenius identity z^(p−1) = conj(z)·z⁻¹ — one
+// conjugation and one F_{p²} inversion instead of a |p|-bit
+// exponentiation. The result of that step is unitary (its norm is
+// N(z)^(p−1) = 1), so the remaining cofactor exponentiation runs the
+// signed-window unitary ladder, conjugating instead of inverting.
+func (pr *Pairing) finalExpMont(f ff.Fp2MontElem) ff.Fp2MontElem {
+	e2m := pr.mont.e2m
+	if e2m.IsZero(f) {
+		// Cannot happen for valid subgroup inputs (see Miller); treat as
+		// degenerate, like the big.Int path.
+		return e2m.One()
+	}
+	s := e2m.NewScratch()
+	t := e2m.NewElem()
+	e2m.InvInto(&t, f, s)
+	conj := e2m.NewElem()
+	e2m.ConjInto(&conj, f)
+	e2m.MulInto(&t, conj, t, s) // f^(p−1), unitary from here on
+	e2m.ExpUnitaryInto(&t, t, pr.C.H, s)
+	return t
+}
+
+// pairMont is Pair on the Montgomery backend end-to-end: limb-vector
+// Miller loop and final exponentiation, one conversion at the boundary.
+func (pr *Pairing) pairMont(p, q curve.Point) GT {
+	return pr.mont.e2m.FromMont(pr.finalExpMont(pr.millerMont(p, q)))
+}
+
+// millerPreparedMont evaluates a precomputed line schedule at ψ(Q) on
+// limb vectors: one CIOS multiplication and one addition per line.
+func (pr *Pairing) millerPreparedMont(pp *PreparedPoint, q curve.Point) ff.Fp2MontElem {
+	mc := pr.mont
+	m, e2m := mc.m, mc.e2m
+	qx, qy := mc.toMontPoint(q)
+	f := e2m.One()
+	// The imaginary part of every line value is the constant y_Q.
+	g := ff.Fp2MontElem{A: m.NewElem(), B: qy}
+	s := e2m.NewScratch()
+	eval := func(lc *lineCoeff) {
+		m.Mul(g.A, lc.lambdaM, qx)
+		m.Add(g.A, g.A, lc.muM)
+		e2m.MulInto(&f, f, g, s)
+	}
+	for k := range pp.steps {
+		st := &pp.steps[k]
+		e2m.SqrInto(&f, f, s)
+		if !st.dbl.vertical {
+			eval(&st.dbl)
+		}
+		if st.hasAdd && !st.add.vertical {
+			eval(&st.add)
+		}
+	}
+	return f
+}

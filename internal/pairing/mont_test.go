@@ -1,0 +1,127 @@
+package pairing
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"timedrelease/internal/curve"
+)
+
+// randPoints returns two random non-identity subgroup points.
+func randPoints(t *testing.T, pr *Pairing) (curve.Point, curve.Point) {
+	t.Helper()
+	p, err := pr.C.RandomSubgroupPoint(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pr.C.RandomSubgroupPoint(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, q
+}
+
+// TestPairBackendsAgree pins the Montgomery pairing end-to-end against
+// both big.Int reference paths: the projective reference (PairBig) and
+// the affine textbook path (PairAffine).
+func TestPairBackendsAgree(t *testing.T) {
+	pr := testPairing(t)
+	if pr.mont == nil {
+		t.Fatal("test field has no Montgomery backend")
+	}
+	e2 := pr.E2
+	for i := 0; i < 10; i++ {
+		p, q := randPoints(t, pr)
+		got := pr.Pair(p, q)
+		if want := pr.PairBig(p, q); !e2.Equal(got, want) {
+			t.Fatalf("Pair mont/big mismatch: %v vs %v", got, want)
+		}
+		if want := pr.PairAffine(p, q); !e2.Equal(got, want) {
+			t.Fatalf("Pair mont/affine mismatch")
+		}
+	}
+}
+
+// TestPairPreparedBackendsAgree pins the prepared Montgomery evaluation
+// against its big.Int twin and the unprepared pairing.
+func TestPairPreparedBackendsAgree(t *testing.T) {
+	pr := testPairing(t)
+	e2 := pr.E2
+	for i := 0; i < 10; i++ {
+		p, q := randPoints(t, pr)
+		pp := pr.Precompute(p)
+		got := pr.PairPrepared(pp, q)
+		if want := pr.PairPreparedBig(pp, q); !e2.Equal(got, want) {
+			t.Fatalf("PairPrepared mont/big mismatch")
+		}
+		if want := pr.Pair(p, q); !e2.Equal(got, want) {
+			t.Fatalf("PairPrepared/Pair mismatch")
+		}
+	}
+}
+
+// TestFinalExpFrobeniusMatchesExponentiation is the acceptance check
+// that the Frobenius final exponentiation — conj(f)·f⁻¹ for the (p−1)
+// factor, then the unitary signed-window ladder for the cofactor —
+// equals the plain exponentiation f^((p²−1)/q) on both backends.
+func TestFinalExpFrobeniusMatchesExponentiation(t *testing.T) {
+	pr := testPairing(t)
+	e2 := pr.E2
+	for i := 0; i < 10; i++ {
+		p, q := randPoints(t, pr)
+		f := pr.Miller(p, q)
+		naive := e2.ExpBig(f, pr.finalExp)
+		if got := pr.FinalExp(f); !e2.Equal(got, naive) {
+			t.Fatalf("FinalExp (mont) != f^((p²−1)/q): %v vs %v", got, naive)
+		}
+		if got := pr.FinalExpBig(f); !e2.Equal(got, naive) {
+			t.Fatalf("FinalExpBig != f^((p²−1)/q)")
+		}
+	}
+	// Degenerate inputs: zero and one.
+	if !e2.IsOne(pr.FinalExp(e2.One())) {
+		t.Fatal("FinalExp(1) != 1")
+	}
+	if !e2.IsOne(pr.FinalExp(GT{A: new(big.Int), B: new(big.Int)})) {
+		t.Fatal("FinalExp(0) must degrade to 1 like the reference")
+	}
+}
+
+// TestPairProductBackendAgree checks the multi-pair product against the
+// big.Int per-pair product.
+func TestPairProductBackendAgree(t *testing.T) {
+	pr := testPairing(t)
+	e2 := pr.E2
+	var pairs []PointPair
+	want := e2.One()
+	for i := 0; i < 4; i++ {
+		p, q := randPoints(t, pr)
+		pairs = append(pairs, PointPair{P: p, Q: q})
+		want = e2.Mul(want, pr.PairBig(p, q))
+	}
+	if got := pr.PairProduct(pairs); !e2.Equal(got, want) {
+		t.Fatalf("PairProduct mont mismatch: %v vs %v", got, want)
+	}
+}
+
+// TestSamePairingPreparedMontAgree checks the prepared equality test on
+// matching and non-matching inputs (the mont branch shares one final
+// exponentiation across both Miller loops).
+func TestSamePairingPreparedMontAgree(t *testing.T) {
+	pr := testPairing(t)
+	g, q := randPoints(t, pr)
+	k, err := pr.C.RandScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := pr.C.ScalarMult(k, g)
+	kq := pr.C.ScalarMult(k, q)
+	pg, pkg := pr.Precompute(g), pr.Precompute(kg)
+	if !pr.SamePairingPrepared(pg, kq, pkg, q) {
+		t.Fatal("ê(g, kq) == ê(kg, q) must hold")
+	}
+	if pr.SamePairingPrepared(pg, q, pkg, q) {
+		t.Fatal("distinct pairings reported equal")
+	}
+}

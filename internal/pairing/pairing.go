@@ -49,6 +49,14 @@ type Pairing struct {
 	// step. Precomputed once here instead of re-walking ord.Bit(i) in
 	// every loop.
 	schedule []bool
+
+	// mont holds the fixed-limb Montgomery backend contexts (mont.go).
+	// When non-nil — every supported modulus — Pair, PairPrepared,
+	// PairProduct and FinalExp run on limb vectors end-to-end; the
+	// big.Int code remains reachable through the *Big methods as the
+	// executable reference for differential tests and the backend
+	// ablation benchmarks.
+	mont *montCtx
 }
 
 // New returns a pairing context for c.
@@ -71,27 +79,43 @@ func New(c *curve.Curve) (*Pairing, error) {
 		E2:       e2,
 		finalExp: new(big.Int).Mul(pm1, c.H),
 		schedule: schedule,
+		mont:     newMontCtx(e2),
 	}, nil
 }
 
 // Pair computes ê(P, Q) with the projective (inversion-free) Miller
-// loop. Both points must lie in the order-q subgroup; if either is the
-// identity the result is 1.
+// loop, on the fixed-limb Montgomery backend when available. Both
+// points must lie in the order-q subgroup; if either is the identity
+// the result is 1.
 func (pr *Pairing) Pair(p, q curve.Point) GT {
 	if p.IsInfinity() || q.IsInfinity() {
 		return pr.E2.One()
 	}
-	return pr.FinalExp(pr.Miller(p, q))
+	if pr.mont != nil {
+		return pr.pairMont(p, q)
+	}
+	return pr.finalExpBig(pr.Miller(p, q))
 }
 
-// PairAffine computes ê(P, Q) with the affine reference Miller loop. It
-// returns the same value as Pair and exists for differential testing and
-// the E4/pairing-bench ablations.
+// PairBig computes ê(P, Q) with the projective Miller loop and final
+// exponentiation entirely on the big.Int reference backend. It returns
+// bit-for-bit the same value as Pair and exists for differential
+// testing and the field-backend ablation (BENCH_pairing.json).
+func (pr *Pairing) PairBig(p, q curve.Point) GT {
+	if p.IsInfinity() || q.IsInfinity() {
+		return pr.E2.One()
+	}
+	return pr.finalExpBig(pr.Miller(p, q))
+}
+
+// PairAffine computes ê(P, Q) with the affine reference Miller loop,
+// all on the big.Int backend. It returns the same value as Pair and
+// exists for differential testing and the E4/pairing-bench ablations.
 func (pr *Pairing) PairAffine(p, q curve.Point) GT {
 	if p.IsInfinity() || q.IsInfinity() {
 		return pr.E2.One()
 	}
-	return pr.FinalExp(pr.MillerAffine(p, q))
+	return pr.finalExpBig(pr.MillerAffine(p, q))
 }
 
 // PairAfterMiller exposes the two phases separately so callers can
@@ -101,20 +125,37 @@ func (pr *Pairing) PairAfterMiller(f GT) GT { return pr.FinalExp(f) }
 
 // FinalExp raises an unreduced Miller value to (p²−1)/q, mapping it into
 // the order-q target group. The (p−1) factor is applied via the
-// Frobenius identity z^(p−1) = conj(z)·z⁻¹, leaving an exponentiation by
-// the (much smaller) cofactor h. Because x ↦ x^((p²−1)/q) kills every
+// Frobenius identity z^(p−1) = conj(z)·z⁻¹ — one conjugation plus one
+// F_{p²} inversion instead of a |p|-bit exponentiation — leaving an
+// exponentiation by the (much smaller) cofactor h; since z^(p−1) is
+// unitary (norm N(z)^(p−1) = 1), that step runs the signed-window
+// conjugation-as-inversion ladder. Because x ↦ x^((p²−1)/q) kills every
 // element of F_p^*, Miller values that differ by a non-zero F_p factor —
 // as the affine, projective and prepared loops' values do — map to the
-// same target-group element.
+// same target-group element. On supported moduli the whole computation
+// runs on the Montgomery backend; FinalExpBig is the big.Int reference.
 func (pr *Pairing) FinalExp(f GT) GT {
+	if mc := pr.mont; mc != nil {
+		fm := mc.e2m.NewElem()
+		mc.e2m.ToMont(&fm, f)
+		return mc.e2m.FromMont(pr.finalExpMont(fm))
+	}
+	return pr.finalExpBig(f)
+}
+
+// FinalExpBig is FinalExp pinned to the big.Int reference backend, for
+// differential tests and the backend ablation.
+func (pr *Pairing) FinalExpBig(f GT) GT { return pr.finalExpBig(f) }
+
+func (pr *Pairing) finalExpBig(f GT) GT {
 	e2 := pr.E2
 	if e2.IsZero(f) {
 		// Cannot happen for valid subgroup inputs (see Miller); treat as
 		// degenerate.
 		return e2.One()
 	}
-	t := e2.Mul(e2.Conj(f), e2.Inv(f)) // f^(p−1)
-	return e2.Exp(t, pr.C.H)           // then ^h, total (p−1)h = (p²−1)/q
+	t := e2.Mul(e2.Conj(f), e2.Inv(f)) // f^(p−1), unitary from here on
+	return e2.ExpUnitaryBig(t, pr.C.H) // then ^h, total (p−1)h = (p²−1)/q
 }
 
 // MillerAffine evaluates the Miller function f_{q,P} at ψ(Q) in affine
@@ -212,6 +253,36 @@ const parallelThreshold = 2
 // values are then merged in index order (multiplication in F_{p²} is
 // commutative, so the result is bit-identical to the sequential loop).
 func (pr *Pairing) PairProduct(pairs []PointPair) GT {
+	if mc := pr.mont; mc != nil {
+		millers := make([]ff.Fp2MontElem, len(pairs))
+		work := func(i int) {
+			pq := pairs[i]
+			if pq.P.IsInfinity() || pq.Q.IsInfinity() {
+				millers[i] = mc.e2m.One()
+				return
+			}
+			millers[i] = pr.millerMont(pq.P, pq.Q)
+		}
+		if len(pairs) >= parallelThreshold {
+			parallel.For(len(pairs), work)
+		} else {
+			for i := range pairs {
+				work(i)
+			}
+		}
+		acc := mc.e2m.One()
+		s := mc.e2m.NewScratch()
+		for _, m := range millers {
+			mc.e2m.MulInto(&acc, acc, m, s)
+		}
+		return mc.e2m.FromMont(pr.finalExpMont(acc))
+	}
+	return pr.PairProductBig(pairs)
+}
+
+// PairProductBig is PairProduct pinned to the big.Int reference
+// backend, for differential tests and the backend ablation.
+func (pr *Pairing) PairProductBig(pairs []PointPair) GT {
 	millers := make([]GT, len(pairs))
 	work := func(i int) {
 		pq := pairs[i]
@@ -233,7 +304,7 @@ func (pr *Pairing) PairProduct(pairs []PointPair) GT {
 	for _, m := range millers {
 		pr.E2.MulInto(&acc, acc, m, s)
 	}
-	return pr.FinalExp(acc)
+	return pr.finalExpBig(acc)
 }
 
 // SamePairing reports whether ê(a1, b1) == ê(a2, b2), evaluated as a

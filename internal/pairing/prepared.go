@@ -13,10 +13,13 @@ import (
 //	g = λ·x_Q + μ + y_Q·i.
 //
 // vertical marks steps that contribute the factor 1 under denominator
-// elimination (the coefficients are then nil).
+// elimination (the coefficients are then nil). lambdaM and muM are the
+// same coefficients in Montgomery form, filled when the field has a
+// limb backend so MillerPrepared evaluation runs without conversions.
 type lineCoeff struct {
-	lambda, mu *big.Int
-	vertical   bool
+	lambda, mu   *big.Int
+	lambdaM, muM ff.MontElem
+	vertical     bool
 }
 
 // preparedStep is one iteration of the fixed Miller schedule: the
@@ -90,6 +93,7 @@ func (pr *Pairing) Precompute(p curve.Point) *PreparedPoint {
 
 	// One inversion for every denominator in the schedule.
 	inv := fp.InvBatch(cs)
+	m := fp.Mont()
 	i := 0
 	normalise := func(lc *lineCoeff) {
 		if lc.vertical {
@@ -97,6 +101,12 @@ func (pr *Pairing) Precompute(p curve.Point) *PreparedPoint {
 		}
 		lc.lambda = fp.Mul(as[i], inv[i])
 		lc.mu = fp.Mul(bs[i], inv[i])
+		if m != nil {
+			lc.lambdaM = m.NewElem()
+			m.ToMont(lc.lambdaM, lc.lambda)
+			lc.muM = m.NewElem()
+			m.ToMont(lc.muM, lc.mu)
+		}
 		i++
 	}
 	for k := range steps {
@@ -142,13 +152,26 @@ func (pr *Pairing) MillerPrepared(pp *PreparedPoint, q curve.Point) GT {
 	return f
 }
 
-// PairPrepared computes ê(P, Q) from the precomputed schedule of P.
-// It returns bit-for-bit the same value as Pair(P, Q).
+// PairPrepared computes ê(P, Q) from the precomputed schedule of P, on
+// the Montgomery backend when available. It returns bit-for-bit the
+// same value as Pair(P, Q).
 func (pr *Pairing) PairPrepared(pp *PreparedPoint, q curve.Point) GT {
 	if pp.infinity || q.IsInfinity() {
 		return pr.E2.One()
 	}
-	return pr.FinalExp(pr.MillerPrepared(pp, q))
+	if mc := pr.mont; mc != nil {
+		return mc.e2m.FromMont(pr.finalExpMont(pr.millerPreparedMont(pp, q)))
+	}
+	return pr.finalExpBig(pr.MillerPrepared(pp, q))
+}
+
+// PairPreparedBig is PairPrepared pinned to the big.Int reference
+// backend, for differential tests and the backend ablation.
+func (pr *Pairing) PairPreparedBig(pp *PreparedPoint, q curve.Point) GT {
+	if pp.infinity || q.IsInfinity() {
+		return pr.E2.One()
+	}
+	return pr.finalExpBig(pr.MillerPrepared(pp, q))
 }
 
 // SamePairingPrepared reports whether ê(P1, q1) == ê(P2, q2) for two
@@ -169,9 +192,37 @@ func (pr *Pairing) SamePairingPrepared(p1 *PreparedPoint, q1 curve.Point, p2 *Pr
 	case rhsTrivial:
 		return e2.IsOne(pr.PairPrepared(p1, q1))
 	}
+	if mc := pr.mont; mc != nil {
+		m := pr.millerPreparedMont(p1, pr.C.Neg(q1))
+		m2 := pr.millerPreparedMont(p2, q2)
+		mc.e2m.MulInto(&m, m, m2, mc.e2m.NewScratch())
+		return mc.e2m.IsOne(pr.finalExpMont(m))
+	}
+	return pr.samePairingPreparedBig(p1, q1, p2, q2)
+}
+
+// SamePairingPreparedBig is the equality check pinned to the big.Int
+// reference backend, for differential tests and the backend ablation.
+func (pr *Pairing) SamePairingPreparedBig(p1 *PreparedPoint, q1 curve.Point, p2 *PreparedPoint, q2 curve.Point) bool {
+	e2 := pr.E2
+	lhsTrivial := p1.infinity || q1.IsInfinity()
+	rhsTrivial := p2.infinity || q2.IsInfinity()
+	switch {
+	case lhsTrivial && rhsTrivial:
+		return true
+	case lhsTrivial:
+		return e2.IsOne(pr.PairPreparedBig(p2, q2))
+	case rhsTrivial:
+		return e2.IsOne(pr.PairPreparedBig(p1, q1))
+	}
+	return pr.samePairingPreparedBig(p1, q1, p2, q2)
+}
+
+func (pr *Pairing) samePairingPreparedBig(p1 *PreparedPoint, q1 curve.Point, p2 *PreparedPoint, q2 curve.Point) bool {
+	e2 := pr.E2
 	m := e2.Mul(
 		pr.MillerPrepared(p1, pr.C.Neg(q1)),
 		pr.MillerPrepared(p2, q2),
 	)
-	return e2.IsOne(pr.FinalExp(m))
+	return e2.IsOne(pr.finalExpBig(m))
 }
