@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all help build test vet fmt-check check cover bench bench-pairing bench-field race experiments experiments-quick fuzz clean
+.PHONY: all help build test vet fmt-check check cover bench bench-pairing bench-field bench-server race experiments experiments-quick fuzz clean
 
 all: build vet test
 
@@ -19,6 +19,7 @@ help:
 	@echo "  bench              the full testing.B suite"
 	@echo "  bench-pairing      pairing backend/strategy ablation -> BENCH_pairing.json"
 	@echo "  bench-field        field backend micro-benchmark -> BENCH_field.json"
+	@echo "  bench-server       serving-path load harness -> BENCH_server.json"
 	@echo "  race               go test -race ./..."
 	@echo "  experiments        regenerate the EXPERIMENTS.md tables (slow)"
 	@echo "  experiments-quick  reduced sweeps at Test160"
@@ -39,10 +40,13 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# Pre-commit gate: static checks plus the race detector over the
-# internal packages (where all the concurrency lives).
+# Pre-commit gate: static checks, shuffled tests (catches hidden
+# test-order dependencies), and the race detector over the internal
+# packages (where all the concurrency lives — the metrics registry and
+# serving path explicitly included).
 check: vet fmt-check
-	$(GO) test -race ./internal/...
+	$(GO) test -shuffle=on ./...
+	$(GO) test -race ./internal/obs ./internal/timeserver ./internal/...
 
 # Per-package coverage summary.
 cover:
@@ -63,6 +67,12 @@ bench-pairing:
 bench-field:
 	$(GO) run ./cmd/trebench -field BENCH_field.json
 
+# Serving-path load harness: concurrent verifying clients against a
+# real HTTP time server, three workload mixes at two concurrency
+# levels, recorded as BENCH_server.json (see docs/OBSERVABILITY.md).
+bench-server:
+	$(GO) run ./cmd/treload -out BENCH_server.json
+
 # Race detector across the whole module (exercises the parallel pairing
 # products and batch verification pool).
 race:
@@ -75,14 +85,17 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/trebench -quick
 
-# Short fuzz campaign over every wire decoder and the differential
-# field-arithmetic targets (Montgomery backend vs big.Int reference).
+# Short fuzz campaign over every wire decoder, the differential
+# field-arithmetic targets (Montgomery backend vs big.Int reference),
+# the client's HTTP update parsing and the metrics JSON encoder.
 fuzz:
 	$(GO) test -fuzz FuzzUnmarshalKeyUpdate -fuzztime 30s ./internal/wire
 	$(GO) test -fuzz FuzzUnmarshalCCACiphertext -fuzztime 30s ./internal/wire
 	$(GO) test -fuzz FuzzUnmarshalEnvelope -fuzztime 30s ./internal/wire
 	$(GO) test -run XXX -fuzz FuzzFpArith -fuzztime 30s ./internal/ff
 	$(GO) test -run XXX -fuzz FuzzFp2Arith -fuzztime 30s ./internal/ff
+	$(GO) test -run XXX -fuzz FuzzClientDecodeUpdate -fuzztime 30s ./internal/timeserver
+	$(GO) test -run XXX -fuzz FuzzMetricsSnapshot -fuzztime 30s ./internal/obs
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,126 @@
+// Command treload drives a time server with N concurrent verifying
+// clients under mixed publish/fetch/catch-up workloads and reports
+// sustained RPS plus p50/p95/p99 per-operation latency.
+//
+//	treload -out BENCH_server.json             # in-process server, full sweep
+//	treload -quick                             # fast reduced sweep (Test160)
+//	treload -url http://host:8440              # drive a running treserver
+//	treload -clients 8,32 -mixes fetch,mixed   # custom cells
+//	treload -duration 5s -markdown
+//
+// Without -url the harness boots an in-process server per preset over
+// real HTTP (httptest), pre-publishes a window of epochs and hammers
+// it. With -url it bootstraps parameters from the remote server; the
+// publish share of the mixed workload degrades to /v1/latest fetches
+// because the harness holds no signing key.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"timedrelease/internal/bench"
+)
+
+// options is the parsed command line.
+type options struct {
+	cfg      bench.ServerLoadConfig
+	out      string
+	markdown bool
+}
+
+// parseFlags parses args (not including the program name) without
+// touching global flag state, so tests can exercise it directly.
+func parseFlags(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("treload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		opts     options
+		presets  string
+		clients  string
+		mixes    string
+		duration time.Duration
+	)
+	fs.StringVar(&opts.out, "out", "", "write the JSON report to this file")
+	fs.BoolVar(&opts.markdown, "markdown", false, "emit GitHub-flavoured markdown")
+	fs.BoolVar(&opts.cfg.Quick, "quick", false, "reduced sweep (Test160, short cells)")
+	fs.StringVar(&presets, "preset", "", "comma-separated parameter presets (default Test160,SS512)")
+	fs.StringVar(&clients, "clients", "", "comma-separated concurrency levels (default 4,16)")
+	fs.StringVar(&mixes, "mixes", "", "comma-separated workload mixes (default fetch,catchup,mixed)")
+	fs.DurationVar(&duration, "duration", 0, "wall time per cell (default 2s, 250ms with -quick)")
+	fs.StringVar(&opts.cfg.BaseURL, "url", "", "drive a running treserver at this base URL instead of in-process")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	opts.cfg.CellDuration = duration
+	opts.cfg.Presets = splitList(presets)
+	opts.cfg.Mixes = splitList(mixes)
+	for _, c := range splitList(clients) {
+		n, err := strconv.Atoi(c)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -clients value %q: want positive integers", c)
+		}
+		opts.cfg.Clients = append(opts.cfg.Clients, n)
+	}
+	return &opts, nil
+}
+
+// splitList turns "a,b , c" into {"a","b","c"} and "" into nil.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(opts, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "treload:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the sweep, prints the table to stdout and writes the
+// JSON report when -out is set.
+func run(opts *options, stdout, stderr io.Writer) error {
+	start := time.Now()
+	rep, table, err := bench.RunServerLoad(opts.cfg)
+	if err != nil {
+		return err
+	}
+	if opts.out != "" {
+		out, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.out, out, 0o644); err != nil {
+			return err
+		}
+	}
+	if opts.markdown {
+		fmt.Fprint(stdout, table.Markdown())
+	} else {
+		fmt.Fprint(stdout, table.String())
+	}
+	fmt.Fprintf(stderr, "\ntreload: %d cell(s) in %v", len(rep.Rows), time.Since(start).Round(time.Millisecond))
+	if opts.out != "" {
+		fmt.Fprintf(stderr, ", report written to %s", opts.out)
+	}
+	fmt.Fprintln(stderr)
+	return nil
+}

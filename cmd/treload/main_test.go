@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"timedrelease/internal/bench"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	opts, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.out != "" || opts.markdown || opts.cfg.Quick || opts.cfg.BaseURL != "" {
+		t.Fatalf("wrong defaults: %+v", opts)
+	}
+	if opts.cfg.Presets != nil || opts.cfg.Clients != nil || opts.cfg.Mixes != nil {
+		t.Fatalf("sweep lists must stay unset for bench defaults: %+v", opts.cfg)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-out", "x.json", "-quick", "-markdown",
+		"-preset", "Test160, SS512", "-clients", "2,8", "-mixes", "fetch,mixed",
+		"-duration", "100ms", "-url", "http://localhost:8440",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.out != "x.json" || !opts.cfg.Quick || !opts.markdown {
+		t.Fatalf("overrides not applied: %+v", opts)
+	}
+	if len(opts.cfg.Presets) != 2 || opts.cfg.Presets[1] != "SS512" {
+		t.Fatalf("presets = %v", opts.cfg.Presets)
+	}
+	if len(opts.cfg.Clients) != 2 || opts.cfg.Clients[0] != 2 || opts.cfg.Clients[1] != 8 {
+		t.Fatalf("clients = %v", opts.cfg.Clients)
+	}
+	if len(opts.cfg.Mixes) != 2 || opts.cfg.CellDuration != 100*time.Millisecond {
+		t.Fatalf("mixes/duration = %v/%v", opts.cfg.Mixes, opts.cfg.CellDuration)
+	}
+	if opts.cfg.BaseURL != "http://localhost:8440" {
+		t.Fatalf("url = %q", opts.cfg.BaseURL)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-clients", "zero"},
+		{"-clients", "0"},
+		{"-clients", "-3"},
+		{"-duration", "fast"},
+		{"-nosuchflag"},
+		{"stray-positional"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Fatalf("parseFlags(%v) accepted bad input", args)
+		}
+	}
+}
+
+// TestRunWritesReport runs a tiny real sweep end to end and checks the
+// JSON document has the promised shape.
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_server.json")
+	opts, err := parseFlags([]string{
+		"-quick", "-out", out,
+		"-clients", "2", "-mixes", "fetch,mixed", "-duration", "50ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(opts, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Test160/fetch") {
+		t.Fatalf("table missing cells:\n%s", stdout.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.ServerReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Ops <= 0 || r.RPS <= 0 || r.P50NS <= 0 || r.P95NS < r.P50NS || r.P99NS < r.P95NS {
+			t.Fatalf("implausible row: %+v", r)
+		}
+		if r.Errors != 0 {
+			t.Fatalf("load errors against a healthy in-process server: %+v", r)
+		}
+	}
+}

@@ -4,11 +4,19 @@
 // keeps no per-user state.
 //
 //	treserver -preset SS512 -addr :8440 -granularity 1m \
-//	          -key server.key -archive updates.log
+//	          -key server.key -archive updates.log -metrics
 //
 // On first run with a missing key file, a fresh server key is generated
 // and saved. The archive file persists published updates across
 // restarts; missed epochs are backfilled on startup.
+//
+// With -metrics the server additionally serves /metrics (a JSON
+// snapshot of request, publish, cache and pairing counters — see
+// docs/OBSERVABILITY.md) and the net/http/pprof profiling endpoints
+// under /debug/pprof/, and emits structured JSON events (one line per
+// publish) on stdout. Both expose only aggregate server-side state,
+// never anything about requesters; leave the flag off to serve the
+// paper's minimal surface.
 package main
 
 import (
@@ -16,70 +24,136 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"timedrelease/internal/keyfile"
+	"timedrelease/internal/timeserver"
 	"timedrelease/tre"
 )
 
+// config is the parsed command line.
+type config struct {
+	preset      string
+	addr        string
+	granularity time.Duration
+	keyPath     string
+	archPath    string
+	metrics     bool
+
+	// onReady, when set (tests), receives the bound listen address
+	// once the HTTP listener is up.
+	onReady func(addr string)
+}
+
+// parseFlags parses args (not including the program name) into a
+// config without touching global flag state, so tests can exercise it
+// directly.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("treserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.preset, "preset", "SS512", "parameter preset")
+	fs.StringVar(&cfg.addr, "addr", ":8440", "listen address")
+	fs.DurationVar(&cfg.granularity, "granularity", time.Minute, "epoch width (must divide 24h)")
+	fs.StringVar(&cfg.keyPath, "key", "treserver.key", "server key file (created if missing)")
+	fs.StringVar(&cfg.archPath, "archive", "", "durable archive file (in-memory if empty)")
+	fs.BoolVar(&cfg.metrics, "metrics", false, "serve /metrics (JSON) and /debug/pprof, log publish events")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "treserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		preset      = flag.String("preset", "SS512", "parameter preset")
-		addr        = flag.String("addr", ":8440", "listen address")
-		granularity = flag.Duration("granularity", time.Minute, "epoch width (must divide 24h)")
-		keyPath     = flag.String("key", "treserver.key", "server key file (created if missing)")
-		archPath    = flag.String("archive", "", "durable archive file (in-memory if empty)")
-	)
-	flag.Parse()
-
-	set, err := tre.Preset(*preset)
+// run builds and serves the time server until ctx is cancelled, then
+// shuts the HTTP server down gracefully. It returns nil on a clean
+// shutdown.
+func run(ctx context.Context, cfg *config, stdout io.Writer) error {
+	set, err := tre.Preset(cfg.preset)
 	if err != nil {
 		return err
 	}
-	sched, err := tre.NewSchedule(*granularity)
+	sched, err := tre.NewSchedule(cfg.granularity)
 	if err != nil {
 		return err
 	}
-
-	key, err := loadOrCreateKey(*keyPath, set)
+	key, err := loadOrCreateKey(cfg.keyPath, set, stdout)
 	if err != nil {
 		return err
 	}
 
-	var srv *tre.TimeServer
-	if *archPath != "" {
-		arch, err := tre.OpenFileArchive(*archPath, set)
+	var metrics *tre.Metrics
+	srvOpts := make([]timeserver.Option, 0, 3)
+	if cfg.archPath != "" {
+		arch, err := tre.OpenFileArchive(cfg.archPath, set)
 		if err != nil {
 			return err
 		}
-		srv = tre.NewTimeServer(set, key, sched, tre.WithArchive(arch))
-	} else {
-		srv = tre.NewTimeServer(set, key, sched)
+		srvOpts = append(srvOpts, tre.WithArchive(arch))
+	}
+	if cfg.metrics {
+		metrics = tre.NewMetrics()
+		srvOpts = append(srvOpts, tre.WithMetrics(metrics), tre.WithLogger(tre.NewEventLogger(stdout)))
+	}
+	srv := tre.NewTimeServer(set, key, sched, srvOpts...)
+
+	handler := http.Handler(srv.Handler())
+	if cfg.metrics {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("GET /metrics", metrics.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
 	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	extras := ""
+	if cfg.metrics {
+		extras = ", /metrics and /debug/pprof enabled"
+	}
+	fmt.Fprintf(stdout, "treserver: %s params, %v epochs, listening on %s%s\n",
+		set.Name, cfg.granularity, ln.Addr(), extras)
+	if cfg.onReady != nil {
+		cfg.onReady(ln.Addr().String())
+	}
+
 	errCh := make(chan error, 2)
 	go func() {
-		fmt.Printf("treserver: %s params, %v epochs, listening on %s\n", set.Name, *granularity, *addr)
-		if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		if err := httpServer.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
 		}
@@ -95,9 +169,10 @@ func run() error {
 
 	select {
 	case <-ctx.Done():
-		fmt.Println("treserver: shutting down")
+		fmt.Fprintln(stdout, "treserver: shutting down")
 	case err := <-errCh:
 		if err != nil {
+			httpServer.Close()
 			return err
 		}
 	}
@@ -106,13 +181,13 @@ func run() error {
 	return httpServer.Shutdown(shutdownCtx)
 }
 
-func loadOrCreateKey(path string, set *tre.Params) (*tre.ServerKeyPair, error) {
+func loadOrCreateKey(path string, set *tre.Params, stdout io.Writer) (*tre.ServerKeyPair, error) {
 	if _, err := os.Stat(path); err == nil {
 		key, err := keyfile.LoadServerKey(path, set)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Printf("treserver: loaded key from %s\n", path)
+		fmt.Fprintf(stdout, "treserver: loaded key from %s\n", path)
 		return key, nil
 	}
 	key, err := tre.NewScheme(set).ServerKeyGen(nil)
@@ -122,6 +197,6 @@ func loadOrCreateKey(path string, set *tre.Params) (*tre.ServerKeyPair, error) {
 	if err := keyfile.SaveServerKey(path, set, key); err != nil {
 		return nil, err
 	}
-	fmt.Printf("treserver: generated new key in %s\n", path)
+	fmt.Fprintf(stdout, "treserver: generated new key in %s\n", path)
 	return key, nil
 }

@@ -1,8 +1,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"timedrelease/tre"
 )
@@ -12,12 +20,12 @@ func TestLoadOrCreateKey(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "server.key")
 
 	// First call creates the key.
-	k1, err := loadOrCreateKey(path, set)
+	k1, err := loadOrCreateKey(path, set, io.Discard)
 	if err != nil {
 		t.Fatalf("create: %v", err)
 	}
 	// Second call loads the same key.
-	k2, err := loadOrCreateKey(path, set)
+	k2, err := loadOrCreateKey(path, set, io.Discard)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
@@ -26,5 +34,177 @@ func TestLoadOrCreateKey(t *testing.T) {
 	}
 	if !set.Curve.Equal(k1.Pub.SG, k2.Pub.SG) {
 		t.Fatal("reloaded public key differs")
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.preset != "SS512" || cfg.addr != ":8440" || cfg.granularity != time.Minute {
+		t.Fatalf("wrong defaults: %+v", cfg)
+	}
+	if cfg.keyPath != "treserver.key" || cfg.archPath != "" || cfg.metrics {
+		t.Fatalf("wrong defaults: %+v", cfg)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-preset", "Test160", "-addr", "127.0.0.1:0", "-granularity", "30s",
+		"-key", "/tmp/k", "-archive", "/tmp/a", "-metrics",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.preset != "Test160" || cfg.addr != "127.0.0.1:0" || cfg.granularity != 30*time.Second {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if cfg.keyPath != "/tmp/k" || cfg.archPath != "/tmp/a" || !cfg.metrics {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-granularity", "notaduration"},
+		{"-nosuchflag"},
+		{"stray-positional"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Fatalf("parseFlags(%v) accepted bad input", args)
+		}
+	}
+}
+
+// startServer runs the command in a goroutine and returns its bound
+// address and a shutdown func that cancels the context and returns
+// run's error.
+func startServer(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	dir := t.TempDir()
+	args := append([]string{
+		"-preset", "Test160",
+		"-addr", "127.0.0.1:0",
+		"-granularity", "1m",
+		"-key", filepath.Join(dir, "server.key"),
+	}, extraArgs...)
+	cfg, err := parseFlags(args, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	cfg.onReady = func(addr string) { ready <- addr }
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, io.Discard) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	stopped := false
+	stop := func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(30 * time.Second):
+			return errors.New("run did not return after cancel")
+		}
+	}
+	t.Cleanup(func() { stop() })
+	return addr, stop
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestGracefulShutdownOnContextCancel(t *testing.T) {
+	addr, stop := startServer(t)
+	if code, body := get(t, fmt.Sprintf("http://%s/v1/healthz", addr)); code != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("run returned %v on context cancel, want nil", err)
+	}
+	// The listener must actually be gone.
+	if _, err := http.Get(fmt.Sprintf("http://%s/v1/healthz", addr)); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+func TestMetricsAndPprofServedWhenEnabled(t *testing.T) {
+	addr, _ := startServer(t, "-metrics")
+	base := "http://" + addr
+
+	// The normal API still works.
+	if code, _ := get(t, base+"/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	var snap struct {
+		Counters   map[string]int64          `json:"counters"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	// The startup catch-up publishes the current epoch from a background
+	// goroutine; poll briefly rather than racing it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := get(t, base+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("/metrics = %d", code)
+		}
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatalf("/metrics is not snapshot JSON: %v\n%s", err, body)
+		}
+		if snap.Counters["timeserver.published"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("published = %d, want ≥ 1", snap.Counters["timeserver.published"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, ok := snap.Counters["timeserver.requests.healthz"]; !ok {
+		t.Fatalf("healthz request not counted: %v", snap.Counters)
+	}
+	if code, _ := get(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestMetricsAndPprofSuppressedByDefault(t *testing.T) {
+	addr, _ := startServer(t)
+	base := "http://" + addr
+	if code, _ := get(t, base+"/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code, _ := get(t, base+"/metrics"); code != http.StatusNotFound {
+		t.Fatalf("/metrics without -metrics = %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without -metrics = %d, want 404", code)
 	}
 }

@@ -1,0 +1,405 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/obs"
+	"timedrelease/internal/params"
+	"timedrelease/internal/timefmt"
+	"timedrelease/internal/timeserver"
+)
+
+// ServerLoadConfig controls the serving-path load harness
+// (cmd/treload, `make bench-server`). The zero value selects the
+// published-report defaults; Quick shrinks everything for tests.
+type ServerLoadConfig struct {
+	Presets      []string      // parameter sets (default Test160, SS512; Quick: Test160)
+	Clients      []int         // concurrency levels (default 4, 16; Quick: 2, 4)
+	Mixes        []string      // workload mixes (default fetch, catchup, mixed)
+	CellDuration time.Duration // wall time per (preset, mix, clients) cell
+	Window       int           // pre-published labels the workload draws from
+	CatchUpBatch int           // labels per CatchUp call
+	BaseURL      string        // drive a remote server instead of in-process
+	Quick        bool
+}
+
+// withDefaults fills unset fields.
+func (c ServerLoadConfig) withDefaults() ServerLoadConfig {
+	if len(c.Presets) == 0 {
+		if c.Quick {
+			c.Presets = []string{"Test160"}
+		} else {
+			c.Presets = []string{"Test160", "SS512"}
+		}
+	}
+	if len(c.Clients) == 0 {
+		if c.Quick {
+			c.Clients = []int{2, 4}
+		} else {
+			c.Clients = []int{4, 16}
+		}
+	}
+	if len(c.Mixes) == 0 {
+		c.Mixes = []string{"fetch", "catchup", "mixed"}
+	}
+	if c.CellDuration <= 0 {
+		if c.Quick {
+			c.CellDuration = 250 * time.Millisecond
+		} else {
+			c.CellDuration = 2 * time.Second
+		}
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.CatchUpBatch <= 0 {
+		c.CatchUpBatch = 8
+	}
+	if c.CatchUpBatch > c.Window {
+		c.CatchUpBatch = c.Window
+	}
+	return c
+}
+
+// ServerRow is one (preset, mix, concurrency) cell of the load report.
+type ServerRow struct {
+	Preset  string `json:"preset"`
+	Mix     string `json:"mix"`
+	Clients int    `json:"clients"`
+
+	Ops        int64   `json:"ops"`
+	Errors     int64   `json:"errors"`
+	DurationNS int64   `json:"duration_ns"`
+	RPS        float64 `json:"rps"`
+	P50NS      int64   `json:"p50_ns"`
+	P95NS      int64   `json:"p95_ns"`
+	P99NS      int64   `json:"p99_ns"`
+
+	// Server-side accounting for the cell (0 when driving a remote
+	// server whose counters are not reachable).
+	ServerRequests int64 `json:"server_requests"`
+	Published      int64 `json:"published"`
+	// Client-side pairing evaluations — the cryptographic cost the
+	// passive-server design pushes to the edges.
+	ClientPairings int64 `json:"client_pairings"`
+}
+
+// ServerReport is the JSON document `make bench-server` writes to
+// BENCH_server.json.
+type ServerReport struct {
+	Description string      `json:"description"`
+	Rows        []ServerRow `json:"rows"`
+}
+
+// JSON renders the report with stable indentation for check-in.
+func (r *ServerReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// loadTarget is one server under load: a base URL to aim clients at
+// plus whatever in-process handles exist for publish ops and counters.
+type loadTarget struct {
+	set    *params.Set
+	spub   core.ServerPublicKey
+	sched  timefmt.Schedule
+	url    string
+	labels []string // the pre-published window, ascending
+
+	srv     *timeserver.Server // nil when remote
+	nextOld atomic.Int64       // next backwards epoch offset for publish ops
+	baseIdx int64
+	close   func()
+}
+
+// newLocalTarget boots an in-process server over real HTTP with Window
+// labels pre-published.
+func newLocalTarget(name string, cfg ServerLoadConfig) (*loadTarget, error) {
+	set, err := params.Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	sc := core.NewScheme(set)
+	key, err := sc.ServerKeyGen(nil)
+	if err != nil {
+		return nil, err
+	}
+	sched := timefmt.MustSchedule(time.Second)
+	now := time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+	srv := timeserver.NewServer(set, key, sched,
+		timeserver.WithClock(func() time.Time { return now }),
+		timeserver.WithMetrics(obs.NewRegistry()))
+	idx := sched.Index(now)
+	labels := make([]string, cfg.Window)
+	for i := 0; i < cfg.Window; i++ {
+		labels[i] = sched.LabelAt(idx - int64(cfg.Window-1-i))
+		if err := srv.PublishLabel(labels[i]); err != nil {
+			return nil, fmt.Errorf("bench: pre-publishing %s: %w", labels[i], err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t := &loadTarget{
+		set: set, spub: key.Pub, sched: sched, url: ts.URL,
+		labels: labels, srv: srv, baseIdx: idx, close: ts.Close,
+	}
+	t.nextOld.Store(int64(cfg.Window)) // offsets Window, Window+1, … are unpublished
+	return t, nil
+}
+
+// newRemoteTarget bootstraps against an already-running treserver.
+// Publish ops degrade to /v1/latest fetches (the harness has no signing
+// key, by design).
+func newRemoteTarget(baseURL string, cfg ServerLoadConfig) (*loadTarget, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	set, spub, sched, err := timeserver.FetchBootstrap(ctx, baseURL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: bootstrapping %s: %w", baseURL, err)
+	}
+	probe := timeserver.NewClient(baseURL, set, spub)
+	labels, err := probe.Labels(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("bench: remote server has no published updates yet")
+	}
+	if len(labels) > cfg.Window {
+		labels = labels[len(labels)-cfg.Window:]
+	}
+	return &loadTarget{
+		set: set, spub: spub, sched: sched, url: baseURL,
+		labels: labels, close: func() {},
+	}, nil
+}
+
+// publish signs and archives one not-yet-published (older) label,
+// exercising the server's signing path under concurrent read load.
+func (t *loadTarget) publish() error {
+	off := t.nextOld.Add(1) - 1
+	return t.srv.PublishLabel(t.sched.LabelAt(t.baseIdx - off))
+}
+
+// RunServerLoad measures sustained request throughput and latency of
+// the serving path for every (preset, mix, concurrency) cell: N
+// concurrent verifying clients (cache disabled, so every op crosses
+// the wire) run a closed loop for CellDuration against a real HTTP
+// server. Mixes:
+//
+//	fetch   — GET /v1/update/{label} + decode + pairing verification
+//	catchup — CatchUp over CatchUpBatch labels (batched verification)
+//	mixed   — 70% fetch, 20% catchup, 10% publish (remote: /v1/latest)
+//
+// This is the measured form of the paper's scalability argument (§3):
+// server cost per epoch is one signature regardless of load, so the
+// serving path must be read-dominated and flat — the report shows
+// whether it is.
+func RunServerLoad(cfg ServerLoadConfig) (*ServerReport, *Table, error) {
+	cfg = cfg.withDefaults()
+	rep := &ServerReport{
+		Description: "sustained serving-path load: N concurrent verifying clients (no client cache) against a real HTTP time server; latencies are per-operation, RPS is completed operations per second",
+	}
+	table := &Table{
+		ID:    "SERVER",
+		Title: "Serving-path load: throughput and latency under concurrent clients",
+		Claim: "one passive broadcast serves all users (§3): the server path is read-dominated and stays flat as concurrency grows",
+		Columns: []string{
+			"params/mix", "clients", "rps", "p50", "p95", "p99", "ops", "errs",
+		},
+	}
+
+	targets := make(map[string]*loadTarget)
+	defer func() {
+		for _, t := range targets {
+			t.close()
+		}
+	}()
+	target := func(preset string) (*loadTarget, error) {
+		if t, ok := targets[preset]; ok {
+			return t, nil
+		}
+		var t *loadTarget
+		var err error
+		if cfg.BaseURL != "" {
+			t, err = newRemoteTarget(cfg.BaseURL, cfg)
+		} else {
+			t, err = newLocalTarget(preset, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		targets[preset] = t
+		return t, nil
+	}
+
+	for _, preset := range cfg.Presets {
+		for _, mix := range cfg.Mixes {
+			for _, clients := range cfg.Clients {
+				t, err := target(preset)
+				if err != nil {
+					return nil, nil, err
+				}
+				row, err := runCell(t, mix, clients, cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				rep.Rows = append(rep.Rows, row)
+				table.Add(
+					fmt.Sprintf("%s/%s", t.set.Name, mix),
+					fmt.Sprintf("%d", clients),
+					fmt.Sprintf("%.0f", row.RPS),
+					nsHuman(row.P50NS), nsHuman(row.P95NS), nsHuman(row.P99NS),
+					fmt.Sprintf("%d", row.Ops),
+					fmt.Sprintf("%d", row.Errors),
+				)
+			}
+		}
+	}
+	table.Note("fetch = one update request + decode + pairing verification per op; catchup = %d labels per op with one batched pairing equation; mixed = 70%% fetch / 20%% catchup / 10%% publish", cfg.CatchUpBatch)
+	table.Note("clients pin the server key and verify everything; the client-side cache is disabled so every op exercises the server")
+	return rep, table, nil
+}
+
+// runCell runs one (target, mix, clients) cell.
+func runCell(t *loadTarget, mix string, clients int, cfg ServerLoadConfig) (ServerRow, error) {
+	switch mix {
+	case "fetch", "catchup", "mixed":
+	default:
+		return ServerRow{}, fmt.Errorf("bench: unknown workload mix %q (want fetch, catchup or mixed)", mix)
+	}
+
+	creg := obs.NewRegistry()
+	servedBefore := int64(0)
+	publishedBefore := int64(0)
+	if t.srv != nil {
+		servedBefore = t.srv.Served()
+		publishedBefore = t.srv.Published()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errs     atomic.Int64
+		samples  = make([][]int64, clients)
+		deadline = time.Now().Add(cfg.CellDuration)
+	)
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker RNG: no lock contention, distinct streams.
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			client := timeserver.NewClient(t.url, t.set, t.spub,
+				timeserver.WithoutCache(), timeserver.WithClientMetrics(creg))
+			ctx := context.Background()
+			var local []int64
+			for time.Now().Before(deadline) {
+				opStart := time.Now()
+				err := runOp(ctx, t, client, mix, rng, cfg)
+				local = append(local, time.Since(opStart).Nanoseconds())
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+			samples[w] = local
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []int64
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	row := ServerRow{
+		Preset:     t.set.Name,
+		Mix:        mix,
+		Clients:    clients,
+		Ops:        int64(len(all)),
+		Errors:     errs.Load(),
+		DurationNS: elapsed.Nanoseconds(),
+		RPS:        float64(len(all)) / elapsed.Seconds(),
+		P50NS:      pct(all, 0.50),
+		P95NS:      pct(all, 0.95),
+		P99NS:      pct(all, 0.99),
+	}
+	if t.srv != nil {
+		row.ServerRequests = t.srv.Served() - servedBefore
+		row.Published = t.srv.Published() - publishedBefore
+	}
+	row.ClientPairings = creg.Snapshot().Counters["core.pairings"]
+	return row, nil
+}
+
+// runOp executes one operation of the given mix.
+func runOp(ctx context.Context, t *loadTarget, client *timeserver.Client, mix string, rng *rand.Rand, cfg ServerLoadConfig) error {
+	op := mix
+	if mix == "mixed" {
+		switch r := rng.Float64(); {
+		case r < 0.7:
+			op = "fetch"
+		case r < 0.9:
+			op = "catchup"
+		default:
+			op = "publish"
+		}
+	}
+	switch op {
+	case "fetch":
+		_, err := client.Update(ctx, t.labels[rng.Intn(len(t.labels))])
+		return err
+	case "catchup":
+		n := cfg.CatchUpBatch
+		if n > len(t.labels) {
+			n = len(t.labels)
+		}
+		start := rng.Intn(len(t.labels) - n + 1)
+		_, err := client.CatchUp(ctx, t.labels[start:start+n])
+		return err
+	case "publish":
+		if t.srv == nil {
+			// Remote target: no signing key here — the closest
+			// server-touching op is the uncached latest fetch.
+			_, err := client.Latest(ctx)
+			return err
+		}
+		return t.publish()
+	}
+	return fmt.Errorf("bench: unknown op %q", op)
+}
+
+// pct picks an exact percentile from sorted samples (nearest-rank).
+func pct(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// nsHuman renders nanoseconds with an adaptive unit.
+func nsHuman(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2f s", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2f ms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1f µs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%d ns", ns)
+	}
+}

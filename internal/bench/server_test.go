@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServerLoadDefaults(t *testing.T) {
+	full := ServerLoadConfig{}.withDefaults()
+	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 3 {
+		t.Fatalf("full defaults: %+v", full)
+	}
+	quick := ServerLoadConfig{Quick: true}.withDefaults()
+	if len(quick.Presets) != 1 || quick.Presets[0] != "Test160" {
+		t.Fatalf("quick presets: %v", quick.Presets)
+	}
+	if quick.CellDuration >= full.CellDuration {
+		t.Fatal("quick cells must be shorter than full cells")
+	}
+	clamped := ServerLoadConfig{Window: 4, CatchUpBatch: 9}.withDefaults()
+	if clamped.CatchUpBatch != 4 {
+		t.Fatalf("CatchUpBatch not clamped to Window: %d", clamped.CatchUpBatch)
+	}
+}
+
+func TestServerLoadRejectsUnknownMix(t *testing.T) {
+	_, _, err := RunServerLoad(ServerLoadConfig{
+		Quick: true, Mixes: []string{"stampede"},
+		Clients: []int{1}, CellDuration: 10 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "stampede") {
+		t.Fatalf("unknown mix not rejected: %v", err)
+	}
+}
+
+// TestServerLoadQuickCell runs one real in-process cell per mix and
+// sanity-checks the accounting that BENCH_server.json is built from.
+func TestServerLoadQuickCell(t *testing.T) {
+	rep, table, err := RunServerLoad(ServerLoadConfig{
+		Quick: true, Clients: []int{2}, CellDuration: 60 * time.Millisecond,
+		Window: 16, CatchUpBatch: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (one per mix)", len(rep.Rows))
+	}
+	var sawPublish bool
+	for _, r := range rep.Rows {
+		if r.Preset != "Test160" || r.Clients != 2 {
+			t.Fatalf("wrong cell identity: %+v", r)
+		}
+		if r.Ops <= 0 || r.Errors != 0 || r.RPS <= 0 {
+			t.Fatalf("implausible cell: %+v", r)
+		}
+		if r.P50NS <= 0 || r.P95NS < r.P50NS || r.P99NS < r.P95NS {
+			t.Fatalf("quantiles not monotone: %+v", r)
+		}
+		if r.ServerRequests <= 0 {
+			t.Fatalf("in-process cell recorded no server requests: %+v", r)
+		}
+		if r.ClientPairings <= 0 {
+			t.Fatalf("clients verified nothing: %+v", r)
+		}
+		if r.Mix == "mixed" && r.Published > 0 {
+			sawPublish = true
+		}
+		if r.Mix != "mixed" && r.Published != 0 {
+			t.Fatalf("non-mixed cell published: %+v", r)
+		}
+	}
+	_ = sawPublish // publish share is probabilistic; tolerate zero in a 60ms cell
+	if !strings.Contains(table.String(), "Test160/catchup") {
+		t.Fatalf("table missing catchup cell:\n%s", table.String())
+	}
+}
+
+func TestPct(t *testing.T) {
+	if pct(nil, 0.5) != 0 {
+		t.Fatal("empty samples must yield 0")
+	}
+	s := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if got := pct(s, 0.50); got != 50 {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := pct(s, 0.99); got != 90 {
+		t.Fatalf("p99 (nearest-rank) = %d", got)
+	}
+	if got := pct(s, 1.0); got != 100 {
+		t.Fatalf("p100 = %d", got)
+	}
+}
+
+func TestNSHuman(t *testing.T) {
+	for _, tc := range []struct {
+		ns   int64
+		want string
+	}{
+		{950, "950 ns"},
+		{1_500, "1.5 µs"},
+		{2_500_000, "2.50 ms"},
+		{3_000_000_000, "3.00 s"},
+	} {
+		if got := nsHuman(tc.ns); got != tc.want {
+			t.Fatalf("nsHuman(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}

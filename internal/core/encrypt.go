@@ -70,6 +70,7 @@ func (sc *Scheme) encapsulate(spub ServerPublicKey, upub UserPublicKey, label st
 		return curve.Point{}, pairing.GT{}, ErrUnsafeLabel
 	}
 	u := c.ScalarMultBase(sc.baseTable(spub.G), r)
+	sc.met.pairings.Inc()
 	k := sc.Set.Pairing.Pair(c.ScalarMult(r, upub.ASG), h)
 	return u, k, nil
 }
@@ -85,6 +86,7 @@ func (sc *Scheme) SafeLabel(spub ServerPublicKey, label string) bool {
 // decapsulate computes K' = ê(U, I_T)^a as ê(a·U, I_T).
 func (sc *Scheme) decapsulate(upriv *UserKeyPair, upd KeyUpdate, u curve.Point) pairing.GT {
 	c := sc.Set.Curve
+	sc.met.pairings.Inc()
 	return sc.Set.Pairing.Pair(c.ScalarMult(upriv.A, u), upd.Point)
 }
 

@@ -32,5 +32,6 @@ func (sc *Scheme) VerifyReKeyedKey(certifiedAG curve.Point, newServer ServerPubl
 	// Both first arguments (the canonical generator and the new server's
 	// s'G') are fixed per server, so the prepared cache applies.
 	pk := sc.PreparedServerKey(ServerPublicKey{G: sc.Set.G, SG: newServer.SG})
+	sc.met.pairings.Add(2)
 	return sc.Set.Pairing.SamePairingPrepared(pk.G(), newPub.ASG, pk.SG(), certifiedAG)
 }

@@ -29,6 +29,7 @@ import (
 
 	"timedrelease/internal/bls"
 	"timedrelease/internal/curve"
+	"timedrelease/internal/obs"
 	"timedrelease/internal/params"
 	"timedrelease/internal/rohash"
 )
@@ -68,6 +69,35 @@ type Scheme struct {
 	// lifetime of a Scheme — so a·G, a·sG and r·G all run on the
 	// windowed fixed-base ladder after the first use of each point.
 	bases map[string]*curve.BaseTable
+
+	// met holds the scheme's observability hooks. All fields are nil
+	// until Instrument is called; obs types no-op on nil, so the
+	// uninstrumented hot path pays one branch per event.
+	met schemeMetrics
+}
+
+// schemeMetrics are the core-layer counters (see docs/OBSERVABILITY.md
+// for the metric name registry).
+type schemeMetrics struct {
+	pairings     *obs.Counter // pairing evaluations (Miller loop + final exp)
+	preparedHit  *obs.Counter // prepared server-key cache hits
+	preparedMiss *obs.Counter // … and misses (one Precompute each)
+	baseHit      *obs.Counter // fixed-base table cache hits
+	baseMiss     *obs.Counter // … and misses (one PrecomputeBase each)
+}
+
+// Instrument registers the scheme's counters on r (metric names
+// core.*) and starts recording. Call before concurrent use; returns sc
+// for chaining.
+func (sc *Scheme) Instrument(r *obs.Registry) *Scheme {
+	sc.met = schemeMetrics{
+		pairings:     r.Counter("core.pairings"),
+		preparedHit:  r.Counter("core.prepared_cache_hit"),
+		preparedMiss: r.Counter("core.prepared_cache_miss"),
+		baseHit:      r.Counter("core.basetable_cache_hit"),
+		baseMiss:     r.Counter("core.basetable_cache_miss"),
+	}
+	return sc
 }
 
 // NewScheme returns a TRE scheme instance over the given parameters.
@@ -87,8 +117,10 @@ func (sc *Scheme) baseTable(p curve.Point) *curve.BaseTable {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if t, ok := sc.bases[key]; ok {
+		sc.met.baseHit.Inc()
 		return t
 	}
+	sc.met.baseMiss.Inc()
 	t := c.PrecomputeBase(p)
 	sc.bases[key] = t
 	return t
@@ -103,8 +135,10 @@ func (sc *Scheme) PreparedServerKey(spub ServerPublicKey) *bls.PreparedPublicKey
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if pk, ok := sc.prepared[key]; ok {
+		sc.met.preparedHit.Inc()
 		return pk
 	}
+	sc.met.preparedMiss.Inc()
 	pk := bls.PreparePublicKey(sc.Set, bls.PublicKey(spub))
 	sc.prepared[key] = pk
 	return pk
@@ -153,7 +187,26 @@ func (sc *Scheme) IssueUpdate(server *ServerKeyPair, label string) KeyUpdate {
 // ê(G, I_T) = ê(sG, H1(T)). Both first pairing arguments are the fixed
 // server key, so the check runs on the cached prepared path.
 func (sc *Scheme) VerifyUpdate(spub ServerPublicKey, u KeyUpdate) bool {
+	sc.met.pairings.Add(2) // one pairing per side of the check
 	return sc.PreparedServerKey(spub).Verify(sc.Set, TimeDomain, []byte(u.Label), bls.Signature{Point: u.Point})
+}
+
+// VerifyUpdateBatch checks many updates against one blinded batched
+// pairing equation — two pairings total instead of two per update. It
+// only reports whether the whole batch verifies; callers wanting to
+// locate an offender fall back to per-update VerifyUpdate.
+func (sc *Scheme) VerifyUpdateBatch(spub ServerPublicKey, updates []KeyUpdate) (bool, error) {
+	if len(updates) == 0 {
+		return true, nil
+	}
+	msgs := make([][]byte, len(updates))
+	sigs := make([]bls.Signature, len(updates))
+	for i, u := range updates {
+		msgs[i] = []byte(u.Label)
+		sigs[i] = bls.Signature{Point: u.Point}
+	}
+	sc.met.pairings.Add(2) // the whole batch collapses to one two-pairing check
+	return sc.PreparedServerKey(spub).VerifyBatch(sc.Set, TimeDomain, msgs, sigs, nil)
 }
 
 // UserPublicKey is PK_U = (aG, a·sG). AG is always taken over the
@@ -225,6 +278,7 @@ func (sc *Scheme) VerifyUserPublicKey(spub ServerPublicKey, upub UserPublicKey) 
 	// points can sit in the prepared first slots; the varying user points
 	// pair as cheap second arguments.
 	pk := sc.PreparedServerKey(ServerPublicKey{G: sc.Set.G, SG: spub.SG})
+	sc.met.pairings.Add(2)
 	return sc.Set.Pairing.SamePairingPrepared(pk.SG(), upub.AG, pk.G(), upub.ASG)
 }
 

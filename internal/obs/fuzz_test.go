@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzMetricsSnapshot drives the /metrics JSON encoder with arbitrary
+// metric names (including control characters and invalid UTF-8, which
+// encoding/json must escape or replace) and arbitrary values, and
+// asserts the emitted document is always valid JSON that decodes back
+// into a Snapshot. Run a campaign with
+//
+//	go test -fuzz FuzzMetricsSnapshot ./internal/obs
+//
+// Under plain `go test` the seed corpus acts as an encoder regression
+// suite.
+func FuzzMetricsSnapshot(f *testing.F) {
+	f.Add("requests", int64(1), int64(1000), int64(-7), uint(2))
+	f.Add("", int64(-1), int64(0), int64(1<<62), uint(0))
+	f.Add("weird\x00name\xff\"quote", int64(42), int64(-1), int64(5), uint(100))
+	f.Add("nested.dots.and spaces", int64(0), int64(1), int64(1), uint(7))
+	f.Fuzz(func(t *testing.T, name string, cval, bound, obsNS int64, n uint) {
+		r := NewRegistry()
+		r.Counter(name).Add(cval)
+		r.Counter(name + ".twice").Add(cval)
+		r.Gauge(name).Set(cval)
+		r.GaugeFunc(name+".fn", func() int64 { return cval })
+		h := r.HistogramWith(name, []int64{bound, bound + 1, bound * 2})
+		for i := uint(0); i < n%256; i++ {
+			h.ObserveNS(obsNS + int64(i))
+		}
+
+		out := r.Snapshot().JSON()
+		if !json.Valid(out) {
+			t.Fatalf("snapshot JSON invalid: %q", out)
+		}
+		var back Snapshot
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("snapshot does not round-trip: %v\n%s", err, out)
+		}
+		// The histogram must carry every observation; json escaping may
+		// rewrite invalid UTF-8 in the name, so locate it by count
+		// rather than by key.
+		var found bool
+		for _, hs := range back.Histograms {
+			if hs.Count == int64(n%256) {
+				found = true
+				// Quantiles must be monotone for any bucket layout.
+				if hs.P50NS > hs.P95NS || hs.P95NS > hs.P99NS {
+					t.Fatalf("non-monotone quantiles: %+v", hs)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("no histogram with %d observations in decoded snapshot", n%256)
+		}
+		// Reset must empty values but keep the document valid.
+		r.Reset()
+		if !json.Valid(r.Snapshot().JSON()) {
+			t.Fatal("post-reset snapshot JSON invalid")
+		}
+	})
+}

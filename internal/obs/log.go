@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger emits structured events as one JSON object per line:
+//
+//	{"ts":"2026-08-06T12:00:00.000000001Z","event":"publish","label":"...","n":3}
+//
+// It is deliberately tiny: no levels beyond the event name, no
+// hierarchy, no buffering. The time server's privacy posture (§3: the
+// server learns nothing about requesters) is preserved by construction
+// — callers log what THEY did (published an update, finished a load
+// cell), never who asked.
+//
+// All methods are safe for concurrent use and no-op on a nil receiver,
+// so components carry a *Logger unconditionally.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing to w (nil w yields a logger that
+// drops everything, same as a nil *Logger).
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w, now: time.Now}
+}
+
+// WithClock substitutes the timestamp source (tests).
+func (l *Logger) WithClock(now func() time.Time) *Logger {
+	if l != nil && now != nil {
+		l.now = now
+	}
+	return l
+}
+
+// Event writes one event line. kv are alternating key, value pairs;
+// values must be JSON-encodable (anything that is not encodes as its
+// fmt %v string). A trailing odd key gets the value true, so
+// l.Event("shutdown", "graceful") still emits something useful.
+func (l *Logger) Event(event string, kv ...any) {
+	if l == nil {
+		return
+	}
+	obj := make(map[string]any, 2+len(kv)/2)
+	obj["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+	obj["event"] = event
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprint(kv[i])
+		if i+1 >= len(kv) {
+			obj[key] = true
+			break
+		}
+		obj[key] = jsonable(kv[i+1])
+	}
+	line, err := json.Marshal(obj)
+	if err != nil {
+		// jsonable guarantees encodability; keep the event anyway.
+		line = []byte(fmt.Sprintf(`{"ts":%q,"event":%q,"error":"unencodable fields"}`,
+			obj["ts"], event))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(append(line, '\n'))
+}
+
+// jsonable returns v if encoding/json can handle it, else its %v
+// rendering — an event line must never be lost to a bad field.
+func jsonable(v any) any {
+	if _, err := json.Marshal(v); err != nil {
+		return fmt.Sprint(v)
+	}
+	return v
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods no-op on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be non-negative; negative deltas belong on a
+// Gauge).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, live workers).
+// The zero value is ready to use; all methods no-op on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add applies a signed delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBuckets are the histogram upper bounds used when none
+// are given: 1–2–5 decades from 1µs to 30s, wide enough for a cached
+// archive read at the bottom and an SS1024 pairing (or a stalled disk)
+// at the top. Values are nanoseconds.
+var DefaultLatencyBuckets = []int64{
+	1_000, 2_000, 5_000, // 1, 2, 5 µs
+	10_000, 20_000, 50_000, // 10, 20, 50 µs
+	100_000, 200_000, 500_000, // 0.1, 0.2, 0.5 ms
+	1_000_000, 2_000_000, 5_000_000, // 1, 2, 5 ms
+	10_000_000, 20_000_000, 50_000_000, // 10, 20, 50 ms
+	100_000_000, 200_000_000, 500_000_000, // 0.1, 0.2, 0.5 s
+	1_000_000_000, 2_000_000_000, 5_000_000_000, // 1, 2, 5 s
+	10_000_000_000, 30_000_000_000, // 10, 30 s
+}
+
+// Histogram counts observations into fixed buckets and keeps the total
+// count and sum, all atomically — one Observe is a few atomic adds, no
+// locks, safe for any number of concurrent observers. Quantiles are
+// estimated from the bucket counts at snapshot time.
+//
+// All methods no-op on a nil receiver.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds (ns); +Inf implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds in nanoseconds (nil selects DefaultLatencyBuckets). Bounds
+// that are unsorted or duplicated are sanitised by dropping the
+// offenders, so a histogram is always well-formed.
+func NewHistogram(boundsNS []int64) *Histogram {
+	if boundsNS == nil {
+		boundsNS = DefaultLatencyBuckets
+	}
+	clean := make([]int64, 0, len(boundsNS))
+	for _, b := range boundsNS {
+		if len(clean) == 0 || b > clean[len(clean)-1] {
+			clean = append(clean, b)
+		}
+	}
+	return &Histogram{
+		bounds: clean,
+		counts: make([]atomic.Int64, len(clean)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNS(d.Nanoseconds()) }
+
+// Since records the time elapsed from start — the usual call shape is
+//
+//	defer h.Since(time.Now())
+//
+// (the argument is evaluated at defer time, the elapsed time at return).
+func (h *Histogram) Since(start time.Time) { h.Observe(time.Since(start)) }
+
+// ObserveNS records one value in nanoseconds. Negative values clamp to
+// zero (a clock step mid-measurement should not corrupt the buckets).
+func (h *Histogram) ObserveNS(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[h.bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// bucketOf returns the index of the first bucket whose bound is ≥ ns
+// (len(bounds) for the overflow bucket). Binary search: bucket counts
+// are small and fixed.
+func (h *Histogram) bucketOf(ns int64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func (h *Histogram) reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// Snapshot copies the histogram state and derives the p50/p95/p99
+// estimates. Empty buckets are included so consumers always see the
+// full layout.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumNS:   h.sum.Load(),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	for i := range h.counts {
+		le := int64(-1) // the +Inf overflow bucket
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{LE: le, Count: h.counts[i].Load()}
+	}
+	// Concurrent observers may have bumped a bucket after count was
+	// read; quantiles are computed over what the buckets actually hold.
+	s.P50NS = s.Quantile(0.50)
+	s.P95NS = s.Quantile(0.95)
+	s.P99NS = s.Quantile(0.99)
+	return s
+}
+
+// Bucket is one histogram bucket in a snapshot. LE is the inclusive
+// upper bound in nanoseconds, or -1 for the overflow (+Inf) bucket.
+type Bucket struct {
+	LE    int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	SumNS   int64    `json:"sum_ns"`
+	P50NS   int64    `json:"p50_ns"`
+	P95NS   int64    `json:"p95_ns"`
+	P99NS   int64    `json:"p99_ns"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in nanoseconds by
+// linear interpolation inside the bucket containing the target rank.
+// The overflow bucket has no upper bound, so ranks landing there
+// report the last finite bound — a deliberate floor, read "≥ this".
+// Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var seen int64
+	for i, b := range s.Buckets {
+		if float64(seen+b.Count) < rank {
+			seen += b.Count
+			continue
+		}
+		if b.LE < 0 { // overflow bucket
+			if i > 0 {
+				return s.Buckets[i-1].LE
+			}
+			return 0
+		}
+		lower := int64(0)
+		if i > 0 {
+			lower = s.Buckets[i-1].LE
+		}
+		if b.Count == 0 {
+			return b.LE
+		}
+		frac := (rank - float64(seen)) / float64(b.Count)
+		return lower + int64(frac*float64(b.LE-lower))
+	}
+	// Unreachable: total > 0 guarantees the loop returns.
+	return 0
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("re-registering a counter name must return the same counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	r.GaugeFunc("polled", func() int64 { return 42 })
+	s := r.Snapshot()
+	if s.Counters["c"] != 5 || s.Gauges["g"] != 4 || s.Gauges["polled"] != 42 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.GaugeFunc("x", func() int64 { return 1 })
+	r.Histogram("x").Observe(time.Second)
+	r.Reset()
+	if n := len(r.Snapshot().Names()); n != 0 {
+		t.Fatalf("nil registry snapshot has %d metrics", n)
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Load() != 0 {
+		t.Fatal("nil counter must load 0")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Load() != 0 {
+		t.Fatal("nil gauge must load 0")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	h.Since(time.Now())
+	if h.Count() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram must be empty")
+	}
+	var l *Logger
+	l.Event("ignored", "k", "v") // must not panic
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	// 1..100 ms in 1 ms steps over the default buckets: p50 must land
+	// near 50 ms, p99 near 100 ms (bucket interpolation is coarse by
+	// design — assert the right bucket, not exact values).
+	h := NewHistogram(nil)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.P50NS < 20_000_000 || s.P50NS > 50_000_000 {
+		t.Fatalf("p50 = %d ns, want within (20ms, 50ms]", s.P50NS)
+	}
+	if s.P95NS < 50_000_000 || s.P95NS > 100_000_000 {
+		t.Fatalf("p95 = %d ns, want within (50ms, 100ms]", s.P95NS)
+	}
+	if s.P99NS < s.P95NS {
+		t.Fatalf("p99 (%d) < p95 (%d)", s.P99NS, s.P95NS)
+	}
+	wantSum := int64(0)
+	for i := 1; i <= 100; i++ {
+		wantSum += int64(i) * 1_000_000
+	}
+	if s.SumNS != wantSum {
+		t.Fatalf("sum = %d, want %d", s.SumNS, wantSum)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 30})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	h.ObserveNS(-5) // clamps to 0
+	h.ObserveNS(1_000_000)
+	s := h.Snapshot()
+	if s.Buckets[0].Count != 1 {
+		t.Fatalf("negative observation not clamped into first bucket: %+v", s.Buckets)
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.LE != -1 || last.Count != 1 {
+		t.Fatalf("overflow bucket wrong: %+v", last)
+	}
+	// A rank in the overflow bucket reports the last finite bound.
+	if got := s.Quantile(1); got != 30 {
+		t.Fatalf("overflow quantile = %d, want 30", got)
+	}
+	// Unsorted/duplicate bounds are sanitised.
+	h2 := NewHistogram([]int64{10, 5, 10, 20})
+	if len(h2.bounds) != 2 || h2.bounds[0] != 10 || h2.bounds[1] != 20 {
+		t.Fatalf("bounds not sanitised: %v", h2.bounds)
+	}
+}
+
+func TestResetKeepsRegistrations(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(time.Millisecond)
+	r.Reset()
+	s := r.Snapshot()
+	if s.Counters["c"] != 0 || s.Gauges["g"] != 0 || s.Histograms["h"].Count != 0 {
+		t.Fatalf("reset left values behind: %+v", s)
+	}
+	if _, ok := s.Histograms["h"]; !ok {
+		t.Fatal("reset dropped a registration")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").ObserveNS(int64(i) * 1000)
+				if i%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 8*500 || s.Histograms["h"].Count != 8*500 {
+		t.Fatalf("lost updates: %+v", s.Counters)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(2)
+	r.Histogram("latency").Observe(3 * time.Millisecond)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("handler body is not valid snapshot JSON: %v", err)
+	}
+	if s.Counters["requests"] != 2 || s.Histograms["latency"].Count != 1 {
+		t.Fatalf("round-tripped snapshot mismatch: %+v", s)
+	}
+}
+
+func TestLoggerEvents(t *testing.T) {
+	var buf bytes.Buffer
+	fixed := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	l := NewLogger(&buf).WithClock(func() time.Time { return fixed })
+	l.Event("publish", "label", "2026-08-06T12:00:00Z", "n", 3)
+	l.Event("odd-tail", "graceful")
+	l.Event("bad-value", "ch", make(chan int)) // unencodable → %v string
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if first["event"] != "publish" || first["n"] != float64(3) || first["ts"] != "2026-08-06T12:00:00Z" {
+		t.Fatalf("event fields wrong: %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if second["graceful"] != true {
+		t.Fatalf("odd trailing key not defaulted to true: %v", second)
+	}
+	var third map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &third); err != nil {
+		t.Fatalf("line 2 not JSON despite unencodable field: %v", err)
+	}
+	if _, ok := third["ch"].(string); !ok {
+		t.Fatalf("unencodable value not stringified: %v", third)
+	}
+	if NewLogger(nil) != nil {
+		t.Fatal("NewLogger(nil) must return nil")
+	}
+}

@@ -10,7 +10,57 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"timedrelease/internal/obs"
 )
+
+// Pool-wide instrumentation. The atomics are always maintained (a few
+// adds per For call, negligible against a Miller loop); Instrument
+// additionally mirrors them into an obs.Registry so they appear in the
+// /metrics snapshot alongside the serving-path metrics.
+var (
+	statBatches atomic.Int64 // For calls that spawned workers
+	statInline  atomic.Int64 // For calls that ran on the caller
+	statTasks   atomic.Int64 // indices executed (either way)
+	statPending atomic.Int64 // indices dispatched but not yet finished
+	statActive  atomic.Int64 // workers currently running
+)
+
+// Stats is a point-in-time copy of the pool counters.
+type Stats struct {
+	Batches       int64 // fork-join batches that used workers
+	Inline        int64 // batches degenerate to the calling goroutine
+	Tasks         int64 // total indices executed
+	PendingTasks  int64 // queue depth right now
+	ActiveWorkers int64 // workers running right now
+}
+
+// ReadStats returns the current pool counters.
+func ReadStats() Stats {
+	return Stats{
+		Batches:       statBatches.Load(),
+		Inline:        statInline.Load(),
+		Tasks:         statTasks.Load(),
+		PendingTasks:  statPending.Load(),
+		ActiveWorkers: statActive.Load(),
+	}
+}
+
+// Instrument registers the pool counters on r as polled gauges under
+// parallel.* (worker utilisation = parallel.active_workers against
+// GOMAXPROCS; queue depth = parallel.pending_tasks). Multiple
+// registries may be instrumented; the pool is process-global.
+func Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("parallel.batches", func() int64 { return statBatches.Load() })
+	r.GaugeFunc("parallel.inline_batches", func() int64 { return statInline.Load() })
+	r.GaugeFunc("parallel.tasks", func() int64 { return statTasks.Load() })
+	r.GaugeFunc("parallel.pending_tasks", func() int64 { return statPending.Load() })
+	r.GaugeFunc("parallel.active_workers", func() int64 { return statActive.Load() })
+	r.GaugeFunc("parallel.max_workers", func() int64 { return int64(runtime.GOMAXPROCS(0)) })
+}
 
 // For runs fn(0) … fn(n-1) across a worker pool bounded by
 // runtime.GOMAXPROCS(0). Each index is executed exactly once; indices
@@ -24,28 +74,39 @@ import (
 // should go to per-index slots (e.g. out[i]) so no further
 // synchronisation is needed.
 func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	statPending.Add(int64(n))
+	defer statTasks.Add(int64(n))
 	if workers <= 1 {
+		statInline.Add(1)
 		for i := 0; i < n; i++ {
 			fn(i)
+			statPending.Add(-1)
 		}
 		return
 	}
+	statBatches.Add(1)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			statActive.Add(1)
+			defer statActive.Add(-1)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				fn(i)
+				statPending.Add(-1)
 			}
 		}()
 	}

@@ -3,8 +3,13 @@ package timeserver
 import (
 	"context"
 	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
+
+	"timedrelease/internal/obs"
 )
 
 func TestCatchUpFetchesAndVerifiesMany(t *testing.T) {
@@ -78,6 +83,124 @@ func TestCatchUpRejectsForgedUpdateAndNamesIt(t *testing.T) {
 	_, err = c.CatchUp(context.Background(), labels)
 	if !errors.Is(err, ErrBadUpdate) {
 		t.Fatalf("err=%v, want ErrBadUpdate", err)
+	}
+}
+
+func TestCatchUpCorruptedBatchNamesOffendingLabel(t *testing.T) {
+	// Fault injection on ONE update of an otherwise honest batch: a
+	// proxy serves, for exactly one label, a well-formed update carrying
+	// that label but a point signed by a different key. The batched
+	// pairing equation must fail, and the per-update fallback must name
+	// the corrupted label — not just "a batch failed".
+	e := newEnv(t)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	e.clock.Advance(7 * time.Minute)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := e.client.Labels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) < 4 {
+		t.Fatalf("need at least 4 labels, got %d", len(labels))
+	}
+	bad := labels[len(labels)/2]
+
+	impostorKey, err := e.sc.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := e.sc.IssueUpdate(impostorKey, bad) // right label, wrong point
+	forgedBody := e.server.codec.MarshalKeyUpdate(forged)
+
+	real := e.server.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/update/"+bad {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(forgedBody)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	reg := obs.NewRegistry()
+	c := NewClient(proxy.URL, e.set, e.key.Pub,
+		WithHTTPClient(proxy.Client()), WithClientMetrics(reg))
+	_, err = c.CatchUp(context.Background(), labels)
+	if !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("err=%v, want ErrBadUpdate", err)
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Fatalf("error %q does not name the corrupted label %q", err, bad)
+	}
+	for _, l := range labels {
+		if l != bad && strings.Contains(err.Error(), l) {
+			t.Fatalf("error %q names an innocent label %q", err, l)
+		}
+	}
+	// Nothing from the poisoned batch may have entered the cache.
+	if n := c.CachedLen(); n != 0 {
+		t.Fatalf("poisoned batch left %d cached updates", n)
+	}
+	s := reg.Snapshot()
+	if s.Counters["client.catchup_fallback"] != 1 {
+		t.Fatalf("catchup_fallback = %d, want 1", s.Counters["client.catchup_fallback"])
+	}
+
+	// The same batch minus the corrupted label must verify cleanly.
+	clean := make([]string, 0, len(labels)-1)
+	for _, l := range labels {
+		if l != bad {
+			clean = append(clean, l)
+		}
+	}
+	if _, err := c.CatchUp(context.Background(), clean); err != nil {
+		t.Fatalf("clean batch after fault: %v", err)
+	}
+}
+
+func TestCatchUpWithoutCacheFillsResults(t *testing.T) {
+	// WithoutCache must still return every update in order — the fill
+	// path cannot rely on reading the cache back.
+	e := newEnv(t)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	e.clock.Advance(4 * time.Minute)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := e.client.Labels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(e.ts.URL, e.set, e.key.Pub, WithHTTPClient(e.ts.Client()), WithoutCache())
+	ups, err := c.CatchUp(context.Background(), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range ups {
+		if u.Label != labels[i] {
+			t.Fatalf("update %d is for %q, want %q", i, u.Label, labels[i])
+		}
+		if !e.sc.VerifyUpdate(e.key.Pub, u) {
+			t.Fatalf("update %s invalid", u.Label)
+		}
+	}
+	if c.CachedLen() != 0 {
+		t.Fatal("WithoutCache client must not cache")
+	}
+	// A second pass hits the server again (no cache to serve from).
+	before := e.server.Served()
+	if _, err := c.CatchUp(context.Background(), labels); err != nil {
+		t.Fatal(err)
+	}
+	if e.server.Served() == before {
+		t.Fatal("WithoutCache catch-up must hit the server")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"timedrelease/internal/core"
+	"timedrelease/internal/obs"
 	"timedrelease/internal/params"
 	"timedrelease/internal/timefmt"
 	"timedrelease/internal/wire"
@@ -31,14 +32,29 @@ var ErrBadUpdate = errors.New("timeserver: update failed verification against pi
 // malicious transport can cause unavailability but never a wrong
 // decryption key.
 type Client struct {
-	base  string
-	http  *http.Client
-	sc    *core.Scheme
-	spub  core.ServerPublicKey
-	codec *wire.Codec
+	base    string
+	http    *http.Client
+	sc      *core.Scheme
+	spub    core.ServerPublicKey
+	codec   *wire.Codec
+	noCache bool
 
 	mu    sync.RWMutex
 	cache map[string]core.KeyUpdate
+
+	met clientMetrics
+}
+
+// clientMetrics are the client-side counters and latency histograms
+// (names client.*; see docs/OBSERVABILITY.md). All nil until
+// WithClientMetrics; obs types no-op on nil.
+type clientMetrics struct {
+	fetchNS         *obs.Histogram // HTTP round trip, per request
+	verifyNS        *obs.Histogram // decode + pairing verification
+	cacheHit        *obs.Counter   // updates served from the local cache
+	cacheMiss       *obs.Counter   // updates that needed a fetch
+	catchupBatches  *obs.Counter   // batched CatchUp verifications
+	catchupFallback *obs.Counter   // batches that fell back to per-update
 }
 
 // ClientOption configures a Client.
@@ -47,6 +63,31 @@ type ClientOption func(*Client)
 // WithHTTPClient substitutes the HTTP client (timeouts, transports).
 func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.http = h }
+}
+
+// WithClientMetrics instruments the client (and its embedded
+// core.Scheme) against r: fetch and verification latencies, cache
+// hits/misses, and catch-up batch fallbacks.
+func WithClientMetrics(r *obs.Registry) ClientOption {
+	return func(c *Client) {
+		c.sc.Instrument(r)
+		c.met = clientMetrics{
+			fetchNS:         r.Histogram("client.fetch_ns"),
+			verifyNS:        r.Histogram("client.verify_ns"),
+			cacheHit:        r.Counter("client.cache_hit"),
+			cacheMiss:       r.Counter("client.cache_miss"),
+			catchupBatches:  r.Counter("client.catchup_batches"),
+			catchupFallback: r.Counter("client.catchup_fallback"),
+		}
+	}
+}
+
+// WithoutCache disables the verified-update cache: every Update and
+// CatchUp hits the network and re-verifies. Useful for load generation
+// (cmd/treload must exercise the server, not the client's map) and for
+// memory-constrained receivers that trade CPU for space.
+func WithoutCache() ClientOption {
+	return func(c *Client) { c.noCache = true }
 }
 
 // NewClient returns a client for the server at baseURL, verifying all
@@ -71,10 +112,7 @@ func (c *Client) ServerPublicKey() core.ServerPublicKey { return c.spub }
 
 // Update returns the verified update for label, from cache if possible.
 func (c *Client) Update(ctx context.Context, label string) (core.KeyUpdate, error) {
-	c.mu.RLock()
-	u, ok := c.cache[label]
-	c.mu.RUnlock()
-	if ok {
+	if u, ok := c.cached(label); ok {
 		return u, nil
 	}
 	body, status, err := c.get(ctx, "/v1/update/"+label)
@@ -152,8 +190,37 @@ func (c *Client) WaitForRelease(ctx context.Context, label string, poll time.Dur
 	}
 }
 
+// cached returns the update for label from the verified cache,
+// maintaining the hit/miss counters. Always a miss with WithoutCache.
+func (c *Client) cached(label string) (core.KeyUpdate, bool) {
+	if c.noCache {
+		c.met.cacheMiss.Inc()
+		return core.KeyUpdate{}, false
+	}
+	c.mu.RLock()
+	u, ok := c.cache[label]
+	c.mu.RUnlock()
+	if ok {
+		c.met.cacheHit.Inc()
+	} else {
+		c.met.cacheMiss.Inc()
+	}
+	return u, ok
+}
+
+// store caches a verified update (no-op with WithoutCache).
+func (c *Client) store(u core.KeyUpdate) {
+	if c.noCache {
+		return
+	}
+	c.mu.Lock()
+	c.cache[u.Label] = u
+	c.mu.Unlock()
+}
+
 // verifyAndCache decodes, verifies and caches an update body.
 func (c *Client) verifyAndCache(label string, body []byte) (core.KeyUpdate, error) {
+	defer c.met.verifyNS.Since(time.Now())
 	u, err := c.codec.UnmarshalKeyUpdate(body)
 	if err != nil {
 		return core.KeyUpdate{}, err
@@ -164,9 +231,7 @@ func (c *Client) verifyAndCache(label string, body []byte) (core.KeyUpdate, erro
 	if !c.sc.VerifyUpdate(c.spub, u) {
 		return core.KeyUpdate{}, ErrBadUpdate
 	}
-	c.mu.Lock()
-	c.cache[u.Label] = u
-	c.mu.Unlock()
+	c.store(u)
 	return u, nil
 }
 
@@ -180,6 +245,7 @@ func (c *Client) CachedLen() int {
 }
 
 func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
+	defer c.met.fetchNS.Since(time.Now())
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, 0, fmt.Errorf("timeserver: building request: %w", err)

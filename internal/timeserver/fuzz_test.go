@@ -1,0 +1,83 @@
+package timeserver
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/obs"
+	"timedrelease/internal/params"
+	"timedrelease/internal/wire"
+)
+
+// FuzzClientDecodeUpdate feeds arbitrary bytes to the client as an HTTP
+// update response — the exact surface a compromised or impersonated
+// server controls. The client must never panic, must reject anything
+// that is not a correctly-signed update for the requested label, and
+// must only return updates that verify against the pinned key. Run a
+// campaign with
+//
+//	go test -fuzz FuzzClientDecodeUpdate ./internal/timeserver
+func FuzzClientDecodeUpdate(f *testing.F) {
+	set := params.MustPreset("Test160")
+	sc := core.NewScheme(set)
+	key, err := sc.ServerKeyGen(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	codec := wire.NewCodec(set)
+	const label = "2026-08-06T12:00:00Z"
+	genuine := codec.MarshalKeyUpdate(sc.IssueUpdate(key, label))
+	otherLabel := codec.MarshalKeyUpdate(sc.IssueUpdate(key, "2026-08-06T12:01:00Z"))
+	impostorKey, err := sc.ServerKeyGen(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	forged := codec.MarshalKeyUpdate(sc.IssueUpdate(impostorKey, label))
+
+	// One server whose response body is the fuzz payload; WithoutCache
+	// keeps every Update on the parse path.
+	var mu sync.Mutex
+	var payload []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		w.Write(payload)
+	}))
+	f.Cleanup(ts.Close)
+	client := NewClient(ts.URL, set, key.Pub,
+		WithHTTPClient(ts.Client()), WithoutCache(), WithClientMetrics(obs.NewRegistry()))
+
+	f.Add(genuine)
+	f.Add(otherLabel)
+	f.Add(forged)
+	f.Add([]byte{})
+	f.Add([]byte{0, 20, 'x'})
+	if len(genuine) > 2 {
+		truncated := genuine[:len(genuine)-3]
+		f.Add(truncated)
+		flipped := append([]byte(nil), genuine...)
+		flipped[len(flipped)-1] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mu.Lock()
+		payload = data
+		mu.Unlock()
+		u, err := client.Update(context.Background(), label)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be exactly a verified update for the
+		// requested label (only the genuine seed can get here).
+		if u.Label != label {
+			t.Fatalf("accepted update for label %q, asked for %q", u.Label, label)
+		}
+		if !sc.VerifyUpdate(key.Pub, u) {
+			t.Fatal("accepted update that fails verification")
+		}
+	})
+}

@@ -22,6 +22,8 @@ import (
 
 	"timedrelease/internal/archive"
 	"timedrelease/internal/core"
+	"timedrelease/internal/obs"
+	"timedrelease/internal/parallel"
 	"timedrelease/internal/params"
 	"timedrelease/internal/timefmt"
 	"timedrelease/internal/wire"
@@ -39,6 +41,15 @@ type Server struct {
 	published atomic.Int64 // updates published (for experiments)
 	served    atomic.Int64 // HTTP requests served
 	notify    *notifier    // wakes long-poll waiters on publish
+
+	// Observability (nil without WithMetrics/WithLogger; obs types
+	// no-op on nil). The registry never records anything about
+	// requesters — counts and latencies only, matching the paper's
+	// no-user-state server.
+	reg        *obs.Registry
+	log        *obs.Logger
+	mPublished *obs.Counter
+	mPublishNS *obs.Histogram
 }
 
 // Option configures a Server.
@@ -52,6 +63,25 @@ func WithArchive(a archive.Archive) Option {
 // WithClock substitutes the time source (tests and simulations).
 func WithClock(clock func() time.Time) Option {
 	return func(s *Server) { s.clock = clock }
+}
+
+// WithMetrics instruments the server (and its embedded core.Scheme and
+// the shared parallel pool) against r: request counts and latencies
+// per endpoint, archive hits/misses, publish counts and signing
+// latencies. See docs/OBSERVABILITY.md for the metric names.
+func WithMetrics(r *obs.Registry) Option {
+	return func(s *Server) {
+		s.reg = r
+		s.sc.Instrument(r)
+		parallel.Instrument(r)
+		s.mPublished = r.Counter("timeserver.published")
+		s.mPublishNS = r.Histogram("timeserver.publish_ns")
+	}
+}
+
+// WithLogger emits structured events (publish, catch-up) to l.
+func WithLogger(l *obs.Logger) Option {
+	return func(s *Server) { s.log = l }
 }
 
 // NewServer creates a time server for the given parameter set, signing
@@ -100,16 +130,26 @@ func (s *Server) PublishUpTo(now time.Time) (int, error) {
 		if _, ok := s.arch.Get(label); ok {
 			continue
 		}
-		if err := s.arch.Put(s.sc.IssueUpdate(s.key, label)); err != nil {
+		if err := s.arch.Put(s.issue(label)); err != nil {
 			return n, fmt.Errorf("timeserver: archiving update %s: %w", label, err)
 		}
+		s.mPublished.Inc()
 		s.published.Add(1)
 		n++
 	}
 	if n > 0 {
 		s.notify.wake()
+		s.log.Event("publish-catchup", "from", s.sched.LabelAt(from), "to", s.sched.LabelAt(cur), "n", n)
 	}
 	return n, nil
+}
+
+// issue signs one update, recording the signing latency.
+func (s *Server) issue(label string) core.KeyUpdate {
+	start := time.Now()
+	u := s.sc.IssueUpdate(s.key, label)
+	s.mPublishNS.Since(start)
+	return u
 }
 
 // PublishLabel signs and archives one specific label, refusing labels
@@ -123,11 +163,13 @@ func (s *Server) PublishLabel(label string) error {
 	if t.After(s.clock()) {
 		return ErrFutureLabel
 	}
-	if err := s.arch.Put(s.sc.IssueUpdate(s.key, label)); err != nil {
+	if err := s.arch.Put(s.issue(label)); err != nil {
 		return err
 	}
+	s.mPublished.Inc()
 	s.published.Add(1)
 	s.notify.wake()
+	s.log.Event("publish", "label", label)
 	return nil
 }
 
@@ -161,6 +203,10 @@ func (s *Server) Published() int64 { return s.published.Load() }
 // Served returns the number of HTTP requests served.
 func (s *Server) Served() int64 { return s.served.Load() }
 
+// Metrics returns the registry passed to WithMetrics, or nil. The
+// caller (cmd/treserver) mounts its Handler at /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
 // Handler returns the public HTTP API. It closes over only the
 // read-only view of the server — parameters, public key, schedule and
 // the archive — so no request can reach the signing key.
@@ -175,47 +221,63 @@ func (s *Server) Served() int64 { return s.served.Load() }
 //	GET /v1/healthz       → 200 ok
 func (s *Server) Handler() http.Handler {
 	view := &publicView{
-		set:    s.sc.Set,
-		pub:    s.key.Pub,
-		sched:  s.sched,
-		arch:   s.arch,
-		codec:  s.codec,
-		served: &s.served,
-		notify: s.notify,
+		set:      s.sc.Set,
+		pub:      s.key.Pub,
+		sched:    s.sched,
+		arch:     s.arch,
+		codec:    s.codec,
+		served:   &s.served,
+		notify:   s.notify,
+		reg:      s.reg,
+		archHit:  s.reg.Counter("timeserver.archive_hit"),
+		archMiss: s.reg.Counter("timeserver.archive_miss"),
 	}
 	return view.routes()
 }
 
 // publicView is the request-handling half of the server. It deliberately
-// has no reference to *Server or the private key.
+// has no reference to *Server or the private key. Its registry (when
+// instrumented) carries only aggregate counts and latencies — nothing
+// identifying a requester ever enters it.
 type publicView struct {
-	set    *params.Set
-	pub    core.ServerPublicKey
-	sched  timefmt.Schedule
-	arch   archive.Archive
-	codec  *wire.Codec
-	served *atomic.Int64
-	notify *notifier
+	set      *params.Set
+	pub      core.ServerPublicKey
+	sched    timefmt.Schedule
+	arch     archive.Archive
+	codec    *wire.Codec
+	served   *atomic.Int64
+	notify   *notifier
+	reg      *obs.Registry
+	archHit  *obs.Counter // archive lookups that found the label
+	archMiss *obs.Counter // … that did not (future/unknown label)
 }
 
 func (v *publicView) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/params", v.count(v.handleParams))
-	mux.HandleFunc("GET /v1/server-key", v.count(v.handleServerKey))
-	mux.HandleFunc("GET /v1/schedule", v.count(v.handleSchedule))
-	mux.HandleFunc("GET /v1/update/{label}", v.count(v.handleUpdate))
-	mux.HandleFunc("GET /v1/wait/{label}", v.count(v.handleWait))
-	mux.HandleFunc("GET /v1/latest", v.count(v.handleLatest))
-	mux.HandleFunc("GET /v1/labels", v.count(v.handleLabels))
-	mux.HandleFunc("GET /v1/healthz", v.count(func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /v1/params", v.observe("params", v.handleParams))
+	mux.HandleFunc("GET /v1/server-key", v.observe("server-key", v.handleServerKey))
+	mux.HandleFunc("GET /v1/schedule", v.observe("schedule", v.handleSchedule))
+	mux.HandleFunc("GET /v1/update/{label}", v.observe("update", v.handleUpdate))
+	mux.HandleFunc("GET /v1/wait/{label}", v.observe("wait", v.handleWait))
+	mux.HandleFunc("GET /v1/latest", v.observe("latest", v.handleLatest))
+	mux.HandleFunc("GET /v1/labels", v.observe("labels", v.handleLabels))
+	mux.HandleFunc("GET /v1/healthz", v.observe("healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	}))
 	return mux
 }
 
-func (v *publicView) count(h http.HandlerFunc) http.HandlerFunc {
+// observe wraps a handler with the total-served counter and, when the
+// server is instrumented, a per-endpoint request counter and latency
+// histogram. The per-endpoint metrics are bound once at route setup —
+// no map lookups on the request path.
+func (v *publicView) observe(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	requests := v.reg.Counter("timeserver.requests." + endpoint)
+	latency := v.reg.Histogram("timeserver.request_ns." + endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		v.served.Add(1)
+		requests.Inc()
+		defer latency.Since(time.Now())
 		h(w, r)
 	}
 }
@@ -240,9 +302,11 @@ func (v *publicView) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	u, ok := v.arch.Get(label)
 	if !ok {
 		// Future or unknown label: nothing is revealed, nothing is signed.
+		v.archMiss.Inc()
 		http.Error(w, "update not published", http.StatusNotFound)
 		return
 	}
+	v.archHit.Inc()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(v.codec.MarshalKeyUpdate(u))
 }
@@ -250,9 +314,11 @@ func (v *publicView) handleUpdate(w http.ResponseWriter, r *http.Request) {
 func (v *publicView) handleLatest(w http.ResponseWriter, _ *http.Request) {
 	labels := v.arch.Labels()
 	if len(labels) == 0 {
+		v.archMiss.Inc()
 		http.Error(w, "no updates published yet", http.StatusNotFound)
 		return
 	}
+	v.archHit.Inc()
 	u, _ := v.arch.Get(labels[len(labels)-1])
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(v.codec.MarshalKeyUpdate(u))

@@ -68,6 +68,7 @@ func (v *publicView) handleWait(w http.ResponseWriter, r *http.Request) {
 		// check and the wait cannot be missed.
 		woken := v.notify.wait()
 		if u, ok := v.arch.Get(label); ok {
+			v.archHit.Inc()
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Write(v.codec.MarshalKeyUpdate(u))
 			return
@@ -76,6 +77,7 @@ func (v *publicView) handleWait(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-deadline.C:
+			v.archMiss.Inc()
 			http.Error(w, "update not published within timeout", http.StatusNotFound)
 			return
 		case <-woken:

@@ -2,16 +2,33 @@ package tre
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"time"
 
 	"timedrelease/internal/archive"
 	"timedrelease/internal/hibe"
+	"timedrelease/internal/obs"
 	"timedrelease/internal/resilient"
 	"timedrelease/internal/timefmt"
 	"timedrelease/internal/timeserver"
 	"timedrelease/internal/wire"
 )
+
+// Observability (see docs/OBSERVABILITY.md).
+type (
+	// Metrics is a registry of counters, gauges and latency histograms;
+	// its Handler serves the /metrics JSON snapshot.
+	Metrics = obs.Registry
+	// EventLogger emits structured one-line JSON events.
+	EventLogger = obs.Logger
+)
+
+// NewMetrics returns an empty metric registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewEventLogger returns a logger writing JSON event lines to w.
+func NewEventLogger(w io.Writer) *EventLogger { return obs.NewLogger(w) }
 
 // Time labels and schedules.
 type (
@@ -63,6 +80,12 @@ func WithArchive(a Archive) timeserver.Option { return timeserver.WithArchive(a)
 // WithClock substitutes the server's time source (tests, simulations).
 func WithClock(clock func() time.Time) timeserver.Option { return timeserver.WithClock(clock) }
 
+// WithMetrics instruments the server against a metric registry.
+func WithMetrics(m *Metrics) timeserver.Option { return timeserver.WithMetrics(m) }
+
+// WithLogger emits the server's structured events to l.
+func WithLogger(l *EventLogger) timeserver.Option { return timeserver.WithLogger(l) }
+
 // NewTimeClient creates a client pinned to the given server public key.
 func NewTimeClient(baseURL string, set *Params, spub ServerPublicKey, opts ...timeserver.ClientOption) *TimeClient {
 	return timeserver.NewClient(baseURL, set, spub, opts...)
@@ -72,6 +95,15 @@ func NewTimeClient(baseURL string, set *Params, spub ServerPublicKey, opts ...ti
 func WithHTTPClient(h *http.Client) timeserver.ClientOption {
 	return timeserver.WithHTTPClient(h)
 }
+
+// WithClientMetrics instruments the client against a metric registry.
+func WithClientMetrics(m *Metrics) timeserver.ClientOption {
+	return timeserver.WithClientMetrics(m)
+}
+
+// WithoutCache disables the client's verified-update cache (every
+// fetch hits the network and re-verifies).
+func WithoutCache() timeserver.ClientOption { return timeserver.WithoutCache() }
 
 // FetchBootstrap retrieves (params, server key, schedule) for first-time
 // setup; authenticate the key out of band before pinning.
