@@ -7,6 +7,8 @@
 //	treload -url http://host:8440              # drive a running treserver
 //	treload -clients 8,32 -mixes fetch,mixed   # custom cells
 //	treload -duration 5s -markdown
+//	treload -mutexprofile mutex.pb.gz          # lock-contention profile of the run
+//	treload -blockprofile block.pb.gz          # blocking profile of the run
 //
 // Without -url the harness boots an in-process server per preset over
 // real HTTP (httptest), pre-publishes a window of epochs and hammers
@@ -20,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +36,12 @@ type options struct {
 	cfg      bench.ServerLoadConfig
 	out      string
 	markdown bool
+
+	// mutexProfile/blockProfile are output paths for opt-in contention
+	// profiling of the whole sweep; empty disables the (costly)
+	// instrumentation entirely.
+	mutexProfile string
+	blockProfile string
 }
 
 // parseFlags parses args (not including the program name) without
@@ -54,6 +64,8 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&mixes, "mixes", "", "comma-separated workload mixes (default fetch,catchup,mixed)")
 	fs.DurationVar(&duration, "duration", 0, "wall time per cell (default 2s, 250ms with -quick)")
 	fs.StringVar(&opts.cfg.BaseURL, "url", "", "drive a running treserver at this base URL instead of in-process")
+	fs.StringVar(&opts.mutexProfile, "mutexprofile", "", "write a mutex-contention profile of the sweep to this file")
+	fs.StringVar(&opts.blockProfile, "blockprofile", "", "write a goroutine-blocking profile of the sweep to this file")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -98,9 +110,27 @@ func main() {
 // run executes the sweep, prints the table to stdout and writes the
 // JSON report when -out is set.
 func run(opts *options, stdout, stderr io.Writer) error {
+	if opts.mutexProfile != "" {
+		// Sample every contended mutex acquisition for the whole sweep.
+		runtime.SetMutexProfileFraction(1)
+		defer runtime.SetMutexProfileFraction(0)
+	}
+	if opts.blockProfile != "" {
+		// Record every blocking event (channel waits, lock waits).
+		runtime.SetBlockProfileRate(1)
+		defer runtime.SetBlockProfileRate(0)
+	}
+
 	start := time.Now()
 	rep, table, err := bench.RunServerLoad(opts.cfg)
 	if err != nil {
+		return err
+	}
+
+	if err := writeProfile("mutex", opts.mutexProfile); err != nil {
+		return err
+	}
+	if err := writeProfile("block", opts.blockProfile); err != nil {
 		return err
 	}
 	if opts.out != "" {
@@ -123,4 +153,25 @@ func run(opts *options, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stderr)
 	return nil
+}
+
+// writeProfile dumps the named runtime profile (pprof format) to path;
+// an empty path is a no-op.
+func writeProfile(name, path string) error {
+	if path == "" {
+		return nil
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("unknown runtime profile %q", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

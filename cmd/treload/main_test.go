@@ -52,6 +52,53 @@ func TestParseFlagsOverrides(t *testing.T) {
 	}
 }
 
+func TestParseFlagsProfiles(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-mutexprofile", "m.pb.gz", "-blockprofile", "b.pb.gz",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.mutexProfile != "m.pb.gz" || opts.blockProfile != "b.pb.gz" {
+		t.Fatalf("profile paths not applied: %+v", opts)
+	}
+	opts, err = parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.mutexProfile != "" || opts.blockProfile != "" {
+		t.Fatalf("profiling must default off: %+v", opts)
+	}
+}
+
+// TestRunWritesProfiles runs a tiny sweep with contention profiling on
+// and checks both pprof documents appear.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	mp := filepath.Join(dir, "mutex.pb.gz")
+	bp := filepath.Join(dir, "block.pb.gz")
+	opts, err := parseFlags([]string{
+		"-quick", "-clients", "2", "-mixes", "encdec", "-duration", "40ms",
+		"-mutexprofile", mp, "-blockprofile", bp,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(opts, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{mp, bp} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
 func TestParseFlagsErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-clients", "zero"},

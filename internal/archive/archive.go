@@ -77,14 +77,20 @@ func (a *Memory) Get(label string) (core.KeyUpdate, bool) {
 	return u, ok
 }
 
-// Labels implements Archive.
+// Labels implements Archive. The returned slice is a fresh snapshot in
+// lexicographic order: the read lock is held only while copying the
+// keys, and the O(n log n) sort runs after it is released, so a large
+// archive never stalls concurrent Put/Get behind sorting. Labels
+// published concurrently with the call may or may not appear — the
+// snapshot is consistent with SOME moment during the call, which is all
+// the catch-up protocol needs.
 func (a *Memory) Labels() []string {
 	a.mu.RLock()
-	defer a.mu.RUnlock()
 	out := make([]string, 0, len(a.m))
 	for l := range a.m {
 		out = append(out, l)
 	}
+	a.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }

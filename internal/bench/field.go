@@ -19,6 +19,15 @@ type FieldRow struct {
 	MulNS int64 `json:"mul_ns"`
 	SqrNS int64 `json:"sqr_ns"`
 	InvNS int64 `json:"inv_ns"`
+
+	// -benchmem-style allocation counters per single operation. The
+	// montgomery backend's Mul/Sqr/Inv are all zero-alloc (stack
+	// accumulators and stack exponentiation buffers); bigint allocates a
+	// fresh big.Int per result.
+	MulAllocs int64 `json:"mul_allocs_per_op"`
+	MulBytes  int64 `json:"mul_bytes_per_op"`
+	InvAllocs int64 `json:"inv_allocs_per_op"`
+	InvBytes  int64 `json:"inv_bytes_per_op"`
 }
 
 // FieldReport is the JSON document `make bench-field` writes to
@@ -49,7 +58,7 @@ func RunField(cfg Config) (*FieldReport, *Table, error) {
 		Title: "Base-field backends: math/big reference vs fixed-limb Montgomery",
 		Claim: "every pairing and curve operation reduces to F_p multiplications; the fixed-limb Montgomery backend removes allocation and per-op reduction overhead",
 		Columns: []string{
-			"params/backend", "mul", "sqr", "inv",
+			"params/backend", "mul", "sqr", "inv", "mul allocs/op", "mul B/op",
 		},
 	}
 
@@ -113,15 +122,20 @@ func RunField(cfg Config) (*FieldReport, *Table, error) {
 				// multiplications; a small batch keeps the run short.
 				InvNS: perOp(fieldBatch/20, bk.inv),
 			}
+			row.MulAllocs, row.MulBytes = memPerOp(iters*fieldBatch, bk.mul)
+			row.InvAllocs, row.InvBytes = memPerOp(iters*fieldBatch/20, bk.inv)
 			rep.Rows = append(rep.Rows, row)
 			t.Add(fmt.Sprintf("%s/%s (|p|=%d)", set.Name, bk.name, row.PBits),
 				fmt.Sprintf("%d ns", row.MulNS),
 				fmt.Sprintf("%d ns", row.SqrNS),
-				fmt.Sprintf("%d ns", row.InvNS))
+				fmt.Sprintf("%d ns", row.InvNS),
+				fmt.Sprintf("%d", row.MulAllocs),
+				fmt.Sprintf("%d", row.MulBytes))
 		}
 	}
 	t.Note("montgomery Mul/Sqr exclude domain conversion (operands stay in Montgomery form across whole pairings)")
 	t.Note("bigint Inv is the extended-Euclid big.Int ModInverse; montgomery Inv is a Fermat exponentiation on limbs")
+	t.Note("allocs/op and B/op are -benchmem-style means; the JSON also records the inversion path's")
 	return rep, t, nil
 }
 

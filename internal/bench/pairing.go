@@ -29,6 +29,14 @@ type PairingRow struct {
 
 	SpeedupProjective float64 `json:"speedup_projective"` // affine / projective
 	SpeedupPrepared   float64 `json:"speedup_prepared"`   // affine / prepared
+
+	// Allocation discipline of the steady-state paths (-benchmem style:
+	// heap allocations and bytes per operation). The montgomery rows are
+	// the ones the zero-alloc contract in docs/PERFORMANCE.md covers.
+	ProjectiveAllocs int64 `json:"projective_allocs_per_op"`
+	ProjectiveBytes  int64 `json:"projective_bytes_per_op"`
+	PreparedAllocs   int64 `json:"prepared_allocs_per_op"`
+	PreparedBytes    int64 `json:"prepared_bytes_per_op"`
 }
 
 // PairingReport is the JSON document `make bench-pairing` writes to
@@ -57,7 +65,7 @@ func RunPairing(cfg Config) (*PairingReport, *Table, error) {
 		Title: "Miller-loop strategies: affine reference vs inversion-free vs prepared",
 		Claim: "the pairing dominates every protocol cost (§4); removing per-iteration inversions and precomputing fixed-argument line schedules attacks it directly",
 		Columns: []string{
-			"params", "affine", "projective", "prepared", "precompute", "product/4 pairs", "speedup (proj)", "speedup (prep)",
+			"params", "affine", "projective", "prepared", "precompute", "product/4 pairs", "speedup (proj)", "speedup (prep)", "prep allocs/op", "prep B/op",
 		},
 	}
 
@@ -121,6 +129,8 @@ func RunPairing(cfg Config) (*PairingReport, *Table, error) {
 					panic("trivially equal pairings differ")
 				}
 			})
+			projAllocs, projBytes := memPerOp(iters, func() { sink = b.projective() })
+			prepAllocs, prepBytes := memPerOp(iters, func() { sink = b.prepared() })
 			_ = sink
 
 			row := PairingRow{
@@ -137,17 +147,23 @@ func RunPairing(cfg Config) (*PairingReport, *Table, error) {
 				VerifyNS:          verify.Nanoseconds(),
 				SpeedupProjective: float64(affine.Nanoseconds()) / float64(projective.Nanoseconds()),
 				SpeedupPrepared:   float64(affine.Nanoseconds()) / float64(prepared.Nanoseconds()),
+				ProjectiveAllocs:  projAllocs,
+				ProjectiveBytes:   projBytes,
+				PreparedAllocs:    prepAllocs,
+				PreparedBytes:     prepBytes,
 			}
 			rep.Rows = append(rep.Rows, row)
 			t.Add(fmt.Sprintf("%s/%s (|p|=%d,|q|=%d)", set.Name, b.name, row.PBits, row.QBits),
 				ms(affine), ms(projective), ms(prepared), ms(precompute), ms(product),
-				fmt.Sprintf("%.2fx", row.SpeedupProjective), fmt.Sprintf("%.2fx", row.SpeedupPrepared))
+				fmt.Sprintf("%.2fx", row.SpeedupProjective), fmt.Sprintf("%.2fx", row.SpeedupPrepared),
+				fmt.Sprintf("%d", row.PreparedAllocs), fmt.Sprintf("%d", row.PreparedBytes))
 		}
 	}
 	t.Note("affine = per-iteration field inversion (the pre-optimisation reference, kept as PairAffine); projective = Jacobian inversion-free loop (Pair)")
 	t.Note("bigint rows pin the *Big reference methods; montgomery rows are the routed defaults on the fixed-limb backend")
 	t.Note("prepared excludes the one-off Precompute cost (shown separately); it amortises after one reuse of the fixed argument")
 	t.Note("product = PairProduct over 4 pairs: parallel Miller loops, one shared final exponentiation")
+	t.Note("allocs/op and B/op are -benchmem-style means over the prepared path; the JSON also records the projective path's")
 	return rep, t, nil
 }
 

@@ -49,7 +49,7 @@ func (c ServerLoadConfig) withDefaults() ServerLoadConfig {
 		}
 	}
 	if len(c.Mixes) == 0 {
-		c.Mixes = []string{"fetch", "catchup", "mixed"}
+		c.Mixes = []string{"fetch", "catchup", "mixed", "encdec"}
 	}
 	if c.CellDuration <= 0 {
 		if c.Quick {
@@ -118,10 +118,32 @@ type loadTarget struct {
 	url    string
 	labels []string // the pre-published window, ascending
 
+	// sc is the ONE scheme shared by every client of every cell
+	// (timeserver.WithScheme), so the whole harness exercises the
+	// sharded caches the way a real multi-client process would. ukey,
+	// updates and msg are the fixtures of the encdec workload: a user
+	// bound to the server and a verified update per window label.
+	sc      *core.Scheme
+	ukey    *core.UserKeyPair
+	updates []core.KeyUpdate
+	msg     []byte
+
 	srv     *timeserver.Server // nil when remote
 	nextOld atomic.Int64       // next backwards epoch offset for publish ops
 	baseIdx int64
 	close   func()
+}
+
+// initCrypto fills the client-side crypto fixtures shared by all cells.
+func (t *loadTarget) initCrypto() error {
+	t.sc = core.NewScheme(t.set)
+	ukey, err := t.sc.UserKeyGen(t.spub, nil)
+	if err != nil {
+		return fmt.Errorf("bench: generating workload user key: %w", err)
+	}
+	t.ukey = ukey
+	t.msg = []byte("serving-path load harness plaintext")
+	return nil
 }
 
 // newLocalTarget boots an in-process server over real HTTP with Window
@@ -155,6 +177,13 @@ func newLocalTarget(name string, cfg ServerLoadConfig) (*loadTarget, error) {
 		labels: labels, srv: srv, baseIdx: idx, close: ts.Close,
 	}
 	t.nextOld.Store(int64(cfg.Window)) // offsets Window, Window+1, … are unpublished
+	if err := t.initCrypto(); err != nil {
+		return nil, err
+	}
+	t.updates = make([]core.KeyUpdate, len(labels))
+	for i, l := range labels {
+		t.updates[i] = t.sc.IssueUpdate(key, l)
+	}
 	return t, nil
 }
 
@@ -179,10 +208,24 @@ func newRemoteTarget(baseURL string, cfg ServerLoadConfig) (*loadTarget, error) 
 	if len(labels) > cfg.Window {
 		labels = labels[len(labels)-cfg.Window:]
 	}
-	return &loadTarget{
+	t := &loadTarget{
 		set: set, spub: spub, sched: sched, url: baseURL,
 		labels: labels, close: func() {},
-	}, nil
+	}
+	if err := t.initCrypto(); err != nil {
+		return nil, err
+	}
+	// The encdec workload needs the verified update per label; fetch them
+	// once through the verifying client.
+	t.updates = make([]core.KeyUpdate, len(labels))
+	for i, l := range labels {
+		u, err := probe.Update(ctx, l)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fetching update %s: %w", l, err)
+		}
+		t.updates[i] = u
+	}
+	return t, nil
 }
 
 // publish signs and archives one not-yet-published (older) label,
@@ -201,6 +244,14 @@ func (t *loadTarget) publish() error {
 //	fetch   — GET /v1/update/{label} + decode + pairing verification
 //	catchup — CatchUp over CatchUpBatch labels (batched verification)
 //	mixed   — 70% fetch, 20% catchup, 10% publish (remote: /v1/latest)
+//	encdec  — one full Encrypt + Decrypt round trip per op, entirely
+//	          client-side compute through the ONE shared scheme — the
+//	          GOMAXPROCS-parallel crypto workload that exercises the
+//	          sharded caches and pooled arenas under contention
+//
+// Every client of a cell shares one core.Scheme (timeserver.WithScheme)
+// so prepared-key and base-table caches are hit concurrently, the way a
+// multi-tenant decryption service would hit them.
 //
 // This is the measured form of the paper's scalability argument (§3):
 // server cost per epoch is one signature regardless of load, so the
@@ -267,17 +318,18 @@ func RunServerLoad(cfg ServerLoadConfig) (*ServerReport, *Table, error) {
 			}
 		}
 	}
-	table.Note("fetch = one update request + decode + pairing verification per op; catchup = %d labels per op with one batched pairing equation; mixed = 70%% fetch / 20%% catchup / 10%% publish", cfg.CatchUpBatch)
+	table.Note("fetch = one update request + decode + pairing verification per op; catchup = %d labels per op with one batched pairing equation; mixed = 70%% fetch / 20%% catchup / 10%% publish; encdec = one client-side Encrypt+Decrypt round trip per op (no HTTP)", cfg.CatchUpBatch)
 	table.Note("clients pin the server key and verify everything; the client-side cache is disabled so every op exercises the server")
+	table.Note("all clients of a cell share one core.Scheme, so its sharded precomputation caches are read concurrently")
 	return rep, table, nil
 }
 
 // runCell runs one (target, mix, clients) cell.
 func runCell(t *loadTarget, mix string, clients int, cfg ServerLoadConfig) (ServerRow, error) {
 	switch mix {
-	case "fetch", "catchup", "mixed":
+	case "fetch", "catchup", "mixed", "encdec":
 	default:
-		return ServerRow{}, fmt.Errorf("bench: unknown workload mix %q (want fetch, catchup or mixed)", mix)
+		return ServerRow{}, fmt.Errorf("bench: unknown workload mix %q (want fetch, catchup, mixed or encdec)", mix)
 	}
 
 	creg := obs.NewRegistry()
@@ -286,6 +338,17 @@ func runCell(t *loadTarget, mix string, clients int, cfg ServerLoadConfig) (Serv
 	if t.srv != nil {
 		servedBefore = t.srv.Served()
 		publishedBefore = t.srv.Published()
+	}
+
+	// Clients are built up front, on one goroutine: WithClientMetrics
+	// instruments the shared scheme, and racing those writes from the
+	// workers would be exactly the kind of bug -race should never see.
+	// All clients share t.sc, so the cell contends on its caches.
+	workers := make([]*timeserver.Client, clients)
+	for w := range workers {
+		workers[w] = timeserver.NewClient(t.url, t.set, t.spub,
+			timeserver.WithScheme(t.sc),
+			timeserver.WithoutCache(), timeserver.WithClientMetrics(creg))
 	}
 
 	var (
@@ -301,8 +364,7 @@ func runCell(t *loadTarget, mix string, clients int, cfg ServerLoadConfig) (Serv
 			defer wg.Done()
 			// Per-worker RNG: no lock contention, distinct streams.
 			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
-			client := timeserver.NewClient(t.url, t.set, t.spub,
-				timeserver.WithoutCache(), timeserver.WithClientMetrics(creg))
+			client := workers[w]
 			ctx := context.Background()
 			var local []int64
 			for time.Now().Before(deadline) {
@@ -377,6 +439,24 @@ func runOp(ctx context.Context, t *loadTarget, client *timeserver.Client, mix st
 			return err
 		}
 		return t.publish()
+	case "encdec":
+		// Full client-side round trip through the shared scheme: sender
+		// encrypts to the workload user at a random released label, the
+		// receiver decrypts with the verified update. No HTTP at all —
+		// this cell measures the concurrent crypto hot path.
+		i := rng.Intn(len(t.labels))
+		ct, err := t.sc.Encrypt(nil, t.spub, t.ukey.Pub, t.labels[i], t.msg)
+		if err != nil {
+			return err
+		}
+		pt, err := t.sc.Decrypt(t.ukey, t.updates[i], ct)
+		if err != nil {
+			return err
+		}
+		if string(pt) != string(t.msg) {
+			return fmt.Errorf("bench: encdec round trip mismatch")
+		}
+		return nil
 	}
 	return fmt.Errorf("bench: unknown op %q", op)
 }

@@ -8,7 +8,7 @@ import (
 
 func TestServerLoadDefaults(t *testing.T) {
 	full := ServerLoadConfig{}.withDefaults()
-	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 3 {
+	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 4 {
 		t.Fatalf("full defaults: %+v", full)
 	}
 	quick := ServerLoadConfig{Quick: true}.withDefaults()
@@ -44,8 +44,8 @@ func TestServerLoadQuickCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 3 {
-		t.Fatalf("got %d rows, want 3 (one per mix)", len(rep.Rows))
+	if len(rep.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (one per mix)", len(rep.Rows))
 	}
 	var sawPublish bool
 	for _, r := range rep.Rows {
@@ -58,7 +58,12 @@ func TestServerLoadQuickCell(t *testing.T) {
 		if r.P50NS <= 0 || r.P95NS < r.P50NS || r.P99NS < r.P95NS {
 			t.Fatalf("quantiles not monotone: %+v", r)
 		}
-		if r.ServerRequests <= 0 {
+		if r.Mix == "encdec" {
+			// Pure client-side compute: must NOT touch the server.
+			if r.ServerRequests != 0 {
+				t.Fatalf("encdec cell hit the server: %+v", r)
+			}
+		} else if r.ServerRequests <= 0 {
 			t.Fatalf("in-process cell recorded no server requests: %+v", r)
 		}
 		if r.ClientPairings <= 0 {

@@ -47,10 +47,18 @@ func (pk *PreparedPublicKey) SG() *pairing.PreparedPoint { return pk.sg }
 // Verify checks ê(G, sig) = ê(sG, H1(msg)) over the precomputed
 // schedules; it accepts exactly the signatures Verify accepts.
 func (pk *PreparedPublicKey) Verify(set *params.Set, dst string, msg []byte, sig Signature) bool {
+	return pk.VerifyHash(set, set.Curve.HashToGroup(dst, msg), sig)
+}
+
+// VerifyHash is Verify with the message already hashed onto the curve.
+// Callers that memoise H1 — core's sharded label cache hashes each
+// time label once per scheme — skip the try-and-increment hashing that
+// otherwise dominates verification cost. h must be H1(dst, msg) for
+// the check to mean anything.
+func (pk *PreparedPublicKey) VerifyHash(set *params.Set, h curve.Point, sig Signature) bool {
 	if sig.Point.IsInfinity() || !set.Curve.InSubgroup(sig.Point) {
 		return false
 	}
-	h := set.Curve.HashToGroup(dst, msg)
 	return set.Pairing.SamePairingPrepared(pk.g, sig.Point, pk.sg, h)
 }
 

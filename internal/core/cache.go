@@ -1,0 +1,168 @@
+package core
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"timedrelease/internal/obs"
+)
+
+// cacheKey is the fixed-size identity of a cached precomputation: a
+// SHA-256 digest over the canonical compressed encodings of the points
+// it was built from. Hashing the encodings (built into stack buffers
+// via curve.AppendMarshal) gives a comparable array key with no heap
+// strings on the lookup path, and collision resistance makes two
+// distinct keys mapping to one entry a non-issue.
+type cacheKey [sha256.Size]byte
+
+const (
+	// cacheShards spreads keys over independent copy-on-write maps so
+	// concurrent builders of different keys never contend on one lock.
+	// Reads never take a lock at all, so sharding only matters for the
+	// (rare) write path; 16 is plenty.
+	cacheShards = 16
+
+	// cacheShardCap bounds each shard's map. A well-behaved deployment
+	// sees a handful of server keys total; the cap exists so adversarial
+	// key churn (a flood of distinct never-reused keys) cannot grow the
+	// cache without bound. Exceeding the cap evicts the least-recently
+	// used entry of the shard.
+	cacheShardCap = 8
+)
+
+// cacheEntry wraps a cached value with its last-use tick for eviction.
+// lastUse is atomic so the lock-free read path can bump it.
+type cacheEntry[V any] struct {
+	v       *V
+	lastUse atomic.Int64
+}
+
+type cacheMap[V any] map[cacheKey]*cacheEntry[V]
+
+// cacheShard is one copy-on-write slice of the cache. Readers load the
+// map pointer atomically and never block; writers copy the map under
+// mu, insert/evict, and publish the new map with a single pointer
+// store. inflight carries the single-flight state: at most one
+// goroutine builds any given key while the rest wait on its done
+// channel.
+type cacheShard[V any] struct {
+	m        atomic.Pointer[cacheMap[V]]
+	mu       sync.Mutex
+	inflight map[cacheKey]*inflightCall[V]
+}
+
+type inflightCall[V any] struct {
+	done chan struct{}
+	v    *V
+}
+
+// pointCache is a sharded, lock-free-read, single-flight cache of
+// immutable precomputations (prepared pairing schedules, fixed-base
+// tables) keyed by point encodings. The design is documented in
+// docs/PERFORMANCE.md:
+//
+//   - Reads are wait-free: one atomic map-pointer load plus a map
+//     lookup; the steady-state hot path never touches a mutex.
+//   - Writes are copy-on-write under a per-shard mutex. Inserts are
+//     rare (one per distinct key for the lifetime of the Scheme), so
+//     copying a ≤cacheShardCap map is negligible.
+//   - Building is single-flight: concurrent requests for the same
+//     missing key perform exactly one build; the rest block until it is
+//     published. The builder accounts the miss, waiters and lock-free
+//     readers account hits — so the miss counter equals the number of
+//     builds exactly.
+//   - Size is capped at cacheShards·cacheShardCap entries with
+//     per-shard LRU eviction (last-use ticks from a global atomic
+//     clock).
+//
+// The zero value is ready to use.
+type pointCache[V any] struct {
+	shards [cacheShards]cacheShard[V]
+	clock  atomic.Int64
+}
+
+// getOrBuild returns the cached value for key, building and publishing
+// it (once, however many goroutines race here) on a miss. hit and miss
+// are the scheme's counters; both are nil-safe.
+func (c *pointCache[V]) getOrBuild(key cacheKey, build func() *V, hit, miss *obs.Counter) *V {
+	sh := &c.shards[key[0]%cacheShards]
+	if mp := sh.m.Load(); mp != nil {
+		if e, ok := (*mp)[key]; ok {
+			e.lastUse.Store(c.clock.Add(1))
+			hit.Inc()
+			return e.v
+		}
+	}
+
+	sh.mu.Lock()
+	// Re-check under the lock: the entry may have been published between
+	// the lock-free read and here.
+	if mp := sh.m.Load(); mp != nil {
+		if e, ok := (*mp)[key]; ok {
+			sh.mu.Unlock()
+			e.lastUse.Store(c.clock.Add(1))
+			hit.Inc()
+			return e.v
+		}
+	}
+	if call, ok := sh.inflight[key]; ok {
+		// Someone else is building this key: wait for it off-lock.
+		sh.mu.Unlock()
+		<-call.done
+		hit.Inc()
+		return call.v
+	}
+	call := &inflightCall[V]{done: make(chan struct{})}
+	if sh.inflight == nil {
+		sh.inflight = make(map[cacheKey]*inflightCall[V])
+	}
+	sh.inflight[key] = call
+	sh.mu.Unlock()
+
+	// Build off-lock — this is the expensive part (a Miller-loop walk or
+	// a 64-entry table) and must not serialise against other keys.
+	miss.Inc()
+	v := build()
+	call.v = v
+
+	e := &cacheEntry[V]{v: v}
+	e.lastUse.Store(c.clock.Add(1))
+	sh.mu.Lock()
+	next := make(cacheMap[V], cacheShardCap)
+	if old := sh.m.Load(); old != nil {
+		for k, oe := range *old {
+			next[k] = oe
+		}
+	}
+	next[key] = e
+	for len(next) > cacheShardCap {
+		var victim cacheKey
+		min := int64(-1)
+		for k, oe := range next {
+			if k == key {
+				continue // never evict the entry being published
+			}
+			if u := oe.lastUse.Load(); min < 0 || u < min {
+				min, victim = u, k
+			}
+		}
+		delete(next, victim)
+	}
+	sh.m.Store(&next)
+	delete(sh.inflight, key)
+	sh.mu.Unlock()
+	close(call.done)
+	return v
+}
+
+// size reports the total number of cached entries, for tests.
+func (c *pointCache[V]) size() int {
+	n := 0
+	for i := range c.shards {
+		if mp := c.shards[i].m.Load(); mp != nil {
+			n += len(*mp)
+		}
+	}
+	return n
+}

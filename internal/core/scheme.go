@@ -22,10 +22,10 @@
 package core
 
 import (
+	"crypto/sha256"
 	"errors"
 	"io"
 	"math/big"
-	"sync"
 
 	"timedrelease/internal/bls"
 	"timedrelease/internal/curve"
@@ -54,21 +54,30 @@ type Scheme struct {
 	Set *params.Set
 
 	// prepared caches fixed-argument pairing precomputations per server
-	// key (keyed by the compressed encodings of G and sG). The points of
-	// a server key stay fixed across every update and public-key
-	// verification, so each Miller-loop line schedule is computed once
-	// per key and reused for the lifetime of the Scheme. The map is
-	// bounded by the number of distinct server keys seen — in practice
-	// one, or a handful under server change (§5.3.4).
-	mu       sync.Mutex
-	prepared map[string]*bls.PreparedPublicKey
+	// key (keyed by a digest of the compressed encodings of G and sG).
+	// The points of a server key stay fixed across every update and
+	// public-key verification, so each Miller-loop line schedule is
+	// computed once per key and reused for the lifetime of the Scheme.
+	// The cache is sharded with lock-free reads, single-flight builds
+	// and LRU eviction (cache.go); in practice it holds one entry, or a
+	// handful under server change (§5.3.4).
+	prepared pointCache[bls.PreparedPublicKey]
 
 	// bases caches fixed-base scalar-multiplication tables, keyed like
 	// prepared. The multiplied points of keygen and encryption are the
 	// canonical generator and the server key halves — all fixed for the
 	// lifetime of a Scheme — so a·G, a·sG and r·G all run on the
 	// windowed fixed-base ladder after the first use of each point.
-	bases map[string]*curve.BaseTable
+	bases pointCache[curve.BaseTable]
+
+	// labels caches H1(label) hash-to-point results, keyed by a digest
+	// of the label string. Hash-to-group is try-and-increment (a
+	// Legendre symbol per candidate plus a square root), which dominates
+	// the allocation profile of Encrypt — and one release label serves
+	// every user of an epoch, so the same handful of labels is hashed
+	// over and over by Encrypt, Decrypt and VerifyUpdate. Entries are
+	// immutable points; the LRU cap bounds growth under label churn.
+	labels pointCache[curve.Point]
 
 	// met holds the scheme's observability hooks. All fields are nil
 	// until Instrument is called; obs types no-op on nil, so the
@@ -84,6 +93,8 @@ type schemeMetrics struct {
 	preparedMiss *obs.Counter // … and misses (one Precompute each)
 	baseHit      *obs.Counter // fixed-base table cache hits
 	baseMiss     *obs.Counter // … and misses (one PrecomputeBase each)
+	labelHit     *obs.Counter // H1(label) point cache hits
+	labelMiss    *obs.Counter // … and misses (one HashToGroup each)
 }
 
 // Instrument registers the scheme's counters on r (metric names
@@ -96,52 +107,56 @@ func (sc *Scheme) Instrument(r *obs.Registry) *Scheme {
 		preparedMiss: r.Counter("core.prepared_cache_miss"),
 		baseHit:      r.Counter("core.basetable_cache_hit"),
 		baseMiss:     r.Counter("core.basetable_cache_miss"),
+		labelHit:     r.Counter("core.labelpoint_cache_hit"),
+		labelMiss:    r.Counter("core.labelpoint_cache_miss"),
 	}
 	return sc
 }
 
 // NewScheme returns a TRE scheme instance over the given parameters.
 func NewScheme(set *params.Set) *Scheme {
-	return &Scheme{
-		Set:      set,
-		prepared: make(map[string]*bls.PreparedPublicKey),
-		bases:    make(map[string]*curve.BaseTable),
-	}
+	return &Scheme{Set: set}
+}
+
+// pointKeyBuf sizes the stack buffer the cache-key builders marshal
+// into: two compressed points of the widest supported modulus
+// (maxMontLimbs · 8 bytes each, plus tags). Wider custom fields spill
+// to a heap append inside AppendMarshal — correct, just not
+// allocation-free.
+const pointKeyBuf = 2 * (1 + 32*8)
+
+// pointKey digests one compressed point encoding into a cache key
+// without heap allocation.
+func (sc *Scheme) pointKey(p curve.Point) cacheKey {
+	var buf [pointKeyBuf]byte
+	return sha256.Sum256(sc.Set.Curve.AppendMarshal(buf[:0], p))
+}
+
+// pointKey2 digests two compressed point encodings into a cache key.
+func (sc *Scheme) pointKey2(p, q curve.Point) cacheKey {
+	var buf [pointKeyBuf]byte
+	b := sc.Set.Curve.AppendMarshal(buf[:0], p)
+	return sha256.Sum256(sc.Set.Curve.AppendMarshal(b, q))
 }
 
 // baseTable returns the cached fixed-base table for p, building it on
-// first use. Safe for concurrent use; the returned table is immutable.
+// first use. Safe for concurrent use — reads are lock-free and a miss
+// builds the table exactly once however many goroutines race on it;
+// the returned table is immutable.
 func (sc *Scheme) baseTable(p curve.Point) *curve.BaseTable {
-	c := sc.Set.Curve
-	key := string(c.Marshal(p))
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if t, ok := sc.bases[key]; ok {
-		sc.met.baseHit.Inc()
-		return t
-	}
-	sc.met.baseMiss.Inc()
-	t := c.PrecomputeBase(p)
-	sc.bases[key] = t
-	return t
+	return sc.bases.getOrBuild(sc.pointKey(p), func() *curve.BaseTable {
+		return sc.Set.Curve.PrecomputeBase(p)
+	}, sc.met.baseHit, sc.met.baseMiss)
 }
 
 // PreparedServerKey returns the cached fixed-argument pairing
 // precomputation for a server key, building it on first use. Safe for
-// concurrent use; the returned key is immutable.
+// concurrent use — reads are lock-free and a miss runs Precompute
+// exactly once per key (single-flight); the returned key is immutable.
 func (sc *Scheme) PreparedServerKey(spub ServerPublicKey) *bls.PreparedPublicKey {
-	c := sc.Set.Curve
-	key := string(c.Marshal(spub.G)) + string(c.Marshal(spub.SG))
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if pk, ok := sc.prepared[key]; ok {
-		sc.met.preparedHit.Inc()
-		return pk
-	}
-	sc.met.preparedMiss.Inc()
-	pk := bls.PreparePublicKey(sc.Set, bls.PublicKey(spub))
-	sc.prepared[key] = pk
-	return pk
+	return sc.prepared.getOrBuild(sc.pointKey2(spub.G, spub.SG), func() *bls.PreparedPublicKey {
+		return bls.PreparePublicKey(sc.Set, bls.PublicKey(spub))
+	}, sc.met.preparedHit, sc.met.preparedMiss)
 }
 
 // ServerPublicKey is the time server's public key PK_S = (G, sG).
@@ -185,10 +200,12 @@ func (sc *Scheme) IssueUpdate(server *ServerKeyPair, label string) KeyUpdate {
 
 // VerifyUpdate checks the self-authentication equation
 // ê(G, I_T) = ê(sG, H1(T)). Both first pairing arguments are the fixed
-// server key, so the check runs on the cached prepared path.
+// server key, so the check runs on the cached prepared path, and H1(T)
+// comes from the scheme's label cache (an encrypting sender has
+// usually already hashed the same label).
 func (sc *Scheme) VerifyUpdate(spub ServerPublicKey, u KeyUpdate) bool {
 	sc.met.pairings.Add(2) // one pairing per side of the check
-	return sc.PreparedServerKey(spub).Verify(sc.Set, TimeDomain, []byte(u.Label), bls.Signature{Point: u.Point})
+	return sc.PreparedServerKey(spub).VerifyHash(sc.Set, sc.hashLabel(u.Label), bls.Signature{Point: u.Point})
 }
 
 // VerifyUpdateBatch checks many updates against one blinded batched
@@ -282,7 +299,15 @@ func (sc *Scheme) VerifyUserPublicKey(spub ServerPublicKey, upub UserPublicKey) 
 	return sc.Set.Pairing.SamePairingPrepared(pk.SG(), upub.AG, pk.G(), upub.ASG)
 }
 
-// hashLabel is the paper's H1 applied to a time label.
+// hashLabel is the paper's H1 applied to a time label, memoised in the
+// scheme's sharded label cache: one epoch's label is hashed by every
+// Encrypt, Decrypt and update verification, and try-and-increment
+// hash-to-point is the single most allocation-heavy step of
+// encryption. The cached point is shared and must be treated as
+// immutable by callers (all curve operations copy their inputs).
 func (sc *Scheme) hashLabel(label string) curve.Point {
-	return sc.Set.Curve.HashToGroup(TimeDomain, []byte(label))
+	return *sc.labels.getOrBuild(sha256.Sum256([]byte(label)), func() *curve.Point {
+		p := sc.Set.Curve.HashToGroup(TimeDomain, []byte(label))
+		return &p
+	}, sc.met.labelHit, sc.met.labelMiss)
 }

@@ -140,14 +140,18 @@ func (c *Curve) ScalarMultBase(t *BaseTable, k *big.Int) Point {
 	return c.fromJac(acc)
 }
 
-// scalarMultBaseMont is the table ladder on Montgomery limb vectors.
+// scalarMultBaseMont is the table ladder on Montgomery limb vectors;
+// every temporary comes from a pooled arena.
 func (c *Curve) scalarMultBaseMont(m *ff.Mont, t *BaseTable, digits []int) Point {
-	o := newJacMontOps(m)
-	acc := newJacMontPoint(m)
+	a := m.GetArena()
+	defer a.Release()
+	var o jacMontOps
+	jacMontOpsIn(&o, m, a)
+	acc := newJacMontPointIn(a)
 	o.setInfinity(acc)
 	// e is the reusable addend; its Z stays 1 (mixed addition). Table
 	// limbs are copied in so add never aliases immutable table storage.
-	e := newJacMontPoint(m)
+	e := newJacMontPointIn(a)
 	m.SetOne(e.Z)
 	for i := len(digits) - 1; i >= 0; i-- {
 		o.double(acc, acc)

@@ -21,18 +21,34 @@ func (c *Curve) MarshalSize() int { return 1 + c.F.ByteLen() }
 
 // Marshal returns the canonical compressed encoding of p.
 func (c *Curve) Marshal(p Point) []byte {
-	out := make([]byte, c.MarshalSize())
+	return c.AppendMarshal(make([]byte, 0, c.MarshalSize()), p)
+}
+
+// AppendMarshal appends the canonical compressed encoding of p to dst
+// and returns the extended slice. When dst has MarshalSize spare
+// capacity — e.g. a stack buffer — the call performs no heap
+// allocation, which is what the scheme-level cache keys rely on.
+func (c *Curve) AppendMarshal(dst []byte, p Point) []byte {
+	n := c.MarshalSize()
+	off := len(dst)
+	if cap(dst)-off >= n {
+		dst = dst[:off+n]
+		clear(dst[off:])
+	} else {
+		dst = append(dst, make([]byte, n)...)
+	}
+	out := dst[off:]
 	if p.inf {
 		out[0] = tagInfinity
-		return out
+		return dst
 	}
 	if p.Y.Bit(0) == 1 {
 		out[0] = tagOddY
 	} else {
 		out[0] = tagEvenY
 	}
-	copy(out[1:], c.F.Bytes(p.X))
-	return out
+	p.X.FillBytes(out[1:])
+	return dst
 }
 
 // Unmarshal decodes a compressed encoding, rejecting anything that is

@@ -20,6 +20,12 @@ func newJacMontPoint(m *ff.Mont) jacMontPoint {
 	return jacMontPoint{X: m.NewElem(), Y: m.NewElem(), Z: m.NewElem()}
 }
 
+// newJacMontPointIn carves the point's coordinates out of a pooled
+// arena; valid until the arena is released.
+func newJacMontPointIn(a *ff.Arena) jacMontPoint {
+	return jacMontPoint{X: a.Elem(), Y: a.Elem(), Z: a.Elem()}
+}
+
 // jacMontOps bundles the Montgomery context with scratch limbs so the
 // ladder allocates a fixed set of vectors once per scalar
 // multiplication instead of per point operation.
@@ -34,6 +40,15 @@ func newJacMontOps(m *ff.Mont) *jacMontOps {
 		t1: m.NewElem(), t2: m.NewElem(), t3: m.NewElem(), t4: m.NewElem(),
 		t5: m.NewElem(), t6: m.NewElem(), t7: m.NewElem(),
 	}
+}
+
+// jacMontOpsIn fills o with scratch carved from a pooled arena so a
+// whole scalar multiplication allocates nothing; o itself lives on the
+// caller's stack and must not outlive the arena.
+func jacMontOpsIn(o *jacMontOps, m *ff.Mont, a *ff.Arena) {
+	o.m = m
+	o.t1, o.t2, o.t3, o.t4 = a.Elem(), a.Elem(), a.Elem(), a.Elem()
+	o.t5, o.t6, o.t7 = a.Elem(), a.Elem(), a.Elem()
 }
 
 func (o *jacMontOps) setInfinity(dst jacMontPoint) {
@@ -165,6 +180,15 @@ func (o *jacMontOps) toJacMont(p Point) jacMontPoint {
 	return j
 }
 
+// toJacMontIn is toJacMont with the coordinates carved from a.
+func (o *jacMontOps) toJacMontIn(p Point, a *ff.Arena) jacMontPoint {
+	j := newJacMontPointIn(a)
+	o.m.ToMont(j.X, p.X)
+	o.m.ToMont(j.Y, p.Y)
+	o.m.SetOne(j.Z)
+	return j
+}
+
 // fromJacMont normalises to affine with one Montgomery inversion and
 // converts back to big.Int coordinates at the boundary.
 func (o *jacMontOps) fromJacMont(j jacMontPoint) Point {
@@ -189,9 +213,12 @@ func (o *jacMontOps) fromJacMont(j jacMontPoint) Point {
 // limb vectors, with one inversion and two conversions at the end.
 // k > 0 and p non-identity are the caller's invariants.
 func (c *Curve) scalarMultMont(m *ff.Mont, k *big.Int, p Point) Point {
-	o := newJacMontOps(m)
-	base := o.toJacMont(p)
-	acc := newJacMontPoint(m)
+	a := m.GetArena()
+	defer a.Release()
+	var o jacMontOps
+	jacMontOpsIn(&o, m, a)
+	base := o.toJacMontIn(p, a)
+	acc := newJacMontPointIn(a)
 	o.setInfinity(acc)
 	for i := k.BitLen() - 1; i >= 0; i-- {
 		o.double(acc, acc)

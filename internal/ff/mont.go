@@ -3,6 +3,7 @@ package ff
 import (
 	"math/big"
 	"math/bits"
+	"sync"
 )
 
 // maxMontLimbs bounds the modulus size the fixed-limb backend accepts
@@ -35,6 +36,11 @@ type Mont struct {
 	one MontElem // R mod p, the Montgomery form of 1
 	r2  []uint64 // R² mod p, the to-Montgomery conversion factor
 	pm2 *big.Int // p-2, the Fermat inversion exponent
+
+	// arenas recycles scratch arenas (arena.go) across hot-path calls;
+	// the pool is safe for concurrent use, so a Mont context stays
+	// shareable between goroutines.
+	arenas sync.Pool
 }
 
 // newMont builds the Montgomery context for an odd modulus p, or
@@ -69,6 +75,7 @@ func newMont(p *big.Int) *Mont {
 	limbsFromBig(m.one, new(big.Int).Mod(r, p))
 	m.r2 = make([]uint64, n)
 	limbsFromBig(m.r2, new(big.Int).Mod(new(big.Int).Mul(r, r), p))
+	m.arenas.New = func() any { return &Arena{m: m} }
 	return m
 }
 
@@ -235,9 +242,12 @@ func (m *Mont) Exp(dst, x MontElem, e *big.Int) {
 	if e.Sign() < 0 {
 		panic("ff: negative exponent in Montgomery Exp")
 	}
-	base := m.NewElem()
+	// Fixed-size stack buffers: the ladder performs zero heap
+	// allocations (Mul's accumulator is already stack-resident).
+	var baseBuf, accBuf [maxMontLimbs]uint64
+	base := MontElem(baseBuf[:m.n])
 	copy(base, x)
-	acc := m.NewElem()
+	acc := MontElem(accBuf[:m.n])
 	copy(acc, m.one)
 	for i := e.BitLen() - 1; i >= 0; i-- {
 		m.Sqr(acc, acc)

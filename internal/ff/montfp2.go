@@ -197,31 +197,12 @@ func (e *Fp2Mont) ExpUnitaryInto(dst *Fp2MontElem, x Fp2MontElem, k *big.Int, s 
 		e.SetOne(dst)
 		return
 	}
-	// Odd powers x, x³, …, x^(2·tableSize−1).
-	const tableSize = 1 << (expUnitaryWindow - 2)
-	var table [tableSize]Fp2MontElem
-	table[0] = e.NewElem()
-	e.Set(&table[0], x)
-	sq := e.NewElem()
-	e.SqrInto(&sq, x, s)
-	for i := 1; i < tableSize; i++ {
-		table[i] = e.NewElem()
-		e.MulInto(&table[i], table[i-1], sq, s)
-	}
-	digits := wnafDigits(k, expUnitaryWindow)
-	acc := e.One()
-	neg := e.NewElem()
-	for i := len(digits) - 1; i >= 0; i-- {
-		e.SqrInto(&acc, acc, s)
-		switch d := digits[i]; {
-		case d > 0:
-			e.MulInto(&acc, acc, table[(d-1)/2], s)
-		case d < 0:
-			e.ConjInto(&neg, table[(-d-1)/2])
-			e.MulInto(&acc, acc, neg, s)
-		}
-	}
-	e.Set(dst, acc)
+	// One-shot exponent: recode here and run the arena-backed ladder.
+	// Callers with a FIXED exponent should recode once with UnitaryWNAF
+	// and call ExpUnitaryWNAFInto directly (see arena.go).
+	a := e.M.GetArena()
+	defer a.Release()
+	e.ExpUnitaryWNAFInto(dst, x, wnafDigits(k, expUnitaryWindow), s, a)
 }
 
 // wnafDigits returns the width-w non-adjacent form of k, least

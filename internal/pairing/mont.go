@@ -13,14 +13,18 @@ import (
 type montCtx struct {
 	m   *ff.Mont
 	e2m *ff.Fp2Mont
+
+	// hDigits is the signed-window recoding of the cofactor h, computed
+	// once so finalExpMontIn never touches big.Int arithmetic.
+	hDigits []int
 }
 
-func newMontCtx(e2 *ff.Fp2) *montCtx {
+func newMontCtx(e2 *ff.Fp2, h []int) *montCtx {
 	e2m := e2.Mont()
 	if e2m == nil {
 		return nil
 	}
-	return &montCtx{m: e2m.M, e2m: e2m}
+	return &montCtx{m: e2m.M, e2m: e2m, hDigits: h}
 }
 
 // millerStateMont is millerState on Montgomery limb vectors: the same
@@ -28,7 +32,8 @@ func newMontCtx(e2 *ff.Fp2) *montCtx {
 // operation a fixed-width CIOS multiplication or lazy-reduced add/sub.
 // See millerState for the formula derivations; the two implementations
 // are kept line-for-line parallel and are pinned to exact agreement by
-// the differential tests.
+// the differential tests. All state is carved from a caller-held arena,
+// so a full Miller loop allocates nothing.
 type millerStateMont struct {
 	m       *ff.Mont
 	X, Y, Z ff.MontElem
@@ -36,12 +41,12 @@ type millerStateMont struct {
 	t1, t2, t3, t4, t5, t6 ff.MontElem
 }
 
-func newMillerStateMont(m *ff.Mont, px, py ff.MontElem) *millerStateMont {
-	st := &millerStateMont{
+func newMillerStateMontIn(m *ff.Mont, px, py ff.MontElem, a *ff.Arena) millerStateMont {
+	st := millerStateMont{
 		m: m,
-		X: m.NewElem(), Y: m.NewElem(), Z: m.NewElem(),
-		t1: m.NewElem(), t2: m.NewElem(), t3: m.NewElem(),
-		t4: m.NewElem(), t5: m.NewElem(), t6: m.NewElem(),
+		X: a.Elem(), Y: a.Elem(), Z: a.Elem(),
+		t1: a.Elem(), t2: a.Elem(), t3: a.Elem(),
+		t4: a.Elem(), t5: a.Elem(), t6: a.Elem(),
 	}
 	m.Set(st.X, px)
 	m.Set(st.Y, py)
@@ -164,101 +169,109 @@ func (st *millerStateMont) add(px, py ff.MontElem, a, b, c ff.MontElem) bool {
 	return true
 }
 
-// toMontPoint converts an affine point's coordinates into Montgomery
-// form (the point must not be the identity).
-func (mc *montCtx) toMontPoint(p curve.Point) (x, y ff.MontElem) {
-	x, y = mc.m.NewElem(), mc.m.NewElem()
+// toMontPointIn converts an affine point's coordinates into Montgomery
+// form in arena storage (the point must not be the identity).
+func (mc *montCtx) toMontPointIn(p curve.Point, a *ff.Arena) (x, y ff.MontElem) {
+	x, y = a.Elem(), a.Elem()
 	mc.m.ToMont(x, p.X)
 	mc.m.ToMont(y, p.Y)
 	return x, y
 }
 
-// millerMont is the Montgomery-backend twin of Miller: the Jacobian
-// inversion-free loop entirely on limb vectors. P and Q must be
-// non-identity subgroup points; the returned value is in Montgomery
-// form and bit-for-bit equal (after conversion) to Miller's.
-func (pr *Pairing) millerMont(p, q curve.Point) ff.Fp2MontElem {
+// millerMontIn is the Montgomery-backend twin of Miller: the Jacobian
+// inversion-free loop entirely on limb vectors, every temporary carved
+// from the caller's arena. P and Q must be non-identity subgroup
+// points; the returned value is in Montgomery form (valid until the
+// arena is released) and bit-for-bit equal (after conversion) to
+// Miller's.
+func (pr *Pairing) millerMontIn(p, q curve.Point, ar *ff.Arena) ff.Fp2MontElem {
 	mc := pr.mont
 	m, e2m := mc.m, mc.e2m
-	px, py := mc.toMontPoint(p)
-	qx, qy := mc.toMontPoint(q)
-	st := newMillerStateMont(m, px, py)
-	f := e2m.One()
-	g := e2m.NewElem()
-	s := e2m.NewScratch()
-	a, b, c := m.NewElem(), m.NewElem(), m.NewElem()
-	eval := func() {
-		m.Mul(g.A, a, qx)
-		m.Add(g.A, g.A, b)
-		m.Mul(g.B, c, qy)
-		e2m.MulInto(&f, f, g, s)
-	}
+	px, py := mc.toMontPointIn(p, ar)
+	qx, qy := mc.toMontPointIn(q, ar)
+	st := newMillerStateMontIn(m, px, py, ar)
+	f := e2m.OneIn(ar)
+	g := e2m.ElemIn(ar)
+	s := e2m.ScratchIn(ar)
+	a, b, c := ar.Elem(), ar.Elem(), ar.Elem()
 	for _, addBit := range pr.schedule {
 		e2m.SqrInto(&f, f, s)
 		if st.dbl(a, b, c) {
-			eval()
+			m.Mul(g.A, a, qx)
+			m.Add(g.A, g.A, b)
+			m.Mul(g.B, c, qy)
+			e2m.MulInto(&f, f, g, s)
 		}
 		if addBit {
 			if st.add(px, py, a, b, c) {
-				eval()
+				m.Mul(g.A, a, qx)
+				m.Add(g.A, g.A, b)
+				m.Mul(g.B, c, qy)
+				e2m.MulInto(&f, f, g, s)
 			}
 		}
 	}
 	return f
 }
 
-// finalExpMont raises a Montgomery-form Miller value to (p²−1)/q. The
+// finalExpMontIn raises a Montgomery-form Miller value to (p²−1)/q. The
 // (p−1) factor is the Frobenius identity z^(p−1) = conj(z)·z⁻¹ — one
 // conjugation and one F_{p²} inversion instead of a |p|-bit
 // exponentiation. The result of that step is unitary (its norm is
 // N(z)^(p−1) = 1), so the remaining cofactor exponentiation runs the
-// signed-window unitary ladder, conjugating instead of inverting.
-func (pr *Pairing) finalExpMont(f ff.Fp2MontElem) ff.Fp2MontElem {
-	e2m := pr.mont.e2m
+// signed-window unitary ladder over the cached recoding of h. The
+// result lives in the arena.
+func (pr *Pairing) finalExpMontIn(f ff.Fp2MontElem, a *ff.Arena) ff.Fp2MontElem {
+	mc := pr.mont
+	e2m := mc.e2m
 	if e2m.IsZero(f) {
 		// Cannot happen for valid subgroup inputs (see Miller); treat as
 		// degenerate, like the big.Int path.
-		return e2m.One()
+		return e2m.OneIn(a)
 	}
-	s := e2m.NewScratch()
-	t := e2m.NewElem()
+	s := e2m.ScratchIn(a)
+	t := e2m.ElemIn(a)
 	e2m.InvInto(&t, f, s)
-	conj := e2m.NewElem()
+	conj := e2m.ElemIn(a)
 	e2m.ConjInto(&conj, f)
 	e2m.MulInto(&t, conj, t, s) // f^(p−1), unitary from here on
-	e2m.ExpUnitaryInto(&t, t, pr.C.H, s)
+	e2m.ExpUnitaryWNAFInto(&t, t, mc.hDigits, s, a)
 	return t
 }
 
 // pairMont is Pair on the Montgomery backend end-to-end: limb-vector
-// Miller loop and final exponentiation, one conversion at the boundary.
+// Miller loop and final exponentiation over one pooled arena, with a
+// single conversion at the boundary.
 func (pr *Pairing) pairMont(p, q curve.Point) GT {
-	return pr.mont.e2m.FromMont(pr.finalExpMont(pr.millerMont(p, q)))
+	mc := pr.mont
+	a := mc.m.GetArena()
+	defer a.Release()
+	return mc.e2m.FromMont(pr.finalExpMontIn(pr.millerMontIn(p, q, a), a))
 }
 
-// millerPreparedMont evaluates a precomputed line schedule at ψ(Q) on
-// limb vectors: one CIOS multiplication and one addition per line.
-func (pr *Pairing) millerPreparedMont(pp *PreparedPoint, q curve.Point) ff.Fp2MontElem {
+// millerPreparedMontIn evaluates a precomputed line schedule at ψ(Q) on
+// limb vectors: one CIOS multiplication and one addition per line, all
+// temporaries in the caller's arena.
+func (pr *Pairing) millerPreparedMontIn(pp *PreparedPoint, q curve.Point, ar *ff.Arena) ff.Fp2MontElem {
 	mc := pr.mont
 	m, e2m := mc.m, mc.e2m
-	qx, qy := mc.toMontPoint(q)
-	f := e2m.One()
+	qx, qy := mc.toMontPointIn(q, ar)
+	f := e2m.OneIn(ar)
 	// The imaginary part of every line value is the constant y_Q.
-	g := ff.Fp2MontElem{A: m.NewElem(), B: qy}
-	s := e2m.NewScratch()
-	eval := func(lc *lineCoeff) {
-		m.Mul(g.A, lc.lambdaM, qx)
-		m.Add(g.A, g.A, lc.muM)
-		e2m.MulInto(&f, f, g, s)
-	}
+	g := ff.Fp2MontElem{A: ar.Elem(), B: qy}
+	s := e2m.ScratchIn(ar)
 	for k := range pp.steps {
 		st := &pp.steps[k]
 		e2m.SqrInto(&f, f, s)
 		if !st.dbl.vertical {
-			eval(&st.dbl)
+			m.Mul(g.A, st.dbl.lambdaM, qx)
+			m.Add(g.A, g.A, st.dbl.muM)
+			e2m.MulInto(&f, f, g, s)
 		}
 		if st.hasAdd && !st.add.vertical {
-			eval(&st.add)
+			m.Mul(g.A, st.add.lambdaM, qx)
+			m.Add(g.A, g.A, st.add.muM)
+			e2m.MulInto(&f, f, g, s)
 		}
 	}
 	return f

@@ -79,7 +79,7 @@ func New(c *curve.Curve) (*Pairing, error) {
 		E2:       e2,
 		finalExp: new(big.Int).Mul(pm1, c.H),
 		schedule: schedule,
-		mont:     newMontCtx(e2),
+		mont:     newMontCtx(e2, ff.UnitaryWNAF(c.H)),
 	}, nil
 }
 
@@ -136,9 +136,11 @@ func (pr *Pairing) PairAfterMiller(f GT) GT { return pr.FinalExp(f) }
 // runs on the Montgomery backend; FinalExpBig is the big.Int reference.
 func (pr *Pairing) FinalExp(f GT) GT {
 	if mc := pr.mont; mc != nil {
-		fm := mc.e2m.NewElem()
+		a := mc.m.GetArena()
+		defer a.Release()
+		fm := mc.e2m.ElemIn(a)
 		mc.e2m.ToMont(&fm, f)
-		return mc.e2m.FromMont(pr.finalExpMont(fm))
+		return mc.e2m.FromMont(pr.finalExpMontIn(fm, a))
 	}
 	return pr.finalExpBig(f)
 }
@@ -261,7 +263,15 @@ func (pr *Pairing) PairProduct(pairs []PointPair) GT {
 				millers[i] = mc.e2m.One()
 				return
 			}
-			millers[i] = pr.millerMont(pq.P, pq.Q)
+			// Each worker holds its own pooled arena for the loop's
+			// temporaries; the Miller value must outlive it, so it is
+			// copied into a caller-owned element before release.
+			a := mc.m.GetArena()
+			f := pr.millerMontIn(pq.P, pq.Q, a)
+			out := mc.e2m.NewElem()
+			mc.e2m.Set(&out, f)
+			millers[i] = out
+			a.Release()
 		}
 		if len(pairs) >= parallelThreshold {
 			parallel.For(len(pairs), work)
@@ -270,12 +280,14 @@ func (pr *Pairing) PairProduct(pairs []PointPair) GT {
 				work(i)
 			}
 		}
-		acc := mc.e2m.One()
-		s := mc.e2m.NewScratch()
+		a := mc.m.GetArena()
+		defer a.Release()
+		acc := mc.e2m.OneIn(a)
+		s := mc.e2m.ScratchIn(a)
 		for _, m := range millers {
 			mc.e2m.MulInto(&acc, acc, m, s)
 		}
-		return mc.e2m.FromMont(pr.finalExpMont(acc))
+		return mc.e2m.FromMont(pr.finalExpMontIn(acc, a))
 	}
 	return pr.PairProductBig(pairs)
 }

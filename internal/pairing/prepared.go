@@ -160,7 +160,9 @@ func (pr *Pairing) PairPrepared(pp *PreparedPoint, q curve.Point) GT {
 		return pr.E2.One()
 	}
 	if mc := pr.mont; mc != nil {
-		return mc.e2m.FromMont(pr.finalExpMont(pr.millerPreparedMont(pp, q)))
+		a := mc.m.GetArena()
+		defer a.Release()
+		return mc.e2m.FromMont(pr.finalExpMontIn(pr.millerPreparedMontIn(pp, q, a), a))
 	}
 	return pr.finalExpBig(pr.MillerPrepared(pp, q))
 }
@@ -193,10 +195,12 @@ func (pr *Pairing) SamePairingPrepared(p1 *PreparedPoint, q1 curve.Point, p2 *Pr
 		return e2.IsOne(pr.PairPrepared(p1, q1))
 	}
 	if mc := pr.mont; mc != nil {
-		m := pr.millerPreparedMont(p1, pr.C.Neg(q1))
-		m2 := pr.millerPreparedMont(p2, q2)
-		mc.e2m.MulInto(&m, m, m2, mc.e2m.NewScratch())
-		return mc.e2m.IsOne(pr.finalExpMont(m))
+		a := mc.m.GetArena()
+		defer a.Release()
+		m := pr.millerPreparedMontIn(p1, pr.C.Neg(q1), a)
+		m2 := pr.millerPreparedMontIn(p2, q2, a)
+		mc.e2m.MulInto(&m, m, m2, mc.e2m.ScratchIn(a))
+		return mc.e2m.IsOne(pr.finalExpMontIn(m, a))
 	}
 	return pr.samePairingPreparedBig(p1, q1, p2, q2)
 }

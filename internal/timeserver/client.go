@@ -65,6 +65,16 @@ func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.http = h }
 }
 
+// WithScheme substitutes the core.Scheme the client verifies updates
+// with. Sharing one scheme across many clients in a process shares its
+// prepared-key and base-table caches — lock-free reads, single-flight
+// builds (see docs/PERFORMANCE.md) — so N clients pay for one
+// Precompute instead of N. Apply before WithClientMetrics, which
+// instruments whatever scheme the client holds at that point.
+func WithScheme(sc *core.Scheme) ClientOption {
+	return func(c *Client) { c.sc = sc }
+}
+
 // WithClientMetrics instruments the client (and its embedded
 // core.Scheme) against r: fetch and verification latencies, cache
 // hits/misses, and catch-up batch fallbacks.
