@@ -1,19 +1,25 @@
 # Convenience targets; everything is plain `go` underneath.
-# Run `make help` for the full list; `make check` is the pre-commit
-# gate (vet + gofmt + race tests).
+# Run `make help` for the full list; `make ci` is the single gate —
+# the CI pipeline (.github/workflows/ci.yml) runs exactly it, and
+# `make check` (the historical pre-commit name) is an alias for it.
 
 GO ?= go
 
-.PHONY: all help build test vet fmt-check check cover bench bench-pairing bench-field bench-server race experiments experiments-quick fuzz clean
+# Fuzz budget per target; the nightly workflow shrinks it.
+FUZZTIME ?= 30s
+
+.PHONY: all help build test test-shuffle vet fmt-check ci check cover bench bench-pairing bench-field bench-server race experiments experiments-quick fuzz clean
 
 all: build vet test
 
 help:
 	@echo "Targets:"
 	@echo "  all                build + vet + test (default)"
-	@echo "  check              pre-commit gate: vet + gofmt -l + race tests"
+	@echo "  ci                 the CI gate: vet + gofmt -l + shuffled tests + race tests"
+	@echo "  check              alias for ci (pre-commit habit)"
 	@echo "  build              go build ./..."
 	@echo "  test               go test ./..."
+	@echo "  test-shuffle       go test -shuffle=on ./..."
 	@echo "  vet                go vet ./..."
 	@echo "  cover              per-package coverage summary"
 	@echo "  bench              the full testing.B suite"
@@ -23,7 +29,7 @@ help:
 	@echo "  race               go test -race ./..."
 	@echo "  experiments        regenerate the EXPERIMENTS.md tables (slow)"
 	@echo "  experiments-quick  reduced sweeps at Test160"
-	@echo "  fuzz               short fuzz campaign (wire decoders + field backends)"
+	@echo "  fuzz               fuzz campaign, FUZZTIME=$(FUZZTIME) per target"
 
 build:
 	$(GO) build ./...
@@ -34,19 +40,25 @@ vet:
 test:
 	$(GO) test ./...
 
+# Shuffled run: catches hidden test-order dependencies.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
+
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# Pre-commit gate: static checks, shuffled tests (catches hidden
-# test-order dependencies), and the race detector over the WHOLE module
-# — the concurrency now reaches from the sharded scheme caches and
-# pooled arenas up through the serving path, so nothing is exempt.
-check: vet fmt-check
-	$(GO) test -shuffle=on ./...
-	$(GO) test -race ./...
+# The CI gate: static checks, one shuffled test run, one race run —
+# each pass exactly once (the race detector covers the WHOLE module;
+# the concurrency reaches from the sharded scheme caches and pooled
+# arenas up through the serving path, so nothing is exempt). This is
+# what .github/workflows/ci.yml executes.
+ci: vet fmt-check test-shuffle race
+
+# Historical pre-commit name.
+check: ci
 
 # Per-package coverage summary.
 cover:
@@ -85,17 +97,19 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/trebench -quick
 
-# Short fuzz campaign over every wire decoder, the differential
+# Fuzz campaign over every wire decoder, the differential
 # field-arithmetic targets (Montgomery backend vs big.Int reference),
 # the client's HTTP update parsing and the metrics JSON encoder.
+# Checked-in seed corpora live under <pkg>/testdata/fuzz/<Target>/.
+# Override the per-target budget with FUZZTIME=10s (nightly CI does).
 fuzz:
-	$(GO) test -fuzz FuzzUnmarshalKeyUpdate -fuzztime 30s ./internal/wire
-	$(GO) test -fuzz FuzzUnmarshalCCACiphertext -fuzztime 30s ./internal/wire
-	$(GO) test -fuzz FuzzUnmarshalEnvelope -fuzztime 30s ./internal/wire
-	$(GO) test -run XXX -fuzz FuzzFpArith -fuzztime 30s ./internal/ff
-	$(GO) test -run XXX -fuzz FuzzFp2Arith -fuzztime 30s ./internal/ff
-	$(GO) test -run XXX -fuzz FuzzClientDecodeUpdate -fuzztime 30s ./internal/timeserver
-	$(GO) test -run XXX -fuzz FuzzMetricsSnapshot -fuzztime 30s ./internal/obs
+	$(GO) test -fuzz FuzzUnmarshalKeyUpdate -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz FuzzUnmarshalCCACiphertext -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz FuzzUnmarshalEnvelope -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzFpArith -fuzztime $(FUZZTIME) ./internal/ff
+	$(GO) test -run XXX -fuzz FuzzFp2Arith -fuzztime $(FUZZTIME) ./internal/ff
+	$(GO) test -run XXX -fuzz FuzzClientDecodeUpdate -fuzztime $(FUZZTIME) ./internal/timeserver
+	$(GO) test -run XXX -fuzz FuzzMetricsSnapshot -fuzztime $(FUZZTIME) ./internal/obs
 
 clean:
 	$(GO) clean ./...

@@ -215,3 +215,131 @@ func TestCatchupCommand(t *testing.T) {
 		t.Fatal("missing flags must fail")
 	}
 }
+
+func TestCatchupDegradedExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	join := func(name string) string { return filepath.Join(dir, name) }
+	const preset = "Test160"
+	if err := run([]string{"server-keygen", "-preset", preset,
+		"-out", join("server.key"), "-pub", join("server.pub")}); err != nil {
+		t.Fatal(err)
+	}
+	set := tre.MustPreset(preset)
+	serverKey, err := keyfile.LoadServerKey(join("server.key"), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tre.MustSchedule(time.Minute)
+	start := time.Date(2026, 7, 5, 12, 0, 30, 0, time.UTC)
+	now := start.Add(2 * time.Minute)
+	srv := tre.NewTimeServer(set, serverKey, sched, tre.WithClock(func() time.Time { return now }))
+	if _, err := srv.PublishUpTo(now); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The requested range runs past what the server has published: the
+	// verified prefix is printed, and the exit is non-zero naming the
+	// missing labels.
+	err = run([]string{"catchup", "-preset", preset,
+		"-server", ts.URL, "-server-pub", join("server.pub"),
+		"-from", sched.Label(start), "-to", sched.Label(start.Add(10 * time.Minute)),
+		"-granularity", "1m"})
+	if err == nil {
+		t.Fatal("degraded catch-up must exit non-zero")
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v, want the missing-label count", err)
+	}
+}
+
+func TestArchiveVerifyCommand(t *testing.T) {
+	dir := t.TempDir()
+	join := func(name string) string { return filepath.Join(dir, name) }
+	const preset = "Test160"
+	if err := run([]string{"server-keygen", "-preset", preset,
+		"-out", join("server.key"), "-pub", join("server.pub")}); err != nil {
+		t.Fatal(err)
+	}
+	set := tre.MustPreset(preset)
+	scheme := tre.NewScheme(set)
+	serverKey, err := keyfile.LoadServerKey(join("server.key"), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	archDir := join("archive")
+	arch, err := tre.OpenDirArchive(archDir, set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"2026-07-05T12:00:00Z", "2026-07-05T12:01:00Z"} {
+		if err := arch.Put(scheme.IssueUpdate(serverKey, label)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean log passes, with and without cryptographic re-verification.
+	if err := run([]string{"archive", "verify", "-preset", preset, "-dir", archDir}); err != nil {
+		t.Fatalf("verify clean log: %v", err)
+	}
+	if err := run([]string{"archive", "verify", "-preset", preset,
+		"-dir", archDir, "-server-pub", join("server.pub")}); err != nil {
+		t.Fatalf("verify clean log with key: %v", err)
+	}
+
+	// A forged record (well-formed, correctly checksummed, wrong signer)
+	// passes structural checks but fails once the key is supplied.
+	impostor, err := scheme.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch2, err := tre.OpenDirArchive(archDir, set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch2.Put(scheme.IssueUpdate(impostor, "2026-07-05T12:02:00Z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"archive", "verify", "-preset", preset, "-dir", archDir}); err != nil {
+		t.Fatalf("structural-only verify flagged a checksummed record: %v", err)
+	}
+	err = run([]string{"archive", "verify", "-preset", preset,
+		"-dir", archDir, "-server-pub", join("server.pub")})
+	if err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("verify with key over forged record = %v, want damage report", err)
+	}
+
+	// A torn tail fails even structurally.
+	f, err := os.OpenFile(filepath.Join(archDir, "updates.log"), os.O_APPEND|os.O_WRONLY, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 42, 'x', 'y'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"archive", "verify", "-preset", preset, "-dir", archDir, "-q"}); err == nil {
+		t.Fatal("torn log must exit non-zero")
+	}
+
+	// Flag and dispatch errors.
+	if err := run([]string{"archive"}); err == nil {
+		t.Fatal("bare archive must fail")
+	}
+	if err := run([]string{"archive", "frobnicate"}); err == nil {
+		t.Fatal("unknown archive subcommand must fail")
+	}
+	if err := run([]string{"archive", "verify", "-preset", preset}); err == nil {
+		t.Fatal("missing -dir must fail")
+	}
+}

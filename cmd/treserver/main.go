@@ -4,11 +4,14 @@
 // keeps no per-user state.
 //
 //	treserver -preset SS512 -addr :8440 -granularity 1m \
-//	          -key server.key -archive updates.log -metrics
+//	          -key server.key -archive-dir ./archive -metrics
 //
 // On first run with a missing key file, a fresh server key is generated
-// and saved. The archive file persists published updates across
-// restarts; missed epochs are backfilled on startup.
+// and saved. The archive directory holds an append-only, checksummed
+// log of published updates that survives restarts and crashes: on
+// startup the log is recovered (torn tails from a crash mid-append are
+// truncated, every surviving update is re-verified against the server
+// key) and missed epochs are backfilled.
 //
 // With -metrics the server additionally serves /metrics (a JSON
 // snapshot of request, publish, cache and pairing counters — see
@@ -44,7 +47,7 @@ type config struct {
 	addr        string
 	granularity time.Duration
 	keyPath     string
-	archPath    string
+	archDir     string
 	metrics     bool
 
 	// onReady, when set (tests), receives the bound listen address
@@ -63,7 +66,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.StringVar(&cfg.addr, "addr", ":8440", "listen address")
 	fs.DurationVar(&cfg.granularity, "granularity", time.Minute, "epoch width (must divide 24h)")
 	fs.StringVar(&cfg.keyPath, "key", "treserver.key", "server key file (created if missing)")
-	fs.StringVar(&cfg.archPath, "archive", "", "durable archive file (in-memory if empty)")
+	fs.StringVar(&cfg.archDir, "archive-dir", "", "durable archive directory (in-memory if empty)")
 	fs.BoolVar(&cfg.metrics, "metrics", false, "serve /metrics (JSON) and /debug/pprof, log publish events")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -106,16 +109,31 @@ func run(ctx context.Context, cfg *config, stdout io.Writer) error {
 
 	var metrics *tre.Metrics
 	srvOpts := make([]timeserver.Option, 0, 3)
-	if cfg.archPath != "" {
-		arch, err := tre.OpenFileArchive(cfg.archPath, set)
-		if err != nil {
-			return err
-		}
-		srvOpts = append(srvOpts, tre.WithArchive(arch))
-	}
 	if cfg.metrics {
 		metrics = tre.NewMetrics()
 		srvOpts = append(srvOpts, tre.WithMetrics(metrics), tre.WithLogger(tre.NewEventLogger(stdout)))
+	}
+	if cfg.archDir != "" {
+		// Recovery re-verifies every replayed update against (G, sG):
+		// a torn tail (crash mid-append) is truncated and reported; a
+		// record failing the pairing check refuses to start the server.
+		scheme := tre.NewScheme(set)
+		arch, err := tre.OpenDirArchive(cfg.archDir, set, func(u tre.KeyUpdate) bool {
+			return scheme.VerifyUpdate(key.Pub, u)
+		})
+		if err != nil {
+			return err
+		}
+		defer arch.Close()
+		stats := arch.Stats()
+		fmt.Fprintf(stdout, "treserver: recovered %d updates from %s in %v (torn tail: %d bytes dropped)\n",
+			stats.Records, cfg.archDir, stats.Elapsed.Round(time.Microsecond), stats.TornBytes)
+		if metrics != nil {
+			metrics.Histogram("timeserver.recover_ns").ObserveNS(stats.Elapsed.Nanoseconds())
+			metrics.Counter("timeserver.recovered_updates").Add(int64(stats.Records))
+			metrics.Counter("timeserver.recovered_torn_bytes").Add(stats.TornBytes)
+		}
+		srvOpts = append(srvOpts, tre.WithArchive(arch))
 	}
 	srv := tre.NewTimeServer(set, key, sched, srvOpts...)
 
@@ -176,6 +194,9 @@ func run(ctx context.Context, cfg *config, stdout io.Writer) error {
 			return err
 		}
 	}
+	// Drain long-polls first so Shutdown's grace period is spent on
+	// genuinely in-flight work (catch-up fetches), not parked waiters.
+	srv.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return httpServer.Shutdown(shutdownCtx)

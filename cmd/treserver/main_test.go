@@ -45,7 +45,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.preset != "SS512" || cfg.addr != ":8440" || cfg.granularity != time.Minute {
 		t.Fatalf("wrong defaults: %+v", cfg)
 	}
-	if cfg.keyPath != "treserver.key" || cfg.archPath != "" || cfg.metrics {
+	if cfg.keyPath != "treserver.key" || cfg.archDir != "" || cfg.metrics {
 		t.Fatalf("wrong defaults: %+v", cfg)
 	}
 }
@@ -53,7 +53,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 func TestParseFlagsOverrides(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-preset", "Test160", "-addr", "127.0.0.1:0", "-granularity", "30s",
-		"-key", "/tmp/k", "-archive", "/tmp/a", "-metrics",
+		"-key", "/tmp/k", "-archive-dir", "/tmp/a", "-metrics",
 	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +61,7 @@ func TestParseFlagsOverrides(t *testing.T) {
 	if cfg.preset != "Test160" || cfg.addr != "127.0.0.1:0" || cfg.granularity != 30*time.Second {
 		t.Fatalf("overrides not applied: %+v", cfg)
 	}
-	if cfg.keyPath != "/tmp/k" || cfg.archPath != "/tmp/a" || !cfg.metrics {
+	if cfg.keyPath != "/tmp/k" || cfg.archDir != "/tmp/a" || !cfg.metrics {
 		t.Fatalf("overrides not applied: %+v", cfg)
 	}
 }
@@ -206,5 +206,53 @@ func TestMetricsAndPprofSuppressedByDefault(t *testing.T) {
 	}
 	if code, _ := get(t, base+"/debug/pprof/"); code != http.StatusNotFound {
 		t.Fatalf("/debug/pprof/ without -metrics = %d, want 404", code)
+	}
+}
+
+func TestGracefulShutdownWithLongPollInFlight(t *testing.T) {
+	// A receiver long-polling /v1/wait for a future release would, left
+	// alone, hold its connection far past the shutdown grace period.
+	// Drain must turn those waiters away (503, a transient status the
+	// client retries elsewhere) so shutdown stays prompt.
+	addr, stop := startServer(t)
+	base := "http://" + addr
+
+	type result struct {
+		code int
+		err  error
+	}
+	inFlight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/wait/2030-01-01T00:00:00Z?timeout=2m")
+		if err != nil {
+			inFlight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		inFlight <- result{code: resp.StatusCode}
+	}()
+
+	// Let the long-poll get parked in the handler before shutting down.
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	if err := stop(); err != nil {
+		t.Fatalf("run returned %v with a long-poll in flight, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("shutdown took %v with a long-poll in flight", elapsed)
+	}
+	select {
+	case r := <-inFlight:
+		// The waiter must have been answered (503 from the drain), not
+		// abandoned with a cut connection.
+		if r.err != nil {
+			t.Fatalf("in-flight wait died uncleanly: %v", r.err)
+		}
+		if r.code != http.StatusServiceUnavailable {
+			t.Fatalf("in-flight wait got %d, want 503", r.code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight wait never completed")
 	}
 }

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"timedrelease/internal/faulthttp"
+	"timedrelease/tre"
+)
+
+// pollLabels polls /v1/labels until at least min labels are published
+// (the startup catch-up runs in a background goroutine).
+func pollLabels(t *testing.T, base string, min int) []string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := get(t, base+"/v1/labels")
+		if code == http.StatusOK {
+			var labels []string
+			if s := strings.TrimSpace(string(body)); s != "" {
+				labels = strings.Split(s, "\n")
+			}
+			if len(labels) >= min {
+				return labels
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never published %d labels", min)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRestartOverSameArchiveConverges is the durability acceptance
+// test: a treserver is killed mid-stream while a client is catching up,
+// the crash leaves a torn half-record at the archive tail, and the
+// server is restarted over the SAME -archive-dir at the SAME address.
+// Recovery must drop the torn tail and re-verify every surviving
+// record, and the client — riding out the outage with its retry policy
+// — must converge on the full set of published updates with every one
+// of them re-verified against the pinned server key.
+func TestRestartOverSameArchiveConverges(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "server.key")
+	archDir := filepath.Join(dir, "archive")
+
+	// First life: publish a few epochs into the durable archive.
+	addr, stop := startServer(t,
+		"-key", keyPath, "-archive-dir", archDir, "-granularity", "1s")
+	base := "http://" + addr
+
+	ctx := context.Background()
+	set, spub, _, err := tre.FetchBootstrap(ctx, base, nil)
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	labels := pollLabels(t, base, 2)
+
+	// Kill the server mid-stream: every in-flight and subsequent fetch
+	// dies at the transport.
+	if err := stop(); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+
+	// The crash interrupted an append: a length prefix promising 100
+	// bytes, followed by only 7. Exactly what fsync-per-record leaves
+	// behind when the machine dies between write and sync.
+	f, err := os.OpenFile(filepath.Join(archDir, "updates.log"), os.O_APPEND|os.O_WRONLY, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append([]byte{0, 0, 0, 100}, []byte("partial")...)
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The damage is visible to an offline audit…
+	rep, err := tre.AuditArchiveDir(archDir, set, nil)
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if !rep.Torn || rep.TornBytes != int64(len(torn)) {
+		t.Fatalf("audit = torn %v (%d bytes), want torn tail of %d bytes",
+			rep.Torn, rep.TornBytes, len(torn))
+	}
+	if len(rep.Records) < len(labels) {
+		t.Fatalf("audit found %d intact records, want ≥ %d", len(rep.Records), len(labels))
+	}
+	// The log is the authority on what the first life published (another
+	// epoch may have landed between the poll and the kill).
+	labels = labels[:0]
+	for _, r := range rep.Records {
+		if r.Err == nil {
+			labels = append(labels, r.Label)
+		}
+	}
+
+	// …and repaired by recovery: second life over the same archive dir,
+	// same key, same address.
+	addr2, stop2 := startServer(t,
+		"-key", keyPath, "-archive-dir", archDir, "-granularity", "1s", "-addr", addr)
+	if addr2 != addr {
+		t.Fatalf("restarted on %s, want %s", addr2, addr)
+	}
+
+	// The client lived through the outage: its first fetches still die
+	// (the tail of the restart window), then the transport heals. The
+	// retry policy must ride that out without surfacing anything.
+	ft := faulthttp.New(http.DefaultTransport, &faulthttp.Rule{
+		PathContains: "/v1/update/", From: 1, To: 2, Err: syscall.ECONNRESET,
+	})
+	client := tre.NewTimeClient(base, set, spub,
+		tre.WithHTTPClient(ft.Client()),
+		tre.WithRetry(tre.RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			PerAttempt:  10 * time.Second,
+		}))
+	ups, err := client.CatchUp(ctx, labels)
+	if err != nil {
+		t.Fatalf("CatchUp across restart did not converge: %v", err)
+	}
+	if len(ups) != len(labels) {
+		t.Fatalf("converged on %d updates, want %d", len(ups), len(labels))
+	}
+	scheme := tre.NewScheme(set)
+	for i, u := range ups {
+		if u.Label != labels[i] {
+			t.Fatalf("update %d is for %q, want %q", i, u.Label, labels[i])
+		}
+		if !scheme.VerifyUpdate(spub, u) {
+			t.Fatalf("recovered update %q fails verification against the pinned key", u.Label)
+		}
+	}
+
+	// Nothing was lost and nothing unverifiable survived: the server's
+	// own labels still cover everything from the first life, and the log
+	// on disk is clean again (recovery truncated the torn tail; every
+	// record re-verifies against the server key).
+	after := pollLabels(t, base, len(labels))
+	for i, l := range labels {
+		if after[i] != l {
+			t.Fatalf("label %q lost across restart (have %v)", l, after)
+		}
+	}
+	if err := stop2(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	rep2, err := tre.AuditArchiveDir(archDir, set,
+		func(u tre.KeyUpdate) bool { return scheme.VerifyUpdate(spub, u) })
+	if err != nil {
+		t.Fatalf("final audit: %v", err)
+	}
+	if !rep2.Clean() {
+		t.Fatalf("log still damaged after recovery: torn=%v invalid=%d", rep2.Torn, rep2.Invalid)
+	}
+	if len(rep2.Records) < len(labels) {
+		t.Fatalf("final log has %d records, want ≥ %d", len(rep2.Records), len(labels))
+	}
+}
+
+// TestRestartRefusesForgedArchive: recovery re-verifies every record
+// against the server key, so a checksummed-but-forged record (an
+// attacker who can write to the archive dir but lacks the signing key)
+// must keep the server from serving it — treserver refuses to start.
+func TestRestartRefusesForgedArchive(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "server.key")
+	archDir := filepath.Join(dir, "archive")
+
+	addr, stop := startServer(t, "-key", keyPath, "-archive-dir", archDir)
+	pollLabels(t, "http://"+addr, 1)
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Forge: an impostor key signs an update for a future label and
+	// appends it as a well-formed, correctly checksummed record.
+	set := tre.MustPreset("Test160")
+	scheme := tre.NewScheme(set)
+	impostor, err := scheme.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := tre.OpenDirArchive(archDir, set, nil) // no verifier: writes go straight in
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := forged.Put(scheme.IssueUpdate(impostor, "2030-01-01T00:00:00Z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := forged.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := parseFlags([]string{
+		"-preset", "Test160", "-addr", "127.0.0.1:0", "-granularity", "1m",
+		"-key", keyPath, "-archive-dir", archDir,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := run(ctx, cfg, io.Discard); err == nil || !strings.Contains(err.Error(), "fails update verification") {
+		t.Fatalf("run over a forged archive = %v, want verification refusal", err)
+	}
+}

@@ -7,16 +7,11 @@
 package archive
 
 import (
-	"encoding/binary"
 	"errors"
-	"fmt"
-	"io"
-	"os"
 	"sort"
 	"sync"
 
 	"timedrelease/internal/core"
-	"timedrelease/internal/wire"
 )
 
 // Archive is the store of published updates. Implementations must be
@@ -102,103 +97,5 @@ func (a *Memory) Len() int {
 	return len(a.m)
 }
 
-// File is a durable archive: an append-only log of wire-encoded updates
-// with an in-memory index. It survives server restarts, so an operator
-// can restore the full public history.
-type File struct {
-	mem   *Memory
-	codec *wire.Codec
-
-	mu sync.Mutex // serialises appends
-	f  *os.File
-}
-
-// OpenFile opens (or creates) a file-backed archive, replaying existing
-// records into the in-memory index.
-func OpenFile(path string, codec *wire.Codec) (*File, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
-	if err != nil {
-		return nil, fmt.Errorf("archive: opening %s: %w", path, err)
-	}
-	a := &File{mem: NewMemory(), codec: codec, f: f}
-	if err := a.replay(); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("archive: seeking to end: %w", err)
-	}
-	return a, nil
-}
-
-// replay loads every length-prefixed record from the log.
-func (a *File) replay() error {
-	if _, err := a.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("archive: seeking to start: %w", err)
-	}
-	var lenBuf [4]byte
-	for {
-		if _, err := io.ReadFull(a.f, lenBuf[:]); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return fmt.Errorf("archive: corrupt log (record length): %w", err)
-		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n > 1<<20 {
-			return errors.New("archive: corrupt log (oversized record)")
-		}
-		rec := make([]byte, n)
-		if _, err := io.ReadFull(a.f, rec); err != nil {
-			return fmt.Errorf("archive: corrupt log (record body): %w", err)
-		}
-		u, err := a.codec.UnmarshalKeyUpdate(rec)
-		if err != nil {
-			return fmt.Errorf("archive: corrupt log (record decode): %w", err)
-		}
-		if err := a.mem.Put(u); err != nil {
-			return err
-		}
-	}
-}
-
-// Put implements Archive, appending new records durably.
-func (a *File) Put(u core.KeyUpdate) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, ok := a.mem.Get(u.Label); ok {
-		return a.mem.Put(u) // dedupe/conflict check only; nothing to append
-	}
-	rec := a.codec.MarshalKeyUpdate(u)
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(rec)))
-	if _, err := a.f.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("archive: appending record: %w", err)
-	}
-	if _, err := a.f.Write(rec); err != nil {
-		return fmt.Errorf("archive: appending record: %w", err)
-	}
-	if err := a.f.Sync(); err != nil {
-		return fmt.Errorf("archive: syncing log: %w", err)
-	}
-	return a.mem.Put(u)
-}
-
-// Get implements Archive.
-func (a *File) Get(label string) (core.KeyUpdate, bool) { return a.mem.Get(label) }
-
-// Labels implements Archive.
-func (a *File) Labels() []string { return a.mem.Labels() }
-
-// Len implements Archive.
-func (a *File) Len() int { return a.mem.Len() }
-
-// Close releases the underlying file.
-func (a *File) Close() error { return a.f.Close() }
-
 // Interface compliance.
-var (
-	_ Archive = (*Memory)(nil)
-	_ Archive = (*File)(nil)
-)
+var _ Archive = (*Memory)(nil)

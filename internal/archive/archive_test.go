@@ -4,7 +4,10 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"timedrelease/internal/core"
 	"timedrelease/internal/params"
@@ -70,26 +73,32 @@ func TestMemoryArchive(t *testing.T) {
 	testArchiveContract(t, NewMemory(), sc, key)
 }
 
-func TestFileArchive(t *testing.T) {
+func TestLogArchive(t *testing.T) {
 	sc, key, codec := fixtures(t)
-	path := filepath.Join(t.TempDir(), "updates.log")
-	a, err := OpenFile(path, codec)
+	dir := t.TempDir()
+	a, err := OpenDir(dir, codec)
 	if err != nil {
-		t.Fatalf("OpenFile: %v", err)
+		t.Fatalf("OpenDir: %v", err)
 	}
 	testArchiveContract(t, a, sc, key)
 	if err := a.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
 
-	// Reopen: everything must be back, and updates must still verify.
-	b, err := OpenFile(path, codec)
+	// Reopen with a verifier: everything must be back and re-verified.
+	b, err := OpenDir(dir, codec, WithVerifier(func(u core.KeyUpdate) bool {
+		return sc.VerifyUpdate(key.Pub, u)
+	}))
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
 	defer b.Close()
 	if b.Len() != 3 {
 		t.Fatalf("Len after reopen = %d, want 3", b.Len())
+	}
+	stats := b.Stats()
+	if stats.Records != 3 || stats.Verified != 3 || stats.Truncated {
+		t.Fatalf("recover stats = %+v, want 3 records, 3 verified, no truncation", stats)
 	}
 	for _, l := range b.Labels() {
 		u, ok := b.Get(l)
@@ -106,19 +115,32 @@ func TestFileArchive(t *testing.T) {
 	}
 }
 
-func TestFileArchiveRejectsCorruptLog(t *testing.T) {
-	sc, key, codec := fixtures(t)
-	path := filepath.Join(t.TempDir(), "updates.log")
-	a, err := OpenFile(path, codec)
+// putUpdates writes updates signed by key into dir's log and returns
+// the log path.
+func putUpdates(t *testing.T, sc *core.Scheme, key *core.ServerKeyPair, codec *wire.Codec, dir string, labels ...string) string {
+	t.Helper()
+	a, err := OpenDir(dir, codec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Put(sc.IssueUpdate(key, "2026-07-05T10:00:00Z")); err != nil {
+	for _, l := range labels {
+		if err := a.Put(sc.IssueUpdate(key, l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
-	a.Close()
+	return filepath.Join(dir, logName)
+}
 
-	// Truncate mid-record.
+func TestLogRecoverTruncatesTornTail(t *testing.T) {
+	sc, key, codec := fixtures(t)
+	labels := []string{"2026-07-05T10:00:00Z", "2026-07-05T11:00:00Z", "2026-07-05T12:00:00Z"}
+	dir := t.TempDir()
+	path := putUpdates(t, sc, key, codec, dir, labels...)
+
+	// Simulate a crash mid-append: cut the last record short.
 	info, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)
@@ -126,8 +148,240 @@ func TestFileArchiveRejectsCorruptLog(t *testing.T) {
 	if err := os.Truncate(path, info.Size()-3); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenFile(path, codec); err == nil {
-		t.Fatal("corrupt log must be rejected")
+
+	a, err := OpenDir(dir, codec, WithVerifier(func(u core.KeyUpdate) bool {
+		return sc.VerifyUpdate(key.Pub, u)
+	}))
+	if err != nil {
+		t.Fatalf("recovery over torn log: %v", err)
+	}
+	defer a.Close()
+	stats := a.Stats()
+	if !stats.Truncated || stats.TornBytes == 0 {
+		t.Fatalf("stats = %+v, want a truncated tail", stats)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("Len after torn-tail recovery = %d, want 2", a.Len())
+	}
+	if _, ok := a.Get(labels[2]); ok {
+		t.Fatal("torn record must not be served")
+	}
+	// The surviving prefix still verifies and the log accepts appends —
+	// including re-publishing the label whose record was torn.
+	if err := a.Put(sc.IssueUpdate(key, labels[2])); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+
+	// After the repair + re-append, a reopen sees all three.
+	a.Close()
+	b, err := OpenDir(dir, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Len() != 3 {
+		t.Fatalf("Len after repair = %d, want 3", b.Len())
+	}
+}
+
+func TestLogRecoverTruncatesCorruptedChecksum(t *testing.T) {
+	sc, key, codec := fixtures(t)
+	dir := t.TempDir()
+	path := putUpdates(t, sc, key, codec, dir, "2026-07-05T10:00:00Z", "2026-07-05T11:00:00Z")
+
+	// Flip one bit inside the SECOND record's payload: the CRC catches
+	// it, and recovery keeps the first record.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := (len(raw) - len(logMagic)) / 2
+	raw[len(logMagic)+recLen+10] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := OpenDir(dir, codec)
+	if err != nil {
+		t.Fatalf("recovery over bit-rotted log: %v", err)
+	}
+	defer a.Close()
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (second record dropped)", a.Len())
+	}
+	stats := a.Stats()
+	if !stats.Truncated || stats.TornBytes != int64(recLen) {
+		t.Fatalf("stats = %+v, want %d torn bytes", stats, recLen)
+	}
+}
+
+func TestLogRecoverRejectsForgedRecord(t *testing.T) {
+	// A record whose framing and CRC are intact but whose point was not
+	// signed by the server key is cryptographic damage: with a verifier,
+	// recovery must refuse to serve the archive rather than repair it.
+	sc, key, codec := fixtures(t)
+	dir := t.TempDir()
+	putUpdates(t, sc, key, codec, dir, "2026-07-05T10:00:00Z")
+
+	impostor, err := sc.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append the forged record through the log itself (valid framing).
+	a, err := OpenDir(dir, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forgedLabel := "2026-07-05T11:00:00Z"
+	if err := a.Put(sc.IssueUpdate(impostor, forgedLabel)); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	_, err = OpenDir(dir, codec, WithVerifier(func(u core.KeyUpdate) bool {
+		return sc.VerifyUpdate(key.Pub, u)
+	}))
+	if !errors.Is(err, ErrInvalidRecord) {
+		t.Fatalf("err = %v, want ErrInvalidRecord", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), forgedLabel) {
+		t.Fatalf("error %v does not name the forged label", err)
+	}
+	// Without a verifier the structural checks alone accept it — which
+	// is exactly why treserver always installs one.
+	b, err := OpenDir(dir, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+}
+
+func TestLogRejectsForeignFile(t *testing.T) {
+	_, _, codec := fixtures(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("not an update log at all"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir, codec); !errors.Is(err, ErrNotLog) {
+		t.Fatalf("err = %v, want ErrNotLog", err)
+	}
+}
+
+func TestAuditDir(t *testing.T) {
+	sc, key, codec := fixtures(t)
+	verify := func(u core.KeyUpdate) bool { return sc.VerifyUpdate(key.Pub, u) }
+
+	t.Run("clean", func(t *testing.T) {
+		dir := t.TempDir()
+		putUpdates(t, sc, key, codec, dir, "2026-07-05T10:00:00Z", "2026-07-05T11:00:00Z")
+		rep, err := AuditDir(dir, codec, verify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() || len(rep.Records) != 2 {
+			t.Fatalf("report = %+v, want 2 clean records", rep)
+		}
+	})
+
+	t.Run("torn", func(t *testing.T) {
+		dir := t.TempDir()
+		path := putUpdates(t, sc, key, codec, dir, "2026-07-05T10:00:00Z", "2026-07-05T11:00:00Z")
+		info, _ := os.Stat(path)
+		if err := os.Truncate(path, info.Size()-5); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := AuditDir(dir, codec, verify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Clean() || !rep.Torn || rep.TornBytes == 0 {
+			t.Fatalf("report = %+v, want torn", rep)
+		}
+		// Audit must NOT repair: the file is unchanged.
+		after, _ := os.Stat(path)
+		if after.Size() != info.Size()-5 {
+			t.Fatal("audit modified the log")
+		}
+	})
+
+	t.Run("invalid", func(t *testing.T) {
+		dir := t.TempDir()
+		putUpdates(t, sc, key, codec, dir, "2026-07-05T10:00:00Z")
+		impostor, err := sc.ServerKeyGen(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := OpenDir(dir, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Put(sc.IssueUpdate(impostor, "2026-07-05T11:00:00Z")); err != nil {
+			t.Fatal(err)
+		}
+		a.Close()
+		rep, err := AuditDir(dir, codec, verify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Clean() || rep.Invalid != 1 || rep.Torn {
+			t.Fatalf("report = %+v, want exactly one invalid record", rep)
+		}
+	})
+}
+
+// TestMemoryLabelsOrderingContract pins the documented Labels()
+// contract: a fresh lexicographically-sorted snapshot on every call,
+// which for canonical RFC 3339 labels is chronological order, even
+// under interleaved inserts in adversarial order.
+func TestMemoryLabelsOrderingContract(t *testing.T) {
+	sc, key, _ := fixtures(t)
+	a := NewMemory()
+	labels := []string{
+		"2026-07-05T23:59:00Z",
+		"2026-07-05T00:00:00Z",
+		"2026-12-31T00:00:00Z",
+		"2026-07-05T12:00:00Z",
+		"2025-01-01T00:00:00Z",
+		"2026-07-05T12:00:30Z",
+	}
+	want := make([]string, 0, len(labels))
+	for i, l := range labels {
+		if err := a.Put(sc.IssueUpdate(key, l)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, l)
+		sort.Strings(want)
+		got := a.Labels()
+		if len(got) != len(want) {
+			t.Fatalf("after %d puts: %d labels, want %d", i+1, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("after %d puts: Labels()[%d] = %q, want %q", i+1, j, got[j], want[j])
+			}
+		}
+		// The snapshot must be FRESH: mutating it cannot corrupt the
+		// archive's own state.
+		if len(got) > 0 {
+			got[0] = "mutated"
+			if a.Labels()[0] == "mutated" {
+				t.Fatal("Labels() returned shared state")
+			}
+		}
+	}
+	// Chronological == lexicographic for canonical labels: verify the
+	// sorted sequence parses to non-decreasing instants.
+	sorted := a.Labels()
+	var prev time.Time
+	for i, l := range sorted {
+		ts, err := time.Parse(time.RFC3339, l)
+		if err != nil {
+			t.Fatalf("label %q not RFC 3339: %v", l, err)
+		}
+		if i > 0 && ts.Before(prev) {
+			t.Fatalf("labels out of chronological order: %q before %q", sorted[i-1], l)
+		}
+		prev = ts
 	}
 }
 

@@ -1,0 +1,352 @@
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/wire"
+)
+
+// The durable archive is an append-only log of wire-encoded updates in
+// a directory. Every record is independently framed and checksummed so
+// a crash mid-append (power loss, SIGKILL) leaves at worst a torn tail
+// that Recover detects and truncates — never a silently wrong update:
+//
+//	file   = magic ‖ record…
+//	magic  = "TRELOG1\n"                      (8 bytes)
+//	record = u32 len ‖ payload ‖ u32 crc      (crc32-IEEE over len ‖ payload)
+//
+// The payload is the wire KeyUpdate encoding (docs/PROTOCOL.md). The
+// integrity chain is layered: the CRC catches torn or bit-rotted
+// records (structural damage → truncate and keep serving), while the
+// pairing check ê(G, I_T) = ê(sG, H1(T)) run by Recover's verifier
+// catches records an attacker rewrote wholesale, CRC included
+// (cryptographic damage → refuse to serve). CRCs are not authentication;
+// the pairing equation is.
+
+// logName is the log file inside an archive directory.
+const logName = "updates.log"
+
+// logMagic identifies (and versions) the on-disk format.
+var logMagic = []byte("TRELOG1\n")
+
+// maxRecord bounds a single record; anything larger is structural
+// corruption (a real update is a label plus one compressed point).
+const maxRecord = 1 << 20
+
+// ErrInvalidRecord reports a record that is structurally intact
+// (framing and checksum pass) but whose update fails the verifier —
+// i.e. the log was rewritten, not torn. Unlike a torn tail this is
+// never repaired automatically.
+var ErrInvalidRecord = errors.New("archive: record fails update verification")
+
+// ErrNotLog reports a file that does not start with the log magic.
+var ErrNotLog = errors.New("archive: not an update log (bad magic)")
+
+// RecoverStats describes what Recover found and repaired.
+type RecoverStats struct {
+	Records   int           // intact records now served
+	Verified  int           // records re-verified against the server key
+	TornBytes int64         // bytes truncated from the tail
+	Truncated bool          // whether a torn tail was dropped
+	Elapsed   time.Duration // replay wall time
+}
+
+// Log is the durable archive: an append-only, checksummed log of
+// published updates with an in-memory index. Safe for concurrent use.
+type Log struct {
+	mem    *Memory
+	codec  *wire.Codec
+	verify func(core.KeyUpdate) bool // nil → structural checks only
+	path   string
+
+	mu    sync.Mutex // serialises appends and recovery
+	f     *os.File
+	stats RecoverStats
+}
+
+// LogOption configures a Log.
+type LogOption func(*Log)
+
+// WithVerifier makes Recover re-verify every replayed update (the
+// paper's self-authentication check ê(G, I_T) = ê(sG, H1(T)) bound to
+// the server key) before it is served. A record that fails is reported
+// as ErrInvalidRecord — the archive refuses to serve it.
+func WithVerifier(v func(core.KeyUpdate) bool) LogOption {
+	return func(l *Log) { l.verify = v }
+}
+
+// OpenDir opens (or creates) the durable archive in dir and runs
+// Recover, so a returned *Log is always consistent: torn tails have
+// been truncated and, with WithVerifier, every served update has been
+// re-verified.
+func OpenDir(dir string, codec *wire.Codec, opts ...LogOption) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("archive: creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("archive: opening %s: %w", path, err)
+	}
+	l := &Log{mem: NewMemory(), codec: codec, path: path, f: f}
+	for _, o := range opts {
+		o(l)
+	}
+	if _, err := l.Recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Recover replays the log from disk, rebuilding the in-memory index.
+// A torn tail — short read, oversized length, checksum mismatch or
+// undecodable payload — is truncated away and everything before it is
+// kept, so a crash mid-append costs at most the record being written.
+// With a verifier configured, every replayed update is re-checked
+// against the server key; a checksummed record that fails is
+// cryptographic (not crash) damage and aborts recovery with
+// ErrInvalidRecord. Recover is also safe to call on a live Log.
+func (l *Log) Recover() (RecoverStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := time.Now()
+
+	size, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return RecoverStats{}, fmt.Errorf("archive: sizing log: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return RecoverStats{}, fmt.Errorf("archive: seeking to start: %w", err)
+	}
+
+	stats := RecoverStats{}
+	mem := NewMemory()
+	var offset int64
+
+	if size == 0 {
+		// Fresh log: stamp the magic durably before the first record.
+		if _, err := l.f.Write(logMagic); err != nil {
+			return RecoverStats{}, fmt.Errorf("archive: writing magic: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return RecoverStats{}, fmt.Errorf("archive: syncing magic: %w", err)
+		}
+		l.mem, l.stats = mem, stats
+		return stats, nil
+	}
+
+	magic := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(l.f, magic); err != nil || string(magic) != string(logMagic) {
+		// A file this short cannot even be an empty log; do not "repair"
+		// what was never ours to begin with.
+		return RecoverStats{}, fmt.Errorf("%w: %s", ErrNotLog, l.path)
+	}
+	offset = int64(len(logMagic))
+
+	var lenBuf [4]byte
+	crcBuf := make([]byte, 4)
+	for offset < size {
+		u, recLen, err := readRecord(l.f, l.codec, lenBuf[:], crcBuf)
+		if err != nil {
+			// Structural damage: everything from offset on is the torn
+			// tail. Truncate it and keep the intact prefix.
+			stats.Truncated = true
+			stats.TornBytes = size - offset
+			if err := l.f.Truncate(offset); err != nil {
+				return RecoverStats{}, fmt.Errorf("archive: truncating torn tail: %w", err)
+			}
+			if err := l.f.Sync(); err != nil {
+				return RecoverStats{}, fmt.Errorf("archive: syncing truncation: %w", err)
+			}
+			break
+		}
+		if l.verify != nil {
+			if !l.verify(u) {
+				return RecoverStats{}, fmt.Errorf("%w (label %q, offset %d)", ErrInvalidRecord, u.Label, offset)
+			}
+			stats.Verified++
+		}
+		if err := mem.Put(u); err != nil {
+			return RecoverStats{}, fmt.Errorf("archive: replay at offset %d: %w", offset, err)
+		}
+		offset += recLen
+		stats.Records++
+	}
+
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return RecoverStats{}, fmt.Errorf("archive: seeking to end: %w", err)
+	}
+	stats.Elapsed = time.Since(start)
+	l.mem, l.stats = mem, stats
+	return stats, nil
+}
+
+// readRecord reads one record at the current file position, returning
+// the decoded update and total record length (frame + payload + crc).
+// Any error means structural damage at this offset.
+func readRecord(r io.Reader, codec *wire.Codec, lenBuf, crcBuf []byte) (core.KeyUpdate, int64, error) {
+	if _, err := io.ReadFull(r, lenBuf); err != nil {
+		return core.KeyUpdate{}, 0, fmt.Errorf("record length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf)
+	if n > maxRecord {
+		return core.KeyUpdate{}, 0, errors.New("oversized record")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return core.KeyUpdate{}, 0, fmt.Errorf("record body: %w", err)
+	}
+	if _, err := io.ReadFull(r, crcBuf); err != nil {
+		return core.KeyUpdate{}, 0, fmt.Errorf("record checksum: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(lenBuf)
+	crc.Write(payload)
+	if crc.Sum32() != binary.BigEndian.Uint32(crcBuf) {
+		return core.KeyUpdate{}, 0, errors.New("checksum mismatch")
+	}
+	u, err := codec.UnmarshalKeyUpdate(payload)
+	if err != nil {
+		return core.KeyUpdate{}, 0, fmt.Errorf("record decode: %w", err)
+	}
+	return u, int64(4 + len(payload) + 4), nil
+}
+
+// appendRecord encodes and durably appends one update: the write is
+// fsynced before the in-memory index (and therefore any reader) sees
+// it, so a served update is always a durable update.
+func (l *Log) appendRecord(u core.KeyUpdate) error {
+	payload := l.codec.MarshalKeyUpdate(u)
+	rec := make([]byte, 0, 4+len(payload)+4)
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+	if _, err := l.f.Write(rec); err != nil {
+		return fmt.Errorf("archive: appending record: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("archive: syncing log: %w", err)
+	}
+	return nil
+}
+
+// Put implements Archive, appending new records durably. A failed
+// append may leave a torn tail on disk; it is never indexed, and the
+// next Recover truncates it.
+func (l *Log) Put(u core.KeyUpdate) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.mem.Get(u.Label); ok {
+		return l.mem.Put(u) // dedupe/conflict check only; nothing to append
+	}
+	if err := l.appendRecord(u); err != nil {
+		return err
+	}
+	return l.mem.Put(u)
+}
+
+// Get implements Archive.
+func (l *Log) Get(label string) (core.KeyUpdate, bool) { return l.mem.Get(label) }
+
+// Labels implements Archive.
+func (l *Log) Labels() []string { return l.mem.Labels() }
+
+// Len implements Archive.
+func (l *Log) Len() int { return l.mem.Len() }
+
+// Stats returns what the last Recover found.
+func (l *Log) Stats() RecoverStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Path returns the log file path (operator diagnostics).
+func (l *Log) Path() string { return l.path }
+
+// Close releases the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+var _ Archive = (*Log)(nil)
+
+// AuditRecord is one record's offline-audit result.
+type AuditRecord struct {
+	Offset int64  // file offset of the record frame
+	Label  string // decoded label ("" if undecodable)
+	Err    error  // nil = structurally intact and (if checked) verified
+}
+
+// AuditReport is the outcome of replaying a log offline.
+type AuditReport struct {
+	Records   []AuditRecord // every intact record, plus one entry for a torn tail
+	Torn      bool          // structural damage found (framing/checksum/decode)
+	TornBytes int64         // bytes after the damage point
+	Invalid   int           // intact records failing the verifier
+}
+
+// Clean reports whether the log replayed with no damage at all.
+func (r AuditReport) Clean() bool { return !r.Torn && r.Invalid == 0 }
+
+// AuditDir replays the log in dir without modifying it, classifying
+// every record: intact, torn (structural damage — the file is reported
+// from the first damaged byte, as Recover would truncate it) or
+// invalid (checksummed but failing the verifier — cryptographic
+// damage Recover refuses to serve). Operators and CI run this through
+// `trectl archive verify`.
+func AuditDir(dir string, codec *wire.Codec, verify func(core.KeyUpdate) bool) (AuditReport, error) {
+	path := filepath.Join(dir, logName)
+	f, err := os.Open(path)
+	if err != nil {
+		return AuditReport{}, fmt.Errorf("archive: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return AuditReport{}, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return AuditReport{}, err
+	}
+	var rep AuditReport
+	if size == 0 {
+		return rep, nil // empty (or never-written) log: trivially clean
+	}
+	magic := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != string(logMagic) {
+		return AuditReport{}, fmt.Errorf("%w: %s", ErrNotLog, path)
+	}
+	offset := int64(len(logMagic))
+	var lenBuf [4]byte
+	crcBuf := make([]byte, 4)
+	for offset < size {
+		u, recLen, err := readRecord(f, codec, lenBuf[:], crcBuf)
+		if err != nil {
+			rep.Torn = true
+			rep.TornBytes = size - offset
+			rep.Records = append(rep.Records, AuditRecord{Offset: offset, Err: fmt.Errorf("torn: %w", err)})
+			break
+		}
+		rec := AuditRecord{Offset: offset, Label: u.Label}
+		if verify != nil && !verify(u) {
+			rec.Err = ErrInvalidRecord
+			rep.Invalid++
+		}
+		rep.Records = append(rep.Records, rec)
+		offset += recLen
+	}
+	return rep, nil
+}

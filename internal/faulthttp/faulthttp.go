@@ -1,0 +1,188 @@
+// Package faulthttp injects transport faults into an http.RoundTripper
+// for tests: errors, latency, and truncated response bodies, targeted
+// by URL path substring and by request count. It exists to exercise the
+// client's retry and degraded-catch-up paths against the failure modes
+// a real deployment sees — a server restarting mid-stream, a connection
+// cut halfway through a body, a load balancer returning 503s — without
+// flaky timing tricks.
+//
+// A Transport holds an ordered list of rules. Each request walks the
+// rules; the first rule whose path matches and whose occurrence window
+// covers this match fires. A fired rule applies its latency first, then
+// either fails the round trip, substitutes a synthetic status, or
+// forwards to the base transport (truncating the response body if asked
+// to). Unmatched requests pass straight through.
+package faulthttp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule is one fault to inject. The zero effect (no Err, no Status, no
+// TruncateTo) with a Latency just delays matching requests.
+type Rule struct {
+	// PathContains matches requests whose URL path contains this
+	// substring; empty matches every request.
+	PathContains string
+
+	// From and To bound WHICH matches fire, counting matches of this
+	// rule from 1. From 0 means 1; To 0 means unbounded. E.g.
+	// From=1,To=2 fails the first two matching requests and lets the
+	// third through — exactly the shape a retry test needs.
+	From, To int
+
+	// Latency delays the request before any other effect (and respects
+	// the request context, returning its error if cancelled first).
+	Latency time.Duration
+
+	// Err, when non-nil, fails the round trip with this error (after
+	// Latency). Models a refused or dropped connection.
+	Err error
+
+	// Status, when non-zero, short-circuits with a synthetic response
+	// of this status and an empty body. Models a proxy or a server
+	// under shed (503/429) without needing the server to cooperate.
+	Status int
+
+	// TruncateTo, when > 0, forwards the request but cuts the response
+	// body after this many bytes; the reader then returns
+	// io.ErrUnexpectedEOF. Models a connection cut mid-body.
+	TruncateTo int
+
+	seen int // matches so far (guarded by Transport.mu)
+}
+
+// fires reports whether this match (the n-th, 1-based) is inside the
+// rule's occurrence window.
+func (r *Rule) fires(n int) bool {
+	from := r.From
+	if from == 0 {
+		from = 1
+	}
+	return n >= from && (r.To == 0 || n <= r.To)
+}
+
+// Transport is a fault-injecting http.RoundTripper. Safe for
+// concurrent use.
+type Transport struct {
+	// Base performs the real round trips; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+
+	mu       sync.Mutex
+	rules    []*Rule
+	requests int
+}
+
+// New returns a Transport over base with the given rules.
+func New(base http.RoundTripper, rules ...*Rule) *Transport {
+	return &Transport{Base: base, rules: rules}
+}
+
+// Add appends a rule (its occurrence counter starts now).
+func (t *Transport) Add(r *Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = append(t.rules, r)
+}
+
+// Requests returns how many round trips have been attempted through
+// this transport (matched or not) — the assertion hook for "the client
+// retried exactly N times".
+func (t *Transport) Requests() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests
+}
+
+// Client wraps the transport in an http.Client.
+func (t *Transport) Client() *http.Client { return &http.Client{Transport: t} }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.requests++
+	var fired *Rule
+	for _, r := range t.rules {
+		if !strings.Contains(req.URL.Path, r.PathContains) {
+			continue
+		}
+		r.seen++
+		if fired == nil && r.fires(r.seen) {
+			fired = r
+		}
+	}
+	t.mu.Unlock()
+
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if fired == nil {
+		return base.RoundTrip(req)
+	}
+	if fired.Latency > 0 {
+		timer := time.NewTimer(fired.Latency)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if fired.Err != nil {
+		return nil, fmt.Errorf("faulthttp: %s: %w", req.URL.Path, fired.Err)
+	}
+	if fired.Status != 0 {
+		return &http.Response{
+			StatusCode: fired.Status,
+			Status:     http.StatusText(fired.Status),
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     make(http.Header),
+			Body:       http.NoBody,
+			Request:    req,
+		}, nil
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if fired.TruncateTo > 0 {
+		resp.Body = &truncatedBody{r: resp.Body, remain: fired.TruncateTo}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+// truncatedBody yields at most remain bytes of the underlying body and
+// then reports io.ErrUnexpectedEOF — the error a cut connection
+// produces mid-body.
+type truncatedBody struct {
+	r      io.ReadCloser
+	remain int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.r.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.r.Close() }

@@ -1,0 +1,86 @@
+package faulthttp
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hello", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello, world")
+	})
+	mux.HandleFunc("/other", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "other")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, c *http.Client, url string) (string, int, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), resp.StatusCode, err
+}
+
+func TestWindowedError(t *testing.T) {
+	ts := testServer(t)
+	ft := New(ts.Client().Transport,
+		&Rule{PathContains: "/hello", From: 1, To: 2, Err: syscall.ECONNRESET})
+	c := ft.Client()
+
+	for i := 1; i <= 2; i++ {
+		if _, _, err := get(t, c, ts.URL+"/hello"); !errors.Is(err, syscall.ECONNRESET) {
+			t.Fatalf("request %d: err = %v, want ECONNRESET", i, err)
+		}
+	}
+	body, status, err := get(t, c, ts.URL+"/hello")
+	if err != nil || status != 200 || body != "hello, world" {
+		t.Fatalf("request 3 = (%q, %d, %v), want clean pass-through", body, status, err)
+	}
+	// Other paths never match the rule.
+	if _, _, err := get(t, c, ts.URL+"/other"); err != nil {
+		t.Fatalf("unmatched path hit the fault: %v", err)
+	}
+	if got := ft.Requests(); got != 4 {
+		t.Fatalf("Requests() = %d, want 4", got)
+	}
+}
+
+func TestSyntheticStatus(t *testing.T) {
+	ts := testServer(t)
+	ft := New(ts.Client().Transport, &Rule{From: 1, To: 1, Status: 503})
+	c := ft.Client()
+	if _, status, err := get(t, c, ts.URL+"/hello"); err != nil || status != 503 {
+		t.Fatalf("got (%d, %v), want synthetic 503", status, err)
+	}
+	if _, status, err := get(t, c, ts.URL+"/hello"); err != nil || status != 200 {
+		t.Fatalf("got (%d, %v), want 200 after window", status, err)
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	ts := testServer(t)
+	ft := New(ts.Client().Transport, &Rule{PathContains: "/hello", TruncateTo: 5})
+	body, status, err := get(t, ft.Client(), ts.URL+"/hello")
+	if status != 200 {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if body != "hello" {
+		t.Fatalf("body = %q, want the first 5 bytes", body)
+	}
+}

@@ -9,6 +9,44 @@ import (
 	"timedrelease/internal/core"
 )
 
+// PartialError reports a degraded catch-up: some labels produced
+// verified updates, others could not be fetched. The verified part has
+// already been returned — a receiver can decrypt everything whose
+// release it now holds and re-request the rest later — so this is an
+// error about completeness, never about integrity (an update that
+// fails verification is ErrBadUpdate, wholesale).
+type PartialError struct {
+	// Missing lists the labels with no verified update, in request
+	// order.
+	Missing []string
+	// Causes maps each missing label to why it is missing (e.g.
+	// ErrNotYetPublished, or the transport error that survived the
+	// retry policy).
+	Causes map[string]error
+}
+
+// Error summarises the damage without flooding: the count plus the
+// first missing label and its cause.
+func (e *PartialError) Error() string {
+	if len(e.Missing) == 0 {
+		return "timeserver: degraded catch-up"
+	}
+	first := e.Missing[0]
+	return fmt.Sprintf("timeserver: degraded catch-up: %d label(s) missing (first: %s: %v)",
+		len(e.Missing), first, e.Causes[first])
+}
+
+// Unwrap exposes the per-label causes so errors.Is sees through the
+// partial error (e.g. errors.Is(err, ErrNotYetPublished) holds when
+// any missing label is simply not released yet).
+func (e *PartialError) Unwrap() []error {
+	out := make([]error, 0, len(e.Causes))
+	for _, err := range e.Causes {
+		out = append(out, err)
+	}
+	return out
+}
+
 // CatchUp fetches the updates for many labels (e.g. every epoch missed
 // while offline) and verifies them in ONE batched pairing equation
 // instead of one per update — the receiver-side complement of the
@@ -16,75 +54,110 @@ import (
 // cached labels are served locally; on batch failure it falls back to
 // per-update verification so the offending update is identified in the
 // error. All verified updates are cached.
+//
+// CatchUp degrades instead of failing wholesale: a label whose fetch
+// fails (not yet published, or a transport error that survived the
+// retry policy) is skipped, and the verified updates for every OTHER
+// label are still returned — in request order — alongside a
+// *PartialError naming the missing labels. err == nil means every
+// label was returned. Integrity failures are different: any update
+// that fails verification poisons nothing but aborts the call with
+// ErrBadUpdate, exactly as before — degraded mode never trades away
+// the pinned-key check. ctx cancellation also aborts wholesale.
 func (c *Client) CatchUp(ctx context.Context, labels []string) ([]core.KeyUpdate, error) {
-	out := make([]core.KeyUpdate, len(labels))
+	byLabel := make(map[string]core.KeyUpdate, len(labels))
 
 	// Partition into cached and to-fetch.
-	var missing []int
-	for i, label := range labels {
+	var missing []string
+	for _, label := range labels {
 		if u, ok := c.cached(label); ok {
-			out[i] = u
-		} else {
-			missing = append(missing, i)
+			byLabel[label] = u
+		} else if _, dup := byLabel[label]; !dup {
+			missing = append(missing, label)
 		}
-	}
-	if len(missing) == 0 {
-		return out, nil
 	}
 
-	// Fetch the missing ones (unverified for now).
+	// Fetch what we can (unverified for now), remembering what we
+	// cannot.
 	fetched := make([]core.KeyUpdate, 0, len(missing))
-	for _, i := range missing {
-		label := labels[i]
-		body, status, err := c.get(ctx, "/v1/update/"+label)
-		if err != nil {
+	var partial *PartialError
+	skip := func(label string, cause error) {
+		if partial == nil {
+			partial = &PartialError{Causes: make(map[string]error)}
+		}
+		partial.Missing = append(partial.Missing, label)
+		partial.Causes[label] = cause
+	}
+	for _, label := range missing {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if status == http.StatusNotFound {
-			return nil, fmt.Errorf("%w: %s", ErrNotYetPublished, label)
-		}
-		if status != http.StatusOK {
-			return nil, fmt.Errorf("timeserver: unexpected status %d for %s", status, label)
+		body, status, err := c.get(ctx, "/v1/update/"+label)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			skip(label, err)
+			continue
+		case status == http.StatusNotFound:
+			skip(label, ErrNotYetPublished)
+			continue
+		case status != http.StatusOK:
+			skip(label, fmt.Errorf("timeserver: unexpected status %d", status))
+			continue
 		}
 		u, err := c.codec.UnmarshalKeyUpdate(body)
 		if err != nil {
-			return nil, err
+			skip(label, err)
+			continue
 		}
 		if u.Label != label {
-			return nil, fmt.Errorf("timeserver: server returned update for %q, asked for %q", u.Label, label)
+			skip(label, fmt.Errorf("timeserver: server returned update for %q", u.Label))
+			continue
 		}
 		fetched = append(fetched, u)
 	}
 
 	// Batch-verify everything fetched with one pairing equation, over the
 	// Miller-loop schedules precomputed for the pinned server key.
-	c.met.catchupBatches.Inc()
-	start := time.Now()
-	ok, err := c.sc.VerifyUpdateBatch(c.spub, fetched)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		// Locate the offender for a useful error.
-		c.met.catchupFallback.Inc()
-		for _, u := range fetched {
-			if !c.sc.VerifyUpdate(c.spub, u) {
-				return nil, fmt.Errorf("%w (label %s)", ErrBadUpdate, u.Label)
-			}
+	if len(fetched) > 0 {
+		c.met.catchupBatches.Inc()
+		start := time.Now()
+		ok, err := c.sc.VerifyUpdateBatch(c.spub, fetched)
+		if err != nil {
+			return nil, err
 		}
-		return nil, ErrBadUpdate // all pass individually?! treat as failure
+		if !ok {
+			// Locate the offender for a useful error.
+			c.met.catchupFallback.Inc()
+			for _, u := range fetched {
+				if !c.sc.VerifyUpdate(c.spub, u) {
+					return nil, fmt.Errorf("%w (label %s)", ErrBadUpdate, u.Label)
+				}
+			}
+			return nil, ErrBadUpdate // all pass individually?! treat as failure
+		}
+		c.met.verifyNS.Since(start)
 	}
-	c.met.verifyNS.Since(start)
 
-	// Cache and fill results from what was just verified (the cache may
-	// be disabled, so out is filled directly).
-	byLabel := make(map[string]core.KeyUpdate, len(fetched))
+	// Cache what was just verified (the cache may be disabled, so the
+	// results are assembled from byLabel directly).
 	for _, u := range fetched {
 		c.store(u)
 		byLabel[u.Label] = u
 	}
-	for _, i := range missing {
-		out[i] = byLabel[labels[i]]
+	out := make([]core.KeyUpdate, 0, len(byLabel))
+	seen := make(map[string]bool, len(byLabel))
+	for _, label := range labels {
+		if u, ok := byLabel[label]; ok && !seen[label] {
+			out = append(out, u)
+			seen[label] = true
+		}
+	}
+	if partial != nil {
+		c.met.catchupDegraded.Inc()
+		return out, partial
 	}
 	return out, nil
 }

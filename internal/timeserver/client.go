@@ -38,6 +38,7 @@ type Client struct {
 	spub    core.ServerPublicKey
 	codec   *wire.Codec
 	noCache bool
+	retry   RetryPolicy
 
 	mu    sync.RWMutex
 	cache map[string]core.KeyUpdate
@@ -49,12 +50,14 @@ type Client struct {
 // (names client.*; see docs/OBSERVABILITY.md). All nil until
 // WithClientMetrics; obs types no-op on nil.
 type clientMetrics struct {
-	fetchNS         *obs.Histogram // HTTP round trip, per request
+	fetchNS         *obs.Histogram // HTTP round trip, per request (incl. retries)
 	verifyNS        *obs.Histogram // decode + pairing verification
 	cacheHit        *obs.Counter   // updates served from the local cache
 	cacheMiss       *obs.Counter   // updates that needed a fetch
 	catchupBatches  *obs.Counter   // batched CatchUp verifications
 	catchupFallback *obs.Counter   // batches that fell back to per-update
+	retries         *obs.Counter   // transport-level retry attempts
+	catchupDegraded *obs.Counter   // CatchUp calls returning a PartialError
 }
 
 // ClientOption configures a Client.
@@ -88,6 +91,8 @@ func WithClientMetrics(r *obs.Registry) ClientOption {
 			cacheMiss:       r.Counter("client.cache_miss"),
 			catchupBatches:  r.Counter("client.catchup_batches"),
 			catchupFallback: r.Counter("client.catchup_fallback"),
+			retries:         r.Counter("client.retries"),
+			catchupDegraded: r.Counter("client.catchup_degraded"),
 		}
 	}
 }
@@ -110,6 +115,7 @@ func NewClient(baseURL string, set *params.Set, spub core.ServerPublicKey, opts 
 		spub:  spub,
 		codec: wire.NewCodec(set),
 		cache: make(map[string]core.KeyUpdate),
+		retry: DefaultRetry,
 	}
 	for _, o := range opts {
 		o(c)
@@ -254,8 +260,52 @@ func (c *Client) CachedLen() int {
 	return len(c.cache)
 }
 
+// get performs one logical fetch under the client's retry policy:
+// transport errors, truncated bodies and transient statuses (429/5xx)
+// are retried with capped exponential backoff and jitter; definitive
+// answers (200, 404, …) are returned as-is on the attempt that got
+// them. The caller's ctx bounds the whole operation, including
+// backoff sleeps; the policy's PerAttempt bounds each try.
 func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
 	defer c.met.fetchNS.Since(time.Now())
+	p := c.retry
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.met.retries.Inc()
+			if err := sleepCtx(ctx, p.backoff(attempt-1)); err != nil {
+				break // ctx cancelled while backing off
+			}
+		}
+		body, status, err := c.getOnce(ctx, path, p.PerAttempt)
+		if err == nil {
+			if retryableStatus(status) && attempt < p.MaxAttempts {
+				lastErr = fmt.Errorf("timeserver: %s: transient status %d", path, status)
+				continue
+			}
+			return body, status, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the caller gave up; do not mask that as "server down"
+		}
+	}
+	if p.MaxAttempts > 1 {
+		return nil, 0, fmt.Errorf("timeserver: %s: giving up after %d attempts: %w", path, p.MaxAttempts, lastErr)
+	}
+	return nil, 0, lastErr
+}
+
+// getOnce is a single HTTP attempt.
+func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration) ([]byte, int, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, 0, fmt.Errorf("timeserver: building request: %w", err)

@@ -1,0 +1,95 @@
+package timeserver
+
+import (
+	"context"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy governs transport-level retries inside the client. A
+// fetch is retried only when the failure could be transient — a
+// network error, a truncated response body, or a 429/5xx status. A
+// 404 (not yet published), a 200 with a bad signature, or any other
+// definitive answer is never retried: retrying cannot change it, and
+// hammering a correct server is exactly what the paper's passive
+// design avoids.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request (≥ 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry (capped at MaxDelay), with ±50% jitter so a fleet of
+	// recovering clients does not stampede the server in lockstep.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+	// PerAttempt bounds each individual attempt (0 = no per-attempt
+	// bound; the caller's context and the http.Client timeout still
+	// apply to the whole request).
+	PerAttempt time.Duration
+}
+
+// DefaultRetry is the client's out-of-the-box policy: three attempts,
+// 50ms → 100ms backoff (jittered), 10s per attempt. It rides out a
+// restarting server or a dropped connection without turning a
+// definitive answer into a wait.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts: 3,
+	BaseDelay:   50 * time.Millisecond,
+	MaxDelay:    2 * time.Second,
+	PerAttempt:  10 * time.Second,
+}
+
+// NoRetry disables retries: one attempt, fail fast.
+var NoRetry = RetryPolicy{MaxAttempts: 1}
+
+// WithRetry substitutes the client's retry policy (DefaultRetry unless
+// configured; use NoRetry to fail fast).
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// backoff returns the jittered delay before the given retry (retry 1 =
+// first re-attempt).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < retry && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Jitter in [d/2, d].
+	return d/2 + rand.N(d/2+1)
+}
+
+// retryableStatus reports whether a status code may be transient.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout,
+		http.StatusInternalServerError:
+		return true
+	}
+	return false
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

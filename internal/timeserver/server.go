@@ -41,6 +41,7 @@ type Server struct {
 	published atomic.Int64 // updates published (for experiments)
 	served    atomic.Int64 // HTTP requests served
 	notify    *notifier    // wakes long-poll waiters on publish
+	draining  atomic.Bool  // shutting down: long-polls return immediately
 
 	// Observability (nil without WithMetrics/WithLogger; obs types
 	// no-op on nil). The registry never records anything about
@@ -196,6 +197,17 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 }
 
+// Drain moves the server into shutdown mode: every in-flight and
+// future long-poll wait returns immediately (503) instead of holding
+// its connection open, so http.Server.Shutdown can complete within its
+// grace period even with receivers "waiting in alert". Ordinary
+// catch-up and update fetches are unaffected — they finish normally
+// under Shutdown's own in-flight handling.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.notify.wake()
+}
+
 // Published returns the number of updates this server has published —
 // note it is independent of the number of users (experiment E2).
 func (s *Server) Published() int64 { return s.published.Load() }
@@ -228,6 +240,7 @@ func (s *Server) Handler() http.Handler {
 		codec:    s.codec,
 		served:   &s.served,
 		notify:   s.notify,
+		draining: &s.draining,
 		reg:      s.reg,
 		archHit:  s.reg.Counter("timeserver.archive_hit"),
 		archMiss: s.reg.Counter("timeserver.archive_miss"),
@@ -247,6 +260,7 @@ type publicView struct {
 	codec    *wire.Codec
 	served   *atomic.Int64
 	notify   *notifier
+	draining *atomic.Bool
 	reg      *obs.Registry
 	archHit  *obs.Counter // archive lookups that found the label
 	archMiss *obs.Counter // … that did not (future/unknown label)

@@ -73,6 +73,13 @@ func (v *publicView) handleWait(w http.ResponseWriter, r *http.Request) {
 			w.Write(v.codec.MarshalKeyUpdate(u))
 			return
 		}
+		// A draining server answers instead of holding the poll open, so
+		// graceful shutdown is never hostage to a long-poll timeout. The
+		// wake() in Drain re-runs this check for already-parked waiters.
+		if v.draining.Load() {
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		}
 		select {
 		case <-r.Context().Done():
 			return

@@ -58,8 +58,18 @@ type (
 	// server key before use.
 	TimeClient = timeserver.Client
 	// Archive stores published updates (see NewMemoryArchive /
-	// OpenFileArchive).
+	// OpenDirArchive).
 	Archive = archive.Archive
+	// DurableArchive is the disk-backed archive: an append-only,
+	// checksummed log that survives restarts; recovery truncates torn
+	// tails and re-verifies every update against the server key.
+	DurableArchive = archive.Log
+	// RecoverStats describes what durable-archive recovery found and
+	// repaired.
+	RecoverStats = archive.RecoverStats
+	// ArchiveAuditReport is the outcome of an offline archive replay
+	// (trectl archive verify).
+	ArchiveAuditReport = archive.AuditReport
 )
 
 // Time-server errors.
@@ -68,6 +78,26 @@ var (
 	ErrBadUpdate       = timeserver.ErrBadUpdate
 	ErrFutureLabel     = timeserver.ErrFutureLabel
 )
+
+// PartialError reports a degraded CatchUp: the verified updates were
+// returned, and this error names the labels that could not be fetched
+// (errors.As to read them; errors.Is sees through to the per-label
+// causes).
+type PartialError = timeserver.PartialError
+
+// RetryPolicy governs the client's transport-level retries (capped
+// exponential backoff with jitter, per-attempt timeouts).
+type RetryPolicy = timeserver.RetryPolicy
+
+// Retry policies: the client uses DefaultRetry unless WithRetry says
+// otherwise; NoRetry fails fast.
+var (
+	DefaultRetry = timeserver.DefaultRetry
+	NoRetry      = timeserver.NoRetry
+)
+
+// WithRetry substitutes the client's retry policy.
+func WithRetry(p RetryPolicy) timeserver.ClientOption { return timeserver.WithRetry(p) }
 
 // NewTimeServer creates a passive time server.
 func NewTimeServer(set *Params, key *ServerKeyPair, sched Schedule, opts ...timeserver.Option) *TimeServer {
@@ -114,9 +144,24 @@ func FetchBootstrap(ctx context.Context, baseURL string, h *http.Client) (*Param
 // NewMemoryArchive returns an in-memory update archive.
 func NewMemoryArchive() Archive { return archive.NewMemory() }
 
-// OpenFileArchive opens (or creates) a durable append-only archive.
-func OpenFileArchive(path string, set *Params) (Archive, error) {
-	return archive.OpenFile(path, wire.NewCodec(set))
+// OpenDirArchive opens (or creates) the durable archive in dir and
+// recovers it: torn tails (crash mid-append) are truncated away and,
+// when verify is non-nil, every replayed update is re-checked against
+// the server key before it is served. Recovery details are available
+// via the returned archive's Stats.
+func OpenDirArchive(dir string, set *Params, verify func(KeyUpdate) bool) (*DurableArchive, error) {
+	var opts []archive.LogOption
+	if verify != nil {
+		opts = append(opts, archive.WithVerifier(verify))
+	}
+	return archive.OpenDir(dir, wire.NewCodec(set), opts...)
+}
+
+// AuditArchiveDir replays the log in dir offline (read-only),
+// classifying every record as intact, torn or invalid. verify may be
+// nil to run structural checks only.
+func AuditArchiveDir(dir string, set *Params, verify func(KeyUpdate) bool) (ArchiveAuditReport, error) {
+	return archive.AuditDir(dir, wire.NewCodec(set), verify)
 }
 
 // Wire encodings.

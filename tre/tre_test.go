@@ -217,14 +217,17 @@ func TestPublicArchives(t *testing.T) {
 	if mem.Len() != 1 {
 		t.Fatal("memory archive put failed")
 	}
-	fa, err := tre.OpenFileArchive(t.TempDir()+"/arch.log", set)
+	fa, err := tre.OpenDirArchive(t.TempDir(), set, func(u tre.KeyUpdate) bool {
+		return scheme.VerifyUpdate(key.Pub, u)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer fa.Close()
 	if err := fa.Put(scheme.IssueUpdate(key, "l2")); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := fa.Get("l2"); !ok {
-		t.Fatal("file archive get failed")
+		t.Fatal("durable archive get failed")
 	}
 }
