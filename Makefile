@@ -8,7 +8,7 @@ GO ?= go
 # Fuzz budget per target; the nightly workflow shrinks it.
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-shuffle vet fmt-check ci check cover bench bench-pairing bench-field bench-server race experiments experiments-quick fuzz clean
+.PHONY: all help build test test-shuffle vet fmt-check ci check cover bench bench-pairing bench-field bench-server bench-catchup race experiments experiments-quick fuzz clean
 
 all: build vet test
 
@@ -26,6 +26,7 @@ help:
 	@echo "  bench-pairing      pairing backend/strategy ablation -> BENCH_pairing.json"
 	@echo "  bench-field        field backend micro-benchmark -> BENCH_field.json"
 	@echo "  bench-server       serving-path load harness -> BENCH_server.json"
+	@echo "  bench-catchup      cold-start catch-up (aggregate vs batch) -> BENCH_server.json"
 	@echo "  race               go test -race ./..."
 	@echo "  experiments        regenerate the EXPERIMENTS.md tables (slow)"
 	@echo "  experiments-quick  reduced sweeps at Test160"
@@ -85,6 +86,12 @@ bench-field:
 bench-server:
 	$(GO) run ./cmd/treload -out BENCH_server.json
 
+# Cold-start catch-up comparison only: one receiver recovering 1k/10k
+# missed epochs per op, aggregate range path vs per-label batch path,
+# recorded into BENCH_server.json (pairings_per_op shows the O(1) claim).
+bench-catchup:
+	$(GO) run ./cmd/treload -preset Test160 -mixes coldstart,coldstart-batch -out BENCH_server.json
+
 # Race detector across the whole module (exercises the parallel pairing
 # products and batch verification pool).
 race:
@@ -106,6 +113,7 @@ fuzz:
 	$(GO) test -fuzz FuzzUnmarshalKeyUpdate -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz FuzzUnmarshalCCACiphertext -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz FuzzUnmarshalEnvelope -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz FuzzCatchUpDecode -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run XXX -fuzz FuzzFpArith -fuzztime $(FUZZTIME) ./internal/ff
 	$(GO) test -run XXX -fuzz FuzzFp2Arith -fuzztime $(FUZZTIME) ./internal/ff
 	$(GO) test -run XXX -fuzz FuzzClientDecodeUpdate -fuzztime $(FUZZTIME) ./internal/timeserver

@@ -377,10 +377,13 @@ func catchup(args []string) error {
 	if len(labels) == 0 {
 		return fmt.Errorf("no labels in [%s, %s)", *from, *to)
 	}
-	client := tre.NewTimeClient(*serverURL, set, spub)
+	reg := tre.NewMetrics()
+	client := tre.NewTimeClient(*serverURL, set, spub, tre.WithClientMetrics(reg))
 	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
 	defer cancel()
+	start := time.Now()
 	ups, err := client.CatchUp(ctx, labels)
+	elapsed := time.Since(start)
 	// A degraded catch-up still delivered a verified subset: print what
 	// we have, report exactly what is missing, and exit non-zero so
 	// scripts know to come back for the rest.
@@ -391,15 +394,23 @@ func catchup(args []string) error {
 	for _, u := range ups {
 		fmt.Printf("%s %x\n", u.Label, codec.MarshalKeyUpdate(u))
 	}
+	// Pairing work is the cost the passive-server design pushes to this
+	// edge; the counters show which verification path paid it (one
+	// aggregate product per range page vs one blinded batch equation).
+	s := reg.Snapshot()
+	how := fmt.Sprintf("%d pairings, %d aggregate range page(s), %d batch(es), %d fallback(s), %v",
+		s.Counters["core.pairings"], s.Counters["client.catchup_aggregate"],
+		s.Counters["client.catchup_batches"], s.Counters["client.catchup_fallback"],
+		elapsed.Round(time.Millisecond))
 	if partial != nil {
-		fmt.Fprintf(os.Stderr, "caught up %d/%d updates (batch-verified); %d missing:\n",
-			len(ups), len(labels), len(partial.Missing))
+		fmt.Fprintf(os.Stderr, "caught up %d/%d updates (%s); %d missing:\n",
+			len(ups), len(labels), how, len(partial.Missing))
 		for _, l := range partial.Missing {
 			fmt.Fprintf(os.Stderr, "  %s: %v\n", l, partial.Causes[l])
 		}
 		return fmt.Errorf("degraded catch-up: %d label(s) missing", len(partial.Missing))
 	}
-	fmt.Fprintf(os.Stderr, "caught up %d updates (batch-verified)\n", len(ups))
+	fmt.Fprintf(os.Stderr, "caught up %d updates (%s)\n", len(ups), how)
 	return nil
 }
 
@@ -468,8 +479,15 @@ func archiveVerify(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "%d intact, %d invalid, torn tail: %v (%d bytes); %s\n",
 		intact, rep.Invalid, rep.Torn, rep.TornBytes, mode)
+	// The checkpoint sidecar is derived data — a restart rebuilds it —
+	// but a server must never serve a range aggregate from a sidecar
+	// that disagrees with its records, so the audit refuses to call the
+	// directory clean until then.
+	fmt.Fprintf(os.Stderr, "checkpoints: %d audited, %d disagree with the records, torn: %v\n",
+		rep.Checkpoints, rep.CheckpointsBad, rep.CheckpointsTorn)
 	if !rep.Clean() {
-		return fmt.Errorf("archive damaged: %d invalid record(s), torn=%v", rep.Invalid, rep.Torn)
+		return fmt.Errorf("archive damaged: %d invalid record(s), torn=%v, %d bad checkpoint(s), checkpoints torn=%v",
+			rep.Invalid, rep.Torn, rep.CheckpointsBad, rep.CheckpointsTorn)
 	}
 	fmt.Fprintln(os.Stderr, "archive clean")
 	return nil

@@ -50,11 +50,12 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs := flag.NewFlagSet("treload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		opts     options
-		presets  string
-		clients  string
-		mixes    string
-		duration time.Duration
+		opts      options
+		presets   string
+		clients   string
+		mixes     string
+		coldstart string
+		duration  time.Duration
 	)
 	fs.StringVar(&opts.out, "out", "", "write the JSON report to this file")
 	fs.BoolVar(&opts.markdown, "markdown", false, "emit GitHub-flavoured markdown")
@@ -62,6 +63,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&presets, "preset", "", "comma-separated parameter presets (default Test160,SS512)")
 	fs.StringVar(&clients, "clients", "", "comma-separated concurrency levels (default 4,16)")
 	fs.StringVar(&mixes, "mixes", "", "comma-separated workload mixes (default fetch,catchup,mixed)")
+	fs.StringVar(&coldstart, "coldstart", "", "comma-separated missed-epoch counts for the coldstart mixes (default 1000,10000)")
 	fs.DurationVar(&duration, "duration", 0, "wall time per cell (default 2s, 250ms with -quick)")
 	fs.StringVar(&opts.cfg.BaseURL, "url", "", "drive a running treserver at this base URL instead of in-process")
 	fs.StringVar(&opts.mutexProfile, "mutexprofile", "", "write a mutex-contention profile of the sweep to this file")
@@ -81,6 +83,13 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 			return nil, fmt.Errorf("bad -clients value %q: want positive integers", c)
 		}
 		opts.cfg.Clients = append(opts.cfg.Clients, n)
+	}
+	for _, e := range splitList(coldstart) {
+		n, err := strconv.Atoi(e)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -coldstart value %q: want positive integers", e)
+		}
+		opts.cfg.ColdStartEpochs = append(opts.cfg.ColdStartEpochs, n)
 	}
 	return &opts, nil
 }

@@ -1,0 +1,410 @@
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/curve"
+	"timedrelease/internal/wire"
+)
+
+// Checkpoint aggregates. Every interval records the durable log writes
+// one checkpoint to a sidecar file, committing to the whole log prefix
+// it has seen:
+//
+//	file       = magic ‖ record…
+//	magic      = "TRECKPT1\n"
+//	record     = u32 len ‖ payload ‖ u32 crc       (same framing as updates.log)
+//	payload    = u32 count ‖ aggregate point ‖ 32-byte Merkle root
+//
+// count is the number of log records covered, aggregate is the sum of
+// their signature points (a same-key BLS aggregate, internal/bls) and
+// the root is the Merkle commitment over their wire payloads
+// (commit.go). Range requests then need only the two checkpoints
+// bracketing the range: aggregate(range) = prefix(hi) − prefix(lo),
+// at most 2·(interval−1) point additions instead of one per record.
+//
+// The sidecar is DERIVED data. Recovery recomputes every checkpoint
+// from the verified main log and rewrites any sidecar record that is
+// torn, missing or disagrees — the log never serves an aggregate that
+// was not just recomputed from records that passed the verifier, so a
+// corrupted sidecar can cost a rebuild but never a wrong aggregate.
+
+// checkpointName is the sidecar file inside an archive directory.
+const checkpointName = "checkpoints.log"
+
+// checkpointMagic identifies (and versions) the sidecar format.
+var checkpointMagic = []byte("TRECKPT1\n")
+
+// DefaultCheckpointInterval is the records-per-checkpoint default: 256
+// keeps range aggregation under ~512 point additions while a year of
+// minute epochs needs only ~2k checkpoints (~140 KiB on SS512).
+const DefaultCheckpointInterval = 256
+
+// checkpoint is one prefix commitment: the aggregate signature and
+// Merkle root over the first count records of the log.
+type checkpoint struct {
+	count int
+	agg   curve.Point
+	root  [32]byte
+}
+
+// marshalCheckpoint encodes one checkpoint payload.
+func marshalCheckpoint(codec *wire.Codec, c checkpoint) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(c.count))
+	out = codec.Set.Curve.AppendMarshal(out, c.agg)
+	return append(out, c.root[:]...)
+}
+
+// unmarshalCheckpoint decodes one checkpoint payload strictly.
+func unmarshalCheckpoint(codec *wire.Codec, payload []byte) (checkpoint, error) {
+	ptLen := codec.Set.Curve.MarshalSize()
+	if len(payload) != 4+ptLen+32 {
+		return checkpoint{}, errors.New("checkpoint payload size mismatch")
+	}
+	c := checkpoint{count: int(binary.BigEndian.Uint32(payload))}
+	p, err := codec.Set.Curve.UnmarshalSubgroup(payload[4 : 4+ptLen])
+	if err != nil {
+		return checkpoint{}, fmt.Errorf("checkpoint aggregate: %w", err)
+	}
+	c.agg = p
+	copy(c.root[:], payload[4+ptLen:])
+	return c, nil
+}
+
+// equalCheckpoint compares a parsed checkpoint with a recomputed one.
+func equalCheckpoint(c *curve.Curve, a, b checkpoint) bool {
+	return a.count == b.count && c.Equal(a.agg, b.agg) && a.root == b.root
+}
+
+// resetAggregates recomputes the running aggregate, sortedness flag and
+// expected checkpoint list from l.recs. Called under l.mu whenever the
+// record list is rebuilt (Recover).
+func (l *Log) resetAggregates() {
+	c := l.codec.Set.Curve
+	l.agg = curve.Infinity()
+	l.sorted = true
+	for i, r := range l.recs {
+		l.agg = c.Add(l.agg, r.point)
+		if i > 0 && l.recs[i-1].label >= r.label {
+			l.sorted = false
+		}
+	}
+	l.ckpts = l.expectedCheckpoints()
+}
+
+// note folds one just-appended record into the serving state. Called
+// under l.mu by Put, after the record is durable and indexed.
+func (l *Log) note(u core.KeyUpdate, payload []byte) {
+	if n := len(l.recs); n > 0 && l.recs[n-1].label >= u.Label {
+		l.sorted = false
+	}
+	l.recs = append(l.recs, recMeta{label: u.Label, point: u.Point, leaf: LeafHash(payload)})
+	l.agg = l.codec.Set.Curve.Add(l.agg, u.Point)
+}
+
+// currentCheckpoint commits to the entire record list seen so far.
+func (l *Log) currentCheckpoint() checkpoint {
+	leaves := make([][32]byte, len(l.recs))
+	for i, r := range l.recs {
+		leaves[i] = r.leaf
+	}
+	return checkpoint{count: len(l.recs), agg: l.agg, root: MerkleRoot(leaves)}
+}
+
+// appendCheckpoint durably appends one checkpoint to the sidecar and
+// records it in the in-memory list.
+func (l *Log) appendCheckpoint(c checkpoint) error {
+	if err := appendFrame(l.ckptF, marshalCheckpoint(l.codec, c)); err != nil {
+		return err
+	}
+	l.ckpts = append(l.ckpts, c)
+	return nil
+}
+
+// expectedCheckpoints recomputes, from the (already verified) record
+// list, every checkpoint the sidecar is supposed to contain.
+func (l *Log) expectedCheckpoints() []checkpoint {
+	if l.interval <= 0 {
+		return nil
+	}
+	c := l.codec.Set.Curve
+	var out []checkpoint
+	agg := curve.Infinity()
+	leaves := make([][32]byte, 0, len(l.recs))
+	for i, r := range l.recs {
+		agg = c.Add(agg, r.point)
+		leaves = append(leaves, r.leaf)
+		if (i+1)%l.interval == 0 {
+			out = append(out, checkpoint{count: i + 1, agg: agg, root: MerkleRoot(leaves)})
+		}
+	}
+	return out
+}
+
+// recoverCheckpoints reconciles the sidecar with the recovered main
+// log: structurally damaged or disagreeing sidecar records are
+// truncated away and every missing checkpoint is rewritten from the
+// verified records. Called under l.mu at the end of Recover; after it
+// returns, the in-memory checkpoints and the sidecar agree with the
+// main log exactly.
+func (l *Log) recoverCheckpoints(stats *RecoverStats) error {
+	start := time.Now()
+	expected := l.expectedCheckpoints()
+	l.ckpts = expected
+
+	f := l.ckptF
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("archive: sizing checkpoint sidecar: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("archive: seeking checkpoint sidecar: %w", err)
+	}
+
+	if size == 0 {
+		if _, err := f.Write(checkpointMagic); err != nil {
+			return fmt.Errorf("archive: writing checkpoint magic: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("archive: syncing checkpoint magic: %w", err)
+		}
+		size = int64(len(checkpointMagic))
+	} else {
+		magic := make([]byte, len(checkpointMagic))
+		if _, err := io.ReadFull(f, magic); err != nil || string(magic) != string(checkpointMagic) {
+			// Not ours (or torn inside the magic): rebuild wholesale.
+			if err := l.rewriteSidecar(expected); err != nil {
+				return err
+			}
+			stats.CheckpointsRebuilt = len(expected)
+			stats.Checkpoints = len(expected)
+			stats.CheckpointRebuild = time.Since(start)
+			return nil
+		}
+	}
+
+	// Replay the sidecar, stopping at the first record that is torn or
+	// disagrees with the recomputed checkpoints.
+	goodOffset := int64(len(checkpointMagic))
+	good := 0
+	var lenBuf [4]byte
+	crcBuf := make([]byte, 4)
+	for goodOffset < size && good < len(expected) {
+		payload, recLen, err := readFrame(f, lenBuf[:], crcBuf)
+		if err != nil {
+			break
+		}
+		ck, err := unmarshalCheckpoint(l.codec, payload)
+		if err != nil || !equalCheckpoint(l.codec.Set.Curve, ck, expected[good]) {
+			break
+		}
+		goodOffset += recLen
+		good++
+	}
+
+	rebuilt := len(expected) - good
+	if goodOffset < size {
+		// Torn, disagreeing or surplus tail (e.g. the log itself lost a
+		// torn tail the sidecar had already summarised): drop it.
+		if err := f.Truncate(goodOffset); err != nil {
+			return fmt.Errorf("archive: truncating checkpoint sidecar: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("archive: syncing checkpoint truncation: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("archive: seeking checkpoint sidecar end: %w", err)
+	}
+	for _, ck := range expected[good:] {
+		if err := appendFrame(f, marshalCheckpoint(l.codec, ck)); err != nil {
+			return err
+		}
+	}
+	stats.CheckpointsRebuilt = rebuilt
+	stats.Checkpoints = len(expected)
+	stats.CheckpointRebuild = time.Since(start)
+	return nil
+}
+
+// rewriteSidecar replaces the whole sidecar with the expected
+// checkpoint list.
+func (l *Log) rewriteSidecar(expected []checkpoint) error {
+	f := l.ckptF
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("archive: truncating checkpoint sidecar: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := f.Write(checkpointMagic); err != nil {
+		return fmt.Errorf("archive: writing checkpoint magic: %w", err)
+	}
+	for _, ck := range expected {
+		if err := appendFrame(f, marshalCheckpoint(l.codec, ck)); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+// Checkpoints reports how many checkpoint aggregates are serving.
+func (l *Log) Checkpoints() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ckpts)
+}
+
+// prefixAgg returns the aggregate over recs[:m], starting from the
+// nearest checkpoint at or below m — at most interval−1 point
+// additions. Called under l.mu.
+func (l *Log) prefixAgg(m int) curve.Point {
+	c := l.codec.Set.Curve
+	acc := curve.Infinity()
+	from := 0
+	if l.interval > 0 {
+		if k := min(m/l.interval, len(l.ckpts)); k > 0 {
+			acc = l.ckpts[k-1].agg
+			from = l.ckpts[k-1].count
+		}
+	}
+	for i := from; i < m; i++ {
+		acc = c.Add(acc, l.recs[i].point)
+	}
+	return acc
+}
+
+// Range implements the Ranger fast path over checkpoint aggregates:
+// when the log was appended in label order (the normal forward-publish
+// pattern) the range aggregate is prefix(hi) − prefix(lo), costing at
+// most 2·(interval−1) additions however long the range is. A log with
+// out-of-order backfills falls back to a direct scan-and-sum.
+func (l *Log) Range(from, to string, limit int) (RangeResult, error) {
+	if from > to {
+		return RangeResult{}, ErrBadRange
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.sorted {
+		return l.rangeScan(from, to, limit), nil
+	}
+	lo := sort.Search(len(l.recs), func(i int) bool { return l.recs[i].label >= from })
+	hi := sort.Search(len(l.recs), func(i int) bool { return l.recs[i].label > to })
+	total := hi - lo
+	if limit > 0 && total > limit {
+		hi = lo + limit
+	}
+	res := RangeResult{Total: total}
+	res.Aggregate = l.codec.Set.Curve.Add(l.prefixAgg(hi), l.codec.Set.Curve.Neg(l.prefixAgg(lo)))
+	leaves := make([][32]byte, 0, hi-lo)
+	for _, r := range l.recs[lo:hi] {
+		res.Updates = append(res.Updates, core.KeyUpdate{Label: r.label, Point: r.point})
+		leaves = append(leaves, r.leaf)
+	}
+	res.Root = MerkleRoot(leaves)
+	return res, nil
+}
+
+// rangeScan is the unsorted-log fallback: gather, sort, sum. Called
+// under l.mu.
+func (l *Log) rangeScan(from, to string, limit int) RangeResult {
+	var match []recMeta
+	for _, r := range l.recs {
+		if r.label >= from && r.label <= to {
+			match = append(match, r)
+		}
+	}
+	sort.Slice(match, func(i, j int) bool { return match[i].label < match[j].label })
+	total := len(match)
+	if limit > 0 && total > limit {
+		match = match[:limit]
+	}
+	c := l.codec.Set.Curve
+	res := RangeResult{Total: total, Aggregate: curve.Infinity()}
+	leaves := make([][32]byte, 0, len(match))
+	for _, r := range match {
+		res.Updates = append(res.Updates, core.KeyUpdate{Label: r.label, Point: r.point})
+		res.Aggregate = c.Add(res.Aggregate, r.point)
+		leaves = append(leaves, r.leaf)
+	}
+	res.Root = MerkleRoot(leaves)
+	return res
+}
+
+var _ Ranger = (*Log)(nil)
+
+// auditCheckpoints replays the sidecar in dir offline (read-only)
+// against the records replayed from the main log, filling the
+// checkpoint fields of rep. The checkpoint interval is inferred from
+// the first sidecar record, since an auditor has no Log configuration.
+func auditCheckpoints(dir string, codec *wire.Codec, recs []recMeta, rep *AuditReport) {
+	f, err := os.Open(filepath.Join(dir, checkpointName))
+	if err != nil {
+		return // no sidecar: nothing to audit (pre-checkpoint directory)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil || size == 0 {
+		return
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return
+	}
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != string(checkpointMagic) {
+		rep.CheckpointsTorn = true
+		return
+	}
+
+	// Recompute prefix state lazily while walking the sidecar.
+	c := codec.Set.Curve
+	agg := curve.Infinity()
+	leaves := make([][32]byte, 0, len(recs))
+	covered := 0
+	prefixTo := func(n int) {
+		for ; covered < n && covered < len(recs); covered++ {
+			agg = c.Add(agg, recs[covered].point)
+			leaves = append(leaves, recs[covered].leaf)
+		}
+	}
+
+	offset := int64(len(checkpointMagic))
+	interval := 0
+	var lenBuf [4]byte
+	crcBuf := make([]byte, 4)
+	for offset < size {
+		payload, recLen, err := readFrame(f, lenBuf[:], crcBuf)
+		if err != nil {
+			rep.CheckpointsTorn = true
+			return
+		}
+		offset += recLen
+		ck, err := unmarshalCheckpoint(codec, payload)
+		if err != nil {
+			rep.CheckpointsTorn = true
+			return
+		}
+		rep.Checkpoints++
+		if interval == 0 {
+			interval = ck.count
+		}
+		wantCount := interval * rep.Checkpoints
+		if interval <= 0 || ck.count != wantCount || ck.count > len(recs) {
+			rep.CheckpointsBad++
+			continue
+		}
+		prefixTo(ck.count)
+		want := checkpoint{count: ck.count, agg: agg, root: MerkleRoot(leaves[:ck.count])}
+		if !equalCheckpoint(c, ck, want) {
+			rep.CheckpointsBad++
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/curve"
+	"timedrelease/internal/wire"
+)
+
+// minuteLabels returns n ascending canonical labels.
+func minuteLabels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("2026-07-05T%02d:%02d:00Z", 10+i/60, i%60)
+	}
+	return out
+}
+
+// openCkptLog opens a Log with a small checkpoint interval for tests.
+func openCkptLog(t *testing.T, dir string, codec *wire.Codec, opts ...LogOption) *Log {
+	t.Helper()
+	l, err := OpenDir(dir, codec, append([]LogOption{WithCheckpointInterval(4)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// checkRange asserts the Log's checkpoint-backed Range agrees exactly
+// with a direct recomputation over the generic archive path.
+func checkRange(t *testing.T, l *Log, codec *wire.Codec, from, to string, limit int) RangeResult {
+	t.Helper()
+	got, err := l.Range(from, to, limit)
+	if err != nil {
+		t.Fatalf("Range(%s, %s, %d): %v", from, to, limit, err)
+	}
+	want, err := RangeOf(l.mem, codec, from, to, limit) // Memory has no Ranger: generic path
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := codec.Set.Curve
+	if got.Total != want.Total || len(got.Updates) != len(want.Updates) {
+		t.Fatalf("range shape: got %d/%d, want %d/%d", len(got.Updates), got.Total, len(want.Updates), want.Total)
+	}
+	for i := range got.Updates {
+		if got.Updates[i].Label != want.Updates[i].Label || !c.Equal(got.Updates[i].Point, want.Updates[i].Point) {
+			t.Fatalf("range update %d differs", i)
+		}
+	}
+	if !c.Equal(got.Aggregate, want.Aggregate) {
+		t.Fatal("checkpoint-backed aggregate differs from direct sum")
+	}
+	if got.Root != want.Root {
+		t.Fatal("checkpoint-backed root differs from direct recomputation")
+	}
+	return got
+}
+
+func TestLogRangeMatchesDirectSum(t *testing.T) {
+	sc, key, codec := fixtures(t)
+	dir := t.TempDir()
+	l := openCkptLog(t, dir, codec)
+	labels := minuteLabels(11) // interval 4 → 2 checkpoints + tail of 3
+	for _, lab := range labels {
+		if err := l.Put(sc.IssueUpdate(key, lab)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Checkpoints() != 2 {
+		t.Fatalf("checkpoints = %d, want 2", l.Checkpoints())
+	}
+	// Whole range, sub-ranges crossing checkpoint boundaries, single
+	// record, empty range, and a truncating limit.
+	checkRange(t, l, codec, labels[0], labels[len(labels)-1], 0)
+	checkRange(t, l, codec, labels[2], labels[9], 0)
+	checkRange(t, l, codec, labels[5], labels[5], 0)
+	checkRange(t, l, codec, "2020-01-01T00:00:00Z", "2020-01-02T00:00:00Z", 0)
+	got := checkRange(t, l, codec, labels[0], labels[len(labels)-1], 5)
+	if got.Total != 11 || len(got.Updates) != 5 {
+		t.Fatalf("limited range: %d/%d, want 5/11", len(got.Updates), got.Total)
+	}
+	if got.Updates[0].Label != labels[0] {
+		t.Fatal("truncation must keep the OLDEST records")
+	}
+	if _, err := l.Range(labels[3], labels[1], 0); err == nil {
+		t.Fatal("inverted range must error")
+	}
+
+	// Aggregate of the full range verifies as one signature run.
+	full, _ := l.Range(labels[0], labels[len(labels)-1], 0)
+	if !sc.VerifyUpdateAggregate(key.Pub, full.Updates, full.Aggregate) {
+		t.Fatal("served range aggregate must verify against the server key")
+	}
+}
+
+func TestLogRangeUnsortedBackfill(t *testing.T) {
+	sc, key, codec := fixtures(t)
+	l := openCkptLog(t, t.TempDir(), codec)
+	labels := minuteLabels(9)
+	// Append out of order: forward publishes, then a backfill.
+	order := []int{2, 3, 4, 5, 6, 7, 8, 0, 1}
+	for _, i := range order {
+		if err := l.Put(sc.IssueUpdate(key, labels[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkRange(t, l, codec, labels[0], labels[8], 0)
+	checkRange(t, l, codec, labels[1], labels[6], 3)
+}
+
+func TestLogCheckpointRestartRoundTrip(t *testing.T) {
+	sc, key, codec := fixtures(t)
+	dir := t.TempDir()
+	labels := minuteLabels(10)
+
+	l := openCkptLog(t, dir, codec)
+	for _, lab := range labels {
+		if err := l.Put(sc.IssueUpdate(key, lab)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := l.Range(labels[0], labels[9], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the sidecar must be accepted as-is (nothing rebuilt) and
+	// serve identical ranges.
+	l2 := openCkptLog(t, dir, codec, WithVerifier(func(u core.KeyUpdate) bool {
+		return sc.VerifyUpdate(key.Pub, u)
+	}))
+	st := l2.Stats()
+	if st.Checkpoints != 2 || st.CheckpointsRebuilt != 0 {
+		t.Fatalf("restart: checkpoints=%d rebuilt=%d, want 2/0", st.Checkpoints, st.CheckpointsRebuilt)
+	}
+	got, err := l2.Range(labels[0], labels[9], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !codec.Set.Curve.Equal(got.Aggregate, want.Aggregate) || got.Root != want.Root {
+		t.Fatal("range served after restart differs")
+	}
+	// And appends keep checkpointing where the old process left off.
+	for _, lab := range minuteLabels(12)[10:] {
+		if err := l2.Put(sc.IssueUpdate(key, lab)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l2.Checkpoints() != 3 {
+		t.Fatalf("checkpoints after more appends = %d, want 3", l2.Checkpoints())
+	}
+}
+
+func TestLogCheckpointTornSidecarTail(t *testing.T) {
+	sc, key, codec := fixtures(t)
+	dir := t.TempDir()
+	labels := minuteLabels(9)
+	l := openCkptLog(t, dir, codec)
+	for _, lab := range labels {
+		if err := l.Put(sc.IssueUpdate(key, lab)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the sidecar mid-record (crash during a checkpoint append).
+	side := filepath.Join(dir, checkpointName)
+	raw, err := os.ReadFile(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(side, raw[:len(raw)-7], 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := AuditDir(dir, codec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CheckpointsTorn || rep.Clean() {
+		t.Fatalf("audit must flag the torn sidecar: %+v", rep)
+	}
+
+	l2 := openCkptLog(t, dir, codec)
+	st := l2.Stats()
+	if st.Checkpoints != 2 || st.CheckpointsRebuilt != 1 {
+		t.Fatalf("torn tail: checkpoints=%d rebuilt=%d, want 2/1", st.Checkpoints, st.CheckpointsRebuilt)
+	}
+	checkRange(t, l2, codec, labels[0], labels[8], 0)
+	if rep, err := AuditDir(dir, codec, nil); err != nil || !rep.Clean() {
+		t.Fatalf("sidecar must audit clean after recovery: %+v (%v)", rep, err)
+	}
+}
+
+func TestLogCheckpointMismatchRebuilds(t *testing.T) {
+	// A checkpoint that disagrees with the log (bit-rot that kept its
+	// CRC consistent, i.e. a rewritten sidecar) must never be served:
+	// recovery rebuilds it from the verified records, and until then an
+	// audit refuses to call the directory clean.
+	sc, key, codec := fixtures(t)
+	dir := t.TempDir()
+	labels := minuteLabels(9)
+	l := openCkptLog(t, dir, codec)
+	for _, lab := range labels {
+		if err := l.Put(sc.IssueUpdate(key, lab)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	honest, err := l.Range(labels[0], labels[8], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the first checkpoint with a wrong (but well-formed,
+	// correctly CRC-framed) aggregate: the identity point.
+	side := filepath.Join(dir, checkpointName)
+	forged := checkpoint{count: 4, agg: curve.Infinity()}
+	var rest []checkpoint
+	{
+		l3 := openCkptLog(t, dir, codec)
+		rest = append([]checkpoint(nil), l3.ckpts[1:]...)
+		forged.root = l3.ckpts[0].root
+		l3.Close()
+	}
+	f, err := os.OpenFile(side, os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(checkpointMagic); err != nil {
+		t.Fatal(err)
+	}
+	for _, ck := range append([]checkpoint{forged}, rest...) {
+		if err := appendFrame(f, marshalCheckpoint(codec, ck)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	rep, err := AuditDir(dir, codec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CheckpointsBad == 0 || rep.Clean() {
+		t.Fatalf("audit must flag the forged checkpoint: %+v", rep)
+	}
+
+	// Recovery must rebuild from the forged record on and serve the
+	// honest aggregate.
+	l2 := openCkptLog(t, dir, codec, WithVerifier(func(u core.KeyUpdate) bool {
+		return sc.VerifyUpdate(key.Pub, u)
+	}))
+	st := l2.Stats()
+	if st.CheckpointsRebuilt != 2 || st.Checkpoints != 2 {
+		t.Fatalf("mismatch: checkpoints=%d rebuilt=%d, want 2/2", st.Checkpoints, st.CheckpointsRebuilt)
+	}
+	got, err := l2.Range(labels[0], labels[8], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !codec.Set.Curve.Equal(got.Aggregate, honest.Aggregate) {
+		t.Fatal("recovery served a range built from the forged checkpoint")
+	}
+	if !sc.VerifyUpdateAggregate(key.Pub, got.Updates, got.Aggregate) {
+		t.Fatal("served aggregate must verify")
+	}
+	if rep, err := AuditDir(dir, codec, nil); err != nil || !rep.Clean() {
+		t.Fatalf("sidecar must audit clean after rebuild: %+v (%v)", rep, err)
+	}
+}
+
+func TestLogForeignSidecarRebuiltWholesale(t *testing.T) {
+	sc, key, codec := fixtures(t)
+	dir := t.TempDir()
+	labels := minuteLabels(8)
+	l := openCkptLog(t, dir, codec)
+	for _, lab := range labels {
+		if err := l.Put(sc.IssueUpdate(key, lab)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, checkpointName), []byte("not a sidecar"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openCkptLog(t, dir, codec)
+	st := l2.Stats()
+	if st.Checkpoints != 2 || st.CheckpointsRebuilt != 2 {
+		t.Fatalf("foreign sidecar: checkpoints=%d rebuilt=%d, want 2/2", st.Checkpoints, st.CheckpointsRebuilt)
+	}
+	checkRange(t, l2, codec, labels[0], labels[7], 0)
+}
+
+func TestMerkleRootProperties(t *testing.T) {
+	leaves := make([][32]byte, 0, 6)
+	for i := 0; i < 6; i++ {
+		leaves = append(leaves, LeafHash([]byte{byte(i)}))
+	}
+	if MerkleRoot(nil) != ([32]byte{}) {
+		t.Fatal("empty forest must commit to the zero root")
+	}
+	if MerkleRoot(leaves[:1]) != leaves[0] {
+		t.Fatal("single leaf is its own root")
+	}
+	// Order and membership sensitivity.
+	root := MerkleRoot(leaves)
+	swapped := append([][32]byte(nil), leaves...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if MerkleRoot(swapped) == root {
+		t.Fatal("root must depend on leaf order")
+	}
+	if MerkleRoot(leaves[:5]) == root {
+		t.Fatal("root must depend on membership")
+	}
+	// Input slice must not be clobbered by level folding.
+	if leaves[1] != LeafHash([]byte{1}) {
+		t.Fatal("MerkleRoot mutated its input")
+	}
+}

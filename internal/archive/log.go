@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"timedrelease/internal/core"
+	"timedrelease/internal/curve"
 	"timedrelease/internal/wire"
 )
 
@@ -58,23 +59,62 @@ type RecoverStats struct {
 	TornBytes int64         // bytes truncated from the tail
 	Truncated bool          // whether a torn tail was dropped
 	Elapsed   time.Duration // replay wall time
+
+	// Checkpoint-sidecar reconciliation (see checkpoint.go). The
+	// sidecar is derived data: recovery recomputes every checkpoint
+	// from the verified main log and rewrites anything that disagrees,
+	// so a served aggregate is never sourced from a bad checkpoint.
+	Checkpoints        int           // checkpoints now on disk and serving
+	CheckpointsRebuilt int           // sidecar records recovery had to (re)write
+	CheckpointRebuild  time.Duration // sidecar reconciliation wall time
+}
+
+// recMeta is the in-memory per-record state behind checkpoint
+// aggregates and range serving: the label, the signature point and the
+// Merkle leaf of the record's wire payload, in append order.
+type recMeta struct {
+	label string
+	point curve.Point
+	leaf  [32]byte
 }
 
 // Log is the durable archive: an append-only, checksummed log of
 // published updates with an in-memory index. Safe for concurrent use.
 type Log struct {
-	mem    *Memory
-	codec  *wire.Codec
-	verify func(core.KeyUpdate) bool // nil → structural checks only
-	path   string
+	mem      *Memory
+	codec    *wire.Codec
+	verify   func(core.KeyUpdate) bool // nil → structural checks only
+	path     string
+	interval int // records per checkpoint (DefaultCheckpointInterval)
 
-	mu    sync.Mutex // serialises appends and recovery
+	mu    sync.Mutex // serialises appends, recovery and range serving
 	f     *os.File
+	ckptF *os.File // checkpoints.log sidecar
 	stats RecoverStats
+
+	// Range-serving state, maintained by Recover and Put.
+	recs   []recMeta    // every intact record, append order
+	ckpts  []checkpoint // prefix aggregates every interval records
+	agg    curve.Point  // running aggregate over recs
+	sorted bool         // recs are in ascending label order
 }
 
 // LogOption configures a Log.
 type LogOption func(*Log)
+
+// WithCheckpointInterval sets how many records each checkpoint
+// aggregate covers (default DefaultCheckpointInterval). Smaller
+// intervals make range aggregation cheaper at the cost of a bigger
+// sidecar. The interval is a serving-time tuning knob, not a format
+// parameter: reopening a log with a different interval simply rebuilds
+// the sidecar.
+func WithCheckpointInterval(k int) LogOption {
+	return func(l *Log) {
+		if k > 0 {
+			l.interval = k
+		}
+	}
+}
 
 // WithVerifier makes Recover re-verify every replayed update (the
 // paper's self-authentication check ê(G, I_T) = ê(sG, H1(T)) bound to
@@ -97,12 +137,20 @@ func OpenDir(dir string, codec *wire.Codec, opts ...LogOption) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("archive: opening %s: %w", path, err)
 	}
-	l := &Log{mem: NewMemory(), codec: codec, path: path, f: f}
+	ckptPath := filepath.Join(dir, checkpointName)
+	ckptF, err := os.OpenFile(ckptPath, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("archive: opening %s: %w", ckptPath, err)
+	}
+	l := &Log{mem: NewMemory(), codec: codec, path: path, f: f, ckptF: ckptF,
+		interval: DefaultCheckpointInterval}
 	for _, o := range opts {
 		o(l)
 	}
 	if _, err := l.Recover(); err != nil {
 		f.Close()
+		ckptF.Close()
 		return nil, err
 	}
 	return l, nil
@@ -131,6 +179,7 @@ func (l *Log) Recover() (RecoverStats, error) {
 
 	stats := RecoverStats{}
 	mem := NewMemory()
+	var recs []recMeta
 	var offset int64
 
 	if size == 0 {
@@ -141,7 +190,12 @@ func (l *Log) Recover() (RecoverStats, error) {
 		if err := l.f.Sync(); err != nil {
 			return RecoverStats{}, fmt.Errorf("archive: syncing magic: %w", err)
 		}
-		l.mem, l.stats = mem, stats
+		l.mem, l.recs = mem, nil
+		l.resetAggregates()
+		if err := l.recoverCheckpoints(&stats); err != nil {
+			return RecoverStats{}, err
+		}
+		l.stats = stats
 		return stats, nil
 	}
 
@@ -156,7 +210,7 @@ func (l *Log) Recover() (RecoverStats, error) {
 	var lenBuf [4]byte
 	crcBuf := make([]byte, 4)
 	for offset < size {
-		u, recLen, err := readRecord(l.f, l.codec, lenBuf[:], crcBuf)
+		u, payload, recLen, err := readRecord(l.f, l.codec, lenBuf[:], crcBuf)
 		if err != nil {
 			// Structural damage: everything from offset on is the torn
 			// tail. Truncate it and keep the intact prefix.
@@ -179,6 +233,7 @@ func (l *Log) Recover() (RecoverStats, error) {
 		if err := mem.Put(u); err != nil {
 			return RecoverStats{}, fmt.Errorf("archive: replay at offset %d: %w", offset, err)
 		}
+		recs = append(recs, recMeta{label: u.Label, point: u.Point, leaf: LeafHash(payload)})
 		offset += recLen
 		stats.Records++
 	}
@@ -186,58 +241,84 @@ func (l *Log) Recover() (RecoverStats, error) {
 	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
 		return RecoverStats{}, fmt.Errorf("archive: seeking to end: %w", err)
 	}
+	l.mem, l.recs = mem, recs
+	l.resetAggregates()
+	if err := l.recoverCheckpoints(&stats); err != nil {
+		return RecoverStats{}, err
+	}
 	stats.Elapsed = time.Since(start)
-	l.mem, l.stats = mem, stats
+	l.stats = stats
 	return stats, nil
 }
 
-// readRecord reads one record at the current file position, returning
-// the decoded update and total record length (frame + payload + crc).
-// Any error means structural damage at this offset.
-func readRecord(r io.Reader, codec *wire.Codec, lenBuf, crcBuf []byte) (core.KeyUpdate, int64, error) {
+// readFrame reads one crc-framed record (u32 len ‖ payload ‖ u32 crc)
+// at the current file position, returning the payload and total frame
+// length. Any error means structural damage at this offset.
+func readFrame(r io.Reader, lenBuf, crcBuf []byte) ([]byte, int64, error) {
 	if _, err := io.ReadFull(r, lenBuf); err != nil {
-		return core.KeyUpdate{}, 0, fmt.Errorf("record length: %w", err)
+		return nil, 0, fmt.Errorf("record length: %w", err)
 	}
 	n := binary.BigEndian.Uint32(lenBuf)
 	if n > maxRecord {
-		return core.KeyUpdate{}, 0, errors.New("oversized record")
+		return nil, 0, errors.New("oversized record")
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return core.KeyUpdate{}, 0, fmt.Errorf("record body: %w", err)
+		return nil, 0, fmt.Errorf("record body: %w", err)
 	}
 	if _, err := io.ReadFull(r, crcBuf); err != nil {
-		return core.KeyUpdate{}, 0, fmt.Errorf("record checksum: %w", err)
+		return nil, 0, fmt.Errorf("record checksum: %w", err)
 	}
 	crc := crc32.NewIEEE()
 	crc.Write(lenBuf)
 	crc.Write(payload)
 	if crc.Sum32() != binary.BigEndian.Uint32(crcBuf) {
-		return core.KeyUpdate{}, 0, errors.New("checksum mismatch")
+		return nil, 0, errors.New("checksum mismatch")
+	}
+	return payload, int64(4 + len(payload) + 4), nil
+}
+
+// readRecord reads one update record at the current file position,
+// returning the decoded update, its wire payload and total record
+// length (frame + payload + crc). Any error means structural damage at
+// this offset.
+func readRecord(r io.Reader, codec *wire.Codec, lenBuf, crcBuf []byte) (core.KeyUpdate, []byte, int64, error) {
+	payload, recLen, err := readFrame(r, lenBuf, crcBuf)
+	if err != nil {
+		return core.KeyUpdate{}, nil, 0, err
 	}
 	u, err := codec.UnmarshalKeyUpdate(payload)
 	if err != nil {
-		return core.KeyUpdate{}, 0, fmt.Errorf("record decode: %w", err)
+		return core.KeyUpdate{}, nil, 0, fmt.Errorf("record decode: %w", err)
 	}
-	return u, int64(4 + len(payload) + 4), nil
+	return u, payload, recLen, nil
 }
 
-// appendRecord encodes and durably appends one update: the write is
-// fsynced before the in-memory index (and therefore any reader) sees
-// it, so a served update is always a durable update.
-func (l *Log) appendRecord(u core.KeyUpdate) error {
-	payload := l.codec.MarshalKeyUpdate(u)
+// appendFrame durably appends one crc-framed payload to f.
+func appendFrame(f *os.File, payload []byte) error {
 	rec := make([]byte, 0, 4+len(payload)+4)
 	rec = binary.BigEndian.AppendUint32(rec, uint32(len(payload)))
 	rec = append(rec, payload...)
 	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
-	if _, err := l.f.Write(rec); err != nil {
+	if _, err := f.Write(rec); err != nil {
 		return fmt.Errorf("archive: appending record: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := f.Sync(); err != nil {
 		return fmt.Errorf("archive: syncing log: %w", err)
 	}
 	return nil
+}
+
+// appendRecord encodes and durably appends one update: the write is
+// fsynced before the in-memory index (and therefore any reader) sees
+// it, so a served update is always a durable update. It returns the
+// wire payload for checkpoint bookkeeping.
+func (l *Log) appendRecord(u core.KeyUpdate) ([]byte, error) {
+	payload := l.codec.MarshalKeyUpdate(u)
+	if err := appendFrame(l.f, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
 }
 
 // Put implements Archive, appending new records durably. A failed
@@ -249,10 +330,23 @@ func (l *Log) Put(u core.KeyUpdate) error {
 	if _, ok := l.mem.Get(u.Label); ok {
 		return l.mem.Put(u) // dedupe/conflict check only; nothing to append
 	}
-	if err := l.appendRecord(u); err != nil {
+	payload, err := l.appendRecord(u)
+	if err != nil {
 		return err
 	}
-	return l.mem.Put(u)
+	if err := l.mem.Put(u); err != nil {
+		return err
+	}
+	l.note(u, payload)
+	if l.interval > 0 && len(l.recs)%l.interval == 0 {
+		// The update itself is already durable and indexed; a failed
+		// sidecar append is surfaced but costs only a rebuild on the
+		// next Recover — checkpoints are derived data.
+		if err := l.appendCheckpoint(l.currentCheckpoint()); err != nil {
+			return fmt.Errorf("archive: appending checkpoint: %w", err)
+		}
+	}
+	return nil
 }
 
 // Get implements Archive.
@@ -274,11 +368,15 @@ func (l *Log) Stats() RecoverStats {
 // Path returns the log file path (operator diagnostics).
 func (l *Log) Path() string { return l.path }
 
-// Close releases the underlying file.
+// Close releases the underlying files.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.f.Close()
+	err := l.f.Close()
+	if cerr := l.ckptF.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 var _ Archive = (*Log)(nil)
@@ -296,10 +394,20 @@ type AuditReport struct {
 	Torn      bool          // structural damage found (framing/checksum/decode)
 	TornBytes int64         // bytes after the damage point
 	Invalid   int           // intact records failing the verifier
+
+	// Checkpoint-sidecar audit (checkpoints.log). The sidecar is
+	// derived data, so damage here never loses an update — but a bad
+	// checkpoint would let the server hand out a wrong range aggregate,
+	// so it fails Clean until Recover rebuilds it.
+	Checkpoints     int  // intact sidecar checkpoints replayed
+	CheckpointsBad  int  // checkpoints disagreeing with the log's records
+	CheckpointsTorn bool // structural damage in the sidecar
 }
 
 // Clean reports whether the log replayed with no damage at all.
-func (r AuditReport) Clean() bool { return !r.Torn && r.Invalid == 0 }
+func (r AuditReport) Clean() bool {
+	return !r.Torn && r.Invalid == 0 && !r.CheckpointsTorn && r.CheckpointsBad == 0
+}
 
 // AuditDir replays the log in dir without modifying it, classifying
 // every record: intact, torn (structural damage — the file is reported
@@ -332,8 +440,9 @@ func AuditDir(dir string, codec *wire.Codec, verify func(core.KeyUpdate) bool) (
 	offset := int64(len(logMagic))
 	var lenBuf [4]byte
 	crcBuf := make([]byte, 4)
+	var recs []recMeta
 	for offset < size {
-		u, recLen, err := readRecord(f, codec, lenBuf[:], crcBuf)
+		u, payload, recLen, err := readRecord(f, codec, lenBuf[:], crcBuf)
 		if err != nil {
 			rep.Torn = true
 			rep.TornBytes = size - offset
@@ -346,7 +455,9 @@ func AuditDir(dir string, codec *wire.Codec, verify func(core.KeyUpdate) bool) (
 			rep.Invalid++
 		}
 		rep.Records = append(rep.Records, rec)
+		recs = append(recs, recMeta{label: u.Label, point: u.Point, leaf: LeafHash(payload)})
 		offset += recLen
 	}
+	auditCheckpoints(dir, codec, recs, &rep)
 	return rep, nil
 }

@@ -28,8 +28,13 @@ type ServerLoadConfig struct {
 	CellDuration time.Duration // wall time per (preset, mix, clients) cell
 	Window       int           // pre-published labels the workload draws from
 	CatchUpBatch int           // labels per CatchUp call
-	BaseURL      string        // drive a remote server instead of in-process
-	Quick        bool
+	// ColdStartEpochs are the missed-epoch counts measured by the
+	// coldstart mixes: one receiver returning after N epochs offline
+	// catches up in a single CatchUp call (default 1000, 10000; Quick:
+	// 96). Requires that much pre-published history.
+	ColdStartEpochs []int
+	BaseURL         string // drive a remote server instead of in-process
+	Quick           bool
 }
 
 // withDefaults fills unset fields.
@@ -49,7 +54,14 @@ func (c ServerLoadConfig) withDefaults() ServerLoadConfig {
 		}
 	}
 	if len(c.Mixes) == 0 {
-		c.Mixes = []string{"fetch", "catchup", "mixed", "encdec"}
+		c.Mixes = []string{"fetch", "catchup", "mixed", "encdec", "coldstart", "coldstart-batch"}
+	}
+	if len(c.ColdStartEpochs) == 0 {
+		if c.Quick {
+			c.ColdStartEpochs = []int{96}
+		} else {
+			c.ColdStartEpochs = []int{1000, 10000}
+		}
 	}
 	if c.CellDuration <= 0 {
 		if c.Quick {
@@ -68,6 +80,23 @@ func (c ServerLoadConfig) withDefaults() ServerLoadConfig {
 		c.CatchUpBatch = c.Window
 	}
 	return c
+}
+
+// coldStartDepth returns the deepest history the configured coldstart
+// cells need, or 0 when no coldstart mix is selected.
+func (c ServerLoadConfig) coldStartDepth() int {
+	depth := 0
+	for _, m := range c.Mixes {
+		if m != "coldstart" && m != "coldstart-batch" {
+			continue
+		}
+		for _, e := range c.ColdStartEpochs {
+			if e > depth {
+				depth = e
+			}
+		}
+	}
+	return depth
 }
 
 // ServerRow is one (preset, mix, concurrency) cell of the load report.
@@ -91,6 +120,13 @@ type ServerRow struct {
 	// Client-side pairing evaluations — the cryptographic cost the
 	// passive-server design pushes to the edges.
 	ClientPairings int64 `json:"client_pairings"`
+
+	// Coldstart cells only: how many epochs one catch-up op spans, and
+	// the pairing evaluations each op cost. The aggregate path should
+	// hold PairingsPerOp at 2 however large Epochs grows; the batch
+	// path scales with it.
+	Epochs        int     `json:"epochs,omitempty"`
+	PairingsPerOp float64 `json:"pairings_per_op,omitempty"`
 }
 
 // ServerReport is the JSON document `make bench-server` writes to
@@ -112,11 +148,12 @@ func (r *ServerReport) JSON() ([]byte, error) {
 // loadTarget is one server under load: a base URL to aim clients at
 // plus whatever in-process handles exist for publish ops and counters.
 type loadTarget struct {
-	set    *params.Set
-	spub   core.ServerPublicKey
-	sched  timefmt.Schedule
-	url    string
-	labels []string // the pre-published window, ascending
+	set     *params.Set
+	spub    core.ServerPublicKey
+	sched   timefmt.Schedule
+	url     string
+	labels  []string // the pre-published window, ascending
+	history []string // deep pre-published history for coldstart cells (ends at labels)
 
 	// sc is the ONE scheme shared by every client of every cell
 	// (timeserver.WithScheme), so the whole harness exercises the
@@ -164,19 +201,26 @@ func newLocalTarget(name string, cfg ServerLoadConfig) (*loadTarget, error) {
 		timeserver.WithClock(func() time.Time { return now }),
 		timeserver.WithMetrics(obs.NewRegistry()))
 	idx := sched.Index(now)
-	labels := make([]string, cfg.Window)
-	for i := 0; i < cfg.Window; i++ {
-		labels[i] = sched.LabelAt(idx - int64(cfg.Window-1-i))
-		if err := srv.PublishLabel(labels[i]); err != nil {
-			return nil, fmt.Errorf("bench: pre-publishing %s: %w", labels[i], err)
+	// Coldstart mixes need a history as deep as the largest missed-epoch
+	// count; the workload window is its newest suffix.
+	total := cfg.Window
+	if depth := cfg.coldStartDepth(); depth > total {
+		total = depth
+	}
+	history := make([]string, total)
+	for i := 0; i < total; i++ {
+		history[i] = sched.LabelAt(idx - int64(total-1-i))
+		if err := srv.PublishLabel(history[i]); err != nil {
+			return nil, fmt.Errorf("bench: pre-publishing %s: %w", history[i], err)
 		}
 	}
+	labels := history[total-cfg.Window:]
 	ts := httptest.NewServer(srv.Handler())
 	t := &loadTarget{
 		set: set, spub: key.Pub, sched: sched, url: ts.URL,
-		labels: labels, srv: srv, baseIdx: idx, close: ts.Close,
+		labels: labels, history: history, srv: srv, baseIdx: idx, close: ts.Close,
 	}
-	t.nextOld.Store(int64(cfg.Window)) // offsets Window, Window+1, … are unpublished
+	t.nextOld.Store(int64(total)) // offsets total, total+1, … are unpublished
 	if err := t.initCrypto(); err != nil {
 		return nil, err
 	}
@@ -210,7 +254,7 @@ func newRemoteTarget(baseURL string, cfg ServerLoadConfig) (*loadTarget, error) 
 	}
 	t := &loadTarget{
 		set: set, spub: spub, sched: sched, url: baseURL,
-		labels: labels, close: func() {},
+		labels: labels, history: labels, close: func() {},
 	}
 	if err := t.initCrypto(); err != nil {
 		return nil, err
@@ -248,6 +292,12 @@ func (t *loadTarget) publish() error {
 //	          client-side compute through the ONE shared scheme — the
 //	          GOMAXPROCS-parallel crypto workload that exercises the
 //	          sharded caches and pooled arenas under contention
+//	coldstart       — ONE fresh (empty-cache) client catches up on N
+//	                  missed epochs per op via the aggregate range path:
+//	                  one /v1/catchup request, one pairing product
+//	coldstart-batch — the same recovery forced down the pre-range path
+//	                  (per-label fetches + blinded batch verification),
+//	                  the before-side of the O(1)-pairing comparison
 //
 // Every client of a cell shares one core.Scheme (timeserver.WithScheme)
 // so prepared-key and base-table caches are hit concurrently, the way a
@@ -297,6 +347,34 @@ func RunServerLoad(cfg ServerLoadConfig) (*ServerReport, *Table, error) {
 
 	for _, preset := range cfg.Presets {
 		for _, mix := range cfg.Mixes {
+			if mix == "coldstart" || mix == "coldstart-batch" {
+				t, err := target(preset)
+				if err != nil {
+					return nil, nil, err
+				}
+				for _, epochs := range cfg.ColdStartEpochs {
+					if mix == "coldstart-batch" && t.set.Name != "Test160" && epochs > 1000 {
+						// N per-label fetches + an N-wide pairing batch on a
+						// production-size field: minutes per op, and the point
+						// (linear growth) is already made by 1000.
+						continue
+					}
+					row, err := runColdStart(t, mix, epochs, cfg)
+					if err != nil {
+						return nil, nil, err
+					}
+					rep.Rows = append(rep.Rows, row)
+					table.Add(
+						fmt.Sprintf("%s/%s:%d", t.set.Name, mix, row.Epochs),
+						fmt.Sprintf("%d", row.Clients),
+						fmt.Sprintf("%.0f", row.RPS),
+						nsHuman(row.P50NS), nsHuman(row.P95NS), nsHuman(row.P99NS),
+						fmt.Sprintf("%d", row.Ops),
+						fmt.Sprintf("%d", row.Errors),
+					)
+				}
+				continue
+			}
 			for _, clients := range cfg.Clients {
 				t, err := target(preset)
 				if err != nil {
@@ -321,7 +399,75 @@ func RunServerLoad(cfg ServerLoadConfig) (*ServerReport, *Table, error) {
 	table.Note("fetch = one update request + decode + pairing verification per op; catchup = %d labels per op with one batched pairing equation; mixed = 70%% fetch / 20%% catchup / 10%% publish; encdec = one client-side Encrypt+Decrypt round trip per op (no HTTP)", cfg.CatchUpBatch)
 	table.Note("clients pin the server key and verify everything; the client-side cache is disabled so every op exercises the server")
 	table.Note("all clients of a cell share one core.Scheme, so its sharded precomputation caches are read concurrently")
+	table.Note("coldstart:N = one fresh client recovering N missed epochs per op (aggregate range path); coldstart-batch:N = the same recovery via per-label fetches + batched verification; pairings per op are in BENCH_server.json")
 	return rep, table, nil
+}
+
+// runColdStart measures one receiver returning after `epochs` missed
+// epochs: each op builds a FRESH client (empty verified cache — that is
+// the cold start) and issues one CatchUp over the missed labels. The
+// coldstart mix takes the aggregate range path; coldstart-batch pins
+// the legacy per-label path for the before/after comparison.
+func runColdStart(t *loadTarget, mix string, epochs int, cfg ServerLoadConfig) (ServerRow, error) {
+	if epochs > len(t.history) {
+		// Remote targets only expose their published window; measure what
+		// exists rather than failing the whole run.
+		epochs = len(t.history)
+	}
+	window := t.history[len(t.history)-epochs:]
+
+	creg := obs.NewRegistry()
+	servedBefore := int64(0)
+	if t.srv != nil {
+		servedBefore = t.srv.Served()
+	}
+	opts := []timeserver.ClientOption{
+		timeserver.WithScheme(t.sc),
+		timeserver.WithClientMetrics(creg),
+	}
+	if mix == "coldstart-batch" {
+		opts = append(opts, timeserver.WithoutAggregateCatchUp())
+	}
+
+	var (
+		samples []int64
+		errs    int64
+	)
+	deadline := time.Now().Add(cfg.CellDuration)
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		client := timeserver.NewClient(t.url, t.set, t.spub, opts...)
+		opStart := time.Now()
+		_, err := client.CatchUp(context.Background(), window)
+		samples = append(samples, time.Since(opStart).Nanoseconds())
+		if err != nil {
+			errs++
+		}
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	row := ServerRow{
+		Preset:     t.set.Name,
+		Mix:        mix,
+		Clients:    1,
+		Epochs:     epochs,
+		Ops:        int64(len(samples)),
+		Errors:     errs,
+		DurationNS: elapsed.Nanoseconds(),
+		RPS:        float64(len(samples)) / elapsed.Seconds(),
+		P50NS:      pct(samples, 0.50),
+		P95NS:      pct(samples, 0.95),
+		P99NS:      pct(samples, 0.99),
+	}
+	if t.srv != nil {
+		row.ServerRequests = t.srv.Served() - servedBefore
+	}
+	row.ClientPairings = creg.Snapshot().Counters["core.pairings"]
+	if row.Ops > 0 {
+		row.PairingsPerOp = float64(row.ClientPairings) / float64(row.Ops)
+	}
+	return row, nil
 }
 
 // runCell runs one (target, mix, clients) cell.

@@ -8,12 +8,22 @@ import (
 
 func TestServerLoadDefaults(t *testing.T) {
 	full := ServerLoadConfig{}.withDefaults()
-	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 4 {
+	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 6 {
 		t.Fatalf("full defaults: %+v", full)
+	}
+	if len(full.ColdStartEpochs) != 2 || full.coldStartDepth() != 10000 {
+		t.Fatalf("full coldstart defaults: %v", full.ColdStartEpochs)
 	}
 	quick := ServerLoadConfig{Quick: true}.withDefaults()
 	if len(quick.Presets) != 1 || quick.Presets[0] != "Test160" {
 		t.Fatalf("quick presets: %v", quick.Presets)
+	}
+	if quick.coldStartDepth() >= full.coldStartDepth() {
+		t.Fatal("quick coldstart history must be shallower than full")
+	}
+	noCold := ServerLoadConfig{Mixes: []string{"fetch"}}.withDefaults()
+	if noCold.coldStartDepth() != 0 {
+		t.Fatal("coldStartDepth must be 0 when no coldstart mix is selected")
 	}
 	if quick.CellDuration >= full.CellDuration {
 		t.Fatal("quick cells must be shorter than full cells")
@@ -39,18 +49,46 @@ func TestServerLoadRejectsUnknownMix(t *testing.T) {
 func TestServerLoadQuickCell(t *testing.T) {
 	rep, table, err := RunServerLoad(ServerLoadConfig{
 		Quick: true, Clients: []int{2}, CellDuration: 60 * time.Millisecond,
-		Window: 16, CatchUpBatch: 4,
+		Window: 16, CatchUpBatch: 4, ColdStartEpochs: []int{24},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 4 {
-		t.Fatalf("got %d rows, want 4 (one per mix)", len(rep.Rows))
+	if len(rep.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (one per mix, incl. both coldstart cells)", len(rep.Rows))
 	}
 	var sawPublish bool
 	for _, r := range rep.Rows {
-		if r.Preset != "Test160" || r.Clients != 2 {
+		cold := r.Mix == "coldstart" || r.Mix == "coldstart-batch"
+		wantClients := 2
+		if cold {
+			wantClients = 1 // coldstart measures one recovering receiver
+		}
+		if r.Preset != "Test160" || r.Clients != wantClients {
 			t.Fatalf("wrong cell identity: %+v", r)
+		}
+		if cold {
+			if r.Epochs != 24 || r.PairingsPerOp <= 0 {
+				t.Fatalf("implausible coldstart cell: %+v", r)
+			}
+			// The tentpole claim, measured: recovering N missed epochs
+			// costs ONE pairing product (2 pairings) per op on the
+			// aggregate path — and one range request instead of N
+			// per-label round trips.
+			if r.Mix == "coldstart" {
+				if r.PairingsPerOp != 2 {
+					t.Fatalf("aggregate coldstart cost %v pairings/op, want 2: %+v", r.PairingsPerOp, r)
+				}
+				if r.ServerRequests != r.Ops {
+					t.Fatalf("aggregate coldstart: %d requests for %d ops, want 1 per op", r.ServerRequests, r.Ops)
+				}
+			}
+			if r.Mix == "coldstart-batch" && r.ServerRequests < r.Ops*int64(r.Epochs) {
+				t.Fatalf("batch coldstart: %d requests for %d ops of %d epochs, want ≥ epochs per op",
+					r.ServerRequests, r.Ops, r.Epochs)
+			}
+		} else if r.Epochs != 0 || r.PairingsPerOp != 0 {
+			t.Fatalf("non-coldstart cell carries coldstart fields: %+v", r)
 		}
 		if r.Ops <= 0 || r.Errors != 0 || r.RPS <= 0 {
 			t.Fatalf("implausible cell: %+v", r)

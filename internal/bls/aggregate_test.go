@@ -1,0 +1,93 @@
+package bls
+
+import (
+	"fmt"
+	"testing"
+
+	"timedrelease/internal/curve"
+)
+
+func TestAggregateIntoMatchesAggregate(t *testing.T) {
+	set, k := testSetup(t)
+	var sigs []Signature
+	var msgs [][]byte
+	for i := 0; i < 7; i++ {
+		m := []byte(fmt.Sprintf("epoch-%d", i))
+		msgs = append(msgs, m)
+		sigs = append(sigs, k.Sign(set, "dst", m))
+	}
+
+	whole := Aggregate(set, sigs)
+
+	// Incremental folding — one at a time from the zero Signature —
+	// must land on the same point.
+	var acc Signature
+	for _, s := range sigs {
+		acc = AggregateInto(set, acc, s)
+	}
+	if !set.Curve.Equal(acc.Point, whole.Point) {
+		t.Fatal("incremental aggregation diverged from Aggregate")
+	}
+
+	// And in one variadic call from an explicit empty aggregate.
+	batch := AggregateInto(set, Signature{Point: curve.Infinity()}, sigs...)
+	if !set.Curve.Equal(batch.Point, whole.Point) {
+		t.Fatal("variadic aggregation diverged from Aggregate")
+	}
+
+	if !VerifyAggregate(set, k.Pub, "dst", msgs, acc) {
+		t.Fatal("incrementally built aggregate must verify")
+	}
+}
+
+func TestVerifyAggregatePrepared(t *testing.T) {
+	set, k := testSetup(t)
+	pk := PreparePublicKey(set, k.Pub)
+
+	var sigs []Signature
+	var msgs [][]byte
+	var hashes []curve.Point
+	for i := 0; i < 9; i++ {
+		m := []byte(fmt.Sprintf("label-%d", i))
+		msgs = append(msgs, m)
+		hashes = append(hashes, set.Curve.HashToGroup("dst", m))
+		sigs = append(sigs, k.Sign(set, "dst", m))
+	}
+	agg := Aggregate(set, sigs)
+
+	if !pk.VerifyAggregatePrepared(set, hashes, agg) {
+		t.Fatal("genuine aggregate must verify on the prepared pre-hashed path")
+	}
+	// Differential against the unprepared verifier.
+	if pk.VerifyAggregatePrepared(set, hashes, agg) != VerifyAggregate(set, k.Pub, "dst", msgs, agg) {
+		t.Fatal("prepared and plain aggregate verification disagree")
+	}
+
+	// A dropped hash breaks the sum.
+	if pk.VerifyAggregatePrepared(set, hashes[:len(hashes)-1], agg) {
+		t.Fatal("aggregate over a shorter message list must not verify")
+	}
+	// A signature by another key inside the aggregate breaks it.
+	other, err := GenerateKey(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := make([]Signature, len(sigs))
+	copy(forged, sigs)
+	forged[4] = other.Sign(set, "dst", msgs[4])
+	if pk.VerifyAggregatePrepared(set, hashes, Aggregate(set, forged)) {
+		t.Fatal("aggregate containing a foreign-key signature must not verify")
+	}
+
+	// Empty list: verifies iff the aggregate is the identity.
+	if !pk.VerifyAggregatePrepared(set, nil, Signature{Point: curve.Infinity()}) {
+		t.Fatal("empty aggregate over no messages must verify")
+	}
+	if pk.VerifyAggregatePrepared(set, nil, agg) {
+		t.Fatal("non-identity aggregate over no messages must not verify")
+	}
+	// Identity aggregate over a non-empty list is rejected outright.
+	if pk.VerifyAggregatePrepared(set, hashes, Signature{Point: curve.Infinity()}) {
+		t.Fatal("identity aggregate over messages must not verify")
+	}
+}

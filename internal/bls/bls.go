@@ -93,6 +93,23 @@ func Aggregate(set *params.Set, sigs []Signature) Signature {
 	return Signature{Point: acc}
 }
 
+// AggregateInto folds more signatures into a running same-key
+// aggregate: AggregateInto(acc, s₁…sₙ) = acc + Σsᵢ. Starting from the
+// zero Signature (or one whose point is the identity) and folding every
+// signature of a set is equivalent to Aggregate over the whole set —
+// this is what the archive's checkpoint aggregates are built from, one
+// append at a time, without re-summing the prefix.
+func AggregateInto(set *params.Set, acc Signature, sigs ...Signature) Signature {
+	p := acc.Point
+	if p.X == nil && !p.IsInfinity() {
+		p = curve.Infinity() // zero-value Signature: empty aggregate
+	}
+	for _, s := range sigs {
+		p = set.Curve.Add(p, s.Point)
+	}
+	return Signature{Point: p}
+}
+
 // VerifyAggregate checks a same-key aggregate over the message list:
 // ê(G, agg) = ê(sG, Σ H1(mᵢ)). Messages must be distinct for the usual
 // aggregate-security argument; this function does not enforce that.

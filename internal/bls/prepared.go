@@ -75,6 +75,35 @@ func (pk *PreparedPublicKey) VerifyAggregate(set *params.Set, dst string, msgs [
 	return set.Pairing.SamePairingPrepared(pk.g, agg.Point, pk.sg, hsum)
 }
 
+// VerifyAggregatePrepared checks a same-key aggregate signature against
+// messages that are already hashed onto the curve:
+//
+//	ê(G, agg) = ê(sG, Σ hᵢ)
+//
+// — a single prepared pairing product, however many messages the
+// aggregate covers. Callers that memoise H1 (core's sharded label
+// cache) pay n point additions and one PairProduct, full stop; this is
+// the O(1)-pairing catch-up path. Each hᵢ must be H1(dst, mᵢ) for the
+// check to mean anything.
+//
+// Like the other aggregate verifiers it binds the signature to the SUM
+// of the hashes: it proves every listed message was signed, provided
+// the list itself is honest. A transport that can alter the list can
+// only be caught by the per-update checks — see the client's fallback.
+func (pk *PreparedPublicKey) VerifyAggregatePrepared(set *params.Set, hashes []curve.Point, agg Signature) bool {
+	if len(hashes) == 0 {
+		return agg.Point.IsInfinity()
+	}
+	if agg.Point.IsInfinity() || !set.Curve.InSubgroup(agg.Point) {
+		return false
+	}
+	hsum := curve.Infinity()
+	for _, h := range hashes {
+		hsum = set.Curve.Add(hsum, h)
+	}
+	return set.Pairing.SamePairingPrepared(pk.g, agg.Point, pk.sg, hsum)
+}
+
 // VerifyBatch checks many same-key signatures with one blinded pairing
 // equation, like the package-level VerifyBatch but with the two Miller
 // loops on the prepared path. See VerifyBatch for the security argument

@@ -226,6 +226,41 @@ func (sc *Scheme) VerifyUpdateBatch(spub ServerPublicKey, updates []KeyUpdate) (
 	return sc.PreparedServerKey(spub).VerifyBatch(sc.Set, TimeDomain, msgs, sigs, nil)
 }
 
+// VerifyUpdateAggregate checks a whole run of updates against ONE
+// aggregate signature with a single prepared pairing product:
+//
+//	Σ I_i = agg   and   ê(G, agg) = ê(sG, Σ H1(T_i))
+//
+// This is the O(1)-pairing catch-up check: n point additions plus two
+// pairings, with every H1(T_i) served from the sharded label cache.
+// The equation binds agg to the SUM of the updates, so it proves every
+// listed update is genuine provided the label list itself is what the
+// server published; a transport substituting compensating forgeries
+// across two updates defeats the sum check alone, which is why the
+// client keeps the blinded per-update batch verify as the authoritative
+// fallback (and why ciphertext-level authentication still guards
+// decryption). An empty run verifies iff agg is the identity.
+func (sc *Scheme) VerifyUpdateAggregate(spub ServerPublicKey, updates []KeyUpdate, agg curve.Point) bool {
+	c := sc.Set.Curve
+	if len(updates) == 0 {
+		return agg.IsInfinity()
+	}
+	sum := curve.Infinity()
+	hashes := make([]curve.Point, len(updates))
+	for i, u := range updates {
+		if u.Point.IsInfinity() || !c.InSubgroup(u.Point) {
+			return false
+		}
+		sum = c.Add(sum, u.Point)
+		hashes[i] = sc.hashLabel(u.Label)
+	}
+	if !c.Equal(sum, agg) {
+		return false
+	}
+	sc.met.pairings.Add(2) // the whole run collapses to one two-pairing check
+	return sc.PreparedServerKey(spub).VerifyAggregatePrepared(sc.Set, hashes, bls.Signature{Point: agg})
+}
+
 // UserPublicKey is PK_U = (aG, a·sG). AG is always taken over the
 // canonical parameter-set generator (this is the CA-certified half and
 // stays fixed across server changes, §5.3.4); ASG binds the key to the

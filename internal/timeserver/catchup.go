@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"net/url"
 	"time"
 
+	"timedrelease/internal/archive"
 	"timedrelease/internal/core"
 )
 
@@ -47,13 +49,32 @@ func (e *PartialError) Unwrap() []error {
 	return out
 }
 
+const (
+	// catchupRangeMin is the smallest number of uncached labels worth a
+	// range request; below it per-label fetches cost the same number of
+	// round trips anyway.
+	catchupRangeMin = 2
+	// catchupRangeLimit is the per-request page size asked of
+	// /v1/catchup (the server caps at its own maximum regardless).
+	catchupRangeLimit = 65536
+	// catchupBodyLimit caps one range response body: 64k updates on the
+	// widest supported field stay well under this.
+	catchupBodyLimit = 64 << 20
+	// catchupMaxPages bounds paging through a truncated range so a
+	// hostile server cannot keep a client looping.
+	catchupMaxPages = 64
+)
+
 // CatchUp fetches the updates for many labels (e.g. every epoch missed
-// while offline) and verifies them in ONE batched pairing equation
-// instead of one per update — the receiver-side complement of the
-// archive the paper prescribes for missed broadcasts (§3). Already-
-// cached labels are served locally; on batch failure it falls back to
-// per-update verification so the offending update is identified in the
-// error. All verified updates are cached.
+// while offline) and verifies them with O(1) pairing work: the labels
+// not already in the verified cache are requested as ONE /v1/catchup
+// range carrying one aggregate signature, checked by a single pairing
+// product (core.VerifyUpdateAggregate) plus a Merkle completeness
+// commitment. When the server predates the range endpoint, or a range
+// response fails any check, CatchUp falls back to the per-label fetch +
+// blinded batch verification it has always done — the batch path is the
+// authoritative one, and an update that fails it aborts the call with
+// ErrBadUpdate naming the offender. All verified updates are cached.
 //
 // CatchUp degrades instead of failing wholesale: a label whose fetch
 // fails (not yet published, or a transport error that survived the
@@ -62,24 +83,27 @@ func (e *PartialError) Unwrap() []error {
 // *PartialError naming the missing labels. err == nil means every
 // label was returned. Integrity failures are different: any update
 // that fails verification poisons nothing but aborts the call with
-// ErrBadUpdate, exactly as before — degraded mode never trades away
-// the pinned-key check. ctx cancellation also aborts wholesale.
+// ErrBadUpdate — degraded mode never trades away the pinned-key check.
+// ctx cancellation also aborts wholesale.
 func (c *Client) CatchUp(ctx context.Context, labels []string) ([]core.KeyUpdate, error) {
 	byLabel := make(map[string]core.KeyUpdate, len(labels))
 
-	// Partition into cached and to-fetch.
+	// Partition into cached and to-fetch, deduplicating the fetch list
+	// (the same uncached label twice must not cost two fetches).
 	var missing []string
+	requested := make(map[string]bool, len(labels))
 	for _, label := range labels {
+		if requested[label] {
+			continue
+		}
+		requested[label] = true
 		if u, ok := c.cached(label); ok {
 			byLabel[label] = u
-		} else if _, dup := byLabel[label]; !dup {
+		} else {
 			missing = append(missing, label)
 		}
 	}
 
-	// Fetch what we can (unverified for now), remembering what we
-	// cannot.
-	fetched := make([]core.KeyUpdate, 0, len(missing))
 	var partial *PartialError
 	skip := func(label string, cause error) {
 		if partial == nil {
@@ -88,6 +112,33 @@ func (c *Client) CatchUp(ctx context.Context, labels []string) ([]core.KeyUpdate
 		partial.Missing = append(partial.Missing, label)
 		partial.Causes[label] = cause
 	}
+
+	// Aggregate fast path: one range request over [min, max] of the
+	// uncached labels — cached labels never widen the range — verified
+	// with a single pairing product. A label the (verified) range does
+	// not contain is not published; that is the same availability trust
+	// as a per-label 404, and costs zero extra round trips.
+	if !c.noAggregate && len(missing) >= catchupRangeMin {
+		if got, complete := c.rangeCatchUp(ctx, missing); got != nil {
+			rest := make([]string, 0, len(missing))
+			for _, label := range missing {
+				switch u, ok := got[label]; {
+				case ok:
+					byLabel[label] = u
+				case complete:
+					skip(label, ErrNotYetPublished)
+				default:
+					rest = append(rest, label) // truncated page: undetermined
+				}
+			}
+			missing = rest
+		}
+	}
+
+	// Per-label path: everything the range mode did not settle (all of
+	// it, when the fast path was skipped or fell back). Fetch what we
+	// can, remembering what we cannot.
+	fetched := make([]core.KeyUpdate, 0, len(missing))
 	for _, label := range missing {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -119,8 +170,9 @@ func (c *Client) CatchUp(ctx context.Context, labels []string) ([]core.KeyUpdate
 		fetched = append(fetched, u)
 	}
 
-	// Batch-verify everything fetched with one pairing equation, over the
-	// Miller-loop schedules precomputed for the pinned server key.
+	// Batch-verify everything fetched with one blinded pairing equation,
+	// over the Miller-loop schedules precomputed for the pinned server
+	// key.
 	if len(fetched) > 0 {
 		c.met.catchupBatches.Inc()
 		start := time.Now()
@@ -160,4 +212,76 @@ func (c *Client) CatchUp(ctx context.Context, labels []string) ([]core.KeyUpdate
 		return out, partial
 	}
 	return out, nil
+}
+
+// rangeCatchUp runs the aggregate fast path over the uncached labels:
+// it requests [min, max] as /v1/catchup pages and verifies each page's
+// aggregate signature with one pairing product, plus the Merkle
+// commitment over the delivered payloads. It returns every verified
+// update by label, with complete=true when the whole range was covered
+// (so an absent label is an unpublished label). A nil map means the
+// fast path is unavailable (old server, transport failure) or a page
+// failed verification — the caller falls back to the authoritative
+// per-label batch path, which can still localise an offender.
+func (c *Client) rangeCatchUp(ctx context.Context, missing []string) (map[string]core.KeyUpdate, bool) {
+	lo, hi := missing[0], missing[0]
+	for _, l := range missing[1:] {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	got := make(map[string]core.KeyUpdate, len(missing))
+	for page := 0; page < catchupMaxPages; page++ {
+		body, status, err := c.getLimited(ctx,
+			"/v1/catchup?from="+url.QueryEscape(lo)+"&to="+url.QueryEscape(hi)+
+				"&limit="+fmt.Sprint(catchupRangeLimit), catchupBodyLimit)
+		if err != nil || status != http.StatusOK {
+			// Old server (404), proxy trouble, transport failure: not an
+			// integrity event, just no fast path today.
+			if page == 0 {
+				return nil, false
+			}
+			return got, false // keep the pages that did verify
+		}
+		start := time.Now()
+		resp, err := c.codec.UnmarshalCatchUpResponse(body)
+		if err != nil {
+			c.met.catchupFallback.Inc()
+			return nil, false
+		}
+		// The response must stay inside the requested range (decode
+		// already guarantees ascending order within it).
+		if n := len(resp.Updates); n > 0 && (resp.Updates[0].Label < lo || resp.Updates[n-1].Label > hi) {
+			c.met.catchupFallback.Inc()
+			return nil, false
+		}
+		// Completeness commitment: the root must match the delivered
+		// list exactly, then ONE pairing product verifies the aggregate
+		// signature over every label in it.
+		leaves := make([][32]byte, len(resp.Updates))
+		for i, u := range resp.Updates {
+			leaves[i] = archive.LeafHash(c.codec.MarshalKeyUpdate(u))
+		}
+		if archive.MerkleRoot(leaves) != resp.Root ||
+			!c.sc.VerifyUpdateAggregate(c.spub, resp.Updates, resp.Aggregate) {
+			c.met.catchupFallback.Inc()
+			return nil, false
+		}
+		c.met.verifyNS.Since(start)
+		c.met.catchupAggregate.Inc()
+		for _, u := range resp.Updates {
+			c.store(u)
+			got[u.Label] = u
+		}
+		if resp.Total <= len(resp.Updates) || len(resp.Updates) == 0 {
+			return got, true // whole range covered
+		}
+		// Truncated page (oldest first): resume just past the last
+		// delivered label. "\x00" is the lexicographic successor step.
+		lo = resp.Updates[len(resp.Updates)-1].Label + "\x00"
+	}
+	return got, false
 }

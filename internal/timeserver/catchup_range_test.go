@@ -1,0 +1,321 @@
+package timeserver
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"timedrelease/internal/archive"
+	"timedrelease/internal/core"
+	"timedrelease/internal/curve"
+	"timedrelease/internal/obs"
+)
+
+// publishRun publishes several epochs and returns the labels.
+func publishRun(t *testing.T, e *env, epochs int) []string {
+	t.Helper()
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	e.clock.Advance(time.Duration(epochs) * time.Minute)
+	if _, err := e.server.PublishUpTo(e.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := e.client.Labels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) < 4 {
+		t.Fatalf("need ≥4 labels, got %d", len(labels))
+	}
+	return labels
+}
+
+// forgeRange rewrites an honest /v1/catchup response so that the update
+// for one label carries a point signed by a different key, keeping the
+// response SELF-consistent: the claimed aggregate is the sum of the
+// delivered (tampered) points and the Merkle root matches the delivered
+// payloads. Only the pinned-key pairing check can catch it.
+func forgeRange(t *testing.T, e *env, body []byte, forged core.KeyUpdate) []byte {
+	t.Helper()
+	resp, err := e.server.codec.UnmarshalCatchUpResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := curve.Infinity()
+	leaves := make([][32]byte, len(resp.Updates))
+	for i := range resp.Updates {
+		if resp.Updates[i].Label == forged.Label {
+			resp.Updates[i] = forged
+		}
+		agg = e.set.Curve.Add(agg, resp.Updates[i].Point)
+		leaves[i] = archive.LeafHash(e.server.codec.MarshalKeyUpdate(resp.Updates[i]))
+	}
+	resp.Aggregate = agg
+	resp.Root = archive.MerkleRoot(leaves)
+	return e.server.codec.MarshalCatchUpResponse(resp)
+}
+
+func TestCatchUpRangeForgeryFallsBackToBatchPath(t *testing.T) {
+	// The range response carries one forged update (self-consistent
+	// aggregate and commitment, wrong signing key). The aggregate check
+	// must reject the page wholesale and the client must recover through
+	// the authoritative per-label batch path — which here is honest, so
+	// the catch-up still succeeds, with the fallback counted.
+	e := newEnv(t)
+	labels := publishRun(t, e, 7)
+	bad := labels[len(labels)/2]
+	impostor, err := e.sc.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := e.sc.IssueUpdate(impostor, bad)
+
+	real := e.server.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/catchup" {
+			real.ServeHTTP(w, r)
+			return
+		}
+		rec := httptest.NewRecorder()
+		real.ServeHTTP(rec, r)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(forgeRange(t, e, rec.Body.Bytes(), forged))
+	}))
+	defer proxy.Close()
+
+	reg := obs.NewRegistry()
+	c := NewClient(proxy.URL, e.set, e.key.Pub,
+		WithHTTPClient(proxy.Client()), WithClientMetrics(reg))
+	ups, err := c.CatchUp(context.Background(), labels)
+	if err != nil {
+		t.Fatalf("CatchUp: %v", err)
+	}
+	if len(ups) != len(labels) {
+		t.Fatalf("got %d updates for %d labels", len(ups), len(labels))
+	}
+	for _, u := range ups {
+		if !e.sc.VerifyUpdate(e.key.Pub, u) {
+			t.Fatalf("update %s invalid after fallback", u.Label)
+		}
+	}
+	s := reg.Snapshot()
+	if s.Counters["client.catchup_aggregate"] != 0 ||
+		s.Counters["client.catchup_fallback"] != 1 ||
+		s.Counters["client.catchup_batches"] != 1 {
+		t.Fatalf("counters = aggregate %d fallback %d batches %d, want 0/1/1",
+			s.Counters["client.catchup_aggregate"],
+			s.Counters["client.catchup_fallback"],
+			s.Counters["client.catchup_batches"])
+	}
+}
+
+func TestCatchUpRangeForgeryRejectedWholesaleWhenServerLies(t *testing.T) {
+	// Differential acceptance test: a forged update INSIDE the aggregated
+	// range, served consistently on the per-label endpoint too (a lying
+	// server, not a flaky proxy). The aggregate path detects it, the
+	// fallback batch path detects it, and the whole catch-up is rejected
+	// with nothing cached.
+	e := newEnv(t)
+	labels := publishRun(t, e, 7)
+	bad := labels[len(labels)/2]
+	impostor, err := e.sc.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := e.sc.IssueUpdate(impostor, bad)
+	forgedBody := e.server.codec.MarshalKeyUpdate(forged)
+
+	real := e.server.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/catchup":
+			rec := httptest.NewRecorder()
+			real.ServeHTTP(rec, r)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(forgeRange(t, e, rec.Body.Bytes(), forged))
+		case "/v1/update/" + bad:
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(forgedBody)
+		default:
+			real.ServeHTTP(w, r)
+		}
+	}))
+	defer proxy.Close()
+
+	reg := obs.NewRegistry()
+	c := NewClient(proxy.URL, e.set, e.key.Pub,
+		WithHTTPClient(proxy.Client()), WithClientMetrics(reg))
+	got, err := c.CatchUp(context.Background(), labels)
+	if !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("err = %v, want ErrBadUpdate", err)
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Fatalf("error %q does not name the forged label %q", err, bad)
+	}
+	if len(got) != 0 {
+		t.Fatalf("rejected catch-up returned %d updates, want 0", len(got))
+	}
+	if n := c.CachedLen(); n != 0 {
+		t.Fatalf("rejected catch-up left %d cached updates", n)
+	}
+	// Two fallbacks recorded: the range rejection, then the batch
+	// equation localising the offender.
+	if got := reg.Snapshot().Counters["client.catchup_fallback"]; got != 2 {
+		t.Fatalf("catchup_fallback = %d, want 2", got)
+	}
+}
+
+func TestCatchUpRangeExcludesCachedPrefix(t *testing.T) {
+	// Regression for the re-request bug: labels already in the verified
+	// cache must neither be fetched again nor widen the range request.
+	e := newEnv(t)
+	labels := publishRun(t, e, 9)
+
+	var mu sync.Mutex
+	var froms []string
+	real := e.server.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/catchup" {
+			mu.Lock()
+			froms = append(froms, r.URL.Query().Get("from"))
+			mu.Unlock()
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	c := NewClient(proxy.URL, e.set, e.key.Pub, WithHTTPClient(proxy.Client()))
+	// Warm the cache with the oldest three labels...
+	if _, err := c.CatchUp(context.Background(), labels[:3]); err != nil {
+		t.Fatal(err)
+	}
+	// ...then catch up on everything: the range must start at the first
+	// UNcached label.
+	if _, err := c.CatchUp(context.Background(), labels); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(froms) != 2 {
+		t.Fatalf("range requests = %v, want exactly 2", froms)
+	}
+	if froms[0] != labels[0] || froms[1] != labels[3] {
+		t.Fatalf("from params = %v, want [%s %s]", froms, labels[0], labels[3])
+	}
+}
+
+func TestCatchUpDuplicateLabelsFetchOnce(t *testing.T) {
+	// The same uncached label asked twice must cost one fetch — counted
+	// on the per-label path, where requests map 1:1 to labels.
+	e := newEnv(t)
+	labels := publishRun(t, e, 4)
+	c := NewClient(e.ts.URL, e.set, e.key.Pub,
+		WithHTTPClient(e.ts.Client()), WithoutAggregateCatchUp())
+
+	ask := append(append([]string{}, labels...), labels[0], labels[1])
+	before := e.server.Served()
+	ups, err := c.CatchUp(context.Background(), ask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.server.Served() - before; got != int64(len(labels)) {
+		t.Fatalf("served %d requests for %d unique labels", got, len(labels))
+	}
+	// Result order follows the request, each label once.
+	if len(ups) != len(labels) {
+		t.Fatalf("got %d updates, want %d", len(ups), len(labels))
+	}
+	for i, u := range ups {
+		if u.Label != labels[i] {
+			t.Fatalf("update %d is for %q, want %q", i, u.Label, labels[i])
+		}
+	}
+}
+
+func TestCatchUpOldServerFallsBackToLegacyPath(t *testing.T) {
+	// A server without /v1/catchup (404) is not an error — the client
+	// quietly does what it did before the range endpoint existed.
+	e := newEnv(t)
+	labels := publishRun(t, e, 5)
+
+	real := e.server.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/catchup" {
+			http.NotFound(w, r)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	reg := obs.NewRegistry()
+	c := NewClient(proxy.URL, e.set, e.key.Pub,
+		WithHTTPClient(proxy.Client()), WithClientMetrics(reg))
+	ups, err := c.CatchUp(context.Background(), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != len(labels) {
+		t.Fatalf("got %d updates, want %d", len(ups), len(labels))
+	}
+	s := reg.Snapshot()
+	// An absent endpoint is availability, not integrity: no fallback
+	// counted, no aggregate verified, one legacy batch.
+	if s.Counters["client.catchup_aggregate"] != 0 ||
+		s.Counters["client.catchup_fallback"] != 0 ||
+		s.Counters["client.catchup_batches"] != 1 {
+		t.Fatalf("counters = aggregate %d fallback %d batches %d, want 0/0/1",
+			s.Counters["client.catchup_aggregate"],
+			s.Counters["client.catchup_fallback"],
+			s.Counters["client.catchup_batches"])
+	}
+}
+
+func TestCatchUpRangePagesThroughTruncation(t *testing.T) {
+	// Cap the server's page size via the limit parameter by rewriting the
+	// query: every page but the last comes back truncated, and the client
+	// must walk them all, verifying each page's aggregate.
+	e := newEnv(t)
+	labels := publishRun(t, e, 9)
+
+	real := e.server.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/catchup" {
+			q := r.URL.Query()
+			q.Set("limit", "3")
+			r.URL.RawQuery = q.Encode()
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	reg := obs.NewRegistry()
+	c := NewClient(proxy.URL, e.set, e.key.Pub,
+		WithHTTPClient(proxy.Client()), WithClientMetrics(reg))
+	ups, err := c.CatchUp(context.Background(), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != len(labels) {
+		t.Fatalf("got %d updates, want %d", len(ups), len(labels))
+	}
+	for i, u := range ups {
+		if u.Label != labels[i] || !e.sc.VerifyUpdate(e.key.Pub, u) {
+			t.Fatalf("update %d (%s) wrong or invalid", i, u.Label)
+		}
+	}
+	s := reg.Snapshot()
+	wantPages := int64((len(labels) + 2) / 3)
+	if got := s.Counters["client.catchup_aggregate"]; got != wantPages {
+		t.Fatalf("catchup_aggregate = %d, want %d pages", got, wantPages)
+	}
+	if s.Counters["client.catchup_batches"] != 0 {
+		t.Fatalf("paged range catch-up used the batch path %d times", s.Counters["client.catchup_batches"])
+	}
+}

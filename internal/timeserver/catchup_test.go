@@ -118,12 +118,17 @@ func TestCatchUpCorruptedBatchNamesOffendingLabel(t *testing.T) {
 
 	real := e.server.Handler()
 	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/v1/update/"+bad {
+		switch {
+		case r.URL.Path == "/v1/update/"+bad:
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Write(forgedBody)
-			return
+		case r.URL.Path == "/v1/catchup":
+			// A pre-range server: the client must fall back to the
+			// per-label path this test is about.
+			http.NotFound(w, r)
+		default:
+			real.ServeHTTP(w, r)
 		}
-		real.ServeHTTP(w, r)
 	}))
 	defer proxy.Close()
 

@@ -32,13 +32,14 @@ var ErrBadUpdate = errors.New("timeserver: update failed verification against pi
 // malicious transport can cause unavailability but never a wrong
 // decryption key.
 type Client struct {
-	base    string
-	http    *http.Client
-	sc      *core.Scheme
-	spub    core.ServerPublicKey
-	codec   *wire.Codec
-	noCache bool
-	retry   RetryPolicy
+	base        string
+	http        *http.Client
+	sc          *core.Scheme
+	spub        core.ServerPublicKey
+	codec       *wire.Codec
+	noCache     bool
+	noAggregate bool
+	retry       RetryPolicy
 
 	mu    sync.RWMutex
 	cache map[string]core.KeyUpdate
@@ -50,14 +51,15 @@ type Client struct {
 // (names client.*; see docs/OBSERVABILITY.md). All nil until
 // WithClientMetrics; obs types no-op on nil.
 type clientMetrics struct {
-	fetchNS         *obs.Histogram // HTTP round trip, per request (incl. retries)
-	verifyNS        *obs.Histogram // decode + pairing verification
-	cacheHit        *obs.Counter   // updates served from the local cache
-	cacheMiss       *obs.Counter   // updates that needed a fetch
-	catchupBatches  *obs.Counter   // batched CatchUp verifications
-	catchupFallback *obs.Counter   // batches that fell back to per-update
-	retries         *obs.Counter   // transport-level retry attempts
-	catchupDegraded *obs.Counter   // CatchUp calls returning a PartialError
+	fetchNS          *obs.Histogram // HTTP round trip, per request (incl. retries)
+	verifyNS         *obs.Histogram // decode + pairing verification
+	cacheHit         *obs.Counter   // updates served from the local cache
+	cacheMiss        *obs.Counter   // updates that needed a fetch
+	catchupBatches   *obs.Counter   // batched CatchUp verifications
+	catchupAggregate *obs.Counter   // range responses verified via ONE aggregate
+	catchupFallback  *obs.Counter   // aggregate/batch checks that fell back a level
+	retries          *obs.Counter   // transport-level retry attempts
+	catchupDegraded  *obs.Counter   // CatchUp calls returning a PartialError
 }
 
 // ClientOption configures a Client.
@@ -85,16 +87,26 @@ func WithClientMetrics(r *obs.Registry) ClientOption {
 	return func(c *Client) {
 		c.sc.Instrument(r)
 		c.met = clientMetrics{
-			fetchNS:         r.Histogram("client.fetch_ns"),
-			verifyNS:        r.Histogram("client.verify_ns"),
-			cacheHit:        r.Counter("client.cache_hit"),
-			cacheMiss:       r.Counter("client.cache_miss"),
-			catchupBatches:  r.Counter("client.catchup_batches"),
-			catchupFallback: r.Counter("client.catchup_fallback"),
-			retries:         r.Counter("client.retries"),
-			catchupDegraded: r.Counter("client.catchup_degraded"),
+			fetchNS:          r.Histogram("client.fetch_ns"),
+			verifyNS:         r.Histogram("client.verify_ns"),
+			cacheHit:         r.Counter("client.cache_hit"),
+			cacheMiss:        r.Counter("client.cache_miss"),
+			catchupBatches:   r.Counter("client.catchup_batches"),
+			catchupAggregate: r.Counter("client.catchup_aggregate"),
+			catchupFallback:  r.Counter("client.catchup_fallback"),
+			retries:          r.Counter("client.retries"),
+			catchupDegraded:  r.Counter("client.catchup_degraded"),
 		}
 	}
+}
+
+// WithoutAggregateCatchUp disables the /v1/catchup range fast path:
+// CatchUp always fetches per label and batch-verifies, as a client of a
+// pre-range server would. Useful for before/after benchmarking
+// (cmd/treload's coldstart-batch mix) and for pinning down transport
+// faults per label.
+func WithoutAggregateCatchUp() ClientOption {
+	return func(c *Client) { c.noAggregate = true }
 }
 
 // WithoutCache disables the verified-update cache: every Update and
@@ -267,6 +279,13 @@ func (c *Client) CachedLen() int {
 // them. The caller's ctx bounds the whole operation, including
 // backoff sleeps; the policy's PerAttempt bounds each try.
 func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
+	return c.getLimited(ctx, path, 1<<20)
+}
+
+// getLimited is get with an explicit response-body cap: single-update
+// responses stay under the default 1 MiB, but a catch-up range of 64k
+// updates is legitimately tens of MiB.
+func (c *Client) getLimited(ctx context.Context, path string, bodyLimit int64) ([]byte, int, error) {
 	defer c.met.fetchNS.Since(time.Now())
 	p := c.retry
 	if p.MaxAttempts < 1 {
@@ -280,7 +299,7 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
 				break // ctx cancelled while backing off
 			}
 		}
-		body, status, err := c.getOnce(ctx, path, p.PerAttempt)
+		body, status, err := c.getOnce(ctx, path, p.PerAttempt, bodyLimit)
 		if err == nil {
 			if retryableStatus(status) && attempt < p.MaxAttempts {
 				lastErr = fmt.Errorf("timeserver: %s: transient status %d", path, status)
@@ -300,7 +319,7 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
 }
 
 // getOnce is a single HTTP attempt.
-func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration) ([]byte, int, error) {
+func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration, bodyLimit int64) ([]byte, int, error) {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -315,7 +334,7 @@ func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration
 		return nil, 0, fmt.Errorf("timeserver: %s: %w", path, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, bodyLimit))
 	if err != nil {
 		return nil, 0, fmt.Errorf("timeserver: reading response: %w", err)
 	}

@@ -68,9 +68,13 @@ func TestMetricsEndToEnd(t *testing.T) {
 	if s.Histograms["timeserver.publish_ns"].Count != 4 {
 		t.Fatalf("publish_ns count = %d, want 4", s.Histograms["timeserver.publish_ns"].Count)
 	}
-	// update endpoint: 2 uncached client fetches (one 404) + catch-up misses.
-	if got := s.Counters["timeserver.requests.update"]; got < 3 {
-		t.Fatalf("timeserver.requests.update = %d, want ≥ 3", got)
+	// update endpoint: 2 uncached client fetches (one a 404); catch-up
+	// goes through the range endpoint instead.
+	if got := s.Counters["timeserver.requests.update"]; got < 2 {
+		t.Fatalf("timeserver.requests.update = %d, want ≥ 2", got)
+	}
+	if got := s.Counters["timeserver.requests.catchup"]; got != 1 {
+		t.Fatalf("timeserver.requests.catchup = %d, want 1", got)
 	}
 	if s.Counters["timeserver.archive_hit"] < 1 || s.Counters["timeserver.archive_miss"] != 1 {
 		t.Fatalf("archive hit/miss = %d/%d, want ≥1/1",
@@ -94,9 +98,14 @@ func TestMetricsEndToEnd(t *testing.T) {
 	if c.Counters["client.cache_miss"] < 4 {
 		t.Fatalf("client.cache_miss = %d, want ≥ 4", c.Counters["client.cache_miss"])
 	}
-	if c.Counters["client.catchup_batches"] != 1 || c.Counters["client.catchup_fallback"] != 0 {
-		t.Fatalf("catchup batches/fallback = %d/%d, want 1/0",
-			c.Counters["client.catchup_batches"], c.Counters["client.catchup_fallback"])
+	// The catch-up rode the aggregate fast path: one range response,
+	// one pairing product, no per-label batch and no fallback.
+	if c.Counters["client.catchup_aggregate"] != 1 || c.Counters["client.catchup_fallback"] != 0 {
+		t.Fatalf("catchup aggregate/fallback = %d/%d, want 1/0",
+			c.Counters["client.catchup_aggregate"], c.Counters["client.catchup_fallback"])
+	}
+	if c.Counters["client.catchup_batches"] != 0 {
+		t.Fatalf("catchup_batches = %d, want 0 (aggregate path)", c.Counters["client.catchup_batches"])
 	}
 	if c.Histograms["client.verify_ns"].Count < 2 || c.Histograms["client.fetch_ns"].Count < 3 {
 		t.Fatalf("client latency histograms undersampled: verify=%d fetch=%d",

@@ -190,7 +190,12 @@ func TestCatchUpDegradedReturnsVerifiedPrefix(t *testing.T) {
 	client := NewClient(e.ts.URL, e.set, e.key.Pub,
 		WithHTTPClient(ft.Client()),
 		WithRetry(NoRetry),
-		WithClientMetrics(reg))
+		WithClientMetrics(reg),
+		// Pin the per-label path: this test is about per-label
+		// degradation, which the aggregate range mode would route
+		// around (a range response does not care that one update's
+		// endpoint is unreachable).
+		WithoutAggregateCatchUp())
 
 	ask := append(append([]string{}, labels...), future)
 	got, err := client.CatchUp(context.Background(), ask)

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -272,6 +273,7 @@ func (v *publicView) routes() http.Handler {
 	mux.HandleFunc("GET /v1/server-key", v.observe("server-key", v.handleServerKey))
 	mux.HandleFunc("GET /v1/schedule", v.observe("schedule", v.handleSchedule))
 	mux.HandleFunc("GET /v1/update/{label}", v.observe("update", v.handleUpdate))
+	mux.HandleFunc("GET /v1/catchup", v.observe("catchup", v.handleCatchUp))
 	mux.HandleFunc("GET /v1/wait/{label}", v.observe("wait", v.handleWait))
 	mux.HandleFunc("GET /v1/latest", v.observe("latest", v.handleLatest))
 	mux.HandleFunc("GET /v1/labels", v.observe("labels", v.handleLabels))
@@ -323,6 +325,49 @@ func (v *publicView) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	v.archHit.Inc()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(v.codec.MarshalKeyUpdate(u))
+}
+
+// maxCatchUpRange caps how many updates one range response carries;
+// longer ranges are truncated (oldest first) and the Total field tells
+// the client to page. 64k updates is ~4 MiB on SS512 — one request for
+// a month and a half of minute epochs.
+const maxCatchUpRange = 65536
+
+// handleCatchUp serves GET /v1/catchup?from=L&to=L[&limit=n]: every
+// archived update with from ≤ label ≤ to (ascending, truncated to
+// limit), one aggregate signature over them and the Merkle completeness
+// commitment. Like every other route this is read-only over the
+// archive — a range request cannot cause anything to be signed, so
+// passivity is untouched; the aggregate is a sum of already-published
+// points.
+func (v *publicView) handleCatchUp(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, to := q.Get("from"), q.Get("to")
+	if from == "" || to == "" || from > to {
+		http.Error(w, "need from <= to", http.StatusBadRequest)
+		return
+	}
+	limit := maxCatchUpRange
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = min(n, maxCatchUpRange)
+	}
+	res, err := archive.RangeOf(v.arch, v.codec, from, to, limit)
+	if err != nil {
+		http.Error(w, "range unavailable", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(v.codec.MarshalCatchUpResponse(wire.CatchUpResponse{
+		Total:     res.Total,
+		Updates:   res.Updates,
+		Aggregate: res.Aggregate,
+		Root:      res.Root,
+	}))
 }
 
 func (v *publicView) handleLatest(w http.ResponseWriter, _ *http.Request) {

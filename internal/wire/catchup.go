@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/curve"
+)
+
+// CatchUpResponse is the body of one /v1/catchup range response: the
+// archived updates of a label range, their same-key BLS aggregate and
+// the Merkle completeness commitment over the updates' wire payloads
+// (internal/archive). Encoding:
+//
+//	u32 total ‖ u32 n ‖ n × (u16 len ‖ label ‖ point) ‖ point agg ‖ 32-byte root
+//
+// The per-update encoding is exactly MarshalKeyUpdate, so a leaf of the
+// commitment can be recomputed from the decoded update alone. Decoding
+// is strict: labels must be strictly ascending (which also bans
+// duplicates), n ≤ total, and an empty range must carry the identity
+// aggregate and the zero root — so every valid encoding is canonical.
+type CatchUpResponse struct {
+	// Total counts all archived records in the requested range; when
+	// Total > len(Updates) the response was truncated (oldest first)
+	// and the client must page.
+	Total int
+	// Updates are the returned records in ascending label order.
+	Updates []core.KeyUpdate
+	// Aggregate is Σ of the update points.
+	Aggregate curve.Point
+	// Root is the Merkle root over the updates' wire payloads.
+	Root [32]byte
+}
+
+// maxCatchUpPrealloc caps the slice preallocation a decoded length
+// field can cause; larger counts grow by append (a hostile header
+// cannot allocate more than the body it actually ships).
+const maxCatchUpPrealloc = 4096
+
+// MarshalCatchUpResponse encodes a catch-up range response.
+func (c *Codec) MarshalCatchUpResponse(r CatchUpResponse) []byte {
+	ptLen := c.Set.Curve.MarshalSize()
+	out := make([]byte, 0, 8+len(r.Updates)*(2+16+ptLen)+ptLen+32)
+	out = appendU32(out, r.Total)
+	out = appendU32(out, len(r.Updates))
+	for _, u := range r.Updates {
+		out = append(out, c.MarshalKeyUpdate(u)...)
+	}
+	out = c.Set.Curve.AppendMarshal(out, r.Aggregate)
+	return append(out, r.Root[:]...)
+}
+
+// UnmarshalCatchUpResponse decodes and structurally validates a
+// catch-up range response. The aggregate signature and commitment are
+// NOT verified here — that is the client's job against its pinned
+// server key.
+func (c *Codec) UnmarshalCatchUpResponse(data []byte) (CatchUpResponse, error) {
+	r := &reader{buf: data}
+	total, err := r.u32()
+	if err != nil {
+		return CatchUpResponse{}, fmt.Errorf("wire: catchup total: %w", err)
+	}
+	n, err := r.u32()
+	if err != nil {
+		return CatchUpResponse{}, fmt.Errorf("wire: catchup count: %w", err)
+	}
+	if n > total {
+		return CatchUpResponse{}, errors.New("wire: catchup count exceeds total")
+	}
+	out := CatchUpResponse{Total: total}
+	if n > 0 {
+		out.Updates = make([]core.KeyUpdate, 0, min(n, maxCatchUpPrealloc))
+	}
+	for i := 0; i < n; i++ {
+		label, err := r.bytes16()
+		if err != nil {
+			return CatchUpResponse{}, fmt.Errorf("wire: catchup update %d label: %w", i, err)
+		}
+		pt, err := c.point(r)
+		if err != nil {
+			return CatchUpResponse{}, fmt.Errorf("wire: catchup update %d point: %w", i, err)
+		}
+		u := core.KeyUpdate{Label: string(label), Point: pt}
+		if i > 0 && out.Updates[i-1].Label >= u.Label {
+			return CatchUpResponse{}, errors.New("wire: catchup labels not strictly ascending")
+		}
+		out.Updates = append(out.Updates, u)
+	}
+	agg, err := c.point(r)
+	if err != nil {
+		return CatchUpResponse{}, fmt.Errorf("wire: catchup aggregate: %w", err)
+	}
+	out.Aggregate = agg
+	root, err := r.take(32)
+	if err != nil {
+		return CatchUpResponse{}, fmt.Errorf("wire: catchup root: %w", err)
+	}
+	copy(out.Root[:], root)
+	if err := r.done(); err != nil {
+		return CatchUpResponse{}, err
+	}
+	if n == 0 && (!out.Aggregate.IsInfinity() || out.Root != [32]byte{}) {
+		return CatchUpResponse{}, errors.New("wire: empty catchup range must carry identity aggregate and zero root")
+	}
+	return out, nil
+}

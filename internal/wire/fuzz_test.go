@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"timedrelease/internal/core"
+	"timedrelease/internal/curve"
 	"timedrelease/internal/params"
 )
 
@@ -59,6 +60,31 @@ func FuzzUnmarshalKeyUpdate(f *testing.F) {
 			return
 		}
 		if got := codec.MarshalKeyUpdate(u); string(got) != string(data) {
+			t.Fatalf("decode/encode not canonical")
+		}
+	})
+}
+
+func FuzzCatchUpDecode(f *testing.F) {
+	codec, sc, key := fuzzCodec(f)
+	var resp CatchUpResponse
+	resp.Aggregate = curve.Infinity()
+	for i := 0; i < 3; i++ {
+		u := sc.IssueUpdate(key, "2026-07-05T12:0"+string(rune('0'+i))+":00Z")
+		resp.Updates = append(resp.Updates, u)
+		resp.Aggregate = codec.Set.Curve.Add(resp.Aggregate, u.Point)
+	}
+	resp.Total = 5 // a truncated page is a valid seed too
+	resp.Root = [32]byte{0xaa, 0xbb}
+	f.Add(codec.MarshalCatchUpResponse(resp))
+	f.Add(codec.MarshalCatchUpResponse(CatchUpResponse{Aggregate: curve.Infinity()}))
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := codec.UnmarshalCatchUpResponse(data)
+		if err != nil {
+			return
+		}
+		if got := codec.MarshalCatchUpResponse(r); string(got) != string(data) {
 			t.Fatalf("decode/encode not canonical")
 		}
 	})
