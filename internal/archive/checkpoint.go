@@ -265,19 +265,18 @@ func (l *Log) Checkpoints() int {
 
 // prefixAgg returns the aggregate over recs[:m], starting from the
 // nearest checkpoint at or below m — at most interval−1 point
-// additions. Called under l.mu.
-func (l *Log) prefixAgg(m int) curve.Point {
-	c := l.codec.Set.Curve
+// additions.
+func prefixAgg(c *curve.Curve, recs []recMeta, ckpts []checkpoint, interval, m int) curve.Point {
 	acc := curve.Infinity()
 	from := 0
-	if l.interval > 0 {
-		if k := min(m/l.interval, len(l.ckpts)); k > 0 {
-			acc = l.ckpts[k-1].agg
-			from = l.ckpts[k-1].count
+	if interval > 0 {
+		if k := min(m/interval, len(ckpts)); k > 0 {
+			acc = ckpts[k-1].agg
+			from = ckpts[k-1].count
 		}
 	}
 	for i := from; i < m; i++ {
-		acc = c.Add(acc, l.recs[i].point)
+		acc = c.Add(acc, recs[i].point)
 	}
 	return acc
 }
@@ -287,25 +286,36 @@ func (l *Log) prefixAgg(m int) curve.Point {
 // pattern) the range aggregate is prefix(hi) − prefix(lo), costing at
 // most 2·(interval−1) additions however long the range is. A log with
 // out-of-order backfills falls back to a direct scan-and-sum.
+//
+// The edge additions and the Merkle tree (up to 64k leaves) run on a
+// snapshot taken under the lock, not under it: recs and ckpts are
+// append-only — Put appends, Recover swaps in fresh slices — so a
+// length-bounded view stays immutable once the lock is dropped, and a
+// large catch-up request never stalls Put (the publish path) or other
+// range requests.
 func (l *Log) Range(from, to string, limit int) (RangeResult, error) {
 	if from > to {
 		return RangeResult{}, ErrBadRange
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.sorted {
-		return l.rangeScan(from, to, limit), nil
+	recs, ckpts, sorted, interval := l.recs, l.ckpts, l.sorted, l.interval
+	l.mu.Unlock()
+	c := l.codec.Set.Curve
+	if !sorted {
+		return rangeScan(c, recs, from, to, limit), nil
 	}
-	lo := sort.Search(len(l.recs), func(i int) bool { return l.recs[i].label >= from })
-	hi := sort.Search(len(l.recs), func(i int) bool { return l.recs[i].label > to })
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].label >= from })
+	hi := sort.Search(len(recs), func(i int) bool { return recs[i].label > to })
 	total := hi - lo
 	if limit > 0 && total > limit {
 		hi = lo + limit
 	}
 	res := RangeResult{Total: total}
-	res.Aggregate = l.codec.Set.Curve.Add(l.prefixAgg(hi), l.codec.Set.Curve.Neg(l.prefixAgg(lo)))
+	res.Aggregate = c.Add(
+		prefixAgg(c, recs, ckpts, interval, hi),
+		c.Neg(prefixAgg(c, recs, ckpts, interval, lo)))
 	leaves := make([][32]byte, 0, hi-lo)
-	for _, r := range l.recs[lo:hi] {
+	for _, r := range recs[lo:hi] {
 		res.Updates = append(res.Updates, core.KeyUpdate{Label: r.label, Point: r.point})
 		leaves = append(leaves, r.leaf)
 	}
@@ -313,11 +323,11 @@ func (l *Log) Range(from, to string, limit int) (RangeResult, error) {
 	return res, nil
 }
 
-// rangeScan is the unsorted-log fallback: gather, sort, sum. Called
-// under l.mu.
-func (l *Log) rangeScan(from, to string, limit int) RangeResult {
+// rangeScan is the unsorted-log fallback: gather, sort, sum over a
+// snapshot of the record list.
+func rangeScan(c *curve.Curve, recs []recMeta, from, to string, limit int) RangeResult {
 	var match []recMeta
-	for _, r := range l.recs {
+	for _, r := range recs {
 		if r.label >= from && r.label <= to {
 			match = append(match, r)
 		}
@@ -327,7 +337,6 @@ func (l *Log) rangeScan(from, to string, limit int) RangeResult {
 	if limit > 0 && total > limit {
 		match = match[:limit]
 	}
-	c := l.codec.Set.Curve
 	res := RangeResult{Total: total, Aggregate: curve.Infinity()}
 	leaves := make([][32]byte, 0, len(match))
 	for _, r := range match {

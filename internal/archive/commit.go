@@ -15,10 +15,11 @@ import (
 //
 // A /v1/catchup response carries N updates, one aggregate signature and
 // a Merkle root over the updates' wire encodings. The aggregate proves
-// the updates were signed (one pairing product, internal/bls); the root
-// commits the server to exactly which records the range contained, so a
-// client can detect a response whose update list and aggregate were
-// recomputed inconsistently. Leaves hash the full wire KeyUpdate
+// the SUM of the delivered points was signed (one pairing product,
+// internal/bls — per-update binding is the client's blinded batch
+// admission check); the root commits the server to exactly which
+// records the range contained, so a client can detect a response whose
+// update list and aggregate were recomputed inconsistently. Leaves hash the full wire KeyUpdate
 // payload rather than the log's CRC32 frame checksums: CRC32 is not
 // collision-resistant, so a commitment over CRCs would commit to
 // nothing an adversary cares about.

@@ -87,12 +87,14 @@ type Log struct {
 	path     string
 	interval int // records per checkpoint (DefaultCheckpointInterval)
 
-	mu    sync.Mutex // serialises appends, recovery and range serving
+	mu    sync.Mutex // serialises appends and recovery; Range only snapshots under it
 	f     *os.File
 	ckptF *os.File // checkpoints.log sidecar
 	stats RecoverStats
 
-	// Range-serving state, maintained by Recover and Put.
+	// Range-serving state, maintained by Recover and Put. recs and
+	// ckpts are append-only (Recover swaps in fresh slices), so Range
+	// can snapshot their headers under mu and compute outside it.
 	recs   []recMeta    // every intact record, append order
 	ckpts  []checkpoint // prefix aggregates every interval records
 	agg    curve.Point  // running aggregate over recs

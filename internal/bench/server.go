@@ -294,7 +294,8 @@ func (t *loadTarget) publish() error {
 //	          sharded caches and pooled arenas under contention
 //	coldstart       — ONE fresh (empty-cache) client catches up on N
 //	                  missed epochs per op via the aggregate range path:
-//	                  one /v1/catchup request, one pairing product
+//	                  one /v1/catchup request, two pairing products
+//	                  (aggregate pre-filter + blinded batch admission)
 //	coldstart-batch — the same recovery forced down the pre-range path
 //	                  (per-label fetches + blinded batch verification),
 //	                  the before-side of the O(1)-pairing comparison

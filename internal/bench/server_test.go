@@ -72,12 +72,13 @@ func TestServerLoadQuickCell(t *testing.T) {
 				t.Fatalf("implausible coldstart cell: %+v", r)
 			}
 			// The tentpole claim, measured: recovering N missed epochs
-			// costs ONE pairing product (2 pairings) per op on the
-			// aggregate path — and one range request instead of N
+			// costs TWO pairing products (4 pairings) per op on the
+			// aggregate path — the aggregate pre-filter plus the blinded
+			// batch admission check — and one range request instead of N
 			// per-label round trips.
 			if r.Mix == "coldstart" {
-				if r.PairingsPerOp != 2 {
-					t.Fatalf("aggregate coldstart cost %v pairings/op, want 2: %+v", r.PairingsPerOp, r)
+				if r.PairingsPerOp != 4 {
+					t.Fatalf("aggregate coldstart cost %v pairings/op, want 4: %+v", r.PairingsPerOp, r)
 				}
 				if r.ServerRequests != r.Ops {
 					t.Fatalf("aggregate coldstart: %d requests for %d ops, want 1 per op", r.ServerRequests, r.Ops)

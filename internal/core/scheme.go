@@ -233,13 +233,14 @@ func (sc *Scheme) VerifyUpdateBatch(spub ServerPublicKey, updates []KeyUpdate) (
 //
 // This is the O(1)-pairing catch-up check: n point additions plus two
 // pairings, with every H1(T_i) served from the sharded label cache.
-// The equation binds agg to the SUM of the updates, so it proves every
-// listed update is genuine provided the label list itself is what the
-// server published; a transport substituting compensating forgeries
-// across two updates defeats the sum check alone, which is why the
-// client keeps the blinded per-update batch verify as the authoritative
-// fallback (and why ciphertext-level authentication still guards
-// decryption). An empty run verifies iff agg is the identity.
+// The equation binds agg to the SUM of the updates, so a transport
+// substituting compensating forgeries across two updates (+Δ on one,
+// −Δ on another) defeats the sum check alone — which is why this is
+// only a pre-filter: the client admits a range page to its verified
+// cache only after the blinded per-update batch verify, whose random
+// blinders break any cancellation (and ciphertext-level authentication
+// still guards decryption). An empty run verifies iff agg is the
+// identity.
 func (sc *Scheme) VerifyUpdateAggregate(spub ServerPublicKey, updates []KeyUpdate, agg curve.Point) bool {
 	c := sc.Set.Curve
 	if len(updates) == 0 {

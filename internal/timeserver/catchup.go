@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"sort"
 	"time"
 
 	"timedrelease/internal/archive"
@@ -63,18 +64,32 @@ const (
 	// catchupMaxPages bounds paging through a truncated range so a
 	// hostile server cannot keep a client looping.
 	catchupMaxPages = 64
+	// catchupDensityFactor/Slack bound how much of the archive a range
+	// request may pull in beyond the labels actually wanted: each page's
+	// limit is factor·wanted+slack, and paging stops (leaving the rest
+	// to per-label fetches) once the server's Total shows the remaining
+	// window holds more than that many records. Without the gate, two
+	// sparse labels far apart would make the client download and verify
+	// every archived update in between.
+	catchupDensityFactor = 4
+	catchupDensitySlack  = 64
 )
 
 // CatchUp fetches the updates for many labels (e.g. every epoch missed
 // while offline) and verifies them with O(1) pairing work: the labels
 // not already in the verified cache are requested as ONE /v1/catchup
-// range carrying one aggregate signature, checked by a single pairing
-// product (core.VerifyUpdateAggregate) plus a Merkle completeness
-// commitment. When the server predates the range endpoint, or a range
-// response fails any check, CatchUp falls back to the per-label fetch +
-// blinded batch verification it has always done — the batch path is the
-// authoritative one, and an update that fails it aborts the call with
-// ErrBadUpdate naming the offender. All verified updates are cached.
+// range and each page is checked with two pairing products, however
+// large it is — the aggregate signature equation
+// (core.VerifyUpdateAggregate) plus a Merkle completeness commitment as
+// a cheap pre-filter, then the blinded batch equation
+// (core.VerifyUpdateBatch) as the admission check, because the
+// aggregate equation binds only the SUM of the points and compensating
+// tampers cancel in it. Nothing is returned or cached on the strength
+// of the aggregate equation alone. When the server predates the range
+// endpoint, or a range response fails any check, CatchUp falls back to
+// the per-label fetch + blinded batch verification it has always done —
+// an update that fails it aborts the call with ErrBadUpdate naming the
+// offender. All verified updates are cached.
 //
 // CatchUp degrades instead of failing wholesale: a label whose fetch
 // fails (not yet published, or a transport error that survived the
@@ -115,9 +130,9 @@ func (c *Client) CatchUp(ctx context.Context, labels []string) ([]core.KeyUpdate
 
 	// Aggregate fast path: one range request over [min, max] of the
 	// uncached labels — cached labels never widen the range — verified
-	// with a single pairing product. A label the (verified) range does
-	// not contain is not published; that is the same availability trust
-	// as a per-label 404, and costs zero extra round trips.
+	// with two pairing products per page. A label a fully-covered range
+	// does not contain is not published; that is the same availability
+	// trust as a per-label 404, and costs zero extra round trips.
 	if !c.noAggregate && len(missing) >= catchupRangeMin {
 		if got, complete := c.rangeCatchUp(ctx, missing); got != nil {
 			rest := make([]string, 0, len(missing))
@@ -215,60 +230,85 @@ func (c *Client) CatchUp(ctx context.Context, labels []string) ([]core.KeyUpdate
 }
 
 // rangeCatchUp runs the aggregate fast path over the uncached labels:
-// it requests [min, max] as /v1/catchup pages and verifies each page's
-// aggregate signature with one pairing product, plus the Merkle
-// commitment over the delivered payloads. It returns every verified
-// update by label, with complete=true when the whole range was covered
-// (so an absent label is an unpublished label). A nil map means the
-// fast path is unavailable (old server, transport failure) or a page
-// failed verification — the caller falls back to the authoritative
-// per-label batch path, which can still localise an offender.
+// it pages /v1/catchup windows that always start at the next label
+// still wanted, and verifies each page with two pairing products — the
+// aggregate signature plus the Merkle commitment over the delivered
+// payloads as a cheap pre-filter (n point additions), then the blinded
+// batch equation as the admission check, whose per-update random
+// blinders catch the compensating tampers the aggregate sum cannot
+// (TestAggregateSumBindingCaveat). No update reaches the verified
+// cache, or the caller, without passing both. It returns every
+// verified update by label, with complete=true when every wanted label
+// was either delivered or covered by a verified page (so an absent
+// label is an unpublished label). A nil map means the fast path is
+// unavailable (old server, transport failure) or the first page failed
+// a check — the caller falls back to the per-label batch path, which
+// can still localise an offender. Page limits are kept proportional to
+// the labels still wanted and paging stops once the server's Total
+// shows the remaining window is mostly records nobody asked for, so a
+// sparse label set never downloads the archive span between them.
 func (c *Client) rangeCatchUp(ctx context.Context, missing []string) (map[string]core.KeyUpdate, bool) {
-	lo, hi := missing[0], missing[0]
-	for _, l := range missing[1:] {
-		if l < lo {
-			lo = l
-		}
-		if l > hi {
-			hi = l
-		}
-	}
+	wanted := make([]string, len(missing))
+	copy(wanted, missing)
+	sort.Strings(wanted)
+	hi := wanted[len(wanted)-1]
+	next := 0 // first wanted label not yet delivered or covered
 	got := make(map[string]core.KeyUpdate, len(missing))
-	for page := 0; page < catchupMaxPages; page++ {
+	fail := func() (map[string]core.KeyUpdate, bool) {
+		c.met.catchupFallback.Inc()
+		if len(got) == 0 {
+			return nil, false
+		}
+		return got, false // keep the pages that did verify
+	}
+	for page := 0; page < catchupMaxPages && next < len(wanted); page++ {
+		lo, remaining := wanted[next], len(wanted)-next
+		limit := min(catchupRangeLimit, catchupDensityFactor*remaining+catchupDensitySlack)
 		body, status, err := c.getLimited(ctx,
 			"/v1/catchup?from="+url.QueryEscape(lo)+"&to="+url.QueryEscape(hi)+
-				"&limit="+fmt.Sprint(catchupRangeLimit), catchupBodyLimit)
+				"&limit="+fmt.Sprint(limit), catchupBodyLimit)
 		if err != nil || status != http.StatusOK {
 			// Old server (404), proxy trouble, transport failure: not an
 			// integrity event, just no fast path today.
 			if page == 0 {
 				return nil, false
 			}
-			return got, false // keep the pages that did verify
+			return got, false
 		}
 		start := time.Now()
 		resp, err := c.codec.UnmarshalCatchUpResponse(body)
 		if err != nil {
-			c.met.catchupFallback.Inc()
-			return nil, false
+			return fail()
 		}
-		// The response must stay inside the requested range (decode
+		n := len(resp.Updates)
+		// The response must stay inside the requested window (decode
 		// already guarantees ascending order within it).
-		if n := len(resp.Updates); n > 0 && (resp.Updates[0].Label < lo || resp.Updates[n-1].Label > hi) {
-			c.met.catchupFallback.Inc()
-			return nil, false
+		if n > 0 && (resp.Updates[0].Label < lo || resp.Updates[n-1].Label > hi) {
+			return fail()
 		}
-		// Completeness commitment: the root must match the delivered
-		// list exactly, then ONE pairing product verifies the aggregate
-		// signature over every label in it.
-		leaves := make([][32]byte, len(resp.Updates))
+		// A page claiming the window holds records while delivering none
+		// is inconsistent — complete=true here would misreport the
+		// remaining labels as unpublished on the server's word alone.
+		if n == 0 && resp.Total > 0 {
+			return fail()
+		}
+		// Pre-filter: the completeness commitment must match the
+		// delivered list exactly and one pairing product must verify the
+		// aggregate signature over every label in it.
+		leaves := make([][32]byte, n)
 		for i, u := range resp.Updates {
 			leaves[i] = archive.LeafHash(c.codec.MarshalKeyUpdate(u))
 		}
 		if archive.MerkleRoot(leaves) != resp.Root ||
 			!c.sc.VerifyUpdateAggregate(c.spub, resp.Updates, resp.Aggregate) {
-			c.met.catchupFallback.Inc()
-			return nil, false
+			return fail()
+		}
+		// Admission: the aggregate equation binds only the SUM of the
+		// points — compensating tampers cancel in it — so the blinded
+		// batch equation (one more pairing product, per-update binding)
+		// gates what the cache and the caller ever see.
+		if ok, err := c.sc.VerifyUpdateBatch(c.spub, resp.Updates); err != nil || !ok {
+			return fail()
 		}
 		c.met.verifyNS.Since(start)
 		c.met.catchupAggregate.Inc()
@@ -276,12 +316,25 @@ func (c *Client) rangeCatchUp(ctx context.Context, missing []string) (map[string
 			c.store(u)
 			got[u.Label] = u
 		}
-		if resp.Total <= len(resp.Updates) || len(resp.Updates) == 0 {
-			return got, true // whole range covered
+		if n > 0 {
+			// Every wanted label up to the last delivered one is settled:
+			// the page carried ALL archived records in [lo, last], so a
+			// wanted label absent from it is not archived.
+			last := resp.Updates[n-1].Label
+			for next < len(wanted) && wanted[next] <= last {
+				next++
+			}
 		}
-		// Truncated page (oldest first): resume just past the last
-		// delivered label. "\x00" is the lexicographic successor step.
-		lo = resp.Updates[len(resp.Updates)-1].Label + "\x00"
+		switch {
+		case resp.Total <= n:
+			return got, true // whole window delivered
+		case next >= len(wanted):
+			return got, true // every wanted label delivered or covered
+		case resp.Total-n > catchupDensityFactor*(len(wanted)-next)+catchupDensitySlack:
+			// Sparse: the rest of the window is mostly records nobody
+			// asked for — cheaper to finish per-label.
+			return got, false
+		}
 	}
 	return got, false
 }

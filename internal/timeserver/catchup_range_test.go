@@ -3,6 +3,7 @@ package timeserver
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/obs"
+	"timedrelease/internal/wire"
 )
 
 // publishRun publishes several epochs and returns the labels.
@@ -317,5 +319,180 @@ func TestCatchUpRangePagesThroughTruncation(t *testing.T) {
 	}
 	if s.Counters["client.catchup_batches"] != 0 {
 		t.Fatalf("paged range catch-up used the batch path %d times", s.Counters["client.catchup_batches"])
+	}
+}
+
+// tamperCompensating rewrites an honest /v1/catchup response with the
+// cancellation attack the aggregate equation cannot see: +Δ on one
+// update, −Δ on another. The claimed aggregate still equals the sum of
+// the delivered points and the Merkle root is recommitted over the
+// tampered payloads, so the sum check, the pairing product over the
+// aggregate AND the completeness commitment all pass — only per-update
+// binding (the blinded batch admission check) stands in the way.
+func tamperCompensating(t *testing.T, e *env, body []byte) []byte {
+	t.Helper()
+	resp, err := e.server.codec.UnmarshalCatchUpResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Updates) < 2 {
+		t.Fatalf("need ≥2 updates to tamper, got %d", len(resp.Updates))
+	}
+	c := e.set.Curve
+	delta := e.sc.IssueUpdate(e.key, "some-other-label").Point
+	first, last := 0, len(resp.Updates)-1
+	resp.Updates[first].Point = c.Add(resp.Updates[first].Point, delta)
+	resp.Updates[last].Point = c.Add(resp.Updates[last].Point, c.Neg(delta))
+	leaves := make([][32]byte, len(resp.Updates))
+	for i, u := range resp.Updates {
+		leaves[i] = archive.LeafHash(e.server.codec.MarshalKeyUpdate(u))
+	}
+	resp.Root = archive.MerkleRoot(leaves)
+	return e.server.codec.MarshalCatchUpResponse(resp)
+}
+
+func TestCatchUpRangeCompensatingTamperNeverServedOrCached(t *testing.T) {
+	// Regression for the cache-poisoning hole: a MITM answering the
+	// range endpoint with compensating tampers passes every
+	// aggregate-level check, so without the blinded batch admission gate
+	// the forged updates would be returned with err == nil AND would
+	// poison the verified cache permanently. The client must reject the
+	// page, recover through the honest per-label path, and neither
+	// return nor cache a tampered point.
+	e := newEnv(t)
+	labels := publishRun(t, e, 7)
+
+	real := e.server.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/catchup" {
+			real.ServeHTTP(w, r)
+			return
+		}
+		rec := httptest.NewRecorder()
+		real.ServeHTTP(rec, r)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(tamperCompensating(t, e, rec.Body.Bytes()))
+	}))
+	defer proxy.Close()
+
+	reg := obs.NewRegistry()
+	c := NewClient(proxy.URL, e.set, e.key.Pub,
+		WithHTTPClient(proxy.Client()), WithClientMetrics(reg))
+	ups, err := c.CatchUp(context.Background(), labels)
+	if err != nil {
+		t.Fatalf("CatchUp: %v", err)
+	}
+	if len(ups) != len(labels) {
+		t.Fatalf("got %d updates for %d labels", len(ups), len(labels))
+	}
+	for _, u := range ups {
+		if !e.sc.VerifyUpdate(e.key.Pub, u) {
+			t.Fatalf("CatchUp returned a tampered update for %s", u.Label)
+		}
+	}
+	// Update() serves straight from the cache without re-verifying, so a
+	// poisoned cache would keep handing out the forgery forever.
+	for _, label := range labels {
+		u, err := c.Update(context.Background(), label)
+		if err != nil || !e.sc.VerifyUpdate(e.key.Pub, u) {
+			t.Fatalf("cached update for %s is tampered (err=%v)", label, err)
+		}
+	}
+	s := reg.Snapshot()
+	if s.Counters["client.catchup_aggregate"] != 0 ||
+		s.Counters["client.catchup_fallback"] != 1 ||
+		s.Counters["client.catchup_batches"] != 1 {
+		t.Fatalf("counters = aggregate %d fallback %d batches %d, want 0/1/1",
+			s.Counters["client.catchup_aggregate"],
+			s.Counters["client.catchup_fallback"],
+			s.Counters["client.catchup_batches"])
+	}
+}
+
+func TestCatchUpSparseLabelsBoundDownload(t *testing.T) {
+	// Regression for the dense-range assumption: two wanted labels far
+	// apart must NOT make the client download, verify and cache every
+	// archived update between them. The page limit stays proportional to
+	// the wanted labels, and the server's Total makes the client finish
+	// the far label per-label instead of paging the whole span.
+	e := newEnv(t)
+	labels := publishRun(t, e, 199) // 200 epochs archived
+	first, last := labels[0], labels[len(labels)-1]
+
+	var mu sync.Mutex
+	var limits []string
+	updateReqs := 0
+	real := e.server.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		switch {
+		case r.URL.Path == "/v1/catchup":
+			limits = append(limits, r.URL.Query().Get("limit"))
+		case strings.HasPrefix(r.URL.Path, "/v1/update/"):
+			updateReqs++
+		}
+		mu.Unlock()
+		real.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	reg := obs.NewRegistry()
+	c := NewClient(proxy.URL, e.set, e.key.Pub,
+		WithHTTPClient(proxy.Client()), WithClientMetrics(reg))
+	ups, err := c.CatchUp(context.Background(), []string{first, last})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 2 || ups[0].Label != first || ups[1].Label != last {
+		t.Fatalf("got %d updates (%v), want exactly [%s %s]", len(ups), ups, first, last)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	wantLimit := fmt.Sprint(catchupDensityFactor*2 + catchupDensitySlack)
+	if len(limits) != 1 || limits[0] != wantLimit {
+		t.Fatalf("catchup limits = %v, want one request with limit %s", limits, wantLimit)
+	}
+	if updateReqs != 1 {
+		t.Fatalf("per-label requests = %d, want 1 (just the far label)", updateReqs)
+	}
+}
+
+func TestCatchUpEmptyPageClaimingTotalFallsBack(t *testing.T) {
+	// A canonically-encoded response with Total > 0 but zero delivered
+	// updates claims records exist yet proves nothing about them. The
+	// client must treat it as inconsistent and finish per-label — not
+	// report the labels unpublished on the server's bare word.
+	e := newEnv(t)
+	labels := publishRun(t, e, 5)
+
+	lie := e.server.codec.MarshalCatchUpResponse(wire.CatchUpResponse{
+		Total:     len(labels),
+		Aggregate: curve.Infinity(),
+	})
+	real := e.server.Handler()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/catchup" {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(lie)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	reg := obs.NewRegistry()
+	c := NewClient(proxy.URL, e.set, e.key.Pub,
+		WithHTTPClient(proxy.Client()), WithClientMetrics(reg))
+	ups, err := c.CatchUp(context.Background(), labels)
+	if err != nil {
+		t.Fatalf("CatchUp: %v (an empty page claiming Total>0 must not become ErrNotYetPublished)", err)
+	}
+	if len(ups) != len(labels) {
+		t.Fatalf("got %d updates, want %d", len(ups), len(labels))
+	}
+	s := reg.Snapshot()
+	if s.Counters["client.catchup_aggregate"] != 0 || s.Counters["client.catchup_fallback"] != 1 {
+		t.Fatalf("counters = aggregate %d fallback %d, want 0/1",
+			s.Counters["client.catchup_aggregate"], s.Counters["client.catchup_fallback"])
 	}
 }

@@ -56,7 +56,7 @@ type clientMetrics struct {
 	cacheHit         *obs.Counter   // updates served from the local cache
 	cacheMiss        *obs.Counter   // updates that needed a fetch
 	catchupBatches   *obs.Counter   // batched CatchUp verifications
-	catchupAggregate *obs.Counter   // range responses verified via ONE aggregate
+	catchupAggregate *obs.Counter   // range pages admitted (aggregate + blinded batch)
 	catchupFallback  *obs.Counter   // aggregate/batch checks that fell back a level
 	retries          *obs.Counter   // transport-level retry attempts
 	catchupDegraded  *obs.Counter   // CatchUp calls returning a PartialError
