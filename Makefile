@@ -8,7 +8,7 @@ GO ?= go
 # Fuzz budget per target; the nightly workflow shrinks it.
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-shuffle vet fmt-check ci check cover bench bench-pairing bench-field bench-server bench-catchup race experiments experiments-quick fuzz clean
+.PHONY: all help build test test-shuffle vet fmt-check ci check cover bench bench-pairing bench-field bench-server bench-catchup bench-stream race experiments experiments-quick fuzz clean
 
 all: build vet test
 
@@ -27,6 +27,7 @@ help:
 	@echo "  bench-field        field backend micro-benchmark -> BENCH_field.json"
 	@echo "  bench-server       serving-path load harness -> BENCH_server.json"
 	@echo "  bench-catchup      cold-start catch-up (aggregate vs batch) -> BENCH_server.json"
+	@echo "  bench-stream       stream/relay fan-out at 1k and 50k subscribers -> BENCH_server.json"
 	@echo "  race               go test -race ./..."
 	@echo "  experiments        regenerate the EXPERIMENTS.md tables (slow)"
 	@echo "  experiments-quick  reduced sweeps at Test160"
@@ -91,6 +92,14 @@ bench-server:
 # recorded into BENCH_server.json (pairings_per_op shows the O(1) claim).
 bench-catchup:
 	$(GO) run ./cmd/treload -preset Test160 -mixes coldstart,coldstart-batch -out BENCH_server.json
+
+# Broadcast fan-out cells only: N concurrent /v1/stream subscribers on
+# an origin server and on a stateless relay, publish→delivery wakeup
+# latency per event. Counts past the FD limit run over an in-memory
+# transport (transport=inmem in the row). -merge keeps the other mixes'
+# rows in BENCH_server.json intact.
+bench-stream:
+	$(GO) run ./cmd/treload -preset Test160 -mixes stream,relay -subscribers 1000,50000 -merge -out BENCH_server.json
 
 # Race detector across the whole module (exercises the parallel pairing
 # products and batch verification pool).

@@ -6,6 +6,8 @@
 //	treload -quick                             # fast reduced sweep (Test160)
 //	treload -url http://host:8440              # drive a running treserver
 //	treload -clients 8,32 -mixes fetch,mixed   # custom cells
+//	treload -mixes stream,relay -subscribers 1000,50000   # fan-out cells
+//	treload -merge -out BENCH_server.json      # update matching rows in place
 //	treload -duration 5s -markdown
 //	treload -mutexprofile mutex.pb.gz          # lock-contention profile of the run
 //	treload -blockprofile block.pb.gz          # blocking profile of the run
@@ -18,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +40,13 @@ type options struct {
 	out      string
 	markdown bool
 
+	// merge folds this run's rows into an existing -out report instead
+	// of overwriting it: rows with the same cell identity (preset, mix,
+	// clients, epochs, subscribers) are replaced, everything else is
+	// kept. Lets the cheap nightly stream sweep refresh its rows without
+	// discarding the full-sweep rows (and vice versa).
+	merge bool
+
 	// mutexProfile/blockProfile are output paths for opt-in contention
 	// profiling of the whole sweep; empty disables the (costly)
 	// instrumentation entirely.
@@ -50,12 +60,13 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs := flag.NewFlagSet("treload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		opts      options
-		presets   string
-		clients   string
-		mixes     string
-		coldstart string
-		duration  time.Duration
+		opts        options
+		presets     string
+		clients     string
+		mixes       string
+		coldstart   string
+		subscribers string
+		duration    time.Duration
 	)
 	fs.StringVar(&opts.out, "out", "", "write the JSON report to this file")
 	fs.BoolVar(&opts.markdown, "markdown", false, "emit GitHub-flavoured markdown")
@@ -64,6 +75,8 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&clients, "clients", "", "comma-separated concurrency levels (default 4,16)")
 	fs.StringVar(&mixes, "mixes", "", "comma-separated workload mixes (default fetch,catchup,mixed)")
 	fs.StringVar(&coldstart, "coldstart", "", "comma-separated missed-epoch counts for the coldstart mixes (default 1000,10000)")
+	fs.StringVar(&subscribers, "subscribers", "", "comma-separated subscriber counts for the stream/relay mixes (default 1000,50000)")
+	fs.BoolVar(&opts.merge, "merge", false, "merge rows into an existing -out report instead of overwriting it")
 	fs.DurationVar(&duration, "duration", 0, "wall time per cell (default 2s, 250ms with -quick)")
 	fs.StringVar(&opts.cfg.BaseURL, "url", "", "drive a running treserver at this base URL instead of in-process")
 	fs.StringVar(&opts.mutexProfile, "mutexprofile", "", "write a mutex-contention profile of the sweep to this file")
@@ -90,6 +103,16 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 			return nil, fmt.Errorf("bad -coldstart value %q: want positive integers", e)
 		}
 		opts.cfg.ColdStartEpochs = append(opts.cfg.ColdStartEpochs, n)
+	}
+	for _, s := range splitList(subscribers) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -subscribers value %q: want positive integers", s)
+		}
+		opts.cfg.Subscribers = append(opts.cfg.Subscribers, n)
+	}
+	if opts.merge && opts.out == "" {
+		return nil, fmt.Errorf("-merge requires -out")
 	}
 	return &opts, nil
 }
@@ -143,6 +166,11 @@ func run(opts *options, stdout, stderr io.Writer) error {
 		return err
 	}
 	if opts.out != "" {
+		if opts.merge {
+			if err := mergeReport(rep, opts.out); err != nil {
+				return err
+			}
+		}
 		out, err := rep.JSON()
 		if err != nil {
 			return err
@@ -161,6 +189,42 @@ func run(opts *options, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, ", report written to %s", opts.out)
 	}
 	fmt.Fprintln(stderr)
+	return nil
+}
+
+// cellKey identifies one bench cell for -merge: two rows with the same
+// key describe the same measurement and the fresh one wins.
+func cellKey(r bench.ServerRow) string {
+	return fmt.Sprintf("%s/%s/c%d/e%d/s%d", r.Preset, r.Mix, r.Clients, r.Epochs, r.Subscribers)
+}
+
+// mergeReport prepends the rows of an existing report at path that this
+// run did not re-measure, keeping their original order. A missing file
+// degrades to a plain write; a corrupt one is an error (refuse to
+// silently discard checked-in numbers).
+func mergeReport(rep *bench.ServerReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var old bench.ServerReport
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("cannot merge into %s: %w", path, err)
+	}
+	fresh := make(map[string]bool, len(rep.Rows))
+	for _, r := range rep.Rows {
+		fresh[cellKey(r)] = true
+	}
+	var kept []bench.ServerRow
+	for _, r := range old.Rows {
+		if !fresh[cellKey(r)] {
+			kept = append(kept, r)
+		}
+	}
+	rep.Rows = append(kept, rep.Rows...)
 	return nil
 }
 

@@ -99,11 +99,29 @@ func TestRunWritesProfiles(t *testing.T) {
 	}
 }
 
+func TestParseFlagsSubscribersAndMerge(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-subscribers", "1000, 50000", "-merge", "-out", "x.json",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.cfg.Subscribers) != 2 || opts.cfg.Subscribers[1] != 50000 {
+		t.Fatalf("subscribers = %v", opts.cfg.Subscribers)
+	}
+	if !opts.merge {
+		t.Fatalf("merge not applied: %+v", opts)
+	}
+}
+
 func TestParseFlagsErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-clients", "zero"},
 		{"-clients", "0"},
 		{"-clients", "-3"},
+		{"-subscribers", "many"},
+		{"-subscribers", "0"},
+		{"-merge"}, // -merge without -out has nothing to merge into
 		{"-duration", "fast"},
 		{"-nosuchflag"},
 		{"stray-positional"},
@@ -111,6 +129,55 @@ func TestParseFlagsErrors(t *testing.T) {
 		if _, err := parseFlags(args, io.Discard); err == nil {
 			t.Fatalf("parseFlags(%v) accepted bad input", args)
 		}
+	}
+}
+
+// TestMergeReport checks the -merge row algebra: same-identity rows are
+// replaced by the fresh run, everything else survives in order.
+func TestMergeReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_server.json")
+	old := &bench.ServerReport{Rows: []bench.ServerRow{
+		{Preset: "Test160", Mix: "fetch", Clients: 4, Ops: 1},
+		{Preset: "Test160", Mix: "stream", Subscribers: 1000, Ops: 2},
+		{Preset: "SS512", Mix: "fetch", Clients: 4, Ops: 3},
+	}}
+	raw, err := old.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &bench.ServerReport{Description: "d", Rows: []bench.ServerRow{
+		{Preset: "Test160", Mix: "stream", Subscribers: 1000, Ops: 20},
+		{Preset: "Test160", Mix: "relay", Subscribers: 50000, Ops: 30},
+	}}
+	if err := mergeReport(fresh, path); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(fresh.Rows), fresh.Rows)
+	}
+	for _, r := range fresh.Rows {
+		if r.Mix == "stream" && r.Ops != 20 {
+			t.Fatalf("stale stream row survived the merge: %+v", r)
+		}
+	}
+	if fresh.Rows[0].Preset != "Test160" || fresh.Rows[0].Mix != "fetch" {
+		t.Fatalf("kept rows must precede fresh rows: %+v", fresh.Rows)
+	}
+
+	// Missing file: plain write semantics, no error.
+	if err := mergeReport(fresh, filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt file: refuse rather than discard checked-in numbers.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeReport(fresh, bad); err == nil {
+		t.Fatal("corrupt report accepted for merge")
 	}
 }
 

@@ -49,6 +49,7 @@ type config struct {
 	keyPath     string
 	archDir     string
 	metrics     bool
+	headerWait  time.Duration
 
 	// onReady, when set (tests), receives the bound listen address
 	// once the HTTP listener is up.
@@ -68,6 +69,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.StringVar(&cfg.keyPath, "key", "treserver.key", "server key file (created if missing)")
 	fs.StringVar(&cfg.archDir, "archive-dir", "", "durable archive directory (in-memory if empty)")
 	fs.BoolVar(&cfg.metrics, "metrics", false, "serve /metrics (JSON) and /debug/pprof, log publish events")
+	fs.DurationVar(&cfg.headerWait, "read-header-timeout", timeserver.DefaultReadHeaderTimeout,
+		"max time to wait for a request header (slowloris guard)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -159,10 +162,11 @@ func run(ctx context.Context, cfg *config, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	httpServer := &http.Server{
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	// Production limits (header-read timeout, idle timeout, header size
+	// cap) come from one place so the relay binary serves under the same
+	// protections; see timeserver.NewHTTPServer for why there is no
+	// overall write timeout (streams and long-polls are long-lived).
+	httpServer := timeserver.NewHTTPServer(handler, cfg.headerWait)
 
 	extras := ""
 	if cfg.metrics {

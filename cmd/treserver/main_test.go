@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"path/filepath"
 	"strings"
@@ -206,6 +207,30 @@ func TestMetricsAndPprofSuppressedByDefault(t *testing.T) {
 	}
 	if code, _ := get(t, base+"/debug/pprof/"); code != http.StatusNotFound {
 		t.Fatalf("/debug/pprof/ without -metrics = %d, want 404", code)
+	}
+}
+
+func TestStuckHeaderWriterIsDisconnected(t *testing.T) {
+	// Slowloris guard: a client that opens a connection and never
+	// finishes its request header must be cut off by ReadHeaderTimeout,
+	// not hold a connection slot forever.
+	addr, _ := startServer(t, "-read-header-timeout", "300ms")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A partial request line, then silence.
+	if _, err := conn.Write([]byte("GET /v1/healthz HTTP/1.1\r\nHost: x\r\nX-Stuck: ")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(15 * time.Second))
+	start := time.Now()
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatalf("server did not close the stuck connection cleanly: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("stuck-header connection held for %v, want ~300ms", elapsed)
 	}
 }
 

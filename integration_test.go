@@ -10,6 +10,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -26,6 +28,7 @@ type liveStack struct {
 	sched  tre.Schedule
 	server *tre.TimeServer
 	client *tre.TimeClient
+	url    string
 	cancel context.CancelFunc
 }
 
@@ -59,6 +62,7 @@ func startLiveStack(t *testing.T) *liveStack {
 		sched:  sched,
 		server: srv,
 		client: tre.NewTimeClient(ts.URL, set, key.Pub, tre.WithHTTPClient(ts.Client())),
+		url:    ts.URL,
 		cancel: cancel,
 	}
 }
@@ -159,6 +163,117 @@ func TestIntegrationManyReceiversOneUpdate(t *testing.T) {
 	// once, no matter how many receivers were waiting.
 	if st.server.Published() > 30 { // generous bound: runtime/500ms + backfill
 		t.Fatalf("server published %d updates — expected one per epoch, not per receiver", st.server.Published())
+	}
+}
+
+// startRelayTier boots a relay fed from the origin at upURL and serves
+// it on ln. It returns a stop func that tears down both the relay loop
+// and its HTTP front end.
+func startRelayTier(t *testing.T, st *liveStack, ln net.Listener) func() {
+	t.Helper()
+	up := tre.NewTimeClient(st.url, st.set, st.key.Pub)
+	relay := tre.NewRelay(up, st.sched,
+		tre.RelayWithRetry(tre.RetryPolicy{MaxAttempts: 1, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond}))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); relay.Run(ctx) }()
+	hs := &http.Server{Handler: relay.Handler()}
+	go hs.Serve(ln)
+	return func() {
+		cancel()
+		hs.Close()
+		<-done
+	}
+}
+
+// TestIntegrationRelayChainSurvivesRelayRestart is the acceptance check
+// for the distribution tier: a three-deep chain (origin server → relay
+// → client) releases a real ciphertext, and killing the relay mid-wait
+// then restarting a FRESH one on the same address still converges —
+// the replacement relay rebuilds its archive from the origin via
+// catch-up and the client's stream reconnect picks the release up. At
+// no point does any party besides the origin hold the master secret;
+// the client verifies every update against the origin's public key, so
+// the relay tier adds availability surface but zero trust surface.
+func TestIntegrationRelayChainSurvivesRelayRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	st := startLiveStack(t)
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancelCtx()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	stopRelay := startRelayTier(t, st, ln)
+
+	// Bootstrap THROUGH the relay: the downstream client learns
+	// parameters, server key and schedule without ever talking to the
+	// origin directly.
+	bootSet, bootKey, _, err := tre.FetchBootstrap(ctx, "http://"+addr, nil)
+	if err != nil {
+		t.Fatalf("bootstrap via relay: %v", err)
+	}
+	if bootSet.Name != st.set.Name || !st.set.Curve.Equal(bootKey.SG, st.key.Pub.SG) {
+		t.Fatal("relay served a different authority than the origin")
+	}
+	down := tre.NewTimeClient("http://"+addr, bootSet, bootKey,
+		tre.WithRetry(tre.RetryPolicy{MaxAttempts: 60, BaseDelay: 50 * time.Millisecond, MaxDelay: 500 * time.Millisecond}))
+
+	alice, err := st.scheme.UserKeyGen(st.key.Pub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	releaseAt := st.sched.LabelAt(st.sched.Index(time.Now()) + 6) // ~3s out: room for the restart
+	msg := []byte("released through a relay that died and came back")
+	ct, err := st.scheme.EncryptCCA(nil, st.key.Pub, alice.Pub, releaseAt, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		upd tre.KeyUpdate
+		err error
+	}
+	waitDone := make(chan result, 1)
+	go func() {
+		upd, err := down.WaitFor(ctx, releaseAt)
+		waitDone <- result{upd, err}
+	}()
+
+	// Kill the relay while the client is parked on its stream, hold the
+	// address dark briefly, then start a replacement with an EMPTY
+	// archive on the same address.
+	time.Sleep(400 * time.Millisecond)
+	stopRelay()
+	time.Sleep(600 * time.Millisecond)
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	stopRelay2 := startRelayTier(t, st, ln2)
+	defer stopRelay2()
+
+	res := <-waitDone
+	if res.err != nil {
+		t.Fatalf("wait through restarted relay: %v", res.err)
+	}
+	if res.upd.Label != releaseAt {
+		t.Fatalf("released %q, want %q", res.upd.Label, releaseAt)
+	}
+	got, err := st.scheme.DecryptCCA(st.key.Pub, alice, res.upd, ct)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("decrypt after relay restart: %q %v", got, err)
+	}
+
+	// The replacement converged from nothing: its archive was rebuilt
+	// from the origin (catch-up) and/or live stream, never from local
+	// state it no longer had.
+	if _, err := down.Update(ctx, st.sched.LabelAt(st.sched.Index(time.Now())-2)); err != nil {
+		t.Fatalf("restarted relay is missing backfilled history: %v", err)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package bench
+
+// fdLimit reports 0 (unknown) on platforms without getrlimit; large
+// subscriber counts then take the in-memory transport.
+func fdLimit() int64 { return 0 }

@@ -1,0 +1,16 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// fdLimit returns the soft RLIMIT_NOFILE, or 0 when it cannot be read.
+// The stream cells use it to decide whether a subscriber count fits
+// real TCP sockets or must run over the in-memory transport.
+func fdLimit() int64 {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0
+	}
+	return int64(rl.Cur)
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// memListener is an in-process net.Listener whose connections are
+// net.Pipe pairs: no sockets, no file descriptors, no kernel buffers.
+// The stream-subscriber cells use it to push past RLIMIT_NOFILE — a
+// container capped at 20k descriptors can still attach 100k
+// subscribers, because the thing under test (the broadcast hub, the
+// SSE handlers, the per-connection goroutines) is above the socket
+// layer. Rows driven through it are marked transport=inmem.
+type memListener struct {
+	conns     chan net.Conn
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func newMemListener() *memListener {
+	return &memListener{
+		conns: make(chan net.Conn, 1024),
+		done:  make(chan struct{}),
+	}
+}
+
+// Dial returns the client half of a fresh pipe; the server half is
+// queued for Accept.
+func (l *memListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("bench: memnet listener closed")
+	}
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("bench: memnet listener closed")
+	}
+}
+
+// Close implements net.Listener.
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return memAddr{} }
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }

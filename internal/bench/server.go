@@ -33,6 +33,17 @@ type ServerLoadConfig struct {
 	// catches up in a single CatchUp call (default 1000, 10000; Quick:
 	// 96). Requires that much pre-published history.
 	ColdStartEpochs []int
+	// Subscribers are the concurrent-connection counts measured by the
+	// stream and relay mixes (default 1000, 50000; Quick: 50). Counts
+	// that do not fit the process FD limit run over an in-memory
+	// transport, recorded per row.
+	Subscribers []int
+	// StreamPublishes is how many forward epochs each stream/relay cell
+	// publishes (default 8; Quick: 4); StreamInterval is their spacing —
+	// it must give the fan-out time to drain, or slow subscribers are
+	// shed (which the row then reports).
+	StreamPublishes int
+	StreamInterval  time.Duration
 	BaseURL         string // drive a remote server instead of in-process
 	Quick           bool
 }
@@ -54,13 +65,34 @@ func (c ServerLoadConfig) withDefaults() ServerLoadConfig {
 		}
 	}
 	if len(c.Mixes) == 0 {
-		c.Mixes = []string{"fetch", "catchup", "mixed", "encdec", "coldstart", "coldstart-batch"}
+		c.Mixes = []string{"fetch", "catchup", "mixed", "encdec", "coldstart", "coldstart-batch", "stream", "relay"}
 	}
 	if len(c.ColdStartEpochs) == 0 {
 		if c.Quick {
 			c.ColdStartEpochs = []int{96}
 		} else {
 			c.ColdStartEpochs = []int{1000, 10000}
+		}
+	}
+	if len(c.Subscribers) == 0 {
+		if c.Quick {
+			c.Subscribers = []int{50}
+		} else {
+			c.Subscribers = []int{1000, 50000}
+		}
+	}
+	if c.StreamPublishes <= 0 {
+		if c.Quick {
+			c.StreamPublishes = 4
+		} else {
+			c.StreamPublishes = 8
+		}
+	}
+	if c.StreamInterval <= 0 {
+		if c.Quick {
+			c.StreamInterval = 20 * time.Millisecond
+		} else {
+			c.StreamInterval = time.Second
 		}
 	}
 	if c.CellDuration <= 0 {
@@ -127,6 +159,18 @@ type ServerRow struct {
 	// path scales with it.
 	Epochs        int     `json:"epochs,omitempty"`
 	PairingsPerOp float64 `json:"pairings_per_op,omitempty"`
+
+	// Stream/relay cells only: concurrent subscriber count, the
+	// transport carrying them ("tcp", or "inmem" when the count does not
+	// fit the process FD limit — recorded alongside), bytes each
+	// connection received, and how many slow subscribers the hub shed.
+	// For these cells P50/P95/P99 are publish→delivery wakeup latency
+	// and Ops counts delivered events.
+	Subscribers  int     `json:"subscribers,omitempty"`
+	Transport    string  `json:"transport,omitempty"`
+	FDLimit      int64   `json:"fd_limit,omitempty"`
+	PerConnBytes float64 `json:"per_conn_bytes,omitempty"`
+	Sheds        int64   `json:"sheds,omitempty"`
 }
 
 // ServerReport is the JSON document `make bench-server` writes to
@@ -169,6 +213,26 @@ type loadTarget struct {
 	nextOld atomic.Int64       // next backwards epoch offset for publish ops
 	baseIdx int64
 	close   func()
+
+	// clockNS is the in-process server's mutable time source: the
+	// stream/relay cells publish FORWARD (later labels, as a live server
+	// would) by advancing it, while the mixed-workload publish op keeps
+	// backfilling older epochs. nextFwd is the next forward epoch index.
+	clockNS atomic.Int64
+	nextFwd atomic.Int64
+}
+
+// advanceTo moves the mutable clock forward to at least stamp (it
+// never goes backwards, so concurrent cells cannot re-refuse an epoch
+// already reachable).
+func (t *loadTarget) advanceTo(stamp time.Time) {
+	ns := stamp.UnixNano()
+	for {
+		cur := t.clockNS.Load()
+		if cur >= ns || t.clockNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
 }
 
 // initCrypto fills the client-side crypto fixtures shared by all cells.
@@ -197,8 +261,10 @@ func newLocalTarget(name string, cfg ServerLoadConfig) (*loadTarget, error) {
 	}
 	sched := timefmt.MustSchedule(time.Second)
 	now := time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+	t := &loadTarget{set: set, spub: key.Pub, sched: sched}
+	t.clockNS.Store(now.UnixNano())
 	srv := timeserver.NewServer(set, key, sched,
-		timeserver.WithClock(func() time.Time { return now }),
+		timeserver.WithClock(func() time.Time { return time.Unix(0, t.clockNS.Load()).UTC() }),
 		timeserver.WithMetrics(obs.NewRegistry()))
 	idx := sched.Index(now)
 	// Coldstart mixes need a history as deep as the largest missed-epoch
@@ -216,11 +282,9 @@ func newLocalTarget(name string, cfg ServerLoadConfig) (*loadTarget, error) {
 	}
 	labels := history[total-cfg.Window:]
 	ts := httptest.NewServer(srv.Handler())
-	t := &loadTarget{
-		set: set, spub: key.Pub, sched: sched, url: ts.URL,
-		labels: labels, history: history, srv: srv, baseIdx: idx, close: ts.Close,
-	}
+	t.url, t.labels, t.history, t.srv, t.baseIdx, t.close = ts.URL, labels, history, srv, idx, ts.Close
 	t.nextOld.Store(int64(total)) // offsets total, total+1, … are unpublished
+	t.nextFwd.Store(idx + 1)      // forward epochs for the stream cells
 	if err := t.initCrypto(); err != nil {
 		return nil, err
 	}
@@ -348,6 +412,34 @@ func RunServerLoad(cfg ServerLoadConfig) (*ServerReport, *Table, error) {
 
 	for _, preset := range cfg.Presets {
 		for _, mix := range cfg.Mixes {
+			if mix == "stream" || mix == "relay" {
+				if cfg.BaseURL != "" {
+					// The fan-out cells publish forward epochs, which needs
+					// the in-process signing key; surface that instead of
+					// silently skipping rows.
+					return nil, nil, fmt.Errorf("bench: the %s mix needs an in-process server (drop -url)", mix)
+				}
+				t, err := target(preset)
+				if err != nil {
+					return nil, nil, err
+				}
+				for _, subs := range cfg.Subscribers {
+					row, err := runStream(t, mix, subs, cfg)
+					if err != nil {
+						return nil, nil, err
+					}
+					rep.Rows = append(rep.Rows, row)
+					table.Add(
+						fmt.Sprintf("%s/%s:%d[%s]", t.set.Name, mix, row.Subscribers, row.Transport),
+						fmt.Sprintf("%d", row.Subscribers),
+						fmt.Sprintf("%.0f", row.RPS),
+						nsHuman(row.P50NS), nsHuman(row.P95NS), nsHuman(row.P99NS),
+						fmt.Sprintf("%d", row.Ops),
+						fmt.Sprintf("%d", row.Errors),
+					)
+				}
+				continue
+			}
 			if mix == "coldstart" || mix == "coldstart-batch" {
 				t, err := target(preset)
 				if err != nil {
@@ -401,6 +493,7 @@ func RunServerLoad(cfg ServerLoadConfig) (*ServerReport, *Table, error) {
 	table.Note("clients pin the server key and verify everything; the client-side cache is disabled so every op exercises the server")
 	table.Note("all clients of a cell share one core.Scheme, so its sharded precomputation caches are read concurrently")
 	table.Note("coldstart:N = one fresh client recovering N missed epochs per op (aggregate range path); coldstart-batch:N = the same recovery via per-label fetches + batched verification; pairings per op are in BENCH_server.json")
+	table.Note("stream:N / relay:N = N concurrent /v1/stream subscribers (relay: behind a stateless fan-out relay) receiving %d forward publishes; p50/p95/p99 are publish→delivery wakeup latency; [inmem] marks counts beyond the FD limit driven over an in-memory transport", cfg.StreamPublishes)
 	return rep, table, nil
 }
 

@@ -8,8 +8,14 @@ import (
 
 func TestServerLoadDefaults(t *testing.T) {
 	full := ServerLoadConfig{}.withDefaults()
-	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 6 {
+	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 8 {
 		t.Fatalf("full defaults: %+v", full)
+	}
+	if len(full.Subscribers) != 2 || full.Subscribers[1] < 50000 {
+		t.Fatalf("full run must include a ≥50k subscriber level: %v", full.Subscribers)
+	}
+	if full.StreamPublishes <= 0 || full.StreamInterval <= 0 {
+		t.Fatalf("stream cell defaults missing: %+v", full)
 	}
 	if len(full.ColdStartEpochs) != 2 || full.coldStartDepth() != 10000 {
 		t.Fatalf("full coldstart defaults: %v", full.ColdStartEpochs)
@@ -17,6 +23,9 @@ func TestServerLoadDefaults(t *testing.T) {
 	quick := ServerLoadConfig{Quick: true}.withDefaults()
 	if len(quick.Presets) != 1 || quick.Presets[0] != "Test160" {
 		t.Fatalf("quick presets: %v", quick.Presets)
+	}
+	if len(quick.Subscribers) != 1 || quick.Subscribers[0] >= full.Subscribers[0] {
+		t.Fatalf("quick subscriber level must be smaller than full: %v", quick.Subscribers)
 	}
 	if quick.coldStartDepth() >= full.coldStartDepth() {
 		t.Fatal("quick coldstart history must be shallower than full")
@@ -54,11 +63,37 @@ func TestServerLoadQuickCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 6 {
-		t.Fatalf("got %d rows, want 6 (one per mix, incl. both coldstart cells)", len(rep.Rows))
+	if len(rep.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8 (one per mix, incl. both coldstart cells and the stream/relay fan-out cells)", len(rep.Rows))
 	}
 	var sawPublish bool
 	for _, r := range rep.Rows {
+		if r.Mix == "stream" || r.Mix == "relay" {
+			// Fan-out cells: Ops counts delivered events (subscribers ×
+			// publishes), quantiles are publish→delivery wakeup latency.
+			if r.Subscribers <= 0 || r.Clients != 0 {
+				t.Fatalf("fan-out cell identity: %+v", r)
+			}
+			if r.Transport != "tcp" && r.Transport != "inmem" {
+				t.Fatalf("fan-out cell missing transport: %+v", r)
+			}
+			if r.Ops != int64(r.Subscribers)*r.Published || r.Errors != 0 || r.Sheds != 0 {
+				t.Fatalf("fan-out cell dropped deliveries: %+v", r)
+			}
+			if r.P50NS <= 0 || r.P95NS < r.P50NS || r.P99NS < r.P95NS {
+				t.Fatalf("fan-out quantiles not monotone: %+v", r)
+			}
+			if r.PerConnBytes <= 0 {
+				t.Fatalf("fan-out cell recorded no per-conn bytes: %+v", r)
+			}
+			if r.Mix == "stream" && r.ServerRequests != int64(r.Subscribers) {
+				t.Fatalf("stream cell: %d server requests for %d subscribers, want one each", r.ServerRequests, r.Subscribers)
+			}
+			continue
+		}
+		if r.Subscribers != 0 || r.Transport != "" || r.PerConnBytes != 0 {
+			t.Fatalf("non-fan-out cell carries fan-out fields: %+v", r)
+		}
 		cold := r.Mix == "coldstart" || r.Mix == "coldstart-batch"
 		wantClients := 2
 		if cold {

@@ -60,6 +60,8 @@ type clientMetrics struct {
 	catchupFallback  *obs.Counter   // aggregate/batch checks that fell back a level
 	retries          *obs.Counter   // transport-level retry attempts
 	catchupDegraded  *obs.Counter   // CatchUp calls returning a PartialError
+	streamEvents     *obs.Counter   // verified updates delivered over /v1/stream
+	streamReconnects *obs.Counter   // stream connections re-dialled after a disconnect
 }
 
 // ClientOption configures a Client.
@@ -96,6 +98,8 @@ func WithClientMetrics(r *obs.Registry) ClientOption {
 			catchupFallback:  r.Counter("client.catchup_fallback"),
 			retries:          r.Counter("client.retries"),
 			catchupDegraded:  r.Counter("client.catchup_degraded"),
+			streamEvents:     r.Counter("client.stream_events"),
+			streamReconnects: r.Counter("client.stream_reconnects"),
 		}
 	}
 }

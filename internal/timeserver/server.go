@@ -41,7 +41,7 @@ type Server struct {
 
 	published atomic.Int64 // updates published (for experiments)
 	served    atomic.Int64 // HTTP requests served
-	notify    *notifier    // wakes long-poll waiters on publish
+	hub       *hub         // coalesced broadcast to streams and long-poll waiters
 	draining  atomic.Bool  // shutting down: long-polls return immediately
 
 	// Observability (nil without WithMetrics/WithLogger; obs types
@@ -90,17 +90,18 @@ func WithLogger(l *obs.Logger) Option {
 // key and epoch schedule.
 func NewServer(set *params.Set, key *core.ServerKeyPair, sched timefmt.Schedule, opts ...Option) *Server {
 	s := &Server{
-		sc:     core.NewScheme(set),
-		key:    key,
-		sched:  sched,
-		arch:   archive.NewMemory(),
-		codec:  wire.NewCodec(set),
-		clock:  time.Now,
-		notify: newNotifier(),
+		sc:    core.NewScheme(set),
+		key:   key,
+		sched: sched,
+		arch:  archive.NewMemory(),
+		codec: wire.NewCodec(set),
+		clock: time.Now,
+		hub:   newHub(),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.hub.instrument(s.reg)
 	return s
 }
 
@@ -132,18 +133,29 @@ func (s *Server) PublishUpTo(now time.Time) (int, error) {
 		if _, ok := s.arch.Get(label); ok {
 			continue
 		}
-		if err := s.arch.Put(s.issue(label)); err != nil {
+		u := s.issue(label)
+		if err := s.arch.Put(u); err != nil {
 			return n, fmt.Errorf("timeserver: archiving update %s: %w", label, err)
 		}
 		s.mPublished.Inc()
 		s.published.Add(1)
+		s.broadcast(i, u)
 		n++
 	}
 	if n > 0 {
-		s.notify.wake()
 		s.log.Event("publish-catchup", "from", s.sched.LabelAt(from), "to", s.sched.LabelAt(cur), "n", n)
 	}
 	return n, nil
+}
+
+// broadcast encodes a freshly archived update ONCE and hands the bytes
+// to every parked subscriber in one hub pass. This is the whole cost a
+// publish pays for its audience — independent of subscriber count. idx
+// is the label's schedule index; stream ordering rides on it.
+func (s *Server) broadcast(idx int64, u core.KeyUpdate) {
+	body := s.codec.MarshalKeyUpdate(u)
+	s.hub.encodes.Add(1)
+	s.hub.publish(idx, u.Label, body)
 }
 
 // issue signs one update, recording the signing latency.
@@ -165,12 +177,13 @@ func (s *Server) PublishLabel(label string) error {
 	if t.After(s.clock()) {
 		return ErrFutureLabel
 	}
-	if err := s.arch.Put(s.issue(label)); err != nil {
+	u := s.issue(label)
+	if err := s.arch.Put(u); err != nil {
 		return err
 	}
 	s.mPublished.Inc()
 	s.published.Add(1)
-	s.notify.wake()
+	s.broadcast(s.sched.Index(t), u)
 	s.log.Event("publish", "label", label)
 	return nil
 }
@@ -200,14 +213,20 @@ func (s *Server) Run(ctx context.Context) error {
 
 // Drain moves the server into shutdown mode: every in-flight and
 // future long-poll wait returns immediately (503) instead of holding
-// its connection open, so http.Server.Shutdown can complete within its
-// grace period even with receivers "waiting in alert". Ordinary
-// catch-up and update fetches are unaffected — they finish normally
-// under Shutdown's own in-flight handling.
+// its connection open, and every in-flight /v1/stream connection gets
+// a terminal SSE comment and a clean close, so http.Server.Shutdown
+// can complete within its grace period even with tens of thousands of
+// receivers "waiting in alert". Ordinary catch-up and update fetches
+// are unaffected — they finish normally under Shutdown's own
+// in-flight handling.
 func (s *Server) Drain() {
 	s.draining.Store(true)
-	s.notify.wake()
+	s.hub.drain()
 }
+
+// Subscribers returns how many connections are currently parked on the
+// broadcast hub (streams plus long-poll waiters).
+func (s *Server) Subscribers() int { return s.hub.count() }
 
 // Published returns the number of updates this server has published —
 // note it is independent of the number of users (experiment E2).
@@ -229,6 +248,8 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 //	GET /v1/schedule      → granularity (text, time.Duration format)
 //	GET /v1/update/{label}→ wire-encoded update, 404 until published
 //	GET /v1/wait/{label}  → long-poll variant (?timeout=25s)
+//	GET /v1/stream        → SSE push of every future update (?from=label replays)
+//	GET /v1/catchup       → aggregate range download
 //	GET /v1/latest        → most recent update
 //	GET /v1/labels        → newline-separated published labels
 //	GET /v1/healthz       → 200 ok
@@ -240,7 +261,7 @@ func (s *Server) Handler() http.Handler {
 		arch:     s.arch,
 		codec:    s.codec,
 		served:   &s.served,
-		notify:   s.notify,
+		hub:      s.hub,
 		draining: &s.draining,
 		reg:      s.reg,
 		archHit:  s.reg.Counter("timeserver.archive_hit"),
@@ -260,7 +281,7 @@ type publicView struct {
 	arch     archive.Archive
 	codec    *wire.Codec
 	served   *atomic.Int64
-	notify   *notifier
+	hub      *hub
 	draining *atomic.Bool
 	reg      *obs.Registry
 	archHit  *obs.Counter // archive lookups that found the label
@@ -275,6 +296,7 @@ func (v *publicView) routes() http.Handler {
 	mux.HandleFunc("GET /v1/update/{label}", v.observe("update", v.handleUpdate))
 	mux.HandleFunc("GET /v1/catchup", v.observe("catchup", v.handleCatchUp))
 	mux.HandleFunc("GET /v1/wait/{label}", v.observe("wait", v.handleWait))
+	mux.HandleFunc("GET /v1/stream", v.observe("stream", v.handleStream))
 	mux.HandleFunc("GET /v1/latest", v.observe("latest", v.handleLatest))
 	mux.HandleFunc("GET /v1/labels", v.observe("labels", v.handleLabels))
 	mux.HandleFunc("GET /v1/healthz", v.observe("healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -386,4 +408,33 @@ func (v *publicView) handleLatest(w http.ResponseWriter, _ *http.Request) {
 func (v *publicView) handleLabels(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, strings.Join(v.arch.Labels(), "\n"))
+}
+
+// Production http.Server limits shared by cmd/treserver and
+// cmd/trerelay. A stuck or malicious header-writer is cut off at
+// ReadHeaderTimeout; idle keep-alive connections are reaped; headers
+// are capped well under the default 1 MiB (this protocol needs a
+// request line and little else). Deliberately no ReadTimeout or
+// WriteTimeout: /v1/wait parks for up to two minutes and /v1/stream
+// legitimately writes forever — per-connection lifetime is governed by
+// Drain plus Shutdown instead.
+const (
+	DefaultReadHeaderTimeout = 10 * time.Second
+	DefaultIdleTimeout       = 2 * time.Minute
+	DefaultMaxHeaderBytes    = 64 << 10
+)
+
+// NewHTTPServer wraps a handler in an http.Server carrying the
+// production limits above. readHeaderTimeout <= 0 selects the default
+// (tests shrink it to exercise the stuck-header cutoff quickly).
+func NewHTTPServer(h http.Handler, readHeaderTimeout time.Duration) *http.Server {
+	if readHeaderTimeout <= 0 {
+		readHeaderTimeout = DefaultReadHeaderTimeout
+	}
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+		MaxHeaderBytes:    DefaultMaxHeaderBytes,
+	}
 }

@@ -4,39 +4,10 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"sync"
 	"time"
 
 	"timedrelease/internal/core"
 )
-
-// notifier broadcasts "something was published" to any number of
-// waiting request handlers by closing and replacing a channel. It
-// carries no information about what was published or who is waiting —
-// consistent with the server's no-user-state property.
-type notifier struct {
-	mu sync.Mutex
-	ch chan struct{}
-}
-
-func newNotifier() *notifier {
-	return &notifier{ch: make(chan struct{})}
-}
-
-// wake releases every current waiter.
-func (n *notifier) wake() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	close(n.ch)
-	n.ch = make(chan struct{})
-}
-
-// wait returns a channel closed at the next wake.
-func (n *notifier) wait() <-chan struct{} {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.ch
-}
 
 // Long-poll limits.
 const (
@@ -47,8 +18,14 @@ const (
 // handleWait is the long-poll variant of handleUpdate: it blocks until
 // the label's update is published, the requested timeout passes, or the
 // client goes away. Receivers "waiting in alert" for a release (paper
-// §3) get the update the instant it exists, without polling. The handler
-// still only reads published data — it cannot cause a release.
+// §3) get the update the instant it exists, without polling.
+//
+// The handler parks as a one-shot hub subscription for its label: when
+// the publish happens, the hub hands every matching waiter the SAME
+// already-encoded bytes in one pass, so N parked waiters cost the
+// publish path nothing beyond N channel sends — no per-waiter archive
+// re-read, no per-waiter re-encode, no thundering re-check herd. The
+// handler still only reads published data — it cannot cause a release.
 func (v *publicView) handleWait(w http.ResponseWriter, r *http.Request) {
 	label := r.PathValue("label")
 	timeout := defaultWaitTimeout
@@ -60,35 +37,41 @@ func (v *publicView) handleWait(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = min(d, maxWaitTimeout)
 	}
+
+	// Subscribe BEFORE checking the archive so a publish between the
+	// check and the park cannot be missed.
+	sub := v.hub.subscribe(label)
+	defer v.hub.unsubscribe(sub)
+
+	if u, ok := v.arch.Get(label); ok {
+		// Already published: answer from the archive (the per-request
+		// encode here is the uncontended path, not a publish fan-out).
+		v.archHit.Inc()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(v.codec.MarshalKeyUpdate(u))
+		return
+	}
+	// A draining server answers instead of holding the poll open, so
+	// graceful shutdown is never hostage to a long-poll timeout.
+	if v.draining.Load() {
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
-
-	for {
-		// Subscribe BEFORE checking the archive so a publish between the
-		// check and the wait cannot be missed.
-		woken := v.notify.wait()
-		if u, ok := v.arch.Get(label); ok {
-			v.archHit.Inc()
-			w.Header().Set("Content-Type", "application/octet-stream")
-			w.Write(v.codec.MarshalKeyUpdate(u))
-			return
-		}
-		// A draining server answers instead of holding the poll open, so
-		// graceful shutdown is never hostage to a long-poll timeout. The
-		// wake() in Drain re-runs this check for already-parked waiters.
-		if v.draining.Load() {
-			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-			return
-		}
-		select {
-		case <-r.Context().Done():
-			return
-		case <-deadline.C:
-			v.archMiss.Inc()
-			http.Error(w, "update not published within timeout", http.StatusNotFound)
-			return
-		case <-woken:
-		}
+	select {
+	case m := <-sub.ch:
+		v.hub.gQueue.Add(-1)
+		v.archHit.Inc()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(m.body)
+	case <-v.hub.drained:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	case <-r.Context().Done():
+	case <-deadline.C:
+		v.archMiss.Inc()
+		http.Error(w, "update not published within timeout", http.StatusNotFound)
 	}
 }
 
@@ -96,6 +79,7 @@ func (v *publicView) handleWait(w http.ResponseWriter, r *http.Request) {
 // using the server's long-poll endpoint instead of client-side polling:
 // one outstanding request per ~25s instead of one per poll interval, and
 // delivery latency bounded by the network rather than the poll period.
+// Prefer WaitFor, which rides the push stream and falls back to this.
 func (c *Client) WaitForReleaseLongPoll(ctx context.Context, label string) (core.KeyUpdate, error) {
 	for {
 		body, status, err := c.get(ctx, "/v1/wait/"+label+"?timeout="+defaultWaitTimeout.String())

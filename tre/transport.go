@@ -116,6 +116,39 @@ func WithMetrics(m *Metrics) timeserver.Option { return timeserver.WithMetrics(m
 // WithLogger emits the server's structured events to l.
 func WithLogger(l *EventLogger) timeserver.Option { return timeserver.WithLogger(l) }
 
+// Relay is a stateless fan-out node: it subscribes to an upstream
+// server (or relay) through a verifying TimeClient, checks each update
+// once against the pinned server key, and re-serves the identical
+// public HTTP surface downstream. It holds no secret material — a
+// relay can withhold updates but never forge one, because updates are
+// self-authenticating.
+type Relay = timeserver.Relay
+
+// NewRelay builds a relay over an upstream verifying client; the
+// client's pinned key is the relay's trust anchor.
+func NewRelay(upstream *TimeClient, sched Schedule, opts ...timeserver.RelayOption) *Relay {
+	return timeserver.NewRelay(upstream, sched, opts...)
+}
+
+// RelayWithArchive substitutes the relay's local update store.
+func RelayWithArchive(a Archive) timeserver.RelayOption { return timeserver.RelayWithArchive(a) }
+
+// RelayWithMetrics instruments the relay against a metric registry.
+func RelayWithMetrics(m *Metrics) timeserver.RelayOption { return timeserver.RelayWithMetrics(m) }
+
+// RelayWithLogger emits the relay's structured events to l.
+func RelayWithLogger(l *EventLogger) timeserver.RelayOption { return timeserver.RelayWithLogger(l) }
+
+// RelayWithRetry substitutes the relay's upstream reconnect backoff.
+func RelayWithRetry(p RetryPolicy) timeserver.RelayOption { return timeserver.RelayWithRetry(p) }
+
+// NewHTTPServer wraps a handler in an http.Server with production
+// limits (header-read timeout, idle timeout, header size cap) suited
+// to the long-lived /v1/wait and /v1/stream connections.
+func NewHTTPServer(h http.Handler, readHeaderTimeout time.Duration) *http.Server {
+	return timeserver.NewHTTPServer(h, readHeaderTimeout)
+}
+
 // NewTimeClient creates a client pinned to the given server public key.
 func NewTimeClient(baseURL string, set *Params, spub ServerPublicKey, opts ...timeserver.ClientOption) *TimeClient {
 	return timeserver.NewClient(baseURL, set, spub, opts...)
