@@ -8,7 +8,7 @@ GO ?= go
 # Fuzz budget per target; the nightly workflow shrinks it.
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-shuffle vet fmt-check ci check cover bench bench-pairing bench-field bench-server bench-catchup bench-stream race experiments experiments-quick fuzz clean
+.PHONY: all help build test test-shuffle vet fmt-check ci check cover bench bench-pairing bench-field bench-server bench-catchup bench-stream bench-rounds race experiments experiments-quick fuzz clean
 
 all: build vet test
 
@@ -28,6 +28,7 @@ help:
 	@echo "  bench-server       serving-path load harness -> BENCH_server.json"
 	@echo "  bench-catchup      cold-start catch-up (aggregate vs batch) -> BENCH_server.json"
 	@echo "  bench-stream       stream/relay fan-out at 1k and 50k subscribers -> BENCH_server.json"
+	@echo "  bench-rounds       quorum-combine latency on a 3-of-5 beacon network -> BENCH_server.json"
 	@echo "  race               go test -race ./..."
 	@echo "  experiments        regenerate the EXPERIMENTS.md tables (slow)"
 	@echo "  experiments-quick  reduced sweeps at Test160"
@@ -101,10 +102,18 @@ bench-catchup:
 bench-stream:
 	$(GO) run ./cmd/treload -preset Test160 -mixes stream,relay -subscribers 1000,50000 -merge -out BENCH_server.json
 
+# Beacon-round quorum cells only: concurrent receivers combining 3-of-5
+# partial updates per op (n parallel fetches + k pairing verifications
+# + one Lagrange combine). -merge keeps the other mixes' rows intact.
+bench-rounds:
+	$(GO) run ./cmd/treload -preset Test160 -mixes rounds -merge -out BENCH_server.json
+
 # Race detector across the whole module (exercises the parallel pairing
-# products and batch verification pool).
+# products, the batch verification pool and the chaos-test harness),
+# shuffled so the storm scenarios also prove order-independence under
+# the detector.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Regenerate the EXPERIMENTS.md tables at full scope (~2-3 minutes).
 experiments:
@@ -113,9 +122,10 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/trebench -quick
 
-# Fuzz campaign over every wire decoder, the differential
-# field-arithmetic targets (Montgomery backend vs big.Int reference),
-# the client's HTTP update parsing and the metrics JSON encoder.
+# Fuzz campaign over every wire decoder (including the armored round
+# ciphertext format), the differential field-arithmetic targets
+# (Montgomery backend vs big.Int reference), the client's HTTP update
+# parsing, the beacon round↔label mapping and the metrics JSON encoder.
 # Checked-in seed corpora live under <pkg>/testdata/fuzz/<Target>/.
 # Override the per-target budget with FUZZTIME=10s (nightly CI does).
 fuzz:
@@ -123,6 +133,8 @@ fuzz:
 	$(GO) test -fuzz FuzzUnmarshalCCACiphertext -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz FuzzUnmarshalEnvelope -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz FuzzCatchUpDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz FuzzArmoredDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzRoundFromLabel -fuzztime $(FUZZTIME) ./internal/beacon
 	$(GO) test -run XXX -fuzz FuzzFpArith -fuzztime $(FUZZTIME) ./internal/ff
 	$(GO) test -run XXX -fuzz FuzzFp2Arith -fuzztime $(FUZZTIME) ./internal/ff
 	$(GO) test -run XXX -fuzz FuzzClientDecodeUpdate -fuzztime $(FUZZTIME) ./internal/timeserver

@@ -11,6 +11,16 @@
 //	trectl decrypt  -preset SS512 -server http://host:8440 -server-pub server.pub \
 //	                -key user.key -in sealed.tre -out secret.txt
 //	trectl verify-user-pub -preset SS512 -server-pub server.pub -user-pub user.pub
+//
+// Beacon (round) mode addresses a round of a round clock instead of a
+// wall-clock label and writes a self-describing armored file; decrypt
+// sniffs the format, and can combine a k-of-n threshold quorum instead
+// of trusting one server:
+//
+//	trectl encrypt -round 12345 -genesis 2027-01-01T00:00:00Z -round-period 1m ...
+//	trectl encrypt -duration 48h -genesis 2027-01-01T00:00:00Z -round-period 1m ...
+//	trectl decrypt -k 2 -member 1=http://a:8440=member-1.pub \
+//	               -member 3=http://c:8440=member-3.pub -server-pub group.pub ...
 package main
 
 import (
@@ -20,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"timedrelease/internal/keyfile"
@@ -141,17 +153,40 @@ func userKeygen(args []string) error {
 func encrypt(args []string) error {
 	fs := flag.NewFlagSet("encrypt", flag.ContinueOnError)
 	preset := fs.String("preset", "SS512", "parameter preset")
-	serverPub := fs.String("server-pub", "server.pub", "time server public key")
+	serverPub := fs.String("server-pub", "server.pub", "time server (or threshold group) public key")
 	userPub := fs.String("user-pub", "user.pub", "receiver public key")
 	label := fs.String("label", "", "release label, e.g. 2027-01-01T00:00:00Z")
+	round := fs.Int64("round", -1, "beacon round number (round mode; writes an armored file)")
+	duration := fs.Duration("duration", 0, "open after this duration (round mode; writes an armored file)")
+	genesis := fs.String("genesis", "", "round-0 start instant, RFC 3339 (round mode)")
+	roundPeriod := fs.Duration("round-period", time.Minute, "round duration (round mode)")
 	in := fs.String("in", "", "plaintext file (default stdin)")
 	out := fs.String("out", "", "envelope file (default stdout)")
 	hideLabel := fs.Bool("hide-label", false, "omit the release label from the envelope (release-time privacy)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *label == "" {
-		return fmt.Errorf("-label is required")
+	roundMode := *round >= 0 || *duration > 0
+	switch {
+	case roundMode && *label != "":
+		return fmt.Errorf("-label is exclusive with -round/-duration")
+	case *round >= 0 && *duration > 0:
+		return fmt.Errorf("-round and -duration are mutually exclusive")
+	case !roundMode && *label == "":
+		return fmt.Errorf("one of -label, -round or -duration is required")
+	}
+	var clock tre.RoundClock
+	if roundMode {
+		if *genesis == "" {
+			return fmt.Errorf("-genesis is required in round mode")
+		}
+		genesisT, err := time.Parse(time.RFC3339Nano, *genesis)
+		if err != nil {
+			return fmt.Errorf("bad -genesis: %w", err)
+		}
+		if clock, err = tre.NewRoundClock(*roundPeriod, genesisT); err != nil {
+			return err
+		}
 	}
 	_, scheme, codec, err := loadSet(*preset)
 	if err != nil {
@@ -173,6 +208,24 @@ func encrypt(args []string) error {
 	if err != nil {
 		return err
 	}
+	if roundMode {
+		var (
+			r    uint64
+			file []byte
+		)
+		if *round >= 0 {
+			r = uint64(*round)
+			file, err = tre.EncryptToRound(nil, scheme, clock, spub, upub, r, msg)
+		} else {
+			r, file, err = tre.EncryptToDuration(nil, scheme, clock, spub, upub, time.Now(), *duration, msg)
+		}
+		if err != nil {
+			return err
+		}
+		lbl, _ := clock.Label(r)
+		fmt.Fprintf(os.Stderr, "encrypted to round %d (opens at %s)\n", r, lbl)
+		return writeOutput(*out, file)
+	}
 	ct, err := scheme.EncryptCCA(nil, spub, upub, *label, msg)
 	if err != nil {
 		return err
@@ -184,16 +237,54 @@ func encrypt(args []string) error {
 	return writeOutput(*out, codec.SealCCA(envelopeLabel, ct))
 }
 
+// memberFlag collects repeatable -member index=url=pubfile values.
+type memberFlag []string
+
+func (m *memberFlag) String() string { return strings.Join(*m, ",") }
+func (m *memberFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// parseMembers turns -member values into quorum shards, each pinned to
+// its own member public key.
+func parseMembers(set *tre.Params, codec *tre.Codec, members []string) ([]tre.Shard, error) {
+	shards := make([]tre.Shard, 0, len(members))
+	for _, m := range members {
+		parts := strings.SplitN(m, "=", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -member %q (want index=url=pubfile)", m)
+		}
+		idx, err := strconv.Atoi(parts[0])
+		if err != nil || idx < 1 {
+			return nil, fmt.Errorf("bad -member index in %q", m)
+		}
+		raw, err := keyfile.LoadPublic(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("member %d public key: %w", idx, err)
+		}
+		mpub, err := codec.UnmarshalServerPublicKey(raw)
+		if err != nil {
+			return nil, fmt.Errorf("member %d public key: %w", idx, err)
+		}
+		shards = append(shards, tre.Shard{Index: idx, Client: tre.NewTimeClient(parts[1], set, mpub)})
+	}
+	return shards, nil
+}
+
 func decrypt(args []string) error {
 	fs := flag.NewFlagSet("decrypt", flag.ContinueOnError)
 	preset := fs.String("preset", "SS512", "parameter preset")
 	serverURL := fs.String("server", "", "time server base URL")
-	serverPub := fs.String("server-pub", "server.pub", "time server public key (pinned)")
+	serverPub := fs.String("server-pub", "server.pub", "time server (or threshold group) public key (pinned)")
 	keyPath := fs.String("key", "user.key", "receiver private key")
 	label := fs.String("label", "", "release label (required if hidden in the envelope)")
-	in := fs.String("in", "", "envelope file (default stdin)")
+	in := fs.String("in", "", "envelope or armored file (default stdin)")
 	out := fs.String("out", "", "plaintext file (default stdout)")
 	wait := fs.Bool("wait", false, "wait for the release instead of failing when early")
+	kFlag := fs.Int("k", 0, "quorum size (threshold mode; requires -member entries)")
+	var members memberFlag
+	fs.Var(&members, "member", "threshold member as index=url=pubfile (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -213,39 +304,78 @@ func decrypt(args []string) error {
 	if err != nil {
 		return err
 	}
-	env, err := codec.UnmarshalEnvelope(raw)
-	if err != nil {
-		return err
+
+	var (
+		ct       *tre.CCACiphertext
+		useLabel string
+	)
+	if tre.IsArmored(raw) {
+		rc, err := tre.DecodeArmored(scheme, raw)
+		if err != nil {
+			return err
+		}
+		if *label != "" && *label != rc.Label {
+			return fmt.Errorf("-label %q disagrees with the armored round %d (label %q)", *label, rc.Round, rc.Label)
+		}
+		ct, useLabel = rc.CCA, rc.Label
+		fmt.Fprintf(os.Stderr, "armored round %d, opens at %s\n", rc.Round, rc.Label)
+	} else {
+		env, err := codec.UnmarshalEnvelope(raw)
+		if err != nil {
+			return err
+		}
+		if env.Kind != tre.KindCCA {
+			return fmt.Errorf("envelope kind %s not supported by this tool (use the library API)", env.Kind)
+		}
+		if ct, err = codec.UnmarshalCCACiphertext(env.Payload); err != nil {
+			return err
+		}
+		useLabel = env.Label
+		if *label != "" {
+			useLabel = *label
+		}
+		if useLabel == "" {
+			return fmt.Errorf("the envelope withholds its release label; pass -label")
+		}
 	}
-	if env.Kind != tre.KindCCA {
-		return fmt.Errorf("envelope kind %s not supported by this tool (use the library API)", env.Kind)
-	}
-	ct, err := codec.UnmarshalCCACiphertext(env.Payload)
-	if err != nil {
-		return err
-	}
-	useLabel := env.Label
-	if *label != "" {
-		useLabel = *label
-	}
-	if useLabel == "" {
-		return fmt.Errorf("the envelope withholds its release label; pass -label")
-	}
-	if *serverURL == "" {
-		return fmt.Errorf("-server is required")
-	}
-	client := tre.NewTimeClient(*serverURL, set, spub)
+
 	ctx, cancel := context.WithTimeout(context.Background(), 24*time.Hour)
 	defer cancel()
 	var upd tre.KeyUpdate
-	if *wait {
-		upd, err = client.WaitForRelease(ctx, useLabel, 2*time.Second)
-	} else {
-		upd, err = client.Update(ctx, useLabel)
+	switch {
+	case len(members) > 0:
+		// Threshold mode: -server-pub is the GROUP key; each member is
+		// an ordinary time server pinned to its own share key.
+		if *kFlag < 1 || *kFlag > len(members) {
+			return fmt.Errorf("threshold mode needs 1 ≤ -k ≤ #members, got k=%d members=%d", *kFlag, len(members))
+		}
+		shards, err := parseMembers(set, codec, members)
+		if err != nil {
+			return err
+		}
+		qc := &tre.QuorumClient{Set: set, GroupPub: spub, K: *kFlag, Shards: shards}
+		if *wait {
+			upd, err = qc.WaitForRelease(ctx, useLabel, 2*time.Second)
+		} else {
+			upd, err = qc.Update(ctx, useLabel)
+		}
+		if err != nil {
+			return err
+		}
+	case *serverURL != "":
+		client := tre.NewTimeClient(*serverURL, set, spub)
+		if *wait {
+			upd, err = client.WaitForRelease(ctx, useLabel, 2*time.Second)
+		} else {
+			upd, err = client.Update(ctx, useLabel)
+		}
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-server (single server) or -member/-k (threshold quorum) is required")
 	}
-	if err != nil {
-		return err
-	}
+
 	msg, err := scheme.DecryptCCA(spub, key, upd, ct)
 	if err != nil {
 		return err

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"timedrelease/tre"
+)
+
+// thresholdFixture deals a k-of-n group, writes group.pub and
+// member-N.pub files the way trethreshold deal does, and serves the
+// chosen members over HTTP with the given round label pre-published.
+type thresholdFixture struct {
+	dir      string
+	set      *tre.Params
+	setup    *tre.ThresholdSetup
+	memberTS map[int]*httptest.Server
+}
+
+func newThresholdFixture(t *testing.T, k, n int, label string, serving []int) *thresholdFixture {
+	t.Helper()
+	dir := t.TempDir()
+	set := tre.MustPreset("Test160")
+	codec := tre.NewCodec(set)
+	setup, err := tre.ThresholdDeal(set, nil, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writePublic(filepath.Join(dir, "group.pub"), codec.MarshalServerPublicKey(setup.GroupPub)); err != nil {
+		t.Fatal(err)
+	}
+	f := &thresholdFixture{dir: dir, set: set, setup: setup, memberTS: map[int]*httptest.Server{}}
+	sched := tre.MustSchedule(time.Minute)
+	for _, share := range setup.Shares {
+		key := tre.ShardServerKey(set, share)
+		path := filepath.Join(dir, fmt.Sprintf("member-%d.pub", share.Index))
+		if err := writePublic(path, codec.MarshalServerPublicKey(key.Pub)); err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range serving {
+			if idx != share.Index {
+				continue
+			}
+			srv := tre.NewTimeServer(set, key, sched)
+			if err := srv.PublishLabel(label); err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			t.Cleanup(ts.Close)
+			f.memberTS[share.Index] = ts
+		}
+	}
+	return f
+}
+
+// writePublic mirrors keyfile.SavePublic's hex-line format.
+func writePublic(path string, encoded []byte) error {
+	return os.WriteFile(path, []byte(fmt.Sprintf("%x\n", encoded)), 0o644)
+}
+
+func (f *thresholdFixture) memberFlag(idx int) string {
+	return fmt.Sprintf("%d=%s=%s", idx, f.memberTS[idx].URL, filepath.Join(f.dir, fmt.Sprintf("member-%d.pub", idx)))
+}
+
+// TestRoundModeCLIThresholdRoundTrip is the CLI end-to-end: encrypt to
+// a beacon round (armored file), then decrypt it by combining a 2-of-3
+// quorum of member servers — the third member is never up.
+func TestRoundModeCLIThresholdRoundTrip(t *testing.T) {
+	const (
+		genesis = "2026-01-01T00:00:00Z"
+		round   = 42
+		label   = "2026-01-01T00:42:00Z" // genesis + 42 one-minute rounds
+	)
+	f := newThresholdFixture(t, 2, 3, label, []int{1, 3})
+	join := func(name string) string { return filepath.Join(f.dir, name) }
+
+	if err := run([]string{"user-keygen", "-preset", "Test160",
+		"-server-pub", join("group.pub"), "-out", join("user.key"), "-pub", join("user.pub")}); err != nil {
+		t.Fatal(err)
+	}
+	plain := join("secret.txt")
+	if err := os.WriteFile(plain, []byte("sealed to round 42"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sealed := join("sealed.trearm")
+	if err := run([]string{"encrypt", "-preset", "Test160",
+		"-server-pub", join("group.pub"), "-user-pub", join("user.pub"),
+		"-round", fmt.Sprint(round), "-genesis", genesis, "-round-period", "1m",
+		"-in", plain, "-out", sealed}); err != nil {
+		t.Fatalf("encrypt -round: %v", err)
+	}
+	raw, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "-----BEGIN TRE ROUND CIPHERTEXT-----") {
+		t.Fatalf("round-mode output is not armored:\n%s", raw)
+	}
+
+	out := join("opened.txt")
+	if err := run([]string{"decrypt", "-preset", "Test160",
+		"-server-pub", join("group.pub"), "-key", join("user.key"),
+		"-k", "2", "-member", f.memberFlag(1), "-member", f.memberFlag(3),
+		"-in", sealed, "-out", out}); err != nil {
+		t.Fatalf("decrypt via quorum: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "sealed to round 42" {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+
+	// A -label that disagrees with the armored round is refused.
+	err = run([]string{"decrypt", "-preset", "Test160",
+		"-server-pub", join("group.pub"), "-key", join("user.key"),
+		"-k", "2", "-member", f.memberFlag(1), "-member", f.memberFlag(3),
+		"-label", "2026-01-01T00:43:00Z", "-in", sealed})
+	if err == nil || !strings.Contains(err.Error(), "disagrees") {
+		t.Fatalf("mismatched -label: err=%v", err)
+	}
+
+	// One member short of quorum fails with the quorum shortfall.
+	err = run([]string{"decrypt", "-preset", "Test160",
+		"-server-pub", join("group.pub"), "-key", join("user.key"),
+		"-k", "2", "-member", f.memberFlag(1), "-in", sealed})
+	if err == nil {
+		t.Fatal("k=2 with one member must fail")
+	}
+}
+
+// A 1-of-1 "group" is an ordinary single server: the armored file also
+// decrypts through the plain -server path.
+func TestArmoredSingleServerDecrypt(t *testing.T) {
+	const (
+		genesis = "2026-01-01T00:00:00Z"
+		label   = "2026-01-01T00:07:00Z"
+	)
+	f := newThresholdFixture(t, 1, 1, label, []int{1})
+	join := func(name string) string { return filepath.Join(f.dir, name) }
+	if err := run([]string{"user-keygen", "-preset", "Test160",
+		"-server-pub", join("group.pub"), "-out", join("user.key"), "-pub", join("user.pub")}); err != nil {
+		t.Fatal(err)
+	}
+	plain := join("p.txt")
+	if err := os.WriteFile(plain, []byte("duration mode"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sealed := join("sealed.trearm")
+	if err := run([]string{"encrypt", "-preset", "Test160",
+		"-server-pub", join("group.pub"), "-user-pub", join("user.pub"),
+		"-round", "7", "-genesis", genesis, "-in", plain, "-out", sealed}); err != nil {
+		t.Fatal(err)
+	}
+	out := join("o.txt")
+	if err := run([]string{"decrypt", "-preset", "Test160",
+		"-server", f.memberTS[1].URL, "-server-pub", join("group.pub"),
+		"-key", join("user.key"), "-in", sealed, "-out", out}); err != nil {
+		t.Fatalf("single-server armored decrypt: %v", err)
+	}
+	if got, _ := os.ReadFile(out); string(got) != "duration mode" {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestEncryptRoundFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"label and round", []string{"-label", "x", "-round", "3", "-genesis", "2026-01-01T00:00:00Z"}},
+		{"round and duration", []string{"-round", "3", "-duration", "1h", "-genesis", "2026-01-01T00:00:00Z"}},
+		{"round without genesis", []string{"-round", "3"}},
+		{"bad genesis", []string{"-round", "3", "-genesis", "not-a-time"}},
+		{"off-grid genesis", []string{"-round", "3", "-genesis", "2026-01-01T00:00:30Z", "-round-period", "1m"}},
+		{"no mode at all", nil},
+	} {
+		args := append([]string{"encrypt", "-preset", "Test160"}, tc.args...)
+		if err := run(args); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestDecryptMemberFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	// decrypt needs a real server-pub/key to get as far as member
+	// parsing; reuse the fixture files.
+	f := newThresholdFixture(t, 1, 1, "2026-01-01T00:01:00Z", nil)
+	join := func(name string) string { return filepath.Join(f.dir, name) }
+	if err := run([]string{"user-keygen", "-preset", "Test160",
+		"-server-pub", join("group.pub"), "-out", join("user.key"), "-pub", join("user.pub")}); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(plain, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sealed := filepath.Join(dir, "s.tre")
+	if err := run([]string{"encrypt", "-preset", "Test160",
+		"-server-pub", join("group.pub"), "-user-pub", join("user.pub"),
+		"-label", "2026-01-01T00:01:00Z", "-in", plain, "-out", sealed}); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"decrypt", "-preset", "Test160",
+		"-server-pub", join("group.pub"), "-key", join("user.key"), "-in", sealed}
+	for _, tc := range []struct {
+		name  string
+		extra []string
+	}{
+		{"member without k", []string{"-member", "1=http://x=" + join("member-1.pub")}},
+		{"k above member count", []string{"-k", "3", "-member", "1=http://x=" + join("member-1.pub")}},
+		{"malformed member", []string{"-k", "1", "-member", "nonsense"}},
+		{"bad member index", []string{"-k", "1", "-member", "0=http://x=" + join("member-1.pub")}},
+		{"missing pub file", []string{"-k", "1", "-member", "1=http://x=" + filepath.Join(dir, "absent.pub")}},
+		{"neither server nor members", nil},
+	} {
+		if err := run(append(append([]string{}, base...), tc.extra...)); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,9 +1,10 @@
 // Command trethreshold operates the k-of-n threshold time-authority
-// extension: deal shares, export a share as an ordinary treserver key,
-// issue partial updates offline, and combine partials into the group's
-// key update.
+// extension: deal shares, run one member as a network time server,
+// export a share as an ordinary treserver key, issue partial updates
+// offline, and combine partials into the group's key update.
 //
 //	trethreshold deal    -preset SS512 -k 3 -n 5 -out-dir ./authority
+//	trethreshold serve   -preset SS512 -share authority/share-1.key -addr :8441
 //	trethreshold export-server-key -preset SS512 -share authority/share-1.key -out shard1.key
 //	trethreshold partial -preset SS512 -share authority/share-2.key \
 //	                     -label 2027-01-01T00:00:00Z -out p2.bin
@@ -12,14 +13,20 @@
 //
 // The group public key written by `deal` is an ordinary TRE server
 // public key: receivers use it with trectl/the library unchanged, and
-// the combined update is byte-identical to a single-server one.
+// the combined update is byte-identical to a single-server one. `deal`
+// also writes one member-N.pub per share — the ordinary server public
+// key a member's `serve` process answers under, which clients pin with
+// `trectl decrypt -member N=url=member-N.pub`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"timedrelease/internal/keyfile"
 	"timedrelease/internal/threshold"
@@ -40,6 +47,14 @@ func run(args []string) error {
 	switch args[0] {
 	case "deal":
 		return deal(args[1:])
+	case "serve":
+		cfg, err := parseServeFlags(args[1:], os.Stderr)
+		if err != nil {
+			return err
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runServe(ctx, cfg, os.Stdout)
 	case "export-server-key":
 		return exportServerKey(args[1:])
 	case "partial":
@@ -52,7 +67,7 @@ func run(args []string) error {
 }
 
 func usage() error {
-	fmt.Fprintln(os.Stderr, `usage: trethreshold <deal|export-server-key|partial|combine> [flags]
+	fmt.Fprintln(os.Stderr, `usage: trethreshold <deal|serve|export-server-key|partial|combine> [flags]
 run a subcommand with -h for its flags`)
 	return fmt.Errorf("unknown or missing subcommand")
 }
@@ -84,11 +99,20 @@ func deal(args []string) error {
 		}
 	}
 	codec := tre.NewCodec(set)
+	// Each member's serve process answers under its own ordinary server
+	// key; clients pin these per-member keys in quorum mode.
+	for _, share := range setup.Shares {
+		memberPub := tre.ShardServerKey(set, share).Pub
+		path := filepath.Join(*outDir, fmt.Sprintf("member-%d.pub", share.Index))
+		if err := keyfile.SavePublic(path, codec.MarshalServerPublicKey(memberPub)); err != nil {
+			return err
+		}
+	}
 	groupPath := filepath.Join(*outDir, "group.pub")
 	if err := keyfile.SavePublic(groupPath, codec.MarshalServerPublicKey(setup.GroupPub)); err != nil {
 		return err
 	}
-	fmt.Printf("dealt %d-of-%d: %d share files + %s\n", *k, *n, *n, groupPath)
+	fmt.Printf("dealt %d-of-%d: %d share files, %d member-N.pub files + %s\n", *k, *n, *n, *n, groupPath)
 	fmt.Println("distribute each share to one operator over a secure channel, then DELETE the local copies")
 	return nil
 }

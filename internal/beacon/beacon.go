@@ -1,0 +1,179 @@
+// Package beacon recasts the passive time server as a drand/tlock-style
+// round beacon. A Clock is a fixed round duration plus a genesis
+// instant; round r is the epoch starting at genesis + r·period, and its
+// canonical name is exactly the timefmt.Schedule label of that epoch —
+// so a round beacon IS an ordinary schedule-driven time server, and
+// every existing endpoint, archive, relay and verification path serves
+// round mode unchanged. The round↔label mapping is a bijection: a round
+// number names exactly one label and a label on the grid at or after
+// genesis names exactly one round.
+//
+// Senders who think in wall-clock time encrypt to a label; senders who
+// think in "open after N minutes" or "open at round 12345" encrypt to a
+// round (tre.EncryptToRound / tre.EncryptToDuration) and ship the round
+// number plus the clock parameters inside the armored ciphertext file,
+// so the receiver needs no out-of-band agreement beyond the server (or
+// threshold group) public key.
+package beacon
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"timedrelease/internal/timefmt"
+)
+
+// Clock maps round numbers to schedule labels and back. The zero value
+// is not usable; build one with New or Must.
+type Clock struct {
+	sched   timefmt.Schedule
+	genesis int64 // schedule index of round 0
+}
+
+// ErrBeforeGenesis reports a label or instant earlier than round 0.
+var ErrBeforeGenesis = errors.New("beacon: before genesis")
+
+// ErrRoundRange reports a round number outside the clock's addressable
+// range (the underlying schedule indexes are int64 epochs).
+var ErrRoundRange = errors.New("beacon: round number out of range")
+
+// New returns a round clock with the given period and genesis instant.
+// The period must satisfy the schedule rules (positive, divides 24h)
+// and the genesis must lie exactly on the period grid so that every
+// round label is a canonical schedule label any party derives
+// independently.
+func New(period time.Duration, genesis time.Time) (Clock, error) {
+	sched, err := timefmt.NewSchedule(period)
+	if err != nil {
+		return Clock{}, err
+	}
+	idx := sched.Index(genesis)
+	if !sched.Start(idx).Equal(genesis) {
+		return Clock{}, fmt.Errorf("beacon: genesis %s is not on the %v grid (want %s)",
+			genesis.UTC().Format(time.RFC3339Nano), period, sched.LabelAt(idx))
+	}
+	return Clock{sched: sched, genesis: idx}, nil
+}
+
+// Must is New for known-good constants; it panics on error.
+func Must(period time.Duration, genesis time.Time) Clock {
+	c, err := New(period, genesis)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Period returns the round duration.
+func (c Clock) Period() time.Duration { return c.sched.Granularity }
+
+// Genesis returns the start instant of round 0 (UTC).
+func (c Clock) Genesis() time.Time { return c.sched.Start(c.genesis) }
+
+// Schedule returns the underlying epoch schedule — the one the time
+// servers of this beacon run on.
+func (c Clock) Schedule() timefmt.Schedule { return c.sched }
+
+// maxIndex is the largest schedule index whose start instant is still
+// representable as int64 nanoseconds (the time.Time range the schedule
+// computes in).
+func (c Clock) maxIndex() int64 {
+	return math.MaxInt64 / int64(c.sched.Granularity)
+}
+
+// MaxRound returns the largest addressable round — the last round whose
+// start instant is representable on this clock.
+func (c Clock) MaxRound() uint64 {
+	return uint64(c.maxIndex() - c.genesis)
+}
+
+// index returns the schedule index of round r, or ErrRoundRange when
+// the round's start instant leaves the representable timeline.
+func (c Clock) index(round uint64) (int64, error) {
+	if round > c.MaxRound() {
+		return 0, ErrRoundRange
+	}
+	return c.genesis + int64(round), nil
+}
+
+// Time returns the start instant of round r.
+func (c Clock) Time(round uint64) (time.Time, error) {
+	idx, err := c.index(round)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return c.sched.Start(idx), nil
+}
+
+// Label returns the canonical release label of round r — the exact
+// string a schedule-driven time server signs for that epoch.
+func (c Clock) Label(round uint64) (string, error) {
+	idx, err := c.index(round)
+	if err != nil {
+		return "", err
+	}
+	return c.sched.LabelAt(idx), nil
+}
+
+// Round inverts Label: it parses a canonical label and returns its
+// round number. Labels off the grid are rejected by the schedule;
+// labels before genesis return ErrBeforeGenesis. Round∘Label is the
+// identity on every addressable round, and Label∘Round is the identity
+// on every on-grid label at or after genesis.
+func (c Clock) Round(label string) (uint64, error) {
+	t, err := c.sched.ParseLabel(label)
+	if err != nil {
+		return 0, err
+	}
+	idx := c.sched.Index(t)
+	if idx < c.genesis {
+		return 0, fmt.Errorf("%w: label %s predates round 0 (%s)", ErrBeforeGenesis, label, c.Label0())
+	}
+	return uint64(idx - c.genesis), nil
+}
+
+// Label0 returns the genesis label (round 0).
+func (c Clock) Label0() string { return c.sched.LabelAt(c.genesis) }
+
+// At returns the round whose epoch contains the instant t.
+func (c Clock) At(t time.Time) (uint64, error) {
+	idx := c.sched.Index(t)
+	if idx < c.genesis {
+		return 0, fmt.Errorf("%w: %s is before round 0", ErrBeforeGenesis, t.UTC().Format(time.RFC3339Nano))
+	}
+	return uint64(idx - c.genesis), nil
+}
+
+// After returns the earliest round whose start is at or after now+d —
+// the round an "open after d" sender encrypts to. d must be
+// non-negative; a zero d selects the next round boundary (the earliest
+// release still in the future, never the already-open current round).
+func (c Clock) After(now time.Time, d time.Duration) (uint64, error) {
+	if d < 0 {
+		return 0, errors.New("beacon: negative duration")
+	}
+	target := now.Add(d)
+	idx := c.sched.Index(target)
+	if !c.sched.Start(idx).Equal(target) {
+		idx++ // first boundary at or after the target instant
+	}
+	if idx <= c.sched.Index(now) {
+		idx = c.sched.Index(now) + 1
+	}
+	if idx < c.genesis {
+		return 0, fmt.Errorf("%w: %s+%v is before round 0", ErrBeforeGenesis, now.UTC().Format(time.RFC3339Nano), d)
+	}
+	return uint64(idx - c.genesis), nil
+}
+
+// Equal reports whether two clocks describe the same round grid.
+func (c Clock) Equal(o Clock) bool {
+	return c.sched.Granularity == o.sched.Granularity && c.genesis == o.genesis
+}
+
+// String renders the clock for diagnostics.
+func (c Clock) String() string {
+	return fmt.Sprintf("beacon(period=%v genesis=%s)", c.Period(), c.Label0())
+}

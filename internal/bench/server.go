@@ -65,7 +65,7 @@ func (c ServerLoadConfig) withDefaults() ServerLoadConfig {
 		}
 	}
 	if len(c.Mixes) == 0 {
-		c.Mixes = []string{"fetch", "catchup", "mixed", "encdec", "coldstart", "coldstart-batch", "stream", "relay"}
+		c.Mixes = []string{"fetch", "catchup", "mixed", "encdec", "coldstart", "coldstart-batch", "rounds", "stream", "relay"}
 	}
 	if len(c.ColdStartEpochs) == 0 {
 		if c.Quick {
@@ -159,6 +159,16 @@ type ServerRow struct {
 	// path scales with it.
 	Epochs        int     `json:"epochs,omitempty"`
 	PairingsPerOp float64 `json:"pairings_per_op,omitempty"`
+
+	// Rounds cells only: the k-of-n shape of the measured beacon
+	// network, how many quorum combines succeeded, and how many partial
+	// fetches failed along the way. P50/P95/P99 are per-op
+	// QuorumClient.Update latency — n concurrent partial fetches, k
+	// pairing verifications, one Lagrange combine.
+	Members        int   `json:"members,omitempty"`
+	Quorum         int   `json:"quorum,omitempty"`
+	QuorumCombines int64 `json:"quorum_combines,omitempty"`
+	PartialsFailed int64 `json:"partials_failed,omitempty"`
 
 	// Stream/relay cells only: concurrent subscriber count, the
 	// transport carrying them ("tcp", or "inmem" when the count does not
@@ -440,6 +450,29 @@ func RunServerLoad(cfg ServerLoadConfig) (*ServerReport, *Table, error) {
 				}
 				continue
 			}
+			if mix == "rounds" {
+				if cfg.BaseURL != "" {
+					// The quorum cell measures a k-of-n member network it
+					// boots itself; one remote URL cannot stand in for it.
+					return nil, nil, fmt.Errorf("bench: the rounds mix needs in-process member servers (drop -url)")
+				}
+				for _, clients := range cfg.Clients {
+					row, err := runRounds(preset, clients, cfg)
+					if err != nil {
+						return nil, nil, err
+					}
+					rep.Rows = append(rep.Rows, row)
+					table.Add(
+						fmt.Sprintf("%s/rounds:%d-of-%d", row.Preset, row.Quorum, row.Members),
+						fmt.Sprintf("%d", clients),
+						fmt.Sprintf("%.0f", row.RPS),
+						nsHuman(row.P50NS), nsHuman(row.P95NS), nsHuman(row.P99NS),
+						fmt.Sprintf("%d", row.Ops),
+						fmt.Sprintf("%d", row.Errors),
+					)
+				}
+				continue
+			}
 			if mix == "coldstart" || mix == "coldstart-batch" {
 				t, err := target(preset)
 				if err != nil {
@@ -493,6 +526,7 @@ func RunServerLoad(cfg ServerLoadConfig) (*ServerReport, *Table, error) {
 	table.Note("clients pin the server key and verify everything; the client-side cache is disabled so every op exercises the server")
 	table.Note("all clients of a cell share one core.Scheme, so its sharded precomputation caches are read concurrently")
 	table.Note("coldstart:N = one fresh client recovering N missed epochs per op (aggregate range path); coldstart-batch:N = the same recovery via per-label fetches + batched verification; pairings per op are in BENCH_server.json")
+	table.Note("rounds:k-of-n = quorum-combine latency on a threshold beacon network: each op fetches partial updates from n member servers concurrently and Lagrange-combines the first k that verify")
 	table.Note("stream:N / relay:N = N concurrent /v1/stream subscribers (relay: behind a stateless fan-out relay) receiving %d forward publishes; p50/p95/p99 are publish→delivery wakeup latency; [inmem] marks counts beyond the FD limit driven over an in-memory transport", cfg.StreamPublishes)
 	return rep, table, nil
 }

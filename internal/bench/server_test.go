@@ -8,7 +8,7 @@ import (
 
 func TestServerLoadDefaults(t *testing.T) {
 	full := ServerLoadConfig{}.withDefaults()
-	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 8 {
+	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 9 {
 		t.Fatalf("full defaults: %+v", full)
 	}
 	if len(full.Subscribers) != 2 || full.Subscribers[1] < 50000 {
@@ -63,8 +63,8 @@ func TestServerLoadQuickCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 8 {
-		t.Fatalf("got %d rows, want 8 (one per mix, incl. both coldstart cells and the stream/relay fan-out cells)", len(rep.Rows))
+	if len(rep.Rows) != 9 {
+		t.Fatalf("got %d rows, want 9 (one per mix, incl. both coldstart cells, the quorum rounds cell and the stream/relay fan-out cells)", len(rep.Rows))
 	}
 	var sawPublish bool
 	for _, r := range rep.Rows {
@@ -93,6 +93,19 @@ func TestServerLoadQuickCell(t *testing.T) {
 		}
 		if r.Subscribers != 0 || r.Transport != "" || r.PerConnBytes != 0 {
 			t.Fatalf("non-fan-out cell carries fan-out fields: %+v", r)
+		}
+		if r.Mix == "rounds" {
+			// The quorum cell: every op combines k-of-n partials, so the
+			// combine counter must account for every successful op and the
+			// healthy fixture must lose no partial fetches.
+			if r.Members != 5 || r.Quorum != 3 {
+				t.Fatalf("rounds cell shape: %+v", r)
+			}
+			if r.QuorumCombines != r.Ops-r.Errors || r.PartialsFailed != 0 {
+				t.Fatalf("rounds cell accounting: %+v", r)
+			}
+		} else if r.Members != 0 || r.Quorum != 0 || r.QuorumCombines != 0 || r.PartialsFailed != 0 {
+			t.Fatalf("non-rounds cell carries quorum fields: %+v", r)
 		}
 		cold := r.Mix == "coldstart" || r.Mix == "coldstart-batch"
 		wantClients := 2

@@ -28,6 +28,11 @@ import (
 	"timedrelease/internal/rohash"
 )
 
+// ErrUpdateCount reports a decryption attempt with a different number
+// of key updates than the ciphertext has server headers — the N-of-N
+// construction needs exactly one update per chosen server.
+var ErrUpdateCount = errors.New("multiserver: update count does not match server headers")
+
 // Scheme binds the multi-server algorithms to a parameter set.
 type Scheme struct {
 	Set *params.Set
@@ -160,7 +165,7 @@ func (sc *Scheme) decapsulate(upriv *UserKeyPair, updates []core.KeyUpdate, ct *
 		return pairing.GT{}, core.ErrInvalidCiphertext
 	}
 	if len(updates) != len(ct.Us) {
-		return pairing.GT{}, fmt.Errorf("multiserver: %d updates for %d headers", len(updates), len(ct.Us))
+		return pairing.GT{}, fmt.Errorf("%w: %d updates for %d headers", ErrUpdateCount, len(updates), len(ct.Us))
 	}
 	label := updates[0].Label
 	c := sc.Set.Curve

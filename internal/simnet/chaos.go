@@ -1,0 +1,500 @@
+// Chaos harness: a deterministic fault-schedule driver for a k-of-N
+// threshold beacon network. The cluster runs REAL member time servers
+// (durable archives, HTTP surfaces, verifying clients) under a virtual
+// clock that only the driver advances — no goroutine races, no test
+// sleeps — while a scripted or seeded schedule of kill / restart /
+// torn-archive / relay-partition events fires at round boundaries.
+// Determinism is the point: the same schedule against the same cluster
+// shape produces the same trace, so an acceptance test that survives a
+// fault storm once survives it every time.
+
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timedrelease/internal/archive"
+	"timedrelease/internal/beacon"
+	"timedrelease/internal/core"
+	"timedrelease/internal/faulthttp"
+	"timedrelease/internal/params"
+	"timedrelease/internal/threshold"
+	"timedrelease/internal/timeserver"
+	"timedrelease/internal/wire"
+)
+
+// EventKind is one chaos action.
+type EventKind int
+
+const (
+	// EvKill takes a member down: its archive file handle is closed
+	// (as a crash would) and every request to it fails at the transport.
+	EvKill EventKind = iota
+	// EvRestart brings a killed member back: its archive is recovered
+	// from disk (torn tails truncated, records re-verified against the
+	// member key) and missed rounds are backfilled.
+	EvRestart
+	// EvTearArchive appends garbage to a down member's update log — the
+	// torn tail a crash mid-append leaves behind.
+	EvTearArchive
+	// EvPartition cuts the relay from its upstream member.
+	EvPartition
+	// EvHeal reconnects the relay.
+	EvHeal
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvKill:
+		return "kill"
+	case EvRestart:
+		return "restart"
+	case EvTearArchive:
+		return "tear-archive"
+	case EvPartition:
+		return "partition-relay"
+	case EvHeal:
+		return "heal-relay"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault, keyed to the round at whose start it
+// fires. Member is the 1-based share index for member events and
+// ignored for relay events.
+type Event struct {
+	Round  uint64
+	Kind   EventKind
+	Member int
+}
+
+// FaultSchedule is an ordered list of events. AdvanceToRound applies
+// them in (round, list-position) order.
+type FaultSchedule []Event
+
+// ErrDown is what requests to a killed member fail with.
+var ErrDown = errors.New("simnet: member is down")
+
+// ErrPartitioned is what the relay's upstream requests fail with while
+// partitioned.
+var ErrPartitioned = errors.New("simnet: relay is partitioned from its upstream")
+
+// gate fails round trips while its flag is up; otherwise it forwards.
+type gate struct {
+	cut  *atomic.Bool
+	err  error
+	base http.RoundTripper
+}
+
+func (g gate) RoundTrip(req *http.Request) (*http.Response, error) {
+	if g.cut.Load() {
+		return nil, g.err
+	}
+	return g.base.RoundTrip(req)
+}
+
+// swapHandler lets a member's HTTP surface survive server rebuilds: the
+// httptest listener stays put while the handler behind it is swapped on
+// restart.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// member is one threshold member: an ordinary time server over its
+// share key, a durable archive directory, and a pinned verifying client
+// behind a down-gate.
+type member struct {
+	index   int
+	key     *core.ServerKeyPair
+	dir     string
+	srv     *timeserver.Server
+	arch    *archive.Log
+	handler *swapHandler
+	ts      *httptest.Server
+	down    atomic.Bool
+	faults  *faulthttp.Transport
+	client  *timeserver.Client
+}
+
+// relayNode fronts one member with a stateless relay whose upstream
+// link can be partitioned.
+type relayNode struct {
+	member      int
+	relay       *timeserver.Relay
+	ts          *httptest.Server
+	partitioned atomic.Bool
+	client      *timeserver.Client // downstream consumer client via the relay
+}
+
+// ClusterConfig describes the network under test.
+type ClusterConfig struct {
+	Set *params.Set
+	K   int
+	N   int
+	// Clock is the beacon round clock; its period is the members' epoch
+	// granularity and its genesis is where the virtual clock starts.
+	Clock beacon.Clock
+	// Dir is the root for the members' durable archive directories.
+	Dir string
+	// RelayMember, when non-zero, puts that member behind a relay: the
+	// quorum reaches it only through the relay's surface.
+	RelayMember int
+	// Schedule is the fault script.
+	Schedule FaultSchedule
+}
+
+// Cluster is a running threshold beacon network under a fault schedule.
+type Cluster struct {
+	Set   *params.Set
+	Setup *threshold.Setup
+	Clock beacon.Clock
+	K, N  int
+
+	mu     sync.Mutex // guards now (read from member clock callbacks)
+	now    time.Time
+	events FaultSchedule
+	cursor int
+	next   uint64 // next round AdvanceToRound may be called with
+
+	members map[int]*member
+	relay   *relayNode
+	trace   []string
+}
+
+// NewCluster deals a fresh k-of-n group and brings every member up at
+// the round-0 boundary (nothing published yet — call AdvanceToRound).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.K < 1 || cfg.N < cfg.K {
+		return nil, fmt.Errorf("simnet: bad cluster shape %d-of-%d", cfg.K, cfg.N)
+	}
+	setup, err := threshold.Deal(cfg.Set, nil, cfg.K, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	events := append(FaultSchedule{}, cfg.Schedule...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Round < events[j].Round })
+	c := &Cluster{
+		Set:     cfg.Set,
+		Setup:   setup,
+		Clock:   cfg.Clock,
+		K:       cfg.K,
+		N:       cfg.N,
+		now:     cfg.Clock.Genesis(),
+		events:  events,
+		members: make(map[int]*member, cfg.N),
+	}
+	for _, share := range setup.Shares {
+		m := &member{
+			index:   share.Index,
+			key:     threshold.ShardServerKey(cfg.Set, share),
+			dir:     filepath.Join(cfg.Dir, fmt.Sprintf("member-%d", share.Index)),
+			handler: &swapHandler{},
+		}
+		if err := c.openMember(m); err != nil {
+			c.Close()
+			return nil, err
+		}
+		m.ts = httptest.NewServer(m.handler)
+		m.faults = faulthttp.New(m.ts.Client().Transport)
+		m.client = timeserver.NewClient(m.ts.URL, cfg.Set, m.key.Pub,
+			timeserver.WithHTTPClient(&http.Client{Transport: gate{cut: &m.down, err: ErrDown, base: m.faults}}),
+			timeserver.WithRetry(timeserver.NoRetry))
+		c.members[share.Index] = m
+	}
+	if cfg.RelayMember != 0 {
+		up, ok := c.members[cfg.RelayMember]
+		if !ok {
+			c.Close()
+			return nil, fmt.Errorf("simnet: relay member %d does not exist", cfg.RelayMember)
+		}
+		r := &relayNode{member: cfg.RelayMember}
+		// The relay's upstream link has its own partition gate on top of
+		// the member's down gate: a healed relay still fails against a
+		// dead member, exactly like a real deployment.
+		upstream := timeserver.NewClient(up.ts.URL, cfg.Set, up.key.Pub,
+			timeserver.WithHTTPClient(&http.Client{Transport: gate{
+				cut: &r.partitioned, err: ErrPartitioned,
+				base: gate{cut: &up.down, err: ErrDown, base: up.ts.Client().Transport},
+			}}),
+			timeserver.WithRetry(timeserver.NoRetry))
+		r.relay = timeserver.NewRelay(upstream, c.Clock.Schedule())
+		r.ts = httptest.NewServer(r.relay.Handler())
+		r.client = timeserver.NewClient(r.ts.URL, cfg.Set, up.key.Pub,
+			timeserver.WithHTTPClient(r.ts.Client()), timeserver.WithRetry(timeserver.NoRetry))
+		c.relay = r
+	}
+	return c, nil
+}
+
+// openMember (re)opens the member's durable archive — recovering any
+// torn tail and re-verifying every record against the member key — and
+// builds a fresh server over it, swapped in behind the stable listener.
+func (c *Cluster) openMember(m *member) error {
+	scheme := core.NewScheme(c.Set)
+	arch, err := archive.OpenDir(m.dir, wire.NewCodec(c.Set),
+		archive.WithVerifier(func(u core.KeyUpdate) bool { return scheme.VerifyUpdate(m.key.Pub, u) }))
+	if err != nil {
+		return err
+	}
+	m.arch = arch
+	m.srv = timeserver.NewServer(c.Set, m.key, c.Clock.Schedule(),
+		timeserver.WithArchive(arch), timeserver.WithClock(c.Now))
+	m.handler.set(m.srv.Handler())
+	return nil
+}
+
+// Now is the cluster's virtual clock (the members' time source).
+func (c *Cluster) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Trace returns the applied-event log. Two runs of the same schedule
+// over the same cluster shape produce identical traces — the
+// determinism contract the chaos tests pin.
+func (c *Cluster) Trace() []string { return append([]string(nil), c.trace...) }
+
+func (c *Cluster) tracef(format string, args ...any) {
+	c.trace = append(c.trace, fmt.Sprintf(format, args...))
+}
+
+// Down reports whether a member is currently killed.
+func (c *Cluster) Down(idx int) bool { return c.members[idx].down.Load() }
+
+// Shards returns the quorum fan-out view of the cluster: every member's
+// pinned client, with the relayed member reachable only through the
+// relay.
+func (c *Cluster) Shards() []threshold.Shard {
+	shards := make([]threshold.Shard, 0, c.N)
+	for _, share := range c.Setup.Shares {
+		m := c.members[share.Index]
+		client := m.client
+		if c.relay != nil && c.relay.member == share.Index {
+			client = c.relay.client
+		}
+		shards = append(shards, threshold.Shard{Index: share.Index, Client: client})
+	}
+	return shards
+}
+
+// Quorum returns a fresh quorum client over Shards.
+func (c *Cluster) Quorum() *threshold.QuorumClient {
+	return &threshold.QuorumClient{Set: c.Set, GroupPub: c.Setup.GroupPub, K: c.K, Shards: c.Shards()}
+}
+
+// Faults exposes a member's fault-injecting transport, for layering
+// response truncation or latency on top of the schedule.
+func (c *Cluster) Faults(idx int) *faulthttp.Transport { return c.members[idx].faults }
+
+// AdvanceToRound moves the virtual clock to the middle of round r,
+// applies every scheduled event with Round ≤ r (in schedule order), has
+// each live member publish up to the new now, and lets the relay sync.
+// Rounds must be advanced in nondecreasing order.
+func (c *Cluster) AdvanceToRound(ctx context.Context, r uint64) error {
+	if r+1 < c.next {
+		return fmt.Errorf("simnet: AdvanceToRound(%d) after round %d", r, c.next-1)
+	}
+	start, err := c.Clock.Time(r)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.now = start.Add(c.Clock.Period() / 2)
+	c.mu.Unlock()
+	c.next = r + 1
+
+	for c.cursor < len(c.events) && c.events[c.cursor].Round <= r {
+		if err := c.apply(c.events[c.cursor]); err != nil {
+			return err
+		}
+		c.cursor++
+	}
+	for _, share := range c.Setup.Shares {
+		m := c.members[share.Index]
+		if m.down.Load() {
+			continue
+		}
+		if _, err := m.srv.PublishUpTo(c.Now()); err != nil {
+			return fmt.Errorf("simnet: member %d publish: %w", m.index, err)
+		}
+	}
+	if c.relay != nil {
+		if n, err := c.relay.relay.Sync(ctx); err != nil {
+			// Expected while partitioned or the upstream is down: the relay
+			// retries next round, its archive intact.
+			c.tracef("r%d relay sync failed", r)
+		} else if n > 0 {
+			c.tracef("r%d relay ingested %d", r, n)
+		}
+	}
+	return nil
+}
+
+// apply fires one event.
+func (c *Cluster) apply(ev Event) error {
+	switch ev.Kind {
+	case EvKill:
+		m, ok := c.members[ev.Member]
+		if !ok || m.down.Load() {
+			return fmt.Errorf("simnet: kill of unknown or already-down member %d", ev.Member)
+		}
+		m.down.Store(true)
+		m.handler.set(nil)
+		if err := m.arch.Close(); err != nil {
+			return err
+		}
+		m.srv, m.arch = nil, nil
+		c.tracef("r%d kill member %d", ev.Round, ev.Member)
+	case EvRestart:
+		m, ok := c.members[ev.Member]
+		if !ok || !m.down.Load() {
+			return fmt.Errorf("simnet: restart of unknown or running member %d", ev.Member)
+		}
+		if err := c.openMember(m); err != nil {
+			return fmt.Errorf("simnet: member %d recovery: %w", ev.Member, err)
+		}
+		stats := m.arch.Stats()
+		m.down.Store(false)
+		c.tracef("r%d restart member %d (recovered %d, torn %dB)",
+			ev.Round, ev.Member, stats.Records, stats.TornBytes)
+	case EvTearArchive:
+		m, ok := c.members[ev.Member]
+		if !ok || !m.down.Load() {
+			return fmt.Errorf("simnet: tear-archive needs member %d down (the file handle)", ev.Member)
+		}
+		f, err := os.OpenFile(filepath.Join(m.dir, "updates.log"), os.O_APPEND|os.O_WRONLY, 0o600)
+		if err != nil {
+			return err
+		}
+		// A length prefix promising more bytes than follow — the shape a
+		// crash mid-append leaves.
+		if _, err := f.Write([]byte{0, 0, 0, 42, 't', 'o', 'r', 'n'}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		c.tracef("r%d tear member %d archive", ev.Round, ev.Member)
+	case EvPartition:
+		if c.relay == nil {
+			return errors.New("simnet: partition without a relay")
+		}
+		c.relay.partitioned.Store(true)
+		c.tracef("r%d partition relay", ev.Round)
+	case EvHeal:
+		if c.relay == nil {
+			return errors.New("simnet: heal without a relay")
+		}
+		c.relay.partitioned.Store(false)
+		c.tracef("r%d heal relay", ev.Round)
+	default:
+		return fmt.Errorf("simnet: unknown event kind %v", ev.Kind)
+	}
+	return nil
+}
+
+// Close shuts down every listener and archive.
+func (c *Cluster) Close() {
+	for _, m := range c.members {
+		if m.ts != nil {
+			m.ts.Close()
+		}
+		if m.arch != nil {
+			m.arch.Close()
+		}
+	}
+	if c.relay != nil {
+		c.relay.ts.Close()
+	}
+}
+
+// RandomSchedule derives a fault schedule from a seed: each round may
+// kill a live member (never taking more than n−k down at once, so a
+// quorum always exists), restart a down one — tearing its archive tail
+// first about half the time — and toggle the relay partition. Every
+// member is restarted and the relay healed by the final round, so the
+// cluster always ends whole. The same seed yields the same schedule.
+func RandomSchedule(seed int64, rounds uint64, n, k int) FaultSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	var sched FaultSchedule
+	down := map[int]bool{}
+	partitioned := false
+	for r := uint64(1); r+1 < rounds; r++ {
+		if len(down) < n-k && rng.Intn(3) == 0 {
+			alive := make([]int, 0, n)
+			for i := 1; i <= n; i++ {
+				if !down[i] {
+					alive = append(alive, i)
+				}
+			}
+			victim := alive[rng.Intn(len(alive))]
+			sched = append(sched, Event{Round: r, Kind: EvKill, Member: victim})
+			down[victim] = true
+		}
+		if len(down) > 0 && rng.Intn(3) == 0 {
+			idle := make([]int, 0, len(down))
+			for i := 1; i <= n; i++ {
+				if down[i] {
+					idle = append(idle, i)
+				}
+			}
+			back := idle[rng.Intn(len(idle))]
+			if rng.Intn(2) == 0 {
+				sched = append(sched, Event{Round: r, Kind: EvTearArchive, Member: back})
+			}
+			sched = append(sched, Event{Round: r, Kind: EvRestart, Member: back})
+			delete(down, back)
+		}
+		if rng.Intn(5) == 0 {
+			if partitioned {
+				sched = append(sched, Event{Round: r, Kind: EvHeal})
+			} else {
+				sched = append(sched, Event{Round: r, Kind: EvPartition})
+			}
+			partitioned = !partitioned
+		}
+	}
+	// End whole: everyone back, relay healed, with one settle round left.
+	last := rounds - 1
+	for i := 1; i <= n; i++ {
+		if down[i] {
+			sched = append(sched, Event{Round: last, Kind: EvRestart, Member: i})
+		}
+	}
+	if partitioned {
+		sched = append(sched, Event{Round: last, Kind: EvHeal})
+	}
+	return sched
+}

@@ -2,10 +2,11 @@ package threshold
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"time"
 
 	"timedrelease/internal/core"
+	"timedrelease/internal/obs"
 	"timedrelease/internal/params"
 	"timedrelease/internal/timeserver"
 )
@@ -40,6 +41,9 @@ type QuorumClient struct {
 	GroupPub core.ServerPublicKey
 	K        int
 	Shards   []Shard
+	// Metrics, when non-nil, records quorum.* counters and the
+	// combine latency histogram (see docs/OBSERVABILITY.md).
+	Metrics *obs.Registry
 }
 
 // Update returns the group's key update for label, succeeding as soon
@@ -51,6 +55,7 @@ func (qc *QuorumClient) Update(ctx context.Context, label string) (core.KeyUpdat
 	if qc.K < 1 || len(qc.Shards) < qc.K {
 		return core.KeyUpdate{}, fmt.Errorf("threshold: %d shards cannot meet quorum %d", len(qc.Shards), qc.K)
 	}
+	start := time.Now()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -76,14 +81,48 @@ func (qc *QuorumClient) Update(ctx context.Context, label string) (core.KeyUpdat
 	for range qc.Shards {
 		r := <-results
 		if r.err != nil {
+			qc.Metrics.Counter("quorum.partials_failed").Inc()
 			failures = append(failures, fmt.Errorf("shard %d: %w", r.index, r.err))
 			continue
 		}
+		qc.Metrics.Counter("quorum.partials_ok").Inc()
 		partials = append(partials, PartialUpdate{Index: r.index, Label: r.upd.Label, Point: r.upd.Point})
 		if len(partials) == qc.K {
-			return Combine(qc.Set, qc.GroupPub, partials, qc.K)
+			upd, err := Combine(qc.Set, qc.GroupPub, partials, qc.K)
+			if err != nil {
+				qc.Metrics.Counter("quorum.failures").Inc()
+				return core.KeyUpdate{}, err
+			}
+			qc.Metrics.Counter("quorum.combines").Inc()
+			qc.Metrics.Histogram("quorum.combine_ns").Since(start)
+			return upd, nil
 		}
 	}
-	return core.KeyUpdate{}, fmt.Errorf("threshold: quorum not reached (%d of %d needed): %w",
-		len(partials), qc.K, errors.Join(failures...))
+	qc.Metrics.Counter("quorum.failures").Inc()
+	return core.KeyUpdate{}, &QuorumError{Need: qc.K, Have: len(partials), Causes: failures}
+}
+
+// WaitForRelease polls Update until the label's quorum combines or the
+// context expires. EVERY failure is treated as transient — a shard that
+// is down, partitioned, or behind may recover and tip the quorum on a
+// later attempt — which is exactly the availability contract the
+// k-of-n deployment exists for.
+func (qc *QuorumClient) WaitForRelease(ctx context.Context, label string, poll time.Duration) (core.KeyUpdate, error) {
+	if poll <= 0 {
+		poll = time.Second
+	}
+	for {
+		upd, err := qc.Update(ctx, label)
+		if err == nil {
+			return upd, nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return core.KeyUpdate{}, fmt.Errorf("threshold: wait for %q: %w (last: %v)", label, ctxErr, err)
+		}
+		select {
+		case <-ctx.Done():
+			return core.KeyUpdate{}, fmt.Errorf("threshold: wait for %q: %w (last: %v)", label, ctx.Err(), err)
+		case <-time.After(poll):
+		}
+	}
 }

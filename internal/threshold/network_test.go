@@ -3,12 +3,14 @@ package threshold
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
 	"timedrelease/internal/core"
+	"timedrelease/internal/obs"
 	"timedrelease/internal/params"
 	"timedrelease/internal/timefmt"
 	"timedrelease/internal/timeserver"
@@ -153,5 +155,118 @@ func TestQuorumValidation(t *testing.T) {
 	qc := &QuorumClient{Set: e.set, GroupPub: e.setup.GroupPub, K: 4, Shards: e.shards}
 	if _, err := qc.Update(context.Background(), e.label); err == nil {
 		t.Fatal("K > #shards must fail fast")
+	}
+}
+
+func TestQuorumFailureIsTypedWithCauses(t *testing.T) {
+	e := newNetEnv(t, 3, 5, []bool{true, false, true, false, false})
+	qc := &QuorumClient{Set: e.set, GroupPub: e.setup.GroupPub, K: 3, Shards: e.shards}
+	_, err := qc.Update(context.Background(), e.label)
+	var qe *QuorumError
+	if !errors.As(err, &qe) {
+		t.Fatalf("got %v, want *QuorumError", err)
+	}
+	if qe.Need != 3 || qe.Have != 2 {
+		t.Fatalf("QuorumError need %d have %d, want need 3 have 2", qe.Need, qe.Have)
+	}
+	if len(qe.Causes) != 3 {
+		t.Fatalf("%d causes recorded, want 3 (one per dead shard)", len(qe.Causes))
+	}
+	// The per-shard causes unwrap to the client's sentinel.
+	if !errors.Is(err, timeserver.ErrNotYetPublished) {
+		t.Fatalf("causes must unwrap to ErrNotYetPublished, got %v", err)
+	}
+}
+
+func TestQuorumMetrics(t *testing.T) {
+	e := newNetEnv(t, 3, 5, []bool{true, false, true, true, true})
+	reg := obs.NewRegistry()
+	qc := &QuorumClient{Set: e.set, GroupPub: e.setup.GroupPub, K: 3, Shards: e.shards, Metrics: reg}
+	if _, err := qc.Update(context.Background(), e.label); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["quorum.combines"] != 1 {
+		t.Fatalf("quorum.combines = %d, want 1", s.Counters["quorum.combines"])
+	}
+	if ok := s.Counters["quorum.partials_ok"]; ok < 3 {
+		t.Fatalf("quorum.partials_ok = %d, want >= 3", ok)
+	}
+	if _, have := s.Histograms["quorum.combine_ns"]; !have {
+		t.Fatal("quorum.combine_ns histogram not recorded")
+	}
+}
+
+// WaitForRelease treats shard failures as transient: a quorum that is
+// short one member succeeds on a later poll once the member publishes.
+func TestQuorumWaitForReleaseRecovers(t *testing.T) {
+	set := params.MustPreset("Test160")
+	setup, err := Deal(set, nil, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := timefmt.MustSchedule(time.Minute)
+	now := time.Date(2026, 7, 5, 12, 0, 30, 0, time.UTC)
+	label := sched.Label(now)
+
+	var shards []Shard
+	var late *timeserver.Server
+	for i, sh := range setup.Shares {
+		srv := timeserver.NewServer(set, ShardServerKey(set, sh), sched, timeserver.WithClock(func() time.Time { return now }))
+		if i == 0 {
+			late = srv // publishes only after the first poll fails
+		} else if i == 1 {
+			// Never publishes: with one shard late and one dead, quorum 2
+			// depends on the late shard recovering.
+			_ = srv
+		} else {
+			if _, err := srv.PublishUpTo(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		shards = append(shards, Shard{
+			Index: sh.Index,
+			Client: timeserver.NewClient(ts.URL, set, ShardServerKey(set, sh).Pub,
+				timeserver.WithHTTPClient(ts.Client()), timeserver.WithRetry(timeserver.NoRetry)),
+		})
+	}
+	qc := &QuorumClient{Set: set, GroupPub: setup.GroupPub, K: 2, Shards: shards}
+
+	// Not released yet.
+	if _, err := qc.Update(context.Background(), label); err == nil {
+		t.Fatal("quorum met before the late shard published")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Publish the late shard's update after a poll interval has
+		// certainly begun.
+		time.Sleep(30 * time.Millisecond)
+		if _, err := late.PublishUpTo(now); err != nil {
+			t.Error(err)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	upd, err := qc.WaitForRelease(ctx, label, 10*time.Millisecond)
+	<-done
+	if err != nil {
+		t.Fatalf("WaitForRelease: %v", err)
+	}
+	if !core.NewScheme(set).VerifyUpdate(setup.GroupPub, upd) {
+		t.Fatal("recovered quorum update must verify")
+	}
+}
+
+func TestQuorumWaitForReleaseHonorsContext(t *testing.T) {
+	e := newNetEnv(t, 3, 5, []bool{true, false, false, false, false})
+	qc := &QuorumClient{Set: e.set, GroupPub: e.setup.GroupPub, K: 3, Shards: e.shards}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := qc.WaitForRelease(ctx, e.label, 10*time.Millisecond); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -127,7 +127,7 @@ func VerifyPartial(set *params.Set, sharePub curve.Point, pu PartialUpdate) bool
 // group public key (so a bad subset is reported, never returned).
 func Combine(set *params.Set, groupPub core.ServerPublicKey, partials []PartialUpdate, k int) (core.KeyUpdate, error) {
 	if len(partials) < k {
-		return core.KeyUpdate{}, fmt.Errorf("threshold: have %d partials, need %d", len(partials), k)
+		return core.KeyUpdate{}, &QuorumError{Need: k, Have: len(partials)}
 	}
 	// Take the first k distinct indices with a consistent label.
 	label := partials[0].Label
@@ -147,7 +147,7 @@ func Combine(set *params.Set, groupPub core.ServerPublicKey, partials []PartialU
 		}
 	}
 	if len(chosen) < k {
-		return core.KeyUpdate{}, fmt.Errorf("threshold: only %d distinct indices, need %d", len(chosen), k)
+		return core.KeyUpdate{}, &QuorumError{Need: k, Have: len(chosen)}
 	}
 
 	qf, err := fieldOfOrder(set)
@@ -175,6 +175,67 @@ func Combine(set *params.Set, groupPub core.ServerPublicKey, partials []PartialU
 // self-authentication check — at least one partial was invalid or the
 // subset mixed shares of different dealings.
 var ErrBadCombination = errors.New("threshold: combined update failed verification (bad partial in subset?)")
+
+// QuorumError reports a combination or fan-out that could not gather k
+// usable partials: Have distinct verified partials against a quorum of
+// Need, with the per-shard failure causes (when known) unwrappable via
+// errors.Is/As.
+type QuorumError struct {
+	Need, Have int
+	Causes     []error
+}
+
+// Error renders the quorum shortfall with its causes.
+func (e *QuorumError) Error() string {
+	msg := fmt.Sprintf("threshold: quorum not reached (%d of %d needed)", e.Have, e.Need)
+	if len(e.Causes) > 0 {
+		msg += ": " + errors.Join(e.Causes...).Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the per-shard causes to errors.Is/As.
+func (e *QuorumError) Unwrap() []error { return e.Causes }
+
+// RecoverSecret reconstructs the group secret s = f(0) from any k
+// distinct shares. This exists for dealing ceremonies (migrating a
+// group to a new quorum layout) and for differential tests that pin the
+// threshold scheme against the single-server one — production shards
+// must never pool their shares.
+func RecoverSecret(set *params.Set, shares []Share, k int) (*big.Int, error) {
+	if k < 1 || len(shares) < k {
+		return nil, &QuorumError{Need: k, Have: len(shares)}
+	}
+	chosen := make([]Share, 0, k)
+	seen := map[int]bool{}
+	for _, sh := range shares {
+		if sh.Index < 1 || seen[sh.Index] {
+			continue
+		}
+		seen[sh.Index] = true
+		chosen = append(chosen, sh)
+		if len(chosen) == k {
+			break
+		}
+	}
+	if len(chosen) < k {
+		return nil, &QuorumError{Need: k, Have: len(chosen)}
+	}
+	qf, err := fieldOfOrder(set)
+	if err != nil {
+		return nil, err
+	}
+	indices := make([]int, k)
+	for i, sh := range chosen {
+		indices[i] = sh.Index
+	}
+	lambdas := lagrangeAtZero(qf, indices)
+	s := new(big.Int)
+	for i, sh := range chosen {
+		s = qf.Add(s, qf.Mul(lambdas[i], sh.S))
+	}
+	return s, nil
+}
 
 // lagrangeAtZero returns the Lagrange coefficients λᵢ = Π_{j≠i}
 // xⱼ/(xⱼ−xᵢ) mod q for evaluation at zero.

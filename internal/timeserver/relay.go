@@ -218,6 +218,14 @@ func (r *Relay) syncOnce(ctx context.Context) (int, error) {
 	return n, nil
 }
 
+// Sync converges the relay's archive on its upstream once and returns
+// how many updates were ingested. It is the deterministic alternative
+// to Run: a driver (tests, cron-style operation) calls it at moments of
+// its choosing instead of letting the relay ride the push stream.
+func (r *Relay) Sync(ctx context.Context) (int, error) {
+	return r.syncOnce(ctx)
+}
+
 // nextFrom returns the stream resume point: the label after the newest
 // archived update. The from-replay is what closes the race between
 // syncOnce's snapshot and the stream's server-side subscription — an

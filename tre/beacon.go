@@ -1,0 +1,149 @@
+package tre
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"timedrelease/internal/beacon"
+	"timedrelease/internal/wire"
+)
+
+// Beacon mode (drand/tlock-style rounds): instead of naming a release
+// instant, a sender names a round of a round clock — a fixed round
+// duration plus a genesis time. Round r's release label is exactly the
+// schedule label of genesis + r·period, so beacon mode runs on
+// completely unmodified time servers (single or threshold); only the
+// addressing and the at-rest file format change.
+
+type (
+	// RoundClock maps round numbers to release labels and back.
+	RoundClock = beacon.Clock
+	// ArmoredCiphertext is a decoded armored round-ciphertext file:
+	// the round, the sender's clock parameters and the wire envelope.
+	ArmoredCiphertext = wire.Armored
+)
+
+// Beacon-mode errors.
+var (
+	// ErrBeforeGenesis reports a label or instant earlier than round 0.
+	ErrBeforeGenesis = beacon.ErrBeforeGenesis
+	// ErrRoundRange reports an unaddressable round number.
+	ErrRoundRange = beacon.ErrRoundRange
+	// ErrNotArmored reports input without the armor framing.
+	ErrNotArmored = wire.ErrNotArmored
+	// ErrParamsMismatch reports an armored file produced under a
+	// different parameter set.
+	ErrParamsMismatch = wire.ErrParamsMismatch
+)
+
+// NewRoundClock returns a round clock with the given period and
+// genesis. The period must divide 24h and the genesis must lie exactly
+// on the period grid.
+func NewRoundClock(period time.Duration, genesis time.Time) (RoundClock, error) {
+	return beacon.New(period, genesis)
+}
+
+// MustRoundClock is NewRoundClock for known-good constants.
+func MustRoundClock(period time.Duration, genesis time.Time) RoundClock {
+	return beacon.Must(period, genesis)
+}
+
+// IsArmored reports whether data looks like an armored round
+// ciphertext.
+func IsArmored(data []byte) bool { return wire.IsArmored(data) }
+
+// EncryptToRound encrypts msg (CCA mode) so it opens at the given
+// round, returning the armored ciphertext file. The file embeds the
+// clock parameters and the round number, so the receiver reconstructs
+// the release label locally.
+func EncryptToRound(rng io.Reader, sc *Scheme, clock RoundClock, spub ServerPublicKey, upub UserPublicKey, round uint64, msg []byte) ([]byte, error) {
+	label, err := clock.Label(round)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := sc.EncryptCCA(rng, spub, upub, label, msg)
+	if err != nil {
+		return nil, err
+	}
+	codec := wire.NewCodec(sc.Set)
+	return codec.EncodeArmored(wire.Armored{
+		Round:    round,
+		Period:   clock.Period(),
+		Genesis:  clock.Genesis(),
+		Envelope: codec.SealCCA(label, ct),
+	}), nil
+}
+
+// EncryptToDuration encrypts msg to the earliest round opening at or
+// after now+d ("open after d"), returning the chosen round alongside
+// the armored file.
+func EncryptToDuration(rng io.Reader, sc *Scheme, clock RoundClock, spub ServerPublicKey, upub UserPublicKey, now time.Time, d time.Duration, msg []byte) (uint64, []byte, error) {
+	round, err := clock.After(now, d)
+	if err != nil {
+		return 0, nil, err
+	}
+	out, err := EncryptToRound(rng, sc, clock, spub, upub, round, msg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return round, out, nil
+}
+
+// RoundCiphertext is a fully decoded armored round ciphertext, ready
+// for decryption once the round's update is published.
+type RoundCiphertext struct {
+	Round uint64
+	Clock RoundClock
+	Label string // release label derived from (clock, round)
+	CCA   *CCACiphertext
+}
+
+// DecodeArmored parses an armored round-ciphertext file, checks its
+// parameter fingerprint against the scheme, rebuilds the sender's
+// round clock, and derives the release label. The envelope's optional
+// label, when present, must agree with the derived one.
+func DecodeArmored(sc *Scheme, data []byte) (*RoundCiphertext, error) {
+	codec := wire.NewCodec(sc.Set)
+	a, err := codec.DecodeArmored(data)
+	if err != nil {
+		return nil, err
+	}
+	clock, err := beacon.New(a.Period, a.Genesis)
+	if err != nil {
+		return nil, fmt.Errorf("tre: armored clock parameters: %w", err)
+	}
+	label, err := clock.Label(a.Round)
+	if err != nil {
+		return nil, fmt.Errorf("tre: armored round: %w", err)
+	}
+	env, err := codec.UnmarshalEnvelope(a.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	if env.Label != "" && env.Label != label {
+		return nil, fmt.Errorf("tre: armored envelope label %q disagrees with round %d (%q)", env.Label, a.Round, label)
+	}
+	if env.Kind != KindCCA {
+		return nil, fmt.Errorf("tre: armored envelope kind %s not supported", env.Kind)
+	}
+	ct, err := codec.UnmarshalCCACiphertext(env.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return &RoundCiphertext{Round: a.Round, Clock: clock, Label: label, CCA: ct}, nil
+}
+
+// DecryptArmored decodes an armored file and decrypts it with the
+// round's key update (fetched by the caller — from a single server or
+// a threshold quorum; the update's label must be the round's label).
+func DecryptArmored(sc *Scheme, spub ServerPublicKey, key *UserKeyPair, upd KeyUpdate, data []byte) ([]byte, error) {
+	rc, err := DecodeArmored(sc, data)
+	if err != nil {
+		return nil, err
+	}
+	if upd.Label != rc.Label {
+		return nil, fmt.Errorf("tre: update label %q is not round %d's label %q: %w", upd.Label, rc.Round, rc.Label, ErrLabelMismatch)
+	}
+	return sc.DecryptCCA(spub, key, upd, rc.CCA)
+}

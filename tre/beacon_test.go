@@ -1,0 +1,153 @@
+package tre_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"timedrelease/tre"
+)
+
+func beaconFixtures(t *testing.T) (*tre.Params, *tre.Scheme, *tre.ServerKeyPair, *tre.UserKeyPair, tre.RoundClock) {
+	t.Helper()
+	set := tre.MustPreset("Test160")
+	scheme := tre.NewScheme(set)
+	server, err := scheme.ServerKeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := scheme.UserKeyGen(server.Pub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := tre.MustRoundClock(time.Minute, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	return set, scheme, server, user, clock
+}
+
+func TestEncryptToRoundArmoredRoundTrip(t *testing.T) {
+	_, scheme, server, user, clock := beaconFixtures(t)
+	msg := []byte("open at round 42")
+
+	file, err := tre.EncryptToRound(nil, scheme, clock, server.Pub, user.Pub, 42, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tre.IsArmored(file) {
+		t.Fatal("EncryptToRound output is not armored")
+	}
+
+	rc, err := tre.DecodeArmored(scheme, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Round != 42 {
+		t.Fatalf("round = %d, want 42", rc.Round)
+	}
+	wantLabel, _ := clock.Label(42)
+	if rc.Label != wantLabel {
+		t.Fatalf("label = %q, want %q", rc.Label, wantLabel)
+	}
+	if !rc.Clock.Equal(clock) {
+		t.Fatal("decoded clock differs from the sender's")
+	}
+
+	// The round's label is served by a completely ordinary server.
+	upd := scheme.IssueUpdate(server, rc.Label)
+	got, err := tre.DecryptArmored(scheme, server.Pub, user, upd, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("decrypted %q, want %q", got, msg)
+	}
+
+	// The wrong round's update must not open it.
+	otherLabel, _ := clock.Label(43)
+	wrong := scheme.IssueUpdate(server, otherLabel)
+	if _, err := tre.DecryptArmored(scheme, server.Pub, user, wrong, file); !errors.Is(err, tre.ErrLabelMismatch) {
+		t.Fatalf("wrong-round decrypt: got %v, want ErrLabelMismatch", err)
+	}
+}
+
+func TestEncryptToDuration(t *testing.T) {
+	_, scheme, server, user, clock := beaconFixtures(t)
+	now := time.Date(2026, 1, 1, 0, 10, 12, 0, time.UTC)
+
+	round, file, err := tre.EncryptToDuration(nil, scheme, clock, server.Pub, user.Pub, now, 5*time.Minute, []byte("after five minutes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// now+5m = 00:15:12 → first boundary after is round 16 (00:16:00).
+	if round != 16 {
+		t.Fatalf("round = %d, want 16", round)
+	}
+	rc, err := tre.DecodeArmored(scheme, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, _ := clock.Time(round)
+	if start.Before(now.Add(5 * time.Minute)) {
+		t.Fatalf("round %d opens at %s, before now+5m", round, start)
+	}
+	upd := scheme.IssueUpdate(server, rc.Label)
+	got, err := tre.DecryptArmored(scheme, server.Pub, user, upd, file)
+	if err != nil || !bytes.Equal(got, []byte("after five minutes")) {
+		t.Fatalf("decrypt: %q, %v", got, err)
+	}
+}
+
+func TestDecodeArmoredRejectsWrongParams(t *testing.T) {
+	_, scheme, server, user, clock := beaconFixtures(t)
+	file, err := tre.EncryptToRound(nil, scheme, clock, server.Pub, user.Pub, 1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := tre.NewScheme(tre.MustPreset("SS512"))
+	if _, err := tre.DecodeArmored(other, file); !errors.Is(err, tre.ErrParamsMismatch) {
+		t.Fatalf("got %v, want ErrParamsMismatch", err)
+	}
+	if _, err := tre.DecodeArmored(scheme, []byte("plain text")); !errors.Is(err, tre.ErrNotArmored) {
+		t.Fatalf("got %v, want ErrNotArmored", err)
+	}
+}
+
+// Beacon mode composes with the threshold deployment: encrypt to a
+// round under the GROUP key, combine a quorum's partials for the
+// round's label, decrypt the armored file — receivers cannot tell a
+// threshold beacon from a single-server one.
+func TestEncryptToRoundAgainstThresholdQuorum(t *testing.T) {
+	set := tre.MustPreset("Test160")
+	scheme := tre.NewScheme(set)
+	setup, err := tre.ThresholdDeal(set, nil, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := scheme.UserKeyGen(setup.GroupPub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := tre.MustRoundClock(time.Minute, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	msg := []byte("threshold beacon round 9")
+
+	file, err := tre.EncryptToRound(nil, scheme, clock, setup.GroupPub, user.Pub, 9, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := tre.DecodeArmored(scheme, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials := []tre.PartialUpdate{
+		tre.IssuePartialUpdate(set, setup.Shares[1], rc.Label),
+		tre.IssuePartialUpdate(set, setup.Shares[2], rc.Label),
+	}
+	upd, err := tre.CombinePartialUpdates(set, setup.GroupPub, partials, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tre.DecryptArmored(scheme, setup.GroupPub, user, upd, file)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("decrypt via quorum: %q, %v", got, err)
+	}
+}

@@ -25,6 +25,11 @@ type (
 // group self-authentication check.
 var ErrBadCombination = threshold.ErrBadCombination
 
+// QuorumError reports a combine or quorum fan-out that could not gather
+// k usable partials; errors.As to read the shortfall and per-shard
+// causes.
+type QuorumError = threshold.QuorumError
+
 // ThresholdDeal runs the trusted dealing ceremony for k-of-n servers.
 func ThresholdDeal(set *Params, rng io.Reader, k, n int) (*ThresholdSetup, error) {
 	return threshold.Deal(set, rng, k, n)
