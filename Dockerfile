@@ -1,0 +1,46 @@
+# Serving-tier images: one multi-stage build, two final targets.
+#
+#   docker build --target treserver -t timedrelease/treserver .
+#   docker build --target trerelay  -t timedrelease/trerelay .
+#
+# (`make docker` builds both.) The binaries are static (CGO disabled;
+# the module has no dependencies outside the standard library), so the
+# final stages run from scratch-like distroless-static bases: no shell,
+# no libc, nothing but the binary, a CA bundle and /etc/passwd for the
+# nonroot user.
+#
+# treserver holds the signing key and must persist its archive — mount
+# volumes over /data (the defaults below point there). trerelay is
+# stateless by design: point -upstream at an origin (or another relay)
+# and scale it horizontally; the pinned upstream key fingerprint lives
+# under /data too so a restart cannot be fed a swapped key.
+
+FROM golang:1.24 AS build
+WORKDIR /src
+# The module is self-contained (no external requirements), so go.mod
+# alone primes the build cache.
+COPY go.mod ./
+RUN go mod download
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/treserver ./cmd/treserver \
+ && CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/trerelay ./cmd/trerelay
+
+# --- origin time server -------------------------------------------------
+FROM gcr.io/distroless/static-debian12:nonroot AS treserver
+COPY --from=build /out/treserver /usr/local/bin/treserver
+WORKDIR /data
+VOLUME /data
+EXPOSE 8440
+ENTRYPOINT ["/usr/local/bin/treserver"]
+CMD ["-addr", ":8440", "-key", "/data/treserver.key", "-archive-dir", "/data/archive"]
+
+# --- stateless fan-out relay --------------------------------------------
+FROM gcr.io/distroless/static-debian12:nonroot AS trerelay
+COPY --from=build /out/trerelay /usr/local/bin/trerelay
+WORKDIR /data
+VOLUME /data
+EXPOSE 8441
+ENTRYPOINT ["/usr/local/bin/trerelay"]
+# -upstream is required; compose files override CMD, e.g.:
+#   ["-addr", ":8441", "-upstream", "http://treserver:8440", "-pin", "/data/upstream.pin"]
+CMD ["-addr", ":8441", "-pin", "/data/upstream.pin"]

@@ -8,7 +8,7 @@ GO ?= go
 # Fuzz budget per target; the nightly workflow shrinks it.
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-shuffle vet fmt-check ci check cover bench bench-pairing bench-field bench-server bench-catchup bench-stream bench-rounds race experiments experiments-quick fuzz clean
+.PHONY: all help build test test-shuffle vet fmt-check lint ci check cover bench bench-pairing bench-field bench-server bench-server-bls bench-catchup bench-stream bench-rounds race experiments experiments-quick fuzz docker clean
 
 all: build vet test
 
@@ -23,16 +23,19 @@ help:
 	@echo "  vet                go vet ./..."
 	@echo "  cover              per-package coverage summary"
 	@echo "  bench              the full testing.B suite"
-	@echo "  bench-pairing      pairing backend/strategy ablation -> BENCH_pairing.json"
-	@echo "  bench-field        field backend micro-benchmark -> BENCH_field.json"
+	@echo "  bench-pairing      pairing backend/strategy ablation (incl. bls12381) -> BENCH_pairing.json"
+	@echo "  bench-field        field backend micro-benchmark (incl. bls12381) -> BENCH_field.json"
 	@echo "  bench-server       serving-path load harness -> BENCH_server.json"
+	@echo "  bench-server-bls   serving-path cells on the BLS12-381 backend -> BENCH_server.json"
 	@echo "  bench-catchup      cold-start catch-up (aggregate vs batch) -> BENCH_server.json"
 	@echo "  bench-stream       stream/relay fan-out at 1k and 50k subscribers -> BENCH_server.json"
 	@echo "  bench-rounds       quorum-combine latency on a 3-of-5 beacon network -> BENCH_server.json"
+	@echo "  lint               staticcheck + govulncheck when installed (CI installs them)"
 	@echo "  race               go test -race ./..."
 	@echo "  experiments        regenerate the EXPERIMENTS.md tables (slow)"
 	@echo "  experiments-quick  reduced sweeps at Test160"
 	@echo "  fuzz               fuzz campaign, FUZZTIME=$(FUZZTIME) per target"
+	@echo "  docker             build the serving-tier images (treserver, trerelay)"
 
 build:
 	$(GO) build ./...
@@ -53,12 +56,27 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# Deep static analysis and known-vulnerability scan. Soft-gated on the
+# tools being installed so a bare checkout still passes `make ci`; the
+# CI pipeline installs both, so there they always run.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (CI runs it)"; \
+	fi
+
 # The CI gate: static checks, one shuffled test run, one race run —
 # each pass exactly once (the race detector covers the WHOLE module;
 # the concurrency reaches from the sharded scheme caches and pooled
 # arenas up through the serving path, so nothing is exempt). This is
 # what .github/workflows/ci.yml executes.
-ci: vet fmt-check test-shuffle race
+ci: vet fmt-check lint test-shuffle race
 
 # Historical pre-commit name.
 check: ci
@@ -73,12 +91,13 @@ bench:
 
 # Pairing-strategy and backend comparison (affine vs projective vs
 # prepared vs product, bigint vs montgomery) at Test160 and SS512,
-# recorded as BENCH_pairing.json.
+# plus the Type-3 BLS12-381 optimal ate row, recorded as
+# BENCH_pairing.json.
 bench-pairing:
 	$(GO) run ./cmd/trebench -pairing BENCH_pairing.json
 
-# Field-backend micro-benchmark (Mul/Sqr/Inv, bigint vs montgomery),
-# recorded as BENCH_field.json.
+# Field-backend micro-benchmark (Mul/Sqr/Inv; bigint vs montgomery,
+# plus the BLS12-381 six-limb field), recorded as BENCH_field.json.
 bench-field:
 	$(GO) run ./cmd/trebench -field BENCH_field.json
 
@@ -87,6 +106,12 @@ bench-field:
 # levels, recorded as BENCH_server.json (see docs/OBSERVABILITY.md).
 bench-server:
 	$(GO) run ./cmd/treload -out BENCH_server.json
+
+# The same serving-path cells on the Type-3 BLS12-381 backend (fetch,
+# catchup, mixed, encdec and the 3-of-5 beacon rounds), merged into
+# BENCH_server.json alongside the symmetric presets' rows.
+bench-server-bls:
+	$(GO) run ./cmd/treload -preset BLS12-381 -mixes fetch,catchup,mixed,encdec,rounds -merge -out BENCH_server.json
 
 # Cold-start catch-up comparison only: one receiver recovering 1k/10k
 # missed epochs per op, aggregate range path vs per-label batch path,
@@ -124,8 +149,10 @@ experiments-quick:
 
 # Fuzz campaign over every wire decoder (including the armored round
 # ciphertext format), the differential field-arithmetic targets
-# (Montgomery backend vs big.Int reference), the client's HTTP update
-# parsing, the beacon round↔label mapping and the metrics JSON encoder.
+# (Montgomery backend vs big.Int reference, plus the BLS12-381 base
+# field, Fp12 tower and compressed G2 decoder), the client's HTTP
+# update parsing, the beacon round↔label mapping and the metrics JSON
+# encoder.
 # Checked-in seed corpora live under <pkg>/testdata/fuzz/<Target>/.
 # Override the per-target budget with FUZZTIME=10s (nightly CI does).
 fuzz:
@@ -137,8 +164,17 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzRoundFromLabel -fuzztime $(FUZZTIME) ./internal/beacon
 	$(GO) test -run XXX -fuzz FuzzFpArith -fuzztime $(FUZZTIME) ./internal/ff
 	$(GO) test -run XXX -fuzz FuzzFp2Arith -fuzztime $(FUZZTIME) ./internal/ff
+	$(GO) test -run XXX -fuzz FuzzFeArith -fuzztime $(FUZZTIME) ./internal/bls381
+	$(GO) test -run XXX -fuzz FuzzFp12Arith -fuzztime $(FUZZTIME) ./internal/bls381
+	$(GO) test -run XXX -fuzz FuzzG2Marshal -fuzztime $(FUZZTIME) ./internal/bls381
 	$(GO) test -run XXX -fuzz FuzzClientDecodeUpdate -fuzztime $(FUZZTIME) ./internal/timeserver
 	$(GO) test -run XXX -fuzz FuzzMetricsSnapshot -fuzztime $(FUZZTIME) ./internal/obs
+
+# Serving-tier container images: one multi-stage Dockerfile, two final
+# stages (origin time server and stateless fan-out relay).
+docker:
+	docker build --target treserver -t timedrelease/treserver .
+	docker build --target trerelay -t timedrelease/trerelay .
 
 clean:
 	$(GO) clean ./...

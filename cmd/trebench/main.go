@@ -5,6 +5,7 @@
 //	trebench -quick           # fast reduced sweeps (Test160)
 //	trebench -exp E2          # one experiment
 //	trebench -preset SS1024   # different parameter size
+//	trebench -backend bls12381 # pin the Type-3 BLS12-381 backend
 //	trebench -markdown        # emit markdown instead of aligned text
 //	trebench -pairing F.json  # pairing-strategy comparison → JSON file
 //	trebench -field F.json    # field-backend micro-benchmark → JSON file
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"timedrelease/internal/bench"
+	"timedrelease/tre"
 )
 
 func main() {
@@ -24,6 +26,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced sweeps and iteration counts")
 		exp      = flag.String("exp", "", "run a single experiment (E1..E10)")
 		preset   = flag.String("preset", "", "parameter preset (default SS512, Test160 with -quick)")
+		backendN = flag.String("backend", "", "pairing backend: symmetric (default) or bls12381")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 		pairingF = flag.String("pairing", "", "run the pairing-strategy comparison and write the JSON report to this file")
 		fieldF   = flag.String("field", "", "run the field-backend micro-benchmark and write the JSON report to this file")
@@ -31,6 +34,20 @@ func main() {
 	flag.Parse()
 
 	cfg := bench.Config{Quick: *quick, Preset: *preset}
+	if *backendN != "" {
+		// -backend pins the run to the backend's preset (bls12381 →
+		// BLS12-381); an explicit -preset must agree with it.
+		set, err := tre.ResolvePreset(*preset, *backendN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trebench:", err)
+			os.Exit(2)
+		}
+		if *preset != "" && *preset != set.Name {
+			fmt.Fprintf(os.Stderr, "trebench: -preset %s conflicts with -backend %s\n", *preset, *backendN)
+			os.Exit(2)
+		}
+		cfg.Preset = set.Name
+	}
 
 	if *fieldF != "" {
 		rep, table, err := bench.RunField(cfg)

@@ -77,8 +77,8 @@ run a subcommand with -h for its flags`)
 	return fmt.Errorf("unknown or missing subcommand")
 }
 
-func loadSet(preset string) (*tre.Params, *tre.Scheme, *tre.Codec, error) {
-	set, err := tre.Preset(preset)
+func loadSet(preset, backendName string) (*tre.Params, *tre.Scheme, *tre.Codec, error) {
+	set, err := tre.ResolvePreset(preset, backendName)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -96,12 +96,13 @@ func loadServerPub(codec *tre.Codec, path string) (tre.ServerPublicKey, error) {
 func serverKeygen(args []string) error {
 	fs := flag.NewFlagSet("server-keygen", flag.ContinueOnError)
 	preset := fs.String("preset", "SS512", "parameter preset")
+	backendName := fs.String("backend", "", "pairing backend: symmetric (default) or bls12381")
 	out := fs.String("out", "server.key", "private key file")
 	pub := fs.String("pub", "server.pub", "public key file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	set, scheme, codec, err := loadSet(*preset)
+	set, scheme, codec, err := loadSet(*preset, *backendName)
 	if err != nil {
 		return err
 	}
@@ -122,13 +123,14 @@ func serverKeygen(args []string) error {
 func userKeygen(args []string) error {
 	fs := flag.NewFlagSet("user-keygen", flag.ContinueOnError)
 	preset := fs.String("preset", "SS512", "parameter preset")
+	backendName := fs.String("backend", "", "pairing backend: symmetric (default) or bls12381")
 	serverPub := fs.String("server-pub", "server.pub", "time server public key")
 	out := fs.String("out", "user.key", "private key file")
 	pub := fs.String("pub", "user.pub", "public key file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	set, scheme, codec, err := loadSet(*preset)
+	set, scheme, codec, err := loadSet(*preset, *backendName)
 	if err != nil {
 		return err
 	}
@@ -153,6 +155,7 @@ func userKeygen(args []string) error {
 func encrypt(args []string) error {
 	fs := flag.NewFlagSet("encrypt", flag.ContinueOnError)
 	preset := fs.String("preset", "SS512", "parameter preset")
+	backendName := fs.String("backend", "", "pairing backend: symmetric (default) or bls12381")
 	serverPub := fs.String("server-pub", "server.pub", "time server (or threshold group) public key")
 	userPub := fs.String("user-pub", "user.pub", "receiver public key")
 	label := fs.String("label", "", "release label, e.g. 2027-01-01T00:00:00Z")
@@ -188,7 +191,7 @@ func encrypt(args []string) error {
 			return err
 		}
 	}
-	_, scheme, codec, err := loadSet(*preset)
+	_, scheme, codec, err := loadSet(*preset, *backendName)
 	if err != nil {
 		return err
 	}
@@ -275,6 +278,7 @@ func parseMembers(set *tre.Params, codec *tre.Codec, members []string) ([]tre.Sh
 func decrypt(args []string) error {
 	fs := flag.NewFlagSet("decrypt", flag.ContinueOnError)
 	preset := fs.String("preset", "SS512", "parameter preset")
+	backendName := fs.String("backend", "", "pairing backend: symmetric (default) or bls12381")
 	serverURL := fs.String("server", "", "time server base URL")
 	serverPub := fs.String("server-pub", "server.pub", "time server (or threshold group) public key (pinned)")
 	keyPath := fs.String("key", "user.key", "receiver private key")
@@ -288,7 +292,7 @@ func decrypt(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	set, scheme, codec, err := loadSet(*preset)
+	set, scheme, codec, err := loadSet(*preset, *backendName)
 	if err != nil {
 		return err
 	}
@@ -386,6 +390,7 @@ func decrypt(args []string) error {
 func update(args []string) error {
 	fs := flag.NewFlagSet("update", flag.ContinueOnError)
 	preset := fs.String("preset", "SS512", "parameter preset")
+	backendName := fs.String("backend", "", "pairing backend: symmetric (default) or bls12381")
 	serverURL := fs.String("server", "", "time server base URL")
 	serverPub := fs.String("server-pub", "server.pub", "time server public key (pinned)")
 	label := fs.String("label", "", "release label")
@@ -396,7 +401,7 @@ func update(args []string) error {
 	if *serverURL == "" || *label == "" {
 		return fmt.Errorf("-server and -label are required")
 	}
-	set, _, codec, err := loadSet(*preset)
+	set, _, codec, err := loadSet(*preset, *backendName)
 	if err != nil {
 		return err
 	}
@@ -423,12 +428,13 @@ func update(args []string) error {
 func verifyUserPub(args []string) error {
 	fs := flag.NewFlagSet("verify-user-pub", flag.ContinueOnError)
 	preset := fs.String("preset", "SS512", "parameter preset")
+	backendName := fs.String("backend", "", "pairing backend: symmetric (default) or bls12381")
 	serverPub := fs.String("server-pub", "server.pub", "time server public key")
 	userPub := fs.String("user-pub", "user.pub", "receiver public key to check")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	_, scheme, codec, err := loadSet(*preset)
+	_, scheme, codec, err := loadSet(*preset, *backendName)
 	if err != nil {
 		return err
 	}
@@ -471,6 +477,7 @@ func writeOutput(path string, data []byte) error {
 func catchup(args []string) error {
 	fs := flag.NewFlagSet("catchup", flag.ContinueOnError)
 	preset := fs.String("preset", "SS512", "parameter preset")
+	backendName := fs.String("backend", "", "pairing backend: symmetric (default) or bls12381")
 	serverURL := fs.String("server", "", "time server base URL")
 	serverPub := fs.String("server-pub", "server.pub", "time server public key (pinned)")
 	from := fs.String("from", "", "first label (RFC 3339, on the server's grid)")
@@ -483,7 +490,7 @@ func catchup(args []string) error {
 	if *serverURL == "" || *from == "" || *to == "" {
 		return fmt.Errorf("-server, -from and -to are required")
 	}
-	set, _, codec, err := loadSet(*preset)
+	set, _, codec, err := loadSet(*preset, *backendName)
 	if err != nil {
 		return err
 	}
@@ -562,6 +569,7 @@ func archiveCmd(args []string) error {
 func archiveVerify(args []string) error {
 	fs := flag.NewFlagSet("archive verify", flag.ContinueOnError)
 	preset := fs.String("preset", "SS512", "parameter preset")
+	backendName := fs.String("backend", "", "pairing backend: symmetric (default) or bls12381")
 	dir := fs.String("dir", "", "archive directory (as given to treserver -archive-dir)")
 	serverPub := fs.String("server-pub", "", "time server public key; enables cryptographic re-verification")
 	quiet := fs.Bool("q", false, "print only the summary")
@@ -571,7 +579,7 @@ func archiveVerify(args []string) error {
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
 	}
-	set, scheme, codec, err := loadSet(*preset)
+	set, scheme, codec, err := loadSet(*preset, *backendName)
 	if err != nil {
 		return err
 	}

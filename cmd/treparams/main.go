@@ -30,17 +30,22 @@ func run(args []string) error {
 	case "list":
 		for _, n := range tre.PresetNames() {
 			set := tre.MustPreset(n)
-			fmt.Printf("%-8s |p|=%4d bits  |q|=%3d bits\n", n, set.P.BitLen(), set.Q.BitLen())
+			kind := "type-1 symmetric"
+			if set.Asymmetric() {
+				kind = "type-3 " + set.B.Name()
+			}
+			fmt.Printf("%-9s |p|=%4d bits  |q|=%3d bits  %s\n", n, set.P.BitLen(), set.Q.BitLen(), kind)
 		}
 		return nil
 
 	case "show":
 		fs := flag.NewFlagSet("show", flag.ContinueOnError)
 		preset := fs.String("preset", "SS512", "preset name")
+		backendName := fs.String("backend", "", "pairing backend: symmetric (default) or bls12381")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		set, err := tre.Preset(*preset)
+		set, err := tre.ResolvePreset(*preset, *backendName)
 		if err != nil {
 			return err
 		}

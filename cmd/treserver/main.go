@@ -44,6 +44,7 @@ import (
 // config is the parsed command line.
 type config struct {
 	preset      string
+	backend     string
 	addr        string
 	granularity time.Duration
 	keyPath     string
@@ -64,6 +65,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.SetOutput(stderr)
 	cfg := &config{}
 	fs.StringVar(&cfg.preset, "preset", "SS512", "parameter preset")
+	fs.StringVar(&cfg.backend, "backend", "", "pairing backend: symmetric (default) or bls12381")
 	fs.StringVar(&cfg.addr, "addr", ":8440", "listen address")
 	fs.DurationVar(&cfg.granularity, "granularity", time.Minute, "epoch width (must divide 24h)")
 	fs.StringVar(&cfg.keyPath, "key", "treserver.key", "server key file (created if missing)")
@@ -97,7 +99,7 @@ func main() {
 // shuts the HTTP server down gracefully. It returns nil on a clean
 // shutdown.
 func run(ctx context.Context, cfg *config, stdout io.Writer) error {
-	set, err := tre.Preset(cfg.preset)
+	set, err := tre.ResolvePreset(cfg.preset, cfg.backend)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/wire"
@@ -59,18 +60,18 @@ type checkpoint struct {
 // marshalCheckpoint encodes one checkpoint payload.
 func marshalCheckpoint(codec *wire.Codec, c checkpoint) []byte {
 	out := binary.BigEndian.AppendUint32(nil, uint32(c.count))
-	out = codec.Set.Curve.AppendMarshal(out, c.agg)
+	out = codec.Set.B.AppendPoint(out, backend.G2, c.agg)
 	return append(out, c.root[:]...)
 }
 
 // unmarshalCheckpoint decodes one checkpoint payload strictly.
 func unmarshalCheckpoint(codec *wire.Codec, payload []byte) (checkpoint, error) {
-	ptLen := codec.Set.Curve.MarshalSize()
+	ptLen := codec.Set.B.PointLen(backend.G2)
 	if len(payload) != 4+ptLen+32 {
 		return checkpoint{}, errors.New("checkpoint payload size mismatch")
 	}
 	c := checkpoint{count: int(binary.BigEndian.Uint32(payload))}
-	p, err := codec.Set.Curve.UnmarshalSubgroup(payload[4 : 4+ptLen])
+	p, err := codec.Set.B.ParsePoint(backend.G2, payload[4:4+ptLen])
 	if err != nil {
 		return checkpoint{}, fmt.Errorf("checkpoint aggregate: %w", err)
 	}
@@ -80,19 +81,19 @@ func unmarshalCheckpoint(codec *wire.Codec, payload []byte) (checkpoint, error) 
 }
 
 // equalCheckpoint compares a parsed checkpoint with a recomputed one.
-func equalCheckpoint(c *curve.Curve, a, b checkpoint) bool {
-	return a.count == b.count && c.Equal(a.agg, b.agg) && a.root == b.root
+func equalCheckpoint(b backend.Backend, x, y checkpoint) bool {
+	return x.count == y.count && b.Equal(backend.G2, x.agg, y.agg) && x.root == y.root
 }
 
 // resetAggregates recomputes the running aggregate, sortedness flag and
 // expected checkpoint list from l.recs. Called under l.mu whenever the
 // record list is rebuilt (Recover).
 func (l *Log) resetAggregates() {
-	c := l.codec.Set.Curve
-	l.agg = curve.Infinity()
+	b := l.codec.Set.B
+	l.agg = b.Infinity(backend.G2)
 	l.sorted = true
 	for i, r := range l.recs {
-		l.agg = c.Add(l.agg, r.point)
+		l.agg = b.Add(backend.G2, l.agg, r.point)
 		if i > 0 && l.recs[i-1].label >= r.label {
 			l.sorted = false
 		}
@@ -107,7 +108,7 @@ func (l *Log) note(u core.KeyUpdate, payload []byte) {
 		l.sorted = false
 	}
 	l.recs = append(l.recs, recMeta{label: u.Label, point: u.Point, leaf: LeafHash(payload)})
-	l.agg = l.codec.Set.Curve.Add(l.agg, u.Point)
+	l.agg = l.codec.Set.B.Add(backend.G2, l.agg, u.Point)
 }
 
 // currentCheckpoint commits to the entire record list seen so far.
@@ -135,12 +136,12 @@ func (l *Log) expectedCheckpoints() []checkpoint {
 	if l.interval <= 0 {
 		return nil
 	}
-	c := l.codec.Set.Curve
+	b := l.codec.Set.B
 	var out []checkpoint
-	agg := curve.Infinity()
+	agg := b.Infinity(backend.G2)
 	leaves := make([][32]byte, 0, len(l.recs))
 	for i, r := range l.recs {
-		agg = c.Add(agg, r.point)
+		agg = b.Add(backend.G2, agg, r.point)
 		leaves = append(leaves, r.leaf)
 		if (i+1)%l.interval == 0 {
 			out = append(out, checkpoint{count: i + 1, agg: agg, root: MerkleRoot(leaves)})
@@ -203,7 +204,7 @@ func (l *Log) recoverCheckpoints(stats *RecoverStats) error {
 			break
 		}
 		ck, err := unmarshalCheckpoint(l.codec, payload)
-		if err != nil || !equalCheckpoint(l.codec.Set.Curve, ck, expected[good]) {
+		if err != nil || !equalCheckpoint(l.codec.Set.B, ck, expected[good]) {
 			break
 		}
 		goodOffset += recLen
@@ -266,8 +267,8 @@ func (l *Log) Checkpoints() int {
 // prefixAgg returns the aggregate over recs[:m], starting from the
 // nearest checkpoint at or below m — at most interval−1 point
 // additions.
-func prefixAgg(c *curve.Curve, recs []recMeta, ckpts []checkpoint, interval, m int) curve.Point {
-	acc := curve.Infinity()
+func prefixAgg(b backend.Backend, recs []recMeta, ckpts []checkpoint, interval, m int) curve.Point {
+	acc := b.Infinity(backend.G2)
 	from := 0
 	if interval > 0 {
 		if k := min(m/interval, len(ckpts)); k > 0 {
@@ -276,7 +277,7 @@ func prefixAgg(c *curve.Curve, recs []recMeta, ckpts []checkpoint, interval, m i
 		}
 	}
 	for i := from; i < m; i++ {
-		acc = c.Add(acc, recs[i].point)
+		acc = b.Add(backend.G2, acc, recs[i].point)
 	}
 	return acc
 }
@@ -300,9 +301,9 @@ func (l *Log) Range(from, to string, limit int) (RangeResult, error) {
 	l.mu.Lock()
 	recs, ckpts, sorted, interval := l.recs, l.ckpts, l.sorted, l.interval
 	l.mu.Unlock()
-	c := l.codec.Set.Curve
+	b := l.codec.Set.B
 	if !sorted {
-		return rangeScan(c, recs, from, to, limit), nil
+		return rangeScan(b, recs, from, to, limit), nil
 	}
 	lo := sort.Search(len(recs), func(i int) bool { return recs[i].label >= from })
 	hi := sort.Search(len(recs), func(i int) bool { return recs[i].label > to })
@@ -311,9 +312,9 @@ func (l *Log) Range(from, to string, limit int) (RangeResult, error) {
 		hi = lo + limit
 	}
 	res := RangeResult{Total: total}
-	res.Aggregate = c.Add(
-		prefixAgg(c, recs, ckpts, interval, hi),
-		c.Neg(prefixAgg(c, recs, ckpts, interval, lo)))
+	res.Aggregate = b.Add(backend.G2,
+		prefixAgg(b, recs, ckpts, interval, hi),
+		b.Neg(backend.G2, prefixAgg(b, recs, ckpts, interval, lo)))
 	leaves := make([][32]byte, 0, hi-lo)
 	for _, r := range recs[lo:hi] {
 		res.Updates = append(res.Updates, core.KeyUpdate{Label: r.label, Point: r.point})
@@ -325,7 +326,7 @@ func (l *Log) Range(from, to string, limit int) (RangeResult, error) {
 
 // rangeScan is the unsorted-log fallback: gather, sort, sum over a
 // snapshot of the record list.
-func rangeScan(c *curve.Curve, recs []recMeta, from, to string, limit int) RangeResult {
+func rangeScan(b backend.Backend, recs []recMeta, from, to string, limit int) RangeResult {
 	var match []recMeta
 	for _, r := range recs {
 		if r.label >= from && r.label <= to {
@@ -337,11 +338,11 @@ func rangeScan(c *curve.Curve, recs []recMeta, from, to string, limit int) Range
 	if limit > 0 && total > limit {
 		match = match[:limit]
 	}
-	res := RangeResult{Total: total, Aggregate: curve.Infinity()}
+	res := RangeResult{Total: total, Aggregate: b.Infinity(backend.G2)}
 	leaves := make([][32]byte, 0, len(match))
 	for _, r := range match {
 		res.Updates = append(res.Updates, core.KeyUpdate{Label: r.label, Point: r.point})
-		res.Aggregate = c.Add(res.Aggregate, r.point)
+		res.Aggregate = b.Add(backend.G2, res.Aggregate, r.point)
 		leaves = append(leaves, r.leaf)
 	}
 	res.Root = MerkleRoot(leaves)
@@ -374,13 +375,13 @@ func auditCheckpoints(dir string, codec *wire.Codec, recs []recMeta, rep *AuditR
 	}
 
 	// Recompute prefix state lazily while walking the sidecar.
-	c := codec.Set.Curve
-	agg := curve.Infinity()
+	b := codec.Set.B
+	agg := b.Infinity(backend.G2)
 	leaves := make([][32]byte, 0, len(recs))
 	covered := 0
 	prefixTo := func(n int) {
 		for ; covered < n && covered < len(recs); covered++ {
-			agg = c.Add(agg, recs[covered].point)
+			agg = b.Add(backend.G2, agg, recs[covered].point)
 			leaves = append(leaves, recs[covered].leaf)
 		}
 	}
@@ -412,7 +413,7 @@ func auditCheckpoints(dir string, codec *wire.Codec, recs []recMeta, rep *AuditR
 		}
 		prefixTo(ck.count)
 		want := checkpoint{count: ck.count, agg: agg, root: MerkleRoot(leaves[:ck.count])}
-		if !equalCheckpoint(c, ck, want) {
+		if !equalCheckpoint(b, ck, want) {
 			rep.CheckpointsBad++
 		}
 	}

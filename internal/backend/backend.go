@@ -1,0 +1,192 @@
+// Package backend abstracts the pairing setting the TRE schemes run
+// on. The paper's constructions are written for a Type-1 (symmetric)
+// pairing ê: G1 × G1 → GT over a supersingular curve; modern
+// pairing-friendly curves are Type-3 (asymmetric), with distinct
+// groups G1 ≠ G2 and no efficient isomorphism between them. The
+// Backend interface is the Type-3 generalisation: every operation is
+// tagged with the group it acts in, the pairing takes a G1 point on
+// the left and a G2 point on the right, and a Type-1 setting is simply
+// a backend whose two groups coincide (the Symmetric adapter).
+//
+// Scheme code that follows the G1/G2 split — keys and ciphertext
+// headers in G1, hashed time labels and key updates in G2 — runs
+// unchanged on both settings. Constructions that fundamentally require
+// symmetry (pairing two G1 points, e.g. the multi-server combined-key
+// check or the HIBE/ID-TRE variants) gate on Asymmetric and return
+// ErrSymmetricOnly rather than silently computing nonsense.
+//
+// Points travel as curve.Point values: Type-1 backends use the affine
+// big.Int coordinates, asymmetric backends carry an opaque handle in
+// the Ext field (see curve.ExtPoint). Mixing points of different
+// backends or groups is a programming error and panics.
+package backend
+
+import (
+	"errors"
+	"io"
+	"math/big"
+
+	"timedrelease/internal/curve"
+)
+
+// Group tags which source group an operation acts in.
+type Group uint8
+
+const (
+	// G1 is the left pairing argument's group: generators, public keys
+	// and ciphertext headers live here (the cheaper group on Type-3
+	// curves).
+	G1 Group = 1
+	// G2 is the right pairing argument's group: hashed time labels and
+	// key updates live here. On a Type-1 backend G2 is the same group
+	// as G1.
+	G2 Group = 2
+)
+
+// String names the group for diagnostics.
+func (g Group) String() string {
+	switch g {
+	case G1:
+		return "G1"
+	case G2:
+		return "G2"
+	default:
+		return "G?"
+	}
+}
+
+// ErrSymmetricOnly reports a construction that needs a Type-1
+// (symmetric) pairing — it pairs two G1 points — running on an
+// asymmetric backend. Callers should treat it as a permanent
+// configuration error, not a transient failure.
+var ErrSymmetricOnly = errors.New("backend: construction requires a Type-1 (symmetric) pairing; this backend is asymmetric")
+
+// GT is an opaque target-group element. Only the backend that produced
+// it can operate on it; the GT* methods panic on foreign values.
+type GT any
+
+// PointPair is one ê(P, Q) factor of a pairing product; P ∈ G1,
+// Q ∈ G2.
+type PointPair struct {
+	P, Q curve.Point
+}
+
+// BaseTable is a fixed-base scalar-multiplication precomputation for
+// one point, immutable and safe for concurrent use.
+type BaseTable interface {
+	// Base returns the table's base point.
+	Base() curve.Point
+	// IsInfinity reports whether the base point is the identity.
+	IsInfinity() bool
+}
+
+// PreparedKey is a server verification key (G, sG, sG2) with whatever
+// per-backend pairing precomputation pays off for repeated checks. On
+// Type-1 backends that is the Miller-loop line schedules of G and sG;
+// on Type-3 backends it is the prepared G2 line schedules of the
+// generator and sG2. A PreparedKey is immutable and safe for
+// concurrent use.
+type PreparedKey interface {
+	// VerifySig checks the BLS equation ê(G, sig) = ê(sG, h) — the
+	// self-authentication of a key update sig = s·h for h = H1(T). It
+	// rejects identity or out-of-subgroup sig points. Both h and sig
+	// are G2 points.
+	VerifySig(h, sig curve.Point) bool
+
+	// SameKey checks the user-key well-formedness equation
+	// ê(aG, sG) = ê(G, a·sG) (in Type-3 form: ê(aG, sG2) = ê(asG, G2)),
+	// proving asg = a·sG for the same a behind ag. Both arguments are
+	// G1 points; subgroup checks are the caller's job.
+	SameKey(ag, asg curve.Point) bool
+
+	// VerifyAggregate checks a same-key aggregate signature against
+	// already-hashed messages: ê(G, agg) = ê(sG, Σ hᵢ), with the usual
+	// identity/subgroup rejection on agg. An empty hash list verifies
+	// iff agg is the identity. All points are G2 points.
+	VerifyAggregate(hashes []curve.Point, agg curve.Point) bool
+
+	// PairCheck evaluates the bare equation ê(G, sig) = ê(sG, h) with
+	// no identity or subgroup validation — for callers (batch
+	// verification) that have already validated every constituent
+	// point. Both arguments are G2 points.
+	PairCheck(h, sig curve.Point) bool
+}
+
+// Backend is one complete pairing setting: two source groups, the
+// scalar field, serialization, hash-to-G2 and the bilinear pairing.
+// Implementations are immutable after construction and safe for
+// concurrent use.
+type Backend interface {
+	// Name identifies the backend ("symmetric/SS512", "bls12381").
+	Name() string
+	// Asymmetric reports whether G1 and G2 are distinct groups.
+	Asymmetric() bool
+	// Order returns the prime order r of G1, G2 and GT.
+	Order() *big.Int
+
+	// Generator returns the canonical generator of g.
+	Generator(g Group) curve.Point
+	// Infinity returns the identity of g.
+	Infinity(g Group) curve.Point
+	// Add returns p+q in g.
+	Add(g Group, p, q curve.Point) curve.Point
+	// Neg returns −p in g.
+	Neg(g Group, p curve.Point) curve.Point
+	// ScalarMult returns k·p in g; k must be non-negative and is
+	// reduced modulo the group order.
+	ScalarMult(g Group, k *big.Int, p curve.Point) curve.Point
+	// Equal reports whether p and q are the same point of g.
+	Equal(g Group, p, q curve.Point) bool
+	// IsOnCurve reports whether p lies on g's curve (infinity counts).
+	IsOnCurve(g Group, p curve.Point) bool
+	// InSubgroup reports whether p lies in g's prime-order subgroup.
+	InSubgroup(g Group, p curve.Point) bool
+	// HashToG2 is the paper's H1: a random-oracle hash of (domain, msg)
+	// onto G2.
+	HashToG2(domain string, msg []byte) curve.Point
+	// RandScalar samples a uniform scalar in [1, r−1].
+	RandScalar(rng io.Reader) (*big.Int, error)
+
+	// PointLen returns the byte length of g's canonical point encoding.
+	PointLen(g Group) int
+	// AppendPoint appends the canonical encoding of p to dst.
+	AppendPoint(dst []byte, g Group, p curve.Point) []byte
+	// ParsePoint decodes a canonical encoding, rejecting anything
+	// non-canonical, off-curve or outside the prime-order subgroup.
+	ParsePoint(g Group, data []byte) (curve.Point, error)
+
+	// PrecomputeBase builds a fixed-base table for p ∈ g.
+	PrecomputeBase(g Group, p curve.Point) BaseTable
+	// ScalarMultBase computes k·Base from a fixed-base table; k must be
+	// non-negative.
+	ScalarMultBase(t BaseTable, k *big.Int) curve.Point
+
+	// Pair computes ê(p, q) for p ∈ G1, q ∈ G2; identity on either side
+	// gives 1.
+	Pair(p, q curve.Point) GT
+	// PairProduct computes Π ê(Pᵢ, Qᵢ) with one shared final
+	// exponentiation.
+	PairProduct(pairs []PointPair) GT
+	// SamePairing reports ê(a1, b1) == ê(a2, b2) for a∈G1, b∈G2,
+	// evaluated as one product ê(−a1, b1)·ê(a2, b2) == 1.
+	SamePairing(a1, b1, a2, b2 curve.Point) bool
+	// PrepareKey precomputes a server verification key for repeated
+	// pairing checks. g and sg are G1 points; sg2 = s·G2 is the G2
+	// mirror of sg (pass sg itself on a symmetric backend).
+	PrepareKey(g, sg, sg2 curve.Point) PreparedKey
+
+	// GTOne returns the identity of the target group.
+	GTOne() GT
+	// GTEqual reports whether two target-group elements are equal.
+	GTEqual(a, b GT) bool
+	// GTIsOne reports whether a is the target-group identity.
+	GTIsOne(a GT) bool
+	// GTMul returns a·b in the target group.
+	GTMul(a, b GT) GT
+	// GTExpUnitary returns a^k for a unitary a (any pairing output);
+	// k must be non-negative.
+	GTExpUnitary(a GT, k *big.Int) GT
+	// GTBytes returns the canonical fixed-length encoding of a, the
+	// input to the scheme's H2 mask derivation.
+	GTBytes(a GT) []byte
+}

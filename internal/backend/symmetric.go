@@ -1,0 +1,183 @@
+package backend
+
+import (
+	"io"
+	"math/big"
+
+	"timedrelease/internal/curve"
+	"timedrelease/internal/pairing"
+)
+
+// Symmetric adapts the paper's Type-1 setting — one supersingular
+// curve group, the modified Tate pairing — to the Backend interface.
+// Both group tags resolve to the same curve, so every operation
+// delegates verbatim to the curve and pairing packages the reference
+// implementation has always used: results are bit-for-bit identical to
+// calling those packages directly, which the pre-refactor golden
+// vectors pin.
+type Symmetric struct {
+	name string
+	c    *curve.Curve
+	pr   *pairing.Pairing
+	g    curve.Point
+}
+
+// NewSymmetric wraps a Type-1 curve/pairing pair as a Backend. The
+// name should identify the parameter set ("SS512", ...); g is the
+// canonical subgroup generator (used for both Generator tags).
+func NewSymmetric(name string, c *curve.Curve, pr *pairing.Pairing, g curve.Point) *Symmetric {
+	return &Symmetric{name: name, c: c, pr: pr, g: g}
+}
+
+// Name identifies the backend.
+func (b *Symmetric) Name() string { return "symmetric/" + b.name }
+
+// Asymmetric reports false: G1 and G2 coincide.
+func (b *Symmetric) Asymmetric() bool { return false }
+
+// Order returns the subgroup order q.
+func (b *Symmetric) Order() *big.Int { return b.c.Q }
+
+// Generator returns the canonical generator (same point for both tags).
+func (b *Symmetric) Generator(Group) curve.Point { return b.g }
+
+// Infinity returns the identity.
+func (b *Symmetric) Infinity(Group) curve.Point { return curve.Infinity() }
+
+// Add returns p+q.
+func (b *Symmetric) Add(_ Group, p, q curve.Point) curve.Point { return b.c.Add(p, q) }
+
+// Neg returns −p.
+func (b *Symmetric) Neg(_ Group, p curve.Point) curve.Point { return b.c.Neg(p) }
+
+// ScalarMult returns k·p.
+func (b *Symmetric) ScalarMult(_ Group, k *big.Int, p curve.Point) curve.Point {
+	return b.c.ScalarMult(k, p)
+}
+
+// Equal reports point equality.
+func (b *Symmetric) Equal(_ Group, p, q curve.Point) bool { return b.c.Equal(p, q) }
+
+// IsOnCurve reports curve membership.
+func (b *Symmetric) IsOnCurve(_ Group, p curve.Point) bool { return b.c.IsOnCurve(p) }
+
+// InSubgroup reports prime-order subgroup membership.
+func (b *Symmetric) InSubgroup(_ Group, p curve.Point) bool { return b.c.InSubgroup(p) }
+
+// HashToG2 is the try-and-increment H1 of the reference curve.
+func (b *Symmetric) HashToG2(domain string, msg []byte) curve.Point {
+	return b.c.HashToGroup(domain, msg)
+}
+
+// RandScalar samples a uniform scalar in Z_q^*.
+func (b *Symmetric) RandScalar(rng io.Reader) (*big.Int, error) { return b.c.RandScalar(rng) }
+
+// PointLen returns the compressed encoding size.
+func (b *Symmetric) PointLen(Group) int { return b.c.MarshalSize() }
+
+// AppendPoint appends the canonical compressed encoding.
+func (b *Symmetric) AppendPoint(dst []byte, _ Group, p curve.Point) []byte {
+	return b.c.AppendMarshal(dst, p)
+}
+
+// ParsePoint decodes a compressed encoding with subgroup validation.
+func (b *Symmetric) ParsePoint(_ Group, data []byte) (curve.Point, error) {
+	return b.c.UnmarshalSubgroup(data)
+}
+
+// PrecomputeBase builds the curve's fixed-base wNAF table.
+func (b *Symmetric) PrecomputeBase(_ Group, p curve.Point) BaseTable {
+	return b.c.PrecomputeBase(p)
+}
+
+// ScalarMultBase runs the fixed-base ladder.
+func (b *Symmetric) ScalarMultBase(t BaseTable, k *big.Int) curve.Point {
+	return b.c.ScalarMultBase(t.(*curve.BaseTable), k)
+}
+
+// Pair computes the modified Tate pairing ê(p, q).
+func (b *Symmetric) Pair(p, q curve.Point) GT { return b.pr.Pair(p, q) }
+
+// PairProduct computes Π ê(Pᵢ, Qᵢ) with one final exponentiation.
+func (b *Symmetric) PairProduct(pairs []PointPair) GT {
+	pp := make([]pairing.PointPair, len(pairs))
+	for i, f := range pairs {
+		pp[i] = pairing.PointPair{P: f.P, Q: f.Q}
+	}
+	return b.pr.PairProduct(pp)
+}
+
+// SamePairing reports ê(a1, b1) == ê(a2, b2).
+func (b *Symmetric) SamePairing(a1, b1, a2, b2 curve.Point) bool {
+	return b.pr.SamePairing(a1, b1, a2, b2)
+}
+
+// PrepareKey precomputes the Miller-loop line schedules of g and sg;
+// sg2 is ignored (it coincides with sg in the symmetric setting).
+func (b *Symmetric) PrepareKey(g, sg, _ curve.Point) PreparedKey {
+	return &symPrepared{
+		b:  b,
+		g:  b.pr.Precompute(g),
+		sg: b.pr.Precompute(sg),
+	}
+}
+
+// symPrepared is the Type-1 PreparedKey: the line schedules of the two
+// fixed first pairing arguments, exactly as bls.PreparedPublicKey has
+// always cached them.
+type symPrepared struct {
+	b     *Symmetric
+	g, sg *pairing.PreparedPoint
+}
+
+func (pk *symPrepared) VerifySig(h, sig curve.Point) bool {
+	if sig.IsInfinity() || !pk.b.c.InSubgroup(sig) {
+		return false
+	}
+	return pk.PairCheck(h, sig)
+}
+
+func (pk *symPrepared) PairCheck(h, sig curve.Point) bool {
+	return pk.b.pr.SamePairingPrepared(pk.g, sig, pk.sg, h)
+}
+
+func (pk *symPrepared) SameKey(ag, asg curve.Point) bool {
+	// ê(sG, aG) = ê(G, a·sG), fixed server points in the prepared slots.
+	return pk.b.pr.SamePairingPrepared(pk.sg, ag, pk.g, asg)
+}
+
+func (pk *symPrepared) VerifyAggregate(hashes []curve.Point, agg curve.Point) bool {
+	if len(hashes) == 0 {
+		return agg.IsInfinity()
+	}
+	if agg.IsInfinity() || !pk.b.c.InSubgroup(agg) {
+		return false
+	}
+	hsum := curve.Infinity()
+	for _, h := range hashes {
+		hsum = pk.b.c.Add(hsum, h)
+	}
+	return pk.b.pr.SamePairingPrepared(pk.g, agg, pk.sg, hsum)
+}
+
+// GTOne returns 1 ∈ F_{p²}.
+func (b *Symmetric) GTOne() GT { return b.pr.E2.One() }
+
+// GTEqual reports target-group equality.
+func (b *Symmetric) GTEqual(x, y GT) bool {
+	return b.pr.E2.Equal(x.(pairing.GT), y.(pairing.GT))
+}
+
+// GTIsOne reports whether x is the identity.
+func (b *Symmetric) GTIsOne(x GT) bool { return b.pr.E2.IsOne(x.(pairing.GT)) }
+
+// GTMul returns x·y in F_{p²}.
+func (b *Symmetric) GTMul(x, y GT) GT { return b.pr.E2.Mul(x.(pairing.GT), y.(pairing.GT)) }
+
+// GTExpUnitary runs the conjugation-as-inversion signed-window ladder.
+func (b *Symmetric) GTExpUnitary(x GT, k *big.Int) GT {
+	return b.pr.E2.ExpUnitary(x.(pairing.GT), k)
+}
+
+// GTBytes returns the canonical fixed-width F_{p²} encoding.
+func (b *Symmetric) GTBytes(x GT) []byte { return b.pr.E2.Bytes(x.(pairing.GT)) }

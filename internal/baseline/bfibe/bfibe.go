@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/pairing"
 	"timedrelease/internal/params"
@@ -51,6 +52,9 @@ type PrivateKey struct {
 
 // MasterKeyGen creates the PKG key pair.
 func (sc *Scheme) MasterKeyGen(rng io.Reader) (*MasterKey, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	s, err := sc.Set.Curve.RandScalar(rng)
 	if err != nil {
 		return nil, err
@@ -78,6 +82,9 @@ type Ciphertext struct {
 
 // Encrypt encrypts msg to an identity.
 func (sc *Scheme) Encrypt(rng io.Reader, pub MasterPublicKey, id string, msg []byte) (*Ciphertext, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	r, err := sc.Set.Curve.RandScalar(rng)
 	if err != nil {
 		return nil, fmt.Errorf("bfibe: sampling randomness: %w", err)
@@ -93,6 +100,9 @@ func (sc *Scheme) Encrypt(rng io.Reader, pub MasterPublicKey, id string, msg []b
 
 // Decrypt recovers the message with the extracted identity key.
 func (sc *Scheme) Decrypt(priv PrivateKey, ct *Ciphertext) ([]byte, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if ct == nil || !sc.Set.Curve.IsOnCurve(ct.U) {
 		return nil, fmt.Errorf("bfibe: malformed ciphertext")
 	}

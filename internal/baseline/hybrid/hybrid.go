@@ -24,6 +24,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/baseline/bfibe"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/params"
@@ -52,6 +53,9 @@ type ReceiverKey struct {
 
 // ReceiverKeyGen creates the receiver's PKE key pair.
 func (sc *Scheme) ReceiverKeyGen(rng io.Reader) (*ReceiverKey, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	b, err := sc.Set.Curve.RandScalar(rng)
 	if err != nil {
 		return nil, err
@@ -73,6 +77,9 @@ type Ciphertext struct {
 // Encrypt produces a timed-release ciphertext for (receiver, release
 // label) under the time server's IBE master public key.
 func (sc *Scheme) Encrypt(rng io.Reader, server bfibe.MasterPublicKey, receiver curve.Point, label string, msg []byte) (*Ciphertext, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if rng == nil {
 		rng = rand.Reader
 	}
@@ -112,6 +119,9 @@ func (sc *Scheme) Encrypt(rng io.Reader, server bfibe.MasterPublicKey, receiver 
 // Decrypt combines the receiver's ElGamal key with the time server's
 // published IBE key for the release label.
 func (sc *Scheme) Decrypt(receiver *ReceiverKey, labelKey bfibe.PrivateKey, ct *Ciphertext) ([]byte, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if ct == nil || !sc.Set.Curve.IsOnCurve(ct.U1) || !sc.Set.Curve.IsOnCurve(ct.U2) ||
 		len(ct.W1) != subKeyLen || len(ct.W2) != subKeyLen {
 		return nil, fmt.Errorf("hybrid: malformed ciphertext")

@@ -23,6 +23,7 @@ import (
 	"math/big"
 	"sync"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/params"
 	"timedrelease/internal/rohash"
@@ -52,6 +53,9 @@ func NewServer(set *params.Set) *Server { return &Server{set: set} }
 // ExtendHorizon generates and "publishes" count additional epoch public
 // keys. This is the up-front cost the paper objects to.
 func (s *Server) ExtendHorizon(rng io.Reader, count int) error {
+	if s.set.Asymmetric() {
+		return backend.ErrSymmetricOnly
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := 0; i < count; i++ {
@@ -123,6 +127,9 @@ type Ciphertext struct {
 
 // Encrypt seals msg to the given epoch using the published key list.
 func Encrypt(rng io.Reader, set *params.Set, pubs []curve.Point, epoch int, msg []byte) (*Ciphertext, error) {
+	if set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if epoch < 0 || epoch >= len(pubs) {
 		return nil, ErrBeyondHorizon
 	}
@@ -140,6 +147,9 @@ func Encrypt(rng io.Reader, set *params.Set, pubs []curve.Point, epoch int, msg 
 
 // Decrypt opens a ciphertext with the released epoch private key.
 func Decrypt(set *params.Set, epochPriv *big.Int, ct *Ciphertext) ([]byte, error) {
+	if set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if ct == nil || !set.Curve.IsOnCurve(ct.U) {
 		return nil, errors.New("rivest: malformed ciphertext")
 	}

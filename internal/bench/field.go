@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"timedrelease/internal/bls381"
 	"timedrelease/internal/params"
 )
 
@@ -12,7 +13,7 @@ import (
 // field's hot operations, in nanoseconds per operation.
 type FieldRow struct {
 	Preset  string `json:"preset"`
-	Backend string `json:"backend"` // "bigint" or "montgomery"
+	Backend string `json:"backend"` // "bigint", "montgomery" or "bls12381"
 	PBits   int    `json:"p_bits"`
 	Iters   int    `json:"iters"`
 
@@ -43,7 +44,7 @@ type FieldReport struct {
 // multiplication is far below timer resolution.
 func RunField(cfg Config) (*FieldReport, *Table, error) {
 	const fieldBatch = 1000
-	names := []string{"Test160", "SS512"}
+	names := []string{"Test160", "SS512", "BLS12-381"}
 	if cfg.Quick {
 		names = []string{"Test160"}
 	}
@@ -51,7 +52,7 @@ func RunField(cfg Config) (*FieldReport, *Table, error) {
 		names = []string{cfg.Preset}
 	}
 	rep := &FieldReport{
-		Description: "F_p Mul/Sqr/Inv per backend; bigint = math/big reference, montgomery = fixed-limb CIOS backend; ns per single operation",
+		Description: "F_p Mul/Sqr/Inv per backend; bigint = math/big reference, montgomery = fixed-limb CIOS backend, bls12381 = the Type-3 backend's 381-bit six-limb field; ns per single operation",
 	}
 	t := &Table{
 		ID:    "FIELD",
@@ -66,6 +67,20 @@ func RunField(cfg Config) (*FieldReport, *Table, error) {
 		set, err := params.Preset(name)
 		if err != nil {
 			return nil, nil, err
+		}
+		if set.Asymmetric() {
+			row, err := fieldRowBLS(set, cfg, fieldBatch)
+			if err != nil {
+				return nil, nil, err
+			}
+			rep.Rows = append(rep.Rows, row)
+			t.Add(fmt.Sprintf("%s/%s (|p|=%d)", set.Name, row.Backend, row.PBits),
+				fmt.Sprintf("%d ns", row.MulNS),
+				fmt.Sprintf("%d ns", row.SqrNS),
+				fmt.Sprintf("%d ns", row.InvNS),
+				fmt.Sprintf("%d", row.MulAllocs),
+				fmt.Sprintf("%d", row.MulBytes))
+			continue
 		}
 		f := set.Curve.F
 		m := f.Mont()
@@ -134,9 +149,37 @@ func RunField(cfg Config) (*FieldReport, *Table, error) {
 		}
 	}
 	t.Note("montgomery Mul/Sqr exclude domain conversion (operands stay in Montgomery form across whole pairings)")
-	t.Note("bigint Inv is the extended-Euclid big.Int ModInverse; montgomery Inv is a Fermat exponentiation on limbs")
+	t.Note("bigint Inv is the extended-Euclid big.Int ModInverse; montgomery and bls12381 Inv are Fermat exponentiations on limbs")
+	t.Note("bls12381 rows time the Type-3 backend's 381-bit six-limb base field (unrolled CIOS); it has no bigint reference path")
 	t.Note("allocs/op and B/op are -benchmem-style means; the JSON also records the inversion path's")
 	return rep, t, nil
+}
+
+// fieldRowBLS times the BLS12-381 backend's fixed six-limb base field
+// via its exported bench hooks (the field type itself is unexported).
+func fieldRowBLS(set *params.Set, cfg Config, fieldBatch int) (FieldRow, error) {
+	mul, sqr, inv := bls381.BenchFieldOps()
+	iters := cfg.iters(20)
+	perOp := func(batch int, run func()) int64 {
+		d := timeOp(iters, func() {
+			for i := 0; i < batch; i++ {
+				run()
+			}
+		})
+		return d.Nanoseconds() / int64(batch)
+	}
+	row := FieldRow{
+		Preset:  set.Name,
+		Backend: "bls12381",
+		PBits:   set.P.BitLen(),
+		Iters:   iters * fieldBatch,
+		MulNS:   perOp(fieldBatch, mul),
+		SqrNS:   perOp(fieldBatch, sqr),
+		InvNS:   perOp(fieldBatch/20, inv),
+	}
+	row.MulAllocs, row.MulBytes = memPerOp(iters*fieldBatch, mul)
+	row.InvAllocs, row.InvBytes = memPerOp(iters*fieldBatch/20, inv)
+	return row, nil
 }
 
 // JSON renders the report with stable indentation for check-in.

@@ -3,7 +3,9 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
+	"timedrelease/internal/bls381"
 	"timedrelease/internal/pairing"
 	"timedrelease/internal/params"
 )
@@ -15,7 +17,7 @@ import (
 // optimisation bought.
 type PairingRow struct {
 	Preset  string `json:"preset"`
-	Backend string `json:"backend"` // "bigint" (reference) or "montgomery" (fixed-limb)
+	Backend string `json:"backend"` // "bigint" (reference), "montgomery" (fixed-limb) or "bls12381" (Type-3)
 	PBits   int    `json:"p_bits"`
 	QBits   int    `json:"q_bits"`
 	Iters   int    `json:"iters"`
@@ -50,7 +52,7 @@ type PairingReport struct {
 // affine reference at each preset and returns both a machine-readable
 // report and a rendered table.
 func RunPairing(cfg Config) (*PairingReport, *Table, error) {
-	names := []string{"Test160", "SS512"}
+	names := []string{"Test160", "SS512", "BLS12-381"}
 	if cfg.Quick {
 		names = []string{"Test160"}
 	}
@@ -58,7 +60,7 @@ func RunPairing(cfg Config) (*PairingReport, *Table, error) {
 		names = []string{cfg.Preset}
 	}
 	rep := &PairingReport{
-		Description: "Tate pairing evaluation strategies vs the affine reference Miller loop; speedups are affine_ns / strategy_ns",
+		Description: "pairing evaluation strategies: Type-1 Tate rows vs their affine reference Miller loop (speedups are affine_ns / strategy_ns), plus the Type-3 BLS12-381 optimal ate row (no affine reference; zeros there)",
 	}
 	t := &Table{
 		ID:    "PAIRING",
@@ -75,6 +77,16 @@ func RunPairing(cfg Config) (*PairingReport, *Table, error) {
 			return nil, nil, err
 		}
 		iters := cfg.iters(20)
+		if set.Asymmetric() {
+			row := pairingRowBLS(set, iters)
+			rep.Rows = append(rep.Rows, row)
+			t.Add(fmt.Sprintf("%s/%s (|p|=%d,|q|=%d)", set.Name, row.Backend, row.PBits, row.QBits),
+				"n/a",
+				nsDur(row.ProjectiveNS), nsDur(row.PreparedNS), nsDur(row.PrecomputeNS), nsDur(row.ProductNS),
+				"n/a", "n/a",
+				fmt.Sprintf("%d", row.PreparedAllocs), fmt.Sprintf("%d", row.PreparedBytes))
+			continue
+		}
 		pr := set.Pairing
 		c := set.Curve
 		p := c.HashToGroup("bench-pairing", []byte("P"))
@@ -163,9 +175,44 @@ func RunPairing(cfg Config) (*PairingReport, *Table, error) {
 	t.Note("bigint rows pin the *Big reference methods; montgomery rows are the routed defaults on the fixed-limb backend")
 	t.Note("prepared excludes the one-off Precompute cost (shown separately); it amortises after one reuse of the fixed argument")
 	t.Note("product = PairProduct over 4 pairs: parallel Miller loops, one shared final exponentiation")
+	t.Note("bls12381 rows time the Type-3 optimal ate pairing; the Tate affine reference loop does not exist there, so the affine column and the speedups are n/a (0 in the JSON)")
 	t.Note("allocs/op and B/op are -benchmem-style means over the prepared path; the JSON also records the projective path's")
 	return rep, t, nil
 }
+
+// pairingRowBLS times the BLS12-381 optimal ate strategies via the
+// backend's bench hooks. The affine reference loop is a Tate-pairing
+// artifact with no Type-3 counterpart, so AffineNS and the speedup
+// ratios stay zero.
+func pairingRowBLS(set *params.Set, iters int) PairingRow {
+	pairFull, pairPrep, precomp, product4, verify := bls381.BenchPairingOps()
+	projective := timeOp(iters, pairFull)
+	prepared := timeOp(iters, pairPrep)
+	precompute := timeOp(iters, precomp)
+	product := timeOp(iters, product4)
+	verifyD := timeOp(iters, verify)
+	projAllocs, projBytes := memPerOp(iters, pairFull)
+	prepAllocs, prepBytes := memPerOp(iters, pairPrep)
+	return PairingRow{
+		Preset:           set.Name,
+		Backend:          "bls12381",
+		PBits:            set.P.BitLen(),
+		QBits:            set.Q.BitLen(),
+		Iters:            iters,
+		ProjectiveNS:     projective.Nanoseconds(),
+		PrecomputeNS:     precompute.Nanoseconds(),
+		PreparedNS:       prepared.Nanoseconds(),
+		ProductNS:        product.Nanoseconds(),
+		VerifyNS:         verifyD.Nanoseconds(),
+		ProjectiveAllocs: projAllocs,
+		ProjectiveBytes:  projBytes,
+		PreparedAllocs:   prepAllocs,
+		PreparedBytes:    prepBytes,
+	}
+}
+
+// nsDur renders a nanosecond count the way ms renders a Duration.
+func nsDur(ns int64) string { return ms(time.Duration(ns)) }
 
 // JSON renders the report with stable indentation for check-in.
 func (r *PairingReport) JSON() ([]byte, error) {

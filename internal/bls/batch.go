@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/parallel"
 	"timedrelease/internal/params"
@@ -36,7 +37,7 @@ const batchExponentBits = 128
 // per-signature Verify to locate offenders.
 func VerifyBatch(set *params.Set, pub PublicKey, dst string, msgs [][]byte, sigs []Signature, rng io.Reader) (bool, error) {
 	return verifyBatch(set, dst, msgs, sigs, rng, func(sigSum, hashSum curve.Point) bool {
-		return set.Pairing.SamePairing(pub.G, sigSum, pub.SG, hashSum)
+		return set.B.SamePairing(pub.G, sigSum, pub.SG, hashSum)
 	})
 }
 
@@ -70,23 +71,23 @@ func verifyBatch(set *params.Set, dst string, msgs [][]byte, sigs []Signature, r
 	bad := make([]bool, len(sigs))
 	parallel.For(len(sigs), func(i int) {
 		sig := sigs[i]
-		if sig.Point.IsInfinity() || !set.Curve.InSubgroup(sig.Point) {
+		if sig.Point.IsInfinity() || !set.B.InSubgroup(backend.G2, sig.Point) {
 			bad[i] = true
 			return
 		}
-		blindedSigs[i] = set.Curve.ScalarMult(blinders[i], sig.Point)
-		h := set.Curve.HashToGroup(dst, msgs[i])
-		blindedHashes[i] = set.Curve.ScalarMult(blinders[i], h)
+		blindedSigs[i] = set.B.ScalarMult(backend.G2, blinders[i], sig.Point)
+		h := set.B.HashToG2(dst, msgs[i])
+		blindedHashes[i] = set.B.ScalarMult(backend.G2, blinders[i], h)
 	})
 
-	sigSum := curve.Infinity()
-	hashSum := curve.Infinity()
+	sigSum := set.B.Infinity(backend.G2)
+	hashSum := set.B.Infinity(backend.G2)
 	for i := range sigs {
 		if bad[i] {
 			return false, nil
 		}
-		sigSum = set.Curve.Add(sigSum, blindedSigs[i])
-		hashSum = set.Curve.Add(hashSum, blindedHashes[i])
+		sigSum = set.B.Add(backend.G2, sigSum, blindedSigs[i])
+		hashSum = set.B.Add(backend.G2, hashSum, blindedHashes[i])
 	}
 	return check(sigSum, hashSum), nil
 }

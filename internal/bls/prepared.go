@@ -3,17 +3,18 @@ package bls
 import (
 	"io"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
-	"timedrelease/internal/pairing"
 	"timedrelease/internal/params"
 )
 
-// PreparedPublicKey is a verification key with the Miller-loop line
-// schedules of both pairing arguments that stay fixed across
-// verifications — the generator G and the key sG — precomputed once.
-// Every Verify/VerifyAggregate/VerifyBatch against the same key then
-// skips all Miller-loop point arithmetic (one field multiplication per
-// stored line instead), which is the dominant cost of verification.
+// PreparedPublicKey is a verification key with the backend's
+// fixed-argument pairing precomputation done once. On a Type-1 backend
+// that is the Miller-loop line schedules of G and sG; on BLS12-381 it
+// is the prepared G2 schedules of the generator and sG2. Every
+// Verify/VerifyAggregate/VerifyBatch against the same key then skips
+// the repeated Miller-loop point arithmetic, which is the dominant
+// cost of verification.
 //
 // Preparation costs roughly one pairing; it pays for itself from the
 // second verification on. A PreparedPublicKey is immutable and safe for
@@ -23,8 +24,7 @@ import (
 type PreparedPublicKey struct {
 	Pub PublicKey
 
-	// g and sg hold the prepared line schedules of Pub.G and Pub.SG.
-	g, sg *pairing.PreparedPoint
+	pk backend.PreparedKey
 }
 
 // PreparePublicKey precomputes the fixed-argument pairing schedules of
@@ -32,47 +32,45 @@ type PreparedPublicKey struct {
 func PreparePublicKey(set *params.Set, pub PublicKey) *PreparedPublicKey {
 	return &PreparedPublicKey{
 		Pub: pub,
-		g:   set.Pairing.Precompute(pub.G),
-		sg:  set.Pairing.Precompute(pub.SG),
+		pk:  set.B.PrepareKey(pub.G, pub.SG, pub.SG2),
 	}
 }
 
-// G returns the prepared schedule of the generator; core reuses it for
-// checks that pair against G with a varying second argument.
-func (pk *PreparedPublicKey) G() *pairing.PreparedPoint { return pk.g }
-
-// SG returns the prepared schedule of s·G.
-func (pk *PreparedPublicKey) SG() *pairing.PreparedPoint { return pk.sg }
+// SameKey checks the user-key well-formedness equation on the prepared
+// path: ê(aG, sG) = ê(G, a·sG) in the symmetric setting, equivalently
+// ê(aG, sG2) = ê(asG, G2) in Type-3 form — proving asg was formed with
+// the same scalar a as ag. Subgroup checks are the caller's job.
+func (pk *PreparedPublicKey) SameKey(ag, asg curve.Point) bool { return pk.pk.SameKey(ag, asg) }
 
 // Verify checks ê(G, sig) = ê(sG, H1(msg)) over the precomputed
 // schedules; it accepts exactly the signatures Verify accepts.
 func (pk *PreparedPublicKey) Verify(set *params.Set, dst string, msg []byte, sig Signature) bool {
-	return pk.VerifyHash(set, set.Curve.HashToGroup(dst, msg), sig)
+	return pk.VerifyHash(set, set.B.HashToG2(dst, msg), sig)
 }
 
 // VerifyHash is Verify with the message already hashed onto the curve.
 // Callers that memoise H1 — core's sharded label cache hashes each
-// time label once per scheme — skip the try-and-increment hashing that
+// time label once per scheme — skip the hash-to-curve work that
 // otherwise dominates verification cost. h must be H1(dst, msg) for
 // the check to mean anything.
-func (pk *PreparedPublicKey) VerifyHash(set *params.Set, h curve.Point, sig Signature) bool {
-	if sig.Point.IsInfinity() || !set.Curve.InSubgroup(sig.Point) {
-		return false
-	}
-	return set.Pairing.SamePairingPrepared(pk.g, sig.Point, pk.sg, h)
+func (pk *PreparedPublicKey) VerifyHash(_ *params.Set, h curve.Point, sig Signature) bool {
+	return pk.pk.VerifySig(h, sig.Point)
 }
 
 // VerifyAggregate checks a same-key aggregate signature over the message
 // list, like the package-level VerifyAggregate but on the prepared path.
 func (pk *PreparedPublicKey) VerifyAggregate(set *params.Set, dst string, msgs [][]byte, agg Signature) bool {
-	if agg.Point.IsInfinity() || !set.Curve.InSubgroup(agg.Point) {
+	hashes := make([]curve.Point, len(msgs))
+	for i, m := range msgs {
+		hashes[i] = set.B.HashToG2(dst, m)
+	}
+	if len(hashes) == 0 {
+		// Match the package-level verifier: an aggregate over no
+		// messages is rejected outright rather than compared to the
+		// identity.
 		return false
 	}
-	hsum := curve.Infinity()
-	for _, m := range msgs {
-		hsum = set.Curve.Add(hsum, set.Curve.HashToGroup(dst, m))
-	}
-	return set.Pairing.SamePairingPrepared(pk.g, agg.Point, pk.sg, hsum)
+	return pk.pk.VerifyAggregate(hashes, agg.Point)
 }
 
 // VerifyAggregatePrepared checks a same-key aggregate signature against
@@ -84,32 +82,23 @@ func (pk *PreparedPublicKey) VerifyAggregate(set *params.Set, dst string, msgs [
 // aggregate covers. Callers that memoise H1 (core's sharded label
 // cache) pay n point additions and one PairProduct, full stop; this is
 // the O(1)-pairing catch-up path. Each hᵢ must be H1(dst, mᵢ) for the
-// check to mean anything.
+// check to mean anything. An empty hash list verifies iff agg is the
+// identity.
 //
 // Like the other aggregate verifiers it binds the signature to the SUM
 // of the hashes: it proves every listed message was signed, provided
 // the list itself is honest. A transport that can alter the list can
 // only be caught by the per-update checks — see the client's fallback.
-func (pk *PreparedPublicKey) VerifyAggregatePrepared(set *params.Set, hashes []curve.Point, agg Signature) bool {
-	if len(hashes) == 0 {
-		return agg.Point.IsInfinity()
-	}
-	if agg.Point.IsInfinity() || !set.Curve.InSubgroup(agg.Point) {
-		return false
-	}
-	hsum := curve.Infinity()
-	for _, h := range hashes {
-		hsum = set.Curve.Add(hsum, h)
-	}
-	return set.Pairing.SamePairingPrepared(pk.g, agg.Point, pk.sg, hsum)
+func (pk *PreparedPublicKey) VerifyAggregatePrepared(_ *params.Set, hashes []curve.Point, agg Signature) bool {
+	return pk.pk.VerifyAggregate(hashes, agg.Point)
 }
 
 // VerifyBatch checks many same-key signatures with one blinded pairing
-// equation, like the package-level VerifyBatch but with the two Miller
-// loops on the prepared path. See VerifyBatch for the security argument
-// and failure semantics.
+// equation, like the package-level VerifyBatch but with the fixed
+// pairing arguments on the prepared path. See VerifyBatch for the
+// security argument and failure semantics.
 func (pk *PreparedPublicKey) VerifyBatch(set *params.Set, dst string, msgs [][]byte, sigs []Signature, rng io.Reader) (bool, error) {
 	return verifyBatch(set, dst, msgs, sigs, rng, func(sigSum, hashSum curve.Point) bool {
-		return set.Pairing.SamePairingPrepared(pk.g, sigSum, pk.sg, hashSum)
+		return pk.pk.PairCheck(hashSum, sigSum)
 	})
 }

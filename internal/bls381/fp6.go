@@ -1,0 +1,201 @@
+package bls381
+
+// fe6 is an element of Fp6 = Fp2[v]/(v³ − ξ), stored b0 + b1·v + b2·v².
+type fe6 struct {
+	b0, b1, b2 fe2
+}
+
+func (z *fe6) set(x *fe6)   { *z = *x }
+func (z *fe6) setZero()     { *z = fe6{} }
+func (z *fe6) setOne()      { z.b0.setOne(); z.b1.setZero(); z.b2.setZero() }
+func (z *fe6) isZero() bool { return z.b0.isZero() && z.b1.isZero() && z.b2.isZero() }
+func (z *fe6) equal(x *fe6) bool {
+	return z.b0.equal(&x.b0) && z.b1.equal(&x.b1) && z.b2.equal(&x.b2)
+}
+
+func (z *fe6) add(x, y *fe6) {
+	z.b0.add(&x.b0, &y.b0)
+	z.b1.add(&x.b1, &y.b1)
+	z.b2.add(&x.b2, &y.b2)
+}
+
+func (z *fe6) dbl(x *fe6) {
+	z.b0.dbl(&x.b0)
+	z.b1.dbl(&x.b1)
+	z.b2.dbl(&x.b2)
+}
+
+func (z *fe6) sub(x, y *fe6) {
+	z.b0.sub(&x.b0, &y.b0)
+	z.b1.sub(&x.b1, &y.b1)
+	z.b2.sub(&x.b2, &y.b2)
+}
+
+func (z *fe6) neg(x *fe6) {
+	z.b0.neg(&x.b0)
+	z.b1.neg(&x.b1)
+	z.b2.neg(&x.b2)
+}
+
+// mul is the Karatsuba-style product with 6 Fp2 multiplications
+// (Devegili et al. "Multiplication and Squaring on Pairing-Friendly
+// Fields" interleaving):
+//
+//	c0 = a0b0 + ξ[(a1+a2)(b1+b2) − a1b1 − a2b2]
+//	c1 = (a0+a1)(b0+b1) − a0b0 − a1b1 + ξ·a2b2
+//	c2 = (a0+a2)(b0+b2) − a0b0 − a2b2 + a1b1
+func (z *fe6) mul(x, y *fe6) {
+	var t0, t1, t2, s0, s1, u fe2
+	t0.mul(&x.b0, &y.b0)
+	t1.mul(&x.b1, &y.b1)
+	t2.mul(&x.b2, &y.b2)
+
+	s0.add(&x.b1, &x.b2)
+	s1.add(&y.b1, &y.b2)
+	s0.mul(&s0, &s1)
+	s0.sub(&s0, &t1)
+	s0.sub(&s0, &t2)
+	s0.mulByNonRes(&s0)
+	// s0 holds the ξ-folded cross term for c0; assemble into u so x/y
+	// stay readable until all products are taken.
+	u.add(&s0, &t0) // c0
+
+	var c1, c2 fe2
+	c1.add(&x.b0, &x.b1)
+	s1.add(&y.b0, &y.b1)
+	c1.mul(&c1, &s1)
+	c1.sub(&c1, &t0)
+	c1.sub(&c1, &t1)
+	s1.mulByNonRes(&t2)
+	c1.add(&c1, &s1)
+
+	c2.add(&x.b0, &x.b2)
+	s1.add(&y.b0, &y.b2)
+	c2.mul(&c2, &s1)
+	c2.sub(&c2, &t0)
+	c2.sub(&c2, &t2)
+	c2.add(&c2, &t1)
+
+	z.b0.set(&u)
+	z.b1.set(&c1)
+	z.b2.set(&c2)
+}
+
+// sqr is the CH-SQR2 squaring (5 Fp2 squarings/products).
+func (z *fe6) sqr(x *fe6) {
+	var s0, s1, s2, s3, s4 fe2
+	s0.sqr(&x.b0)
+	s1.mul(&x.b0, &x.b1)
+	s1.dbl(&s1)
+	s2.sub(&x.b0, &x.b1)
+	s2.add(&s2, &x.b2)
+	s2.sqr(&s2)
+	s3.mul(&x.b1, &x.b2)
+	s3.dbl(&s3)
+	s4.sqr(&x.b2)
+
+	var c0, c1, c2 fe2
+	c0.mulByNonRes(&s3)
+	c0.add(&c0, &s0)
+	c1.mulByNonRes(&s4)
+	c1.add(&c1, &s1)
+	c2.add(&s1, &s2)
+	c2.add(&c2, &s3)
+	c2.sub(&c2, &s0)
+	c2.sub(&c2, &s4)
+
+	z.b0.set(&c0)
+	z.b1.set(&c1)
+	z.b2.set(&c2)
+}
+
+// mulByV multiplies by v: (b0, b1, b2) → (ξ·b2, b0, b1).
+func (z *fe6) mulByV(x *fe6) {
+	var t fe2
+	t.mulByNonRes(&x.b2)
+	z.b2.set(&x.b1)
+	z.b1.set(&x.b0)
+	z.b0.set(&t)
+}
+
+// mulBy01 multiplies by the sparse element a + b·v.
+func (z *fe6) mulBy01(x *fe6, a, b *fe2) {
+	var t0, t1, s, u fe2
+	t0.mul(&x.b0, a)
+	t1.mul(&x.b1, b)
+
+	// c0 = a·b0 + ξ·b·b2? no: (b0 + b1 v + b2 v²)(a + b v)
+	//    = a b0 + (a b1 + b b0) v + (a b2 + b b1) v² + b b2 v³
+	//    = (a b0 + ξ b b2) + (a b1 + b b0) v + (a b2 + b b1) v²
+	var c0, c1, c2 fe2
+	s.mul(&x.b2, b)
+	s.mulByNonRes(&s)
+	c0.add(&t0, &s)
+
+	// a b1 + b b0 = (a+b)(b0+b1) − a b0 − b b1
+	s.add(a, b)
+	u.add(&x.b0, &x.b1)
+	c1.mul(&s, &u)
+	c1.sub(&c1, &t0)
+	c1.sub(&c1, &t1)
+
+	s.mul(&x.b2, a)
+	c2.add(&s, &t1)
+
+	z.b0.set(&c0)
+	z.b1.set(&c1)
+	z.b2.set(&c2)
+}
+
+// mulBy1 multiplies by the sparse element b·v.
+func (z *fe6) mulBy1(x *fe6, b *fe2) {
+	var t fe2
+	t.mul(&x.b2, b)
+	t.mulByNonRes(&t)
+	var c1, c2 fe2
+	c1.mul(&x.b0, b)
+	c2.mul(&x.b1, b)
+	z.b0.set(&t)
+	z.b1.set(&c1)
+	z.b2.set(&c2)
+}
+
+// mulByFe2 scales each coefficient by k ∈ Fp2.
+func (z *fe6) mulByFe2(x *fe6, k *fe2) {
+	z.b0.mul(&x.b0, k)
+	z.b1.mul(&x.b1, k)
+	z.b2.mul(&x.b2, k)
+}
+
+// inv inverts via the norm-like resultant:
+//
+//	A = b0² − ξ·b1·b2, B = ξ·b2² − b0·b1, C = b1² − b0·b2
+//	F = b0·A + ξ(b2·B + b1·C);  x⁻¹ = (A + B v + C v²)/F
+func (z *fe6) inv(x *fe6) {
+	var a, b, c, t, f fe2
+	a.sqr(&x.b0)
+	t.mul(&x.b1, &x.b2)
+	t.mulByNonRes(&t)
+	a.sub(&a, &t)
+
+	b.sqr(&x.b2)
+	b.mulByNonRes(&b)
+	t.mul(&x.b0, &x.b1)
+	b.sub(&b, &t)
+
+	c.sqr(&x.b1)
+	t.mul(&x.b0, &x.b2)
+	c.sub(&c, &t)
+
+	f.mul(&x.b2, &b)
+	t.mul(&x.b1, &c)
+	f.add(&f, &t)
+	f.mulByNonRes(&f)
+	t.mul(&x.b0, &a)
+	f.add(&f, &t)
+	f.inv(&f)
+
+	z.b0.mul(&a, &f)
+	z.b1.mul(&b, &f)
+	z.b2.mul(&c, &f)
+}

@@ -1,0 +1,376 @@
+package bls381
+
+import (
+	"errors"
+	"math/big"
+)
+
+// g2Affine is a point on the sextic M-twist E'(Fp2): y² = x³ + 4(1+i).
+// The group G2 is the r-torsion subgroup (index h2 in the twist).
+type g2Affine struct {
+	x, y fe2
+	inf  bool
+}
+
+type g2Jac struct {
+	x, y, z fe2
+}
+
+func g2Infinity() g2Affine { return g2Affine{inf: true} }
+
+func (p *g2Affine) isInfinity() bool { return p.inf }
+
+func (p *g2Affine) equal(q *g2Affine) bool {
+	if p.inf || q.inf {
+		return p.inf == q.inf
+	}
+	return p.x.equal(&q.x) && p.y.equal(&q.y)
+}
+
+func (p *g2Affine) neg(q *g2Affine) {
+	p.x.set(&q.x)
+	p.y.neg(&q.y)
+	p.inf = q.inf
+}
+
+func twistB() fe2 {
+	var b fe2
+	b.fromUint64(4, 4)
+	return b
+}
+
+func (p *g2Affine) isOnCurve() bool {
+	if p.inf {
+		return true
+	}
+	var lhs, rhs fe2
+	lhs.sqr(&p.y)
+	rhs.sqr(&p.x)
+	rhs.mul(&rhs, &p.x)
+	b := twistB()
+	rhs.add(&rhs, &b)
+	return lhs.equal(&rhs)
+}
+
+// psi is the untwist-Frobenius-twist endomorphism; on G2 it acts as
+// multiplication by x (the BLS parameter), which gives the fast
+// subgroup check below.
+func (p *g2Affine) psi(q *g2Affine) {
+	if q.inf {
+		*p = g2Infinity()
+		return
+	}
+	var x, y fe2
+	x.conj(&q.x)
+	x.mul(&x, &ctx.psiX)
+	y.conj(&q.y)
+	y.mul(&y, &ctx.psiY)
+	p.x.set(&x)
+	p.y.set(&y)
+	p.inf = false
+}
+
+// inSubgroup uses the ψ criterion: Q ∈ G2 ⇔ ψ(Q) = [x]Q. Since x < 0,
+// the right side is −[|x|]Q — a 64-bit ladder instead of a 255-bit one.
+// TestPsiSubgroupCheck pins this against the definitional [r]Q = O.
+func (p *g2Affine) inSubgroup() bool {
+	if p.inf {
+		return true
+	}
+	var want g2Affine
+	want.psi(p)
+	var j, xq g2Jac
+	j.fromAffine(p)
+	xq.scalarMult(&j, ctx.xAbs)
+	xq.neg(&xq)
+	got := xq.toAffine()
+	return got.equal(&want)
+}
+
+// clearCofactor maps a curve point into G2 by multiplying with the
+// twist cofactor h2. Plain and safe; hash-to-curve amortizes it behind
+// the scheme's label cache.
+func (p *g2Affine) clearCofactor(q *g2Affine) {
+	var j g2Jac
+	j.fromAffine(q)
+	j.scalarMult(&j, ctx.h2)
+	*p = j.toAffine()
+}
+
+func (j *g2Jac) isInfinity() bool { return j.z.isZero() }
+
+func (j *g2Jac) setInfinity() {
+	j.x.setOne()
+	j.y.setOne()
+	j.z.setZero()
+}
+
+func (j *g2Jac) fromAffine(p *g2Affine) {
+	if p.inf {
+		j.setInfinity()
+		return
+	}
+	j.x.set(&p.x)
+	j.y.set(&p.y)
+	j.z.setOne()
+}
+
+func (j *g2Jac) toAffine() g2Affine {
+	if j.isInfinity() {
+		return g2Infinity()
+	}
+	var zi, zi2, zi3 fe2
+	zi.inv(&j.z)
+	zi2.sqr(&zi)
+	zi3.mul(&zi2, &zi)
+	var p g2Affine
+	p.x.mul(&j.x, &zi2)
+	p.y.mul(&j.y, &zi3)
+	return p
+}
+
+func (j *g2Jac) set(q *g2Jac) { *j = *q }
+
+func (j *g2Jac) neg(q *g2Jac) {
+	j.x.set(&q.x)
+	j.y.neg(&q.y)
+	j.z.set(&q.z)
+}
+
+func (j *g2Jac) double(q *g2Jac) {
+	if q.isInfinity() {
+		j.set(q)
+		return
+	}
+	var a, b, c, d, e, f fe2
+	a.sqr(&q.x)
+	b.sqr(&q.y)
+	c.sqr(&b)
+	d.add(&q.x, &b)
+	d.sqr(&d)
+	d.sub(&d, &a)
+	d.sub(&d, &c)
+	d.dbl(&d)
+	e.dbl(&a)
+	e.add(&e, &a)
+	f.sqr(&e)
+
+	var x3, y3, z3, t fe2
+	x3.sub(&f, &d)
+	x3.sub(&x3, &d)
+	z3.mul(&q.y, &q.z)
+	z3.dbl(&z3)
+	y3.sub(&d, &x3)
+	y3.mul(&y3, &e)
+	t.dbl(&c)
+	t.dbl(&t)
+	t.dbl(&t)
+	y3.sub(&y3, &t)
+	j.x.set(&x3)
+	j.y.set(&y3)
+	j.z.set(&z3)
+}
+
+func (j *g2Jac) add(p, q *g2Jac) {
+	if p.isInfinity() {
+		j.set(q)
+		return
+	}
+	if q.isInfinity() {
+		j.set(p)
+		return
+	}
+	var z1z1, z2z2, u1, u2, s1, s2, h, r fe2
+	z1z1.sqr(&p.z)
+	z2z2.sqr(&q.z)
+	u1.mul(&p.x, &z2z2)
+	u2.mul(&q.x, &z1z1)
+	s1.mul(&p.y, &q.z)
+	s1.mul(&s1, &z2z2)
+	s2.mul(&q.y, &p.z)
+	s2.mul(&s2, &z1z1)
+	h.sub(&u2, &u1)
+	r.sub(&s2, &s1)
+	if h.isZero() {
+		if r.isZero() {
+			j.double(p)
+			return
+		}
+		j.setInfinity()
+		return
+	}
+	var hh, hhh, v fe2
+	hh.sqr(&h)
+	hhh.mul(&hh, &h)
+	v.mul(&u1, &hh)
+
+	var x3, y3, z3, t fe2
+	x3.sqr(&r)
+	x3.sub(&x3, &hhh)
+	x3.sub(&x3, &v)
+	x3.sub(&x3, &v)
+	y3.sub(&v, &x3)
+	y3.mul(&y3, &r)
+	t.mul(&s1, &hhh)
+	y3.sub(&y3, &t)
+	z3.mul(&p.z, &q.z)
+	z3.mul(&z3, &h)
+	j.x.set(&x3)
+	j.y.set(&y3)
+	j.z.set(&z3)
+}
+
+func (j *g2Jac) addAffine(p *g2Jac, q *g2Affine) {
+	if q.inf {
+		j.set(p)
+		return
+	}
+	if p.isInfinity() {
+		j.fromAffine(q)
+		return
+	}
+	var z1z1, u2, s2, h, r fe2
+	z1z1.sqr(&p.z)
+	u2.mul(&q.x, &z1z1)
+	s2.mul(&q.y, &p.z)
+	s2.mul(&s2, &z1z1)
+	h.sub(&u2, &p.x)
+	r.sub(&s2, &p.y)
+	if h.isZero() {
+		if r.isZero() {
+			j.double(p)
+			return
+		}
+		j.setInfinity()
+		return
+	}
+	var hh, hhh, v fe2
+	hh.sqr(&h)
+	hhh.mul(&hh, &h)
+	v.mul(&p.x, &hh)
+
+	var x3, y3, z3, t fe2
+	x3.sqr(&r)
+	x3.sub(&x3, &hhh)
+	x3.sub(&x3, &v)
+	x3.sub(&x3, &v)
+	y3.sub(&v, &x3)
+	y3.mul(&y3, &r)
+	t.mul(&p.y, &hhh)
+	y3.sub(&y3, &t)
+	z3.mul(&p.z, &h)
+	j.x.set(&x3)
+	j.y.set(&y3)
+	j.z.set(&z3)
+}
+
+func (j *g2Jac) scalarMult(q *g2Jac, k *big.Int) {
+	if k.Sign() < 0 {
+		panic("bls381: negative scalar")
+	}
+	if k.Sign() == 0 || q.isInfinity() {
+		j.setInfinity()
+		return
+	}
+	var tbl [15]g2Jac
+	tbl[0].set(q)
+	for i := 1; i < 15; i++ {
+		tbl[i].add(&tbl[i-1], q)
+	}
+	var acc g2Jac
+	acc.setInfinity()
+	bits := k.BitLen()
+	top := (bits + 3) / 4 * 4
+	for i := top - 4; i >= 0; i -= 4 {
+		if !acc.isInfinity() {
+			acc.double(&acc)
+			acc.double(&acc)
+			acc.double(&acc)
+			acc.double(&acc)
+		}
+		w := k.Bit(i+3)<<3 | k.Bit(i+2)<<2 | k.Bit(i+1)<<1 | k.Bit(i)
+		if w != 0 {
+			acc.add(&acc, &tbl[w-1])
+		}
+	}
+	j.set(&acc)
+}
+
+// --- serialization (zcash compressed format, 96 bytes) ---------------
+
+var errG2Decode = errors.New("bls381: invalid G2 encoding")
+
+const g2ByteLen = 2 * feByteLen
+
+// marshalG2 appends the 96-byte compressed encoding: x.c1 ‖ x.c0
+// big-endian with flags in the leading byte.
+func marshalG2(dst []byte, p *g2Affine) []byte {
+	if p.inf {
+		var buf [g2ByteLen]byte
+		buf[0] = 0xc0
+		return append(dst, buf[:]...)
+	}
+	start := len(dst)
+	dst = p.x.c1.bytes(dst)
+	dst = p.x.c0.bytes(dst)
+	flags := byte(0x80)
+	if fe2IsLexLarger(&p.y) {
+		flags |= 0x20
+	}
+	dst[start] |= flags
+	return dst
+}
+
+func unmarshalG2(b []byte) (g2Affine, error) {
+	if len(b) != g2ByteLen {
+		return g2Affine{}, errG2Decode
+	}
+	flags := b[0] & 0xe0
+	if flags&0x80 == 0 {
+		return g2Affine{}, errG2Decode
+	}
+	var raw [g2ByteLen]byte
+	copy(raw[:], b)
+	raw[0] &^= 0xe0
+	if flags&0x40 != 0 {
+		if flags&0x20 != 0 {
+			return g2Affine{}, errG2Decode
+		}
+		for _, c := range raw {
+			if c != 0 {
+				return g2Affine{}, errG2Decode
+			}
+		}
+		return g2Infinity(), nil
+	}
+	c1, ok := feFromBytes(raw[:feByteLen])
+	if !ok {
+		return g2Affine{}, errG2Decode
+	}
+	c0, ok := feFromBytes(raw[feByteLen:])
+	if !ok {
+		return g2Affine{}, errG2Decode
+	}
+	x := fe2{c0: c0, c1: c1}
+	var rhs fe2
+	rhs.sqr(&x)
+	rhs.mul(&rhs, &x)
+	b2 := twistB()
+	rhs.add(&rhs, &b2)
+	var y fe2
+	if !y.sqrt(&rhs) {
+		return g2Affine{}, errG2Decode
+	}
+	if fe2IsLexLarger(&y) != (flags&0x20 != 0) {
+		y.neg(&y)
+	}
+	return g2Affine{x: x, y: y}, nil
+}
+
+// fe2IsLexLarger reports y > −y comparing elements as c1·p + c0.
+func fe2IsLexLarger(y *fe2) bool {
+	if !y.c1.isZero() {
+		return feIsLexLarger(&y.c1)
+	}
+	return feIsLexLarger(&y.c0)
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/bls"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/obs"
@@ -108,7 +109,7 @@ func TestBaseTableCacheBoundedUnderChurn(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := g; i < churnKeys; i += goroutines {
-				tab := sc.baseTable(pts[i])
+				tab := sc.baseTable(backend.G1, pts[i])
 				if tab.IsInfinity() {
 					t.Errorf("unexpected infinity table")
 					return

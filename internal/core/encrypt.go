@@ -5,8 +5,8 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
-	"timedrelease/internal/pairing"
 	"timedrelease/internal/rohash"
 )
 
@@ -29,7 +29,7 @@ func (sc *Scheme) Encrypt(rng io.Reader, spub ServerPublicKey, upub UserPublicKe
 	if !sc.VerifyUserPublicKey(spub, upub) {
 		return nil, ErrInvalidPublicKey
 	}
-	r, err := sc.Set.Curve.RandScalar(rng)
+	r, err := sc.Set.B.RandScalar(rng)
 	if err != nil {
 		return nil, fmt.Errorf("tre: sampling encryption randomness: %w", err)
 	}
@@ -46,7 +46,7 @@ func (sc *Scheme) Encrypt(rng io.Reader, spub ServerPublicKey, upub UserPublicKe
 // forged update — it simply produces an unrelated bitstring, exactly as
 // in the paper. Use the CCA variants for integrity.
 func (sc *Scheme) Decrypt(upriv *UserKeyPair, upd KeyUpdate, ct *Ciphertext) ([]byte, error) {
-	if ct == nil || !sc.Set.Curve.IsOnCurve(ct.U) {
+	if ct == nil || !sc.Set.B.IsOnCurve(backend.G1, ct.U) {
 		return nil, ErrInvalidCiphertext
 	}
 	k := sc.decapsulate(upriv, upd, ct.U)
@@ -63,35 +63,40 @@ func (sc *Scheme) Decrypt(upriv *UserKeyPair, upd KeyUpdate, ct *Ciphertext) ([]
 // generator, encryption refuses ("there should not be a large
 // difference, from the sender's point of view, between using T and
 // using T plus one second").
-func (sc *Scheme) encapsulate(spub ServerPublicKey, upub UserPublicKey, label string, r *big.Int) (curve.Point, pairing.GT, error) {
-	c := sc.Set.Curve
+func (sc *Scheme) encapsulate(spub ServerPublicKey, upub UserPublicKey, label string, r *big.Int) (curve.Point, backend.GT, error) {
+	b := sc.Set.B
 	h := sc.hashLabel(label)
-	if c.Equal(h, spub.G) {
-		return curve.Point{}, pairing.GT{}, ErrUnsafeLabel
+	if !sc.SafeLabel(spub, label) {
+		return curve.Point{}, nil, ErrUnsafeLabel
 	}
-	u := c.ScalarMultBase(sc.baseTable(spub.G), r)
+	u := b.ScalarMultBase(sc.baseTable(backend.G1, spub.G), r)
 	sc.met.pairings.Inc()
-	k := sc.Set.Pairing.Pair(c.ScalarMult(r, upub.ASG), h)
+	k := b.Pair(b.ScalarMult(backend.G1, r, upub.ASG), h)
 	return u, k, nil
 }
 
 // SafeLabel reports whether a release label avoids the §5.1 item 6
 // generator collision for this server. Encrypt and friends check it
 // automatically; senders picking labels programmatically can use it to
-// perturb a label (e.g. add one second) instead of failing.
+// perturb a label (e.g. add one second) instead of failing. On an
+// asymmetric backend the check is vacuously true: H1 maps into G2 and
+// the server generator lives in G1, so no label can hash onto it.
 func (sc *Scheme) SafeLabel(spub ServerPublicKey, label string) bool {
-	return !sc.Set.Curve.Equal(sc.hashLabel(label), spub.G)
+	if sc.Set.Asymmetric() {
+		return true
+	}
+	return !sc.Set.B.Equal(backend.G2, sc.hashLabel(label), spub.G)
 }
 
 // decapsulate computes K' = ê(U, I_T)^a as ê(a·U, I_T).
-func (sc *Scheme) decapsulate(upriv *UserKeyPair, upd KeyUpdate, u curve.Point) pairing.GT {
-	c := sc.Set.Curve
+func (sc *Scheme) decapsulate(upriv *UserKeyPair, upd KeyUpdate, u curve.Point) backend.GT {
+	b := sc.Set.B
 	sc.met.pairings.Inc()
-	return sc.Set.Pairing.Pair(c.ScalarMult(upriv.A, u), upd.Point)
+	return b.Pair(b.ScalarMult(backend.G1, upriv.A, u), upd.Point)
 }
 
-// maskH2 is the paper's H2: G2 → {0,1}^n, instantiated as a
+// maskH2 is the paper's H2: GT → {0,1}^n, instantiated as a
 // domain-separated SHA-256 expander over the canonical encoding of K.
-func (sc *Scheme) maskH2(k pairing.GT, n int) []byte {
-	return rohash.Expand("TRE-H2", sc.Set.Pairing.E2.Bytes(k), n)
+func (sc *Scheme) maskH2(k backend.GT, n int) []byte {
+	return rohash.Expand("TRE-H2", sc.Set.B.GTBytes(k), n)
 }

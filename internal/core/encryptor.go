@@ -6,7 +6,7 @@ import (
 	"io"
 	"sync"
 
-	"timedrelease/internal/pairing"
+	"timedrelease/internal/backend"
 	"timedrelease/internal/rohash"
 )
 
@@ -31,7 +31,7 @@ type Encryptor struct {
 	upub UserPublicKey
 
 	mu    sync.Mutex
-	bases map[string]pairing.GT // label → ê(asG, H1(label))
+	bases map[string]backend.GT // label → ê(asG, H1(label))
 }
 
 // NewEncryptor verifies the receiver's public key once and returns a
@@ -44,23 +44,23 @@ func (sc *Scheme) NewEncryptor(spub ServerPublicKey, upub UserPublicKey) (*Encry
 		sc:    sc,
 		spub:  spub,
 		upub:  upub,
-		bases: make(map[string]pairing.GT),
+		bases: make(map[string]backend.GT),
 	}, nil
 }
 
 // base returns (computing and caching if needed) ê(asG, H1(label)),
 // applying the same §5.1 item 6 label check as Scheme.Encrypt.
-func (e *Encryptor) base(label string) (pairing.GT, error) {
+func (e *Encryptor) base(label string) (backend.GT, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if g, ok := e.bases[label]; ok {
 		return g, nil
 	}
 	h := e.sc.hashLabel(label)
-	if e.sc.Set.Curve.Equal(h, e.spub.G) {
-		return pairing.GT{}, ErrUnsafeLabel
+	if !e.sc.SafeLabel(e.spub, label) {
+		return nil, ErrUnsafeLabel
 	}
-	g := e.sc.Set.Pairing.Pair(e.upub.ASG, h)
+	g := e.sc.Set.B.Pair(e.upub.ASG, h)
 	e.bases[label] = g
 	return g, nil
 }
@@ -68,7 +68,7 @@ func (e *Encryptor) base(label string) (pairing.GT, error) {
 // Encrypt produces a basic (CPA) ciphertext, byte-compatible with
 // Scheme.Encrypt.
 func (e *Encryptor) Encrypt(rng io.Reader, label string, msg []byte) (*Ciphertext, error) {
-	r, err := e.sc.Set.Curve.RandScalar(rng)
+	r, err := e.sc.Set.B.RandScalar(rng)
 	if err != nil {
 		return nil, fmt.Errorf("tre: sampling encryption randomness: %w", err)
 	}
@@ -76,10 +76,10 @@ func (e *Encryptor) Encrypt(rng io.Reader, label string, msg []byte) (*Ciphertex
 	if err != nil {
 		return nil, err
 	}
-	u := e.sc.Set.Curve.ScalarMultBase(e.sc.baseTable(e.spub.G), r)
+	u := e.sc.Set.B.ScalarMultBase(e.sc.baseTable(backend.G1, e.spub.G), r)
 	// Pairing values are unitary (norm 1 after the final exponentiation),
 	// so the signed-window ladder with free inversion applies.
-	k := e.sc.Set.Pairing.E2.ExpUnitary(base, r)
+	k := e.sc.Set.B.GTExpUnitary(base, r)
 	return &Ciphertext{U: u, V: rohash.XOR(msg, e.sc.maskH2(k, len(msg)))}, nil
 }
 
@@ -98,8 +98,8 @@ func (e *Encryptor) EncryptCCA(rng io.Reader, label string, msg []byte) (*CCACip
 	if err != nil {
 		return nil, err
 	}
-	u := e.sc.Set.Curve.ScalarMultBase(e.sc.baseTable(e.spub.G), r)
-	k := e.sc.Set.Pairing.E2.ExpUnitary(base, r) // unitary: pairing value
+	u := e.sc.Set.B.ScalarMultBase(e.sc.baseTable(backend.G1, e.spub.G), r)
+	k := e.sc.Set.B.GTExpUnitary(base, r) // unitary: pairing value
 	return &CCACiphertext{
 		U: u,
 		W: rohash.XOR(sigma, e.sc.maskH2(k, seedLen)),

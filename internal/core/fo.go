@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"io"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
-	"timedrelease/internal/pairing"
 	"timedrelease/internal/rohash"
 )
 
@@ -57,7 +57,7 @@ func (sc *Scheme) EncryptCCA(rng io.Reader, spub ServerPublicKey, upub UserPubli
 // re-encryption check that defeats chosen-ciphertext attacks and also
 // catches decryption under a wrong or forged key update.
 func (sc *Scheme) DecryptCCA(spub ServerPublicKey, upriv *UserKeyPair, upd KeyUpdate, ct *CCACiphertext) ([]byte, error) {
-	if ct == nil || len(ct.W) != seedLen || !sc.Set.Curve.IsOnCurve(ct.U) || ct.U.IsInfinity() {
+	if ct == nil || len(ct.W) != seedLen || !sc.Set.B.IsOnCurve(backend.G1, ct.U) || ct.U.IsInfinity() {
 		return nil, ErrInvalidCiphertext
 	}
 	k := sc.decapsulate(upriv, upd, ct.U)
@@ -66,11 +66,11 @@ func (sc *Scheme) DecryptCCA(spub ServerPublicKey, upriv *UserKeyPair, upd KeyUp
 
 // foOpen completes FO decryption from the recovered pairing value:
 // unmask σ and M, recompute r, and run the re-encryption check.
-func (sc *Scheme) foOpen(spub ServerPublicKey, k pairing.GT, ct *CCACiphertext) ([]byte, error) {
+func (sc *Scheme) foOpen(spub ServerPublicKey, k backend.GT, ct *CCACiphertext) ([]byte, error) {
 	sigma := rohash.XOR(ct.W, sc.maskH2(k, seedLen))
 	msg := rohash.XOR(ct.V, rohash.Expand("TRE-H4", sigma, len(ct.V)))
 	r := rohash.ToScalarNonZero("TRE-H3", rohash.Concat(sigma, msg), sc.Set.Q)
-	if !sc.Set.Curve.Equal(ct.U, sc.Set.Curve.ScalarMultBase(sc.baseTable(spub.G), r)) {
+	if !sc.Set.B.Equal(backend.G1, ct.U, sc.Set.B.ScalarMultBase(sc.baseTable(backend.G1, spub.G), r)) {
 		return nil, ErrAuthFailed
 	}
 	return msg, nil

@@ -9,8 +9,8 @@ import (
 	"fmt"
 	"io"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
-	"timedrelease/internal/pairing"
 	"timedrelease/internal/rohash"
 )
 
@@ -40,7 +40,7 @@ func (sc *Scheme) EncryptHybrid(rng io.Reader, spub ServerPublicKey, upub UserPu
 	if rng == nil {
 		rng = rand.Reader
 	}
-	r, err := sc.Set.Curve.RandScalar(rng)
+	r, err := sc.Set.B.RandScalar(rng)
 	if err != nil {
 		return nil, fmt.Errorf("tre: sampling encryption randomness: %w", err)
 	}
@@ -58,7 +58,7 @@ func (sc *Scheme) EncryptHybrid(rng io.Reader, spub ServerPublicKey, upub UserPu
 // DecryptHybrid decapsulates with (private key, update) and opens the
 // DEM. A wrong update or tampered box fails the MAC check.
 func (sc *Scheme) DecryptHybrid(upriv *UserKeyPair, upd KeyUpdate, ct *HybridCiphertext) ([]byte, error) {
-	if ct == nil || !sc.Set.Curve.IsOnCurve(ct.U) || ct.U.IsInfinity() {
+	if ct == nil || !sc.Set.B.IsOnCurve(backend.G1, ct.U) || ct.U.IsInfinity() {
 		return nil, ErrInvalidCiphertext
 	}
 	k := sc.decapsulate(upriv, upd, ct.U)
@@ -66,8 +66,8 @@ func (sc *Scheme) DecryptHybrid(upriv *UserKeyPair, upd KeyUpdate, ct *HybridCip
 }
 
 // demKey derives the 64-byte DEM key from the pairing value.
-func (sc *Scheme) demKey(k pairing.GT) []byte {
-	return rohash.Expand("TRE-DEM", sc.Set.Pairing.E2.Bytes(k), hybridKeyLen)
+func (sc *Scheme) demKey(k backend.GT) []byte {
+	return rohash.Expand("TRE-DEM", sc.Set.B.GTBytes(k), hybridKeyLen)
 }
 
 // demSeal encrypts msg with AES-256-CTR and appends an HMAC-SHA-256 tag

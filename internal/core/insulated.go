@@ -1,6 +1,7 @@
 package core
 
 import (
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/rohash"
 )
@@ -29,7 +30,7 @@ type EpochKey struct {
 func (sc *Scheme) DeriveEpochKey(upriv *UserKeyPair, upd KeyUpdate) EpochKey {
 	return EpochKey{
 		Label: upd.Label,
-		D:     sc.Set.Curve.ScalarMult(upriv.A, upd.Point),
+		D:     sc.Set.B.ScalarMult(backend.G2, upriv.A, upd.Point),
 	}
 }
 
@@ -37,20 +38,20 @@ func (sc *Scheme) DeriveEpochKey(upriv *UserKeyPair, upd KeyUpdate) EpochKey {
 // using only the epoch key: K' = ê(U, a·I_T). The private scalar a never
 // touches this code path.
 func (sc *Scheme) DecryptWithEpochKey(ek EpochKey, ct *Ciphertext) ([]byte, error) {
-	if ct == nil || !sc.Set.Curve.IsOnCurve(ct.U) {
+	if ct == nil || !sc.Set.B.IsOnCurve(backend.G1, ct.U) {
 		return nil, ErrInvalidCiphertext
 	}
-	k := sc.Set.Pairing.Pair(ct.U, ek.D)
+	k := sc.Set.B.Pair(ct.U, ek.D)
 	return rohash.XOR(ct.V, sc.maskH2(k, len(ct.V))), nil
 }
 
 // DecryptCCAWithEpochKey is the FO-authenticated variant of epoch-key
 // decryption.
 func (sc *Scheme) DecryptCCAWithEpochKey(spub ServerPublicKey, ek EpochKey, ct *CCACiphertext) ([]byte, error) {
-	if ct == nil || len(ct.W) != seedLen || !sc.Set.Curve.IsOnCurve(ct.U) || ct.U.IsInfinity() {
+	if ct == nil || len(ct.W) != seedLen || !sc.Set.B.IsOnCurve(backend.G1, ct.U) || ct.U.IsInfinity() {
 		return nil, ErrInvalidCiphertext
 	}
-	k := sc.Set.Pairing.Pair(ct.U, ek.D)
+	k := sc.Set.B.Pair(ct.U, ek.D)
 	return sc.foOpen(spub, k, ct)
 }
 
@@ -61,8 +62,8 @@ func (sc *Scheme) VerifyEpochKey(spub ServerPublicKey, upub UserPublicKey, upd K
 	if ek.Label != upd.Label {
 		return false
 	}
-	if ek.D.IsInfinity() || !sc.Set.Curve.InSubgroup(ek.D) {
+	if ek.D.IsInfinity() || !sc.Set.B.InSubgroup(backend.G2, ek.D) {
 		return false
 	}
-	return sc.Set.Pairing.SamePairing(spub.G, ek.D, upub.AG, upd.Point)
+	return sc.Set.B.SamePairing(spub.G, ek.D, upub.AG, upd.Point)
 }

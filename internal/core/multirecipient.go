@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/rohash"
 )
@@ -35,21 +36,21 @@ func (sc *Scheme) EncryptMulti(rng io.Reader, spub ServerPublicKey, recipients [
 			return nil, fmt.Errorf("%w (recipient %d)", ErrInvalidPublicKey, i)
 		}
 	}
-	c := sc.Set.Curve
+	b := sc.Set.B
 	h := sc.hashLabel(label)
-	if c.Equal(h, spub.G) {
+	if !sc.SafeLabel(spub, label) {
 		return nil, ErrUnsafeLabel
 	}
-	r, err := c.RandScalar(rng)
+	r, err := b.RandScalar(rng)
 	if err != nil {
 		return nil, fmt.Errorf("tre: sampling encryption randomness: %w", err)
 	}
 	ct := &MultiRecipientCiphertext{
-		U:  c.ScalarMultBase(sc.baseTable(spub.G), r),
+		U:  b.ScalarMultBase(sc.baseTable(backend.G1, spub.G), r),
 		Vs: make([][]byte, len(recipients)),
 	}
 	for i, upub := range recipients {
-		k := sc.Set.Pairing.Pair(c.ScalarMult(r, upub.ASG), h)
+		k := b.Pair(b.ScalarMult(backend.G1, r, upub.ASG), h)
 		ct.Vs[i] = rohash.XOR(msg, sc.maskH2(k, len(msg)))
 	}
 	return ct, nil
@@ -58,7 +59,7 @@ func (sc *Scheme) EncryptMulti(rng io.Reader, spub ServerPublicKey, recipients [
 // DecryptMulti opens recipient slot `index` with that recipient's
 // private key and the label's key update.
 func (sc *Scheme) DecryptMulti(upriv *UserKeyPair, upd KeyUpdate, ct *MultiRecipientCiphertext, index int) ([]byte, error) {
-	if ct == nil || index < 0 || index >= len(ct.Vs) || !sc.Set.Curve.IsOnCurve(ct.U) {
+	if ct == nil || index < 0 || index >= len(ct.Vs) || !sc.Set.B.IsOnCurve(backend.G1, ct.U) {
 		return nil, ErrInvalidCiphertext
 	}
 	k := sc.decapsulate(upriv, upd, ct.U)
@@ -68,5 +69,5 @@ func (sc *Scheme) DecryptMulti(upriv *UserKeyPair, upd KeyUpdate, ct *MultiRecip
 // Size returns the wire size of the multi-recipient ciphertext for the
 // given message length: one point plus n masked copies.
 func (sc *Scheme) MultiSize(nRecipients, msgLen int) int {
-	return sc.Set.Curve.MarshalSize() + nRecipients*msgLen
+	return sc.Set.B.PointLen(backend.G1) + nRecipients*msgLen
 }

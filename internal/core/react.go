@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/rohash"
 )
@@ -37,7 +38,7 @@ func (sc *Scheme) EncryptREACT(rng io.Reader, spub ServerPublicKey, upub UserPub
 	if _, err := io.ReadFull(rng, secret); err != nil {
 		return nil, fmt.Errorf("tre: sampling REACT secret: %w", err)
 	}
-	r, err := sc.Set.Curve.RandScalar(rng)
+	r, err := sc.Set.B.RandScalar(rng)
 	if err != nil {
 		return nil, fmt.Errorf("tre: sampling encryption randomness: %w", err)
 	}
@@ -55,7 +56,7 @@ func (sc *Scheme) EncryptREACT(rng io.Reader, spub ServerPublicKey, upub UserPub
 // with the REACT hash check.
 func (sc *Scheme) DecryptREACT(upriv *UserKeyPair, upd KeyUpdate, ct *REACTCiphertext) ([]byte, error) {
 	if ct == nil || len(ct.W) != seedLen || len(ct.Tag) != seedLen ||
-		!sc.Set.Curve.IsOnCurve(ct.U) || ct.U.IsInfinity() {
+		!sc.Set.B.IsOnCurve(backend.G1, ct.U) || ct.U.IsInfinity() {
 		return nil, ErrInvalidCiphertext
 	}
 	k := sc.decapsulate(upriv, upd, ct.U)
@@ -70,6 +71,6 @@ func (sc *Scheme) DecryptREACT(upriv *UserKeyPair, upd KeyUpdate, ct *REACTCiphe
 // reactTag computes c4 = H(R ‖ M ‖ c1 ‖ c2 ‖ c3) with unambiguous
 // length-prefixed framing.
 func (sc *Scheme) reactTag(secret, msg []byte, u curve.Point, w, v []byte) []byte {
-	input := rohash.Concat(secret, msg, sc.Set.Curve.Marshal(u), w, v)
+	input := rohash.Concat(secret, msg, sc.Set.B.AppendPoint(nil, backend.G1, u), w, v)
 	return rohash.Expand("TRE-REACT-H", input, seedLen)
 }

@@ -1,6 +1,9 @@
 package core
 
-import "timedrelease/internal/curve"
+import (
+	"timedrelease/internal/backend"
+	"timedrelease/internal/curve"
+)
 
 // ReKeyForServer implements §5.3.4: when a sender insists on a different
 // time server S' (public key (G', s'G')), the receiver derives a new
@@ -8,10 +11,9 @@ import "timedrelease/internal/curve"
 // certificate is needed — the original certified aG vouches for the new
 // key via VerifyReKeyedKey.
 func (sc *Scheme) ReKeyForServer(upriv *UserKeyPair, newServer ServerPublicKey) UserPublicKey {
-	c := sc.Set.Curve
 	return UserPublicKey{
 		AG:  upriv.Pub.AG.Clone(), // the CA-certified half is unchanged
-		ASG: c.ScalarMult(upriv.A, newServer.SG),
+		ASG: sc.Set.B.ScalarMult(backend.G1, upriv.A, newServer.SG),
 	}
 }
 
@@ -22,16 +24,17 @@ func (sc *Scheme) ReKeyForServer(upriv *UserKeyPair, newServer ServerPublicKey) 
 // CA-certified public key; the check is generator-agnostic (the new
 // server may use a different generator).
 func (sc *Scheme) VerifyReKeyedKey(certifiedAG curve.Point, newServer ServerPublicKey, newPub UserPublicKey) bool {
-	if !sc.Set.Curve.Equal(certifiedAG, newPub.AG) {
+	if !sc.Set.B.Equal(backend.G1, certifiedAG, newPub.AG) {
 		return false
 	}
-	if newPub.ASG.IsInfinity() || !sc.Set.Curve.InSubgroup(newPub.ASG) {
+	if newPub.ASG.IsInfinity() || !sc.Set.B.InSubgroup(backend.G1, newPub.ASG) {
 		return false
 	}
-	// ê(G, ASG') = ê(G, G')^{as'} must equal ê(s'G', aG) = ê(G', G)^{s'a}.
-	// Both first arguments (the canonical generator and the new server's
-	// s'G') are fixed per server, so the prepared cache applies.
-	pk := sc.PreparedServerKey(ServerPublicKey{G: sc.Set.G, SG: newServer.SG})
+	// ê(G, ASG') = ê(G, G')^{as'} must equal ê(s'G', aG) = ê(G', G)^{s'a}
+	// — the same-key equation over the new server's key. Both fixed
+	// arguments (the canonical generator and the new server's s'G') sit
+	// in the prepared cache.
+	pk := sc.PreparedServerKey(ServerPublicKey{G: sc.Set.G, SG: newServer.SG, SG2: newServer.SG2})
 	sc.met.pairings.Add(2)
-	return sc.Set.Pairing.SamePairingPrepared(pk.G(), newPub.ASG, pk.SG(), certifiedAG)
+	return pk.SameKey(certifiedAG, newPub.ASG)
 }

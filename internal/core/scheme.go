@@ -27,6 +27,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/bls"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/obs"
@@ -68,7 +69,7 @@ type Scheme struct {
 	// canonical generator and the server key halves — all fixed for the
 	// lifetime of a Scheme — so a·G, a·sG and r·G all run on the
 	// windowed fixed-base ladder after the first use of each point.
-	bases pointCache[curve.BaseTable]
+	bases pointCache[backend.BaseTable]
 
 	// labels caches H1(label) hash-to-point results, keyed by a digest
 	// of the label string. Hash-to-group is try-and-increment (a
@@ -125,27 +126,33 @@ func NewScheme(set *params.Set) *Scheme {
 // allocation-free.
 const pointKeyBuf = 2 * (1 + 32*8)
 
-// pointKey digests one compressed point encoding into a cache key
-// without heap allocation.
-func (sc *Scheme) pointKey(p curve.Point) cacheKey {
+// pointKey digests one group-tagged compressed point encoding into a
+// cache key without heap allocation. The tag byte keeps a G1 and a G2
+// point with coincidentally equal encodings apart (the key is internal
+// to the cache, never serialized).
+func (sc *Scheme) pointKey(g backend.Group, p curve.Point) cacheKey {
 	var buf [pointKeyBuf]byte
-	return sha256.Sum256(sc.Set.Curve.AppendMarshal(buf[:0], p))
+	b := append(buf[:0], byte(g))
+	return sha256.Sum256(sc.Set.B.AppendPoint(b, g, p))
 }
 
-// pointKey2 digests two compressed point encodings into a cache key.
-func (sc *Scheme) pointKey2(p, q curve.Point) cacheKey {
+// pointKey2 digests two group-tagged compressed point encodings into a
+// cache key.
+func (sc *Scheme) pointKey2(g backend.Group, p, q curve.Point) cacheKey {
 	var buf [pointKeyBuf]byte
-	b := sc.Set.Curve.AppendMarshal(buf[:0], p)
-	return sha256.Sum256(sc.Set.Curve.AppendMarshal(b, q))
+	b := append(buf[:0], byte(g))
+	b = sc.Set.B.AppendPoint(b, g, p)
+	return sha256.Sum256(sc.Set.B.AppendPoint(b, g, q))
 }
 
 // baseTable returns the cached fixed-base table for p, building it on
 // first use. Safe for concurrent use — reads are lock-free and a miss
 // builds the table exactly once however many goroutines race on it;
 // the returned table is immutable.
-func (sc *Scheme) baseTable(p curve.Point) *curve.BaseTable {
-	return sc.bases.getOrBuild(sc.pointKey(p), func() *curve.BaseTable {
-		return sc.Set.Curve.PrecomputeBase(p)
+func (sc *Scheme) baseTable(g backend.Group, p curve.Point) backend.BaseTable {
+	return *sc.bases.getOrBuild(sc.pointKey(g, p), func() *backend.BaseTable {
+		t := sc.Set.B.PrecomputeBase(g, p)
+		return &t
 	}, sc.met.baseHit, sc.met.baseMiss)
 }
 
@@ -154,15 +161,20 @@ func (sc *Scheme) baseTable(p curve.Point) *curve.BaseTable {
 // concurrent use — reads are lock-free and a miss runs Precompute
 // exactly once per key (single-flight); the returned key is immutable.
 func (sc *Scheme) PreparedServerKey(spub ServerPublicKey) *bls.PreparedPublicKey {
-	return sc.prepared.getOrBuild(sc.pointKey2(spub.G, spub.SG), func() *bls.PreparedPublicKey {
+	return sc.prepared.getOrBuild(sc.pointKey2(backend.G1, spub.G, spub.SG), func() *bls.PreparedPublicKey {
 		return bls.PreparePublicKey(sc.Set, bls.PublicKey(spub))
 	}, sc.met.preparedHit, sc.met.preparedMiss)
 }
 
-// ServerPublicKey is the time server's public key PK_S = (G, sG).
+// ServerPublicKey is the time server's public key PK_S = (G, sG),
+// plus — on asymmetric backends — the G2 mirror sG2 = s·G2 that the
+// user-key well-formedness check pairs against. On symmetric backends
+// SG2 is the same point as SG. The field layout matches bls.PublicKey
+// so the two convert directly.
 type ServerPublicKey struct {
-	G  curve.Point // the server's generator
-	SG curve.Point // s·G
+	G   curve.Point // the server's generator ∈ G1
+	SG  curve.Point // s·G ∈ G1
+	SG2 curve.Point // s·G2 ∈ G2 (same point as SG when symmetric)
 }
 
 // ServerKeyPair holds the time server's private scalar and public key.
@@ -178,7 +190,7 @@ func (sc *Scheme) ServerKeyGen(rng io.Reader) (*ServerKeyPair, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ServerKeyPair{S: k.S, Pub: ServerPublicKey{G: k.Pub.G, SG: k.Pub.SG}}, nil
+	return &ServerKeyPair{S: k.S, Pub: ServerPublicKey{G: k.Pub.G, SG: k.Pub.SG, SG2: k.Pub.SG2}}, nil
 }
 
 // KeyUpdate is the time-bound key update I_T = s·H1(T): a BLS short
@@ -242,20 +254,20 @@ func (sc *Scheme) VerifyUpdateBatch(spub ServerPublicKey, updates []KeyUpdate) (
 // still guards decryption). An empty run verifies iff agg is the
 // identity.
 func (sc *Scheme) VerifyUpdateAggregate(spub ServerPublicKey, updates []KeyUpdate, agg curve.Point) bool {
-	c := sc.Set.Curve
+	b := sc.Set.B
 	if len(updates) == 0 {
 		return agg.IsInfinity()
 	}
-	sum := curve.Infinity()
+	sum := b.Infinity(backend.G2)
 	hashes := make([]curve.Point, len(updates))
 	for i, u := range updates {
-		if u.Point.IsInfinity() || !c.InSubgroup(u.Point) {
+		if u.Point.IsInfinity() || !b.InSubgroup(backend.G2, u.Point) {
 			return false
 		}
-		sum = c.Add(sum, u.Point)
+		sum = b.Add(backend.G2, sum, u.Point)
 		hashes[i] = sc.hashLabel(u.Label)
 	}
-	if !c.Equal(sum, agg) {
+	if !b.Equal(backend.G2, sum, agg) {
 		return false
 	}
 	sc.met.pairings.Add(2) // the whole run collapses to one two-pairing check
@@ -280,7 +292,7 @@ type UserKeyPair struct {
 
 // UserKeyGen generates a user key pair bound to the given time server.
 func (sc *Scheme) UserKeyGen(spub ServerPublicKey, rng io.Reader) (*UserKeyPair, error) {
-	a, err := sc.Set.Curve.RandScalar(rng)
+	a, err := sc.Set.B.RandScalar(rng)
 	if err != nil {
 		return nil, err
 	}
@@ -293,12 +305,12 @@ func (sc *Scheme) UserKeyFromScalar(spub ServerPublicKey, a *big.Int) (*UserKeyP
 	if a.Sign() <= 0 || a.Cmp(sc.Set.Q) >= 0 {
 		return nil, errors.New("tre: private scalar out of range [1, q-1]")
 	}
-	c := sc.Set.Curve
+	b := sc.Set.B
 	return &UserKeyPair{
 		A: new(big.Int).Set(a),
 		Pub: UserPublicKey{
-			AG:  c.ScalarMultBase(sc.baseTable(sc.Set.G), a),
-			ASG: c.ScalarMultBase(sc.baseTable(spub.SG), a),
+			AG:  b.ScalarMultBase(sc.baseTable(backend.G1, sc.Set.G), a),
+			ASG: b.ScalarMultBase(sc.baseTable(backend.G1, spub.SG), a),
 		},
 	}, nil
 }
@@ -323,16 +335,17 @@ func (sc *Scheme) VerifyUserPublicKey(spub ServerPublicKey, upub UserPublicKey) 
 	if upub.AG.IsInfinity() || upub.ASG.IsInfinity() {
 		return false
 	}
-	c := sc.Set.Curve
-	if !c.InSubgroup(upub.AG) || !c.InSubgroup(upub.ASG) {
+	b := sc.Set.B
+	if !b.InSubgroup(backend.G1, upub.AG) || !b.InSubgroup(backend.G1, upub.ASG) {
 		return false
 	}
-	// By pairing symmetry ê(aG, sG) = ê(sG, aG), so the fixed server
-	// points can sit in the prepared first slots; the varying user points
-	// pair as cheap second arguments.
-	pk := sc.PreparedServerKey(ServerPublicKey{G: sc.Set.G, SG: spub.SG})
+	// The fixed server points sit in the prepared key (on a symmetric
+	// backend the line schedules of G and sG; on BLS12-381 the prepared
+	// G2 schedules of the generator and sG2); the varying user points
+	// pair as cheap per-call arguments.
+	pk := sc.PreparedServerKey(ServerPublicKey{G: sc.Set.G, SG: spub.SG, SG2: spub.SG2})
 	sc.met.pairings.Add(2)
-	return sc.Set.Pairing.SamePairingPrepared(pk.SG(), upub.AG, pk.G(), upub.ASG)
+	return pk.SameKey(upub.AG, upub.ASG)
 }
 
 // hashLabel is the paper's H1 applied to a time label, memoised in the
@@ -343,7 +356,7 @@ func (sc *Scheme) VerifyUserPublicKey(spub ServerPublicKey, upub UserPublicKey) 
 // immutable by callers (all curve operations copy their inputs).
 func (sc *Scheme) hashLabel(label string) curve.Point {
 	return *sc.labels.getOrBuild(sha256.Sum256([]byte(label)), func() *curve.Point {
-		p := sc.Set.Curve.HashToGroup(TimeDomain, []byte(label))
+		p := sc.Set.B.HashToG2(TimeDomain, []byte(label))
 		return &p
 	}, sc.met.labelHit, sc.met.labelMiss)
 }

@@ -38,9 +38,33 @@ type Curve struct {
 
 // Point is an affine point on E, or the point at infinity.
 // The zero value is the point at infinity.
+//
+// Points of non-Type-1 backends (internal/backend) reuse this struct
+// as their transport type: they carry an opaque handle in Ext and
+// leave X and Y nil. Such points flow only through their own backend's
+// operations; the Type-1 arithmetic in this package never sees them.
 type Point struct {
 	X, Y *big.Int
 	inf  bool
+
+	// Ext is the opaque external-backend point, nil for Type-1 points.
+	Ext ExtPoint
+}
+
+// ExtPoint is the handle an external (asymmetric) pairing backend
+// stores inside a Point. Implementations are immutable.
+type ExtPoint interface {
+	// ExtBackend names the owning backend, for diagnostics.
+	ExtBackend() string
+	// ExtGroup returns the source group (1 or 2) the point belongs to.
+	ExtGroup() int
+}
+
+// NewExtPoint wraps an external-backend point handle. isInf mirrors
+// the backend's identity flag so Point.IsInfinity answers uniformly
+// across backends.
+func NewExtPoint(e ExtPoint, isInf bool) Point {
+	return Point{Ext: e, inf: isInf}
 }
 
 // New returns a curve context after checking the structural relation
@@ -234,8 +258,12 @@ func (c *Curve) RandScalar(rng io.Reader) (*big.Int, error) {
 	return c.qField.RandNonZero(rng)
 }
 
-// Clone returns an independent copy of p.
+// Clone returns an independent copy of p. External-backend points are
+// immutable, so their handle is shared.
 func (p Point) Clone() Point {
+	if p.Ext != nil {
+		return p
+	}
 	if p.inf {
 		return Infinity()
 	}
@@ -244,6 +272,9 @@ func (p Point) Clone() Point {
 
 // String renders the point for debugging.
 func (p Point) String() string {
+	if p.Ext != nil {
+		return fmt.Sprintf("%s/G%d point", p.Ext.ExtBackend(), p.Ext.ExtGroup())
+	}
 	if p.inf {
 		return "∞"
 	}

@@ -28,6 +28,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/pairing"
 	"timedrelease/internal/params"
@@ -60,6 +61,9 @@ type RootPublicKey struct {
 
 // RootKeyGen creates the hierarchy root.
 func (sc *Scheme) RootKeyGen(rng io.Reader) (*RootKey, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	s, err := sc.Set.Curve.RandScalar(rng)
 	if err != nil {
 		return nil, err
@@ -153,6 +157,9 @@ type Ciphertext struct {
 // Encrypt encrypts msg to the identity tuple path under the root public
 // key. Ciphertext size grows with depth (t group elements total).
 func (sc *Scheme) Encrypt(rng io.Reader, pub RootPublicKey, path []string, msg []byte) (*Ciphertext, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if len(path) == 0 {
 		return nil, errors.New("hibe: empty path")
 	}
@@ -178,6 +185,9 @@ func (sc *Scheme) Encrypt(rng io.Reader, pub RootPublicKey, path []string, msg [
 // computed as a single pairing product (Q negated) with one shared
 // final exponentiation.
 func (sc *Scheme) Decrypt(key NodeKey, ct *Ciphertext) ([]byte, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if ct == nil || !sc.Set.Curve.IsOnCurve(ct.U0) {
 		return nil, errors.New("hibe: malformed ciphertext")
 	}

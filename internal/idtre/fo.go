@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/rohash"
@@ -24,6 +25,9 @@ type CCACiphertext struct {
 // EncryptCCA encrypts msg to (identity, label) with chosen-ciphertext
 // security via the Fujisaki–Okamoto transform.
 func (sc *Scheme) EncryptCCA(rng io.Reader, spub core.ServerPublicKey, id, label string, msg []byte) (*CCACiphertext, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if rng == nil {
 		rng = rand.Reader
 	}
@@ -43,6 +47,9 @@ func (sc *Scheme) EncryptCCA(rng io.Reader, spub core.ServerPublicKey, id, label
 // DecryptCCA decrypts and runs the FO re-encryption check, rejecting
 // tampered ciphertexts and wrong updates.
 func (sc *Scheme) DecryptCCA(spub core.ServerPublicKey, priv UserPrivateKey, upd core.KeyUpdate, ct *CCACiphertext) ([]byte, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if ct == nil || len(ct.W) != seedLen || !sc.Set.Curve.IsOnCurve(ct.U) || ct.U.IsInfinity() {
 		return nil, core.ErrInvalidCiphertext
 	}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/pairing"
@@ -73,6 +74,9 @@ type Ciphertext struct {
 // Encrypt encrypts msg to (identity, release label) under the server's
 // public key. No receiver certificate and no interaction is needed.
 func (sc *Scheme) Encrypt(rng io.Reader, spub core.ServerPublicKey, id, label string, msg []byte) (*Ciphertext, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	r, err := sc.Set.Curve.RandScalar(rng)
 	if err != nil {
 		return nil, fmt.Errorf("idtre: sampling encryption randomness: %w", err)
@@ -84,6 +88,9 @@ func (sc *Scheme) Encrypt(rng io.Reader, spub core.ServerPublicKey, id, label st
 // Decrypt combines the extracted identity key with the key update into
 // K_D = s·(H1(ID)+H1(T)) and unmasks the message.
 func (sc *Scheme) Decrypt(priv UserPrivateKey, upd core.KeyUpdate, ct *Ciphertext) ([]byte, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if ct == nil || !sc.Set.Curve.IsOnCurve(ct.U) {
 		return nil, core.ErrInvalidCiphertext
 	}
@@ -99,6 +106,9 @@ func (sc *Scheme) Decrypt(priv UserPrivateKey, upd core.KeyUpdate, ct *Ciphertex
 // that contrast is the paper's motivation for the non-identity-based
 // construction.
 func (sc *Scheme) EscrowDecrypt(server *core.ServerKeyPair, id, label string, ct *Ciphertext) ([]byte, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	priv := sc.ExtractUserKey(server, id)
 	sch := core.NewScheme(sc.Set)
 	return sc.Decrypt(priv, sch.IssueUpdate(server, label), ct)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/pairing"
@@ -39,6 +40,9 @@ type SplitCiphertext struct {
 // SplitEncrypt encrypts msg to an identity under PKG public key pkg and
 // release label under time-server public key ts.
 func (sc *Scheme) SplitEncrypt(rng io.Reader, pkg, ts core.ServerPublicKey, id, label string, msg []byte) (*SplitCiphertext, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	r, err := sc.Set.Curve.RandScalar(rng)
 	if err != nil {
 		return nil, fmt.Errorf("idtre: sampling encryption randomness: %w", err)
@@ -68,6 +72,9 @@ func (sc *Scheme) splitKey(r *big.Int, pkg, ts core.ServerPublicKey, id, label s
 // update from the time server (s₂·H1(T)); both authorities use the
 // canonical generator.
 func (sc *Scheme) SplitDecrypt(priv UserPrivateKey, upd core.KeyUpdate, ct *SplitCiphertext) ([]byte, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if ct == nil || !sc.Set.Curve.IsOnCurve(ct.U) {
 		return nil, core.ErrInvalidCiphertext
 	}

@@ -3,6 +3,12 @@
 // 0600 permissions. Public halves are embedded so a key file is
 // self-contained (no recomputation against a possibly-changed parameter
 // set can silently alter the public key).
+//
+// Files written since the backend refactor also carry a set= line
+// naming the parameter set they were generated under; loading such a
+// file against a different set fails with ErrSetMismatch before any
+// point decoding is attempted. Legacy files without the line still load
+// (their point encodings are validated against the set as always).
 package keyfile
 
 import (
@@ -14,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/params"
 	"timedrelease/internal/wire"
@@ -25,16 +32,21 @@ const (
 	typeUser   = "user"
 )
 
+// ErrSetMismatch reports a key file generated under a different
+// parameter set than the one loading it. Point decoding is not even
+// attempted — the set name recorded in the file disagrees.
+var ErrSetMismatch = errors.New("keyfile: key file was written under a different parameter set")
+
 // SaveServerKey writes a time-server key pair.
 func SaveServerKey(path string, set *params.Set, key *core.ServerKeyPair) error {
 	codec := wire.NewCodec(set)
-	body := render(typeServer, key.S, codec.MarshalServerPublicKey(key.Pub))
+	body := render(typeServer, set.Name, key.S, codec.MarshalServerPublicKey(key.Pub))
 	return os.WriteFile(path, body, 0o600)
 }
 
 // LoadServerKey reads a time-server key pair.
 func LoadServerKey(path string, set *params.Set) (*core.ServerKeyPair, error) {
-	scalar, pub, err := parse(path, typeServer)
+	scalar, pub, err := parse(path, typeServer, set)
 	if err != nil {
 		return nil, err
 	}
@@ -45,7 +57,7 @@ func LoadServerKey(path string, set *params.Set) (*core.ServerKeyPair, error) {
 	if err := checkScalar(scalar, set); err != nil {
 		return nil, fmt.Errorf("keyfile: %s: %w", path, err)
 	}
-	if !set.Curve.Equal(spub.SG, set.Curve.ScalarMult(scalar, spub.G)) {
+	if !set.B.Equal(backend.G1, spub.SG, set.B.ScalarMult(backend.G1, scalar, spub.G)) {
 		return nil, fmt.Errorf("keyfile: %s: public key does not match scalar", path)
 	}
 	return &core.ServerKeyPair{S: scalar, Pub: spub}, nil
@@ -54,13 +66,13 @@ func LoadServerKey(path string, set *params.Set) (*core.ServerKeyPair, error) {
 // SaveUserKey writes a user key pair.
 func SaveUserKey(path string, set *params.Set, key *core.UserKeyPair) error {
 	codec := wire.NewCodec(set)
-	body := render(typeUser, key.A, codec.MarshalUserPublicKey(key.Pub))
+	body := render(typeUser, set.Name, key.A, codec.MarshalUserPublicKey(key.Pub))
 	return os.WriteFile(path, body, 0o600)
 }
 
 // LoadUserKey reads a user key pair.
 func LoadUserKey(path string, set *params.Set) (*core.UserKeyPair, error) {
-	scalar, pub, err := parse(path, typeUser)
+	scalar, pub, err := parse(path, typeUser, set)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +83,7 @@ func LoadUserKey(path string, set *params.Set) (*core.UserKeyPair, error) {
 	if err := checkScalar(scalar, set); err != nil {
 		return nil, fmt.Errorf("keyfile: %s: %w", path, err)
 	}
-	if !set.Curve.Equal(upub.AG, set.Curve.ScalarMult(scalar, set.G)) {
+	if !set.B.Equal(backend.G1, upub.AG, set.B.ScalarMult(backend.G1, scalar, set.G)) {
 		return nil, fmt.Errorf("keyfile: %s: public key does not match scalar", path)
 	}
 	return &core.UserKeyPair{A: scalar, Pub: upub}, nil
@@ -95,13 +107,13 @@ func LoadPublic(path string) ([]byte, error) {
 	return out, nil
 }
 
-func render(kind string, scalar *big.Int, pub []byte) []byte {
+func render(kind, setName string, scalar *big.Int, pub []byte) []byte {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "%s\ntype=%s\nscalar=%s\npub=%x\n", header, kind, scalar.Text(16), pub)
+	fmt.Fprintf(&b, "%s\ntype=%s\nset=%s\nscalar=%s\npub=%x\n", header, kind, setName, scalar.Text(16), pub)
 	return b.Bytes()
 }
 
-func parse(path, wantKind string) (*big.Int, []byte, error) {
+func parse(path, wantKind string, set *params.Set) (*big.Int, []byte, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("keyfile: %w", err)
@@ -124,6 +136,9 @@ func parse(path, wantKind string) (*big.Int, []byte, error) {
 	}
 	if kv["type"] != wantKind {
 		return nil, nil, fmt.Errorf("keyfile: %s: type %q, want %q", path, kv["type"], wantKind)
+	}
+	if name, ok := kv["set"]; ok && name != set.Name {
+		return nil, nil, fmt.Errorf("keyfile: %s: %w (file %q, loading %q)", path, ErrSetMismatch, name, set.Name)
 	}
 	scalar, ok := new(big.Int).SetString(kv["scalar"], 16)
 	if !ok {

@@ -108,7 +108,7 @@ func TestLoadRejectsOutOfRangeScalar(t *testing.T) {
 	}
 	// Scalar q (out of range) with a matching pub is impossible, but the
 	// range check must fire before the match check.
-	body := render(typeServer, new(big.Int).Set(set.Q), codec.MarshalServerPublicKey(key.Pub))
+	body := render(typeServer, set.Name, new(big.Int).Set(set.Q), codec.MarshalServerPublicKey(key.Pub))
 	path := filepath.Join(t.TempDir(), "bad.key")
 	if err := os.WriteFile(path, body, 0o600); err != nil {
 		t.Fatal(err)

@@ -8,8 +8,11 @@ import (
 	"strconv"
 	"strings"
 
+	"timedrelease/internal/backend"
+	"timedrelease/internal/core"
 	"timedrelease/internal/params"
 	"timedrelease/internal/threshold"
+	"timedrelease/internal/wire"
 )
 
 // Threshold-share files: like key files but carrying the share index and
@@ -19,19 +22,20 @@ const shareHeader = "tre-share-v1"
 
 // SaveShare writes one threshold share plus the group public key.
 func SaveShare(path string, set *params.Set, setup *threshold.Setup, share threshold.Share) error {
+	codec := wire.NewCodec(set)
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "%s\nk=%d\nn=%d\nindex=%d\nscalar=%s\npub=%x\ngroup=%x\n",
-		shareHeader, setup.K, setup.N, share.Index, share.S.Text(16),
-		set.Curve.Marshal(share.Pub),
-		append(set.Curve.Marshal(setup.GroupPub.G), set.Curve.Marshal(setup.GroupPub.SG)...))
+	fmt.Fprintf(&b, "%s\nset=%s\nk=%d\nn=%d\nindex=%d\nscalar=%s\npub=%x\ngroup=%x\n",
+		shareHeader, set.Name, setup.K, setup.N, share.Index, share.S.Text(16),
+		set.B.AppendPoint(nil, backend.G1, share.Pub),
+		codec.MarshalServerPublicKey(setup.GroupPub))
 	return os.WriteFile(path, b.Bytes(), 0o600)
 }
 
 // LoadedShare is a share file's contents.
 type LoadedShare struct {
-	K, N  int
-	Share threshold.Share
-	Group [2][]byte // compressed G, sG of the group public key
+	K, N     int
+	Share    threshold.Share
+	GroupPub core.ServerPublicKey // decoded, validated group public key
 }
 
 // LoadShare reads and validates a share file.
@@ -51,6 +55,9 @@ func LoadShare(path string, set *params.Set) (*LoadedShare, error) {
 			return nil, fmt.Errorf("keyfile: %s: malformed line %q", path, line)
 		}
 		kv[k] = v
+	}
+	if name, ok := kv["set"]; ok && name != set.Name {
+		return nil, fmt.Errorf("keyfile: %s: %w (file %q, loading %q)", path, ErrSetMismatch, name, set.Name)
 	}
 	k, err1 := strconv.Atoi(kv["k"])
 	n, err2 := strconv.Atoi(kv["n"])
@@ -72,20 +79,20 @@ func LoadShare(path string, set *params.Set) (*LoadedShare, error) {
 	if _, err := fmt.Sscanf(kv["group"], "%x", &groupRaw); err != nil {
 		return nil, fmt.Errorf("keyfile: %s: bad group: %w", path, err)
 	}
-	pub, err := set.Curve.UnmarshalSubgroup(pubRaw)
+	pub, err := set.B.ParsePoint(backend.G1, pubRaw)
 	if err != nil {
 		return nil, fmt.Errorf("keyfile: %s: pub: %w", path, err)
 	}
-	if !set.Curve.Equal(pub, set.Curve.ScalarMult(scalar, set.G)) {
+	if !set.B.Equal(backend.G1, pub, set.B.ScalarMult(backend.G1, scalar, set.G)) {
 		return nil, fmt.Errorf("keyfile: %s: share public point does not match scalar", path)
 	}
-	half := set.Curve.MarshalSize()
-	if len(groupRaw) != 2*half {
-		return nil, fmt.Errorf("keyfile: %s: bad group key length", path)
+	groupPub, err := wire.NewCodec(set).UnmarshalServerPublicKey(groupRaw)
+	if err != nil {
+		return nil, fmt.Errorf("keyfile: %s: group key: %w", path, err)
 	}
 	return &LoadedShare{
 		K: k, N: n,
-		Share: threshold.Share{Index: idx, S: scalar, Pub: pub},
-		Group: [2][]byte{groupRaw[:half], groupRaw[half:]},
+		Share:    threshold.Share{Index: idx, S: scalar, Pub: pub},
+		GroupPub: groupPub,
 	}, nil
 }

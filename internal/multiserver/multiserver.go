@@ -21,6 +21,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/pairing"
@@ -70,6 +71,9 @@ type UserKeyPair struct {
 
 // UserKeyGen generates a fresh key pair for the server group.
 func (sc *Scheme) UserKeyGen(servers ServerGroup, rng io.Reader) (*UserKeyPair, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	a, err := sc.Set.Curve.RandScalar(rng)
 	if err != nil {
 		return nil, err
@@ -81,6 +85,9 @@ func (sc *Scheme) UserKeyGen(servers ServerGroup, rng io.Reader) (*UserKeyPair, 
 // scalar — this is how a receiver answers a sender's request to use a
 // particular server group without changing identity keys.
 func (sc *Scheme) UserKeyFromScalar(servers ServerGroup, a *big.Int) (*UserKeyPair, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if len(servers) == 0 {
 		return nil, errors.New("multiserver: empty server group")
 	}
@@ -121,6 +128,9 @@ type Ciphertext struct {
 // Encrypt verifies the receiver's combined key and produces the
 // N-header ciphertext.
 func (sc *Scheme) Encrypt(rng io.Reader, servers ServerGroup, upub UserPublicKey, label string, msg []byte) (*Ciphertext, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if !sc.VerifyUserPublicKey(servers, upub) {
 		return nil, core.ErrInvalidPublicKey
 	}
@@ -161,6 +171,9 @@ func (sc *Scheme) DecryptSeparate(upriv *UserKeyPair, updates []core.KeyUpdate, 
 }
 
 func (sc *Scheme) decapsulate(upriv *UserKeyPair, updates []core.KeyUpdate, ct *Ciphertext, shared bool) (pairing.GT, error) {
+	if sc.Set.Asymmetric() {
+		return pairing.GT{}, backend.ErrSymmetricOnly
+	}
 	if ct == nil || len(ct.Us) == 0 {
 		return pairing.GT{}, core.ErrInvalidCiphertext
 	}

@@ -19,6 +19,8 @@ import (
 	"math/big"
 	"strings"
 
+	"timedrelease/internal/backend"
+	"timedrelease/internal/bls381"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/ff"
 	"timedrelease/internal/pairing"
@@ -32,16 +34,30 @@ const primalityRounds = 64
 
 // Set is a complete, ready-to-use parameter set. All fields are
 // populated by the constructors; treat them as read-only.
+//
+// Every set carries a pairing backend in B; scheme code should reach
+// the group and pairing operations through it. On Type-1 (symmetric)
+// sets Curve and Pairing additionally expose the underlying
+// supersingular machinery and G2 == G; on asymmetric sets (BLS12-381)
+// Curve and Pairing are nil and G/G2 are the distinct G1/G2
+// generators.
 type Set struct {
-	Name string   // human-readable label ("SS512", ...)
-	P    *big.Int // base-field prime, p ≡ 3 (mod 4)
-	Q    *big.Int // subgroup order, prime, q | p+1
-	H    *big.Int // cofactor (p+1)/q
+	Name string   // human-readable label ("SS512", "BLS12-381", ...)
+	P    *big.Int // base-field prime
+	Q    *big.Int // prime order of the working subgroup
+	H    *big.Int // G1 cofactor
 
-	Curve   *curve.Curve
-	Pairing *pairing.Pairing
-	G       curve.Point // canonical subgroup generator
+	Curve   *curve.Curve     // Type-1 curve context, nil when asymmetric
+	Pairing *pairing.Pairing // Type-1 pairing context, nil when asymmetric
+	G       curve.Point      // canonical G1 generator
+	G2      curve.Point      // canonical G2 generator (== G when symmetric)
+
+	B backend.Backend // the pairing backend, never nil
 }
+
+// Asymmetric reports whether the set runs on a Type-3 backend with
+// distinct groups G1 ≠ G2.
+func (s *Set) Asymmetric() bool { return s.B.Asymmetric() }
 
 // FromPQ assembles a parameter set from the two primes, deriving the
 // cofactor, curve, pairing and canonical generator. Structural relations
@@ -72,7 +88,26 @@ func FromPQ(name string, p, q *big.Int) (*Set, error) {
 	if s.G.IsInfinity() {
 		return nil, errors.New("params: derived generator is the identity")
 	}
+	s.G2 = s.G
+	s.B = backend.NewSymmetric(name, c, pr, s.G)
 	return s, nil
+}
+
+// fromBLS12381 assembles the BLS12-381 parameter set around the
+// Type-3 backend. The structural fields mirror the backend's curve
+// constants; Curve and Pairing stay nil since there is no Type-1
+// machinery behind this set.
+func fromBLS12381(name string) *Set {
+	b := bls381.New()
+	return &Set{
+		Name: name,
+		P:    b.FieldPrime(),
+		Q:    b.Order(),
+		H:    b.CofactorG1(),
+		G:    b.Generator(backend.G1),
+		G2:   b.Generator(backend.G2),
+		B:    b,
+	}
 }
 
 // deriveGenerator hashes (p, q) onto the subgroup, giving a canonical
@@ -86,6 +121,20 @@ func (s *Set) deriveGenerator() curve.Point {
 // of p and q, the congruence and divisibility relations, that q is not a
 // factor of the cofactor, and that the canonical generator matches.
 func (s *Set) Validate() error {
+	if s.Asymmetric() {
+		// The curve constants are compile-time fixed; audit the live
+		// generators instead of the Type-1 structural relations.
+		for _, g := range []backend.Group{backend.G1, backend.G2} {
+			gen := s.B.Generator(g)
+			if gen.IsInfinity() || !s.B.InSubgroup(g, gen) {
+				return fmt.Errorf("params: %v generator fails subgroup membership", g)
+			}
+		}
+		if !s.Q.ProbablyPrime(primalityRounds) {
+			return errors.New("params: group order is not prime")
+		}
+		return nil
+	}
 	if !s.P.ProbablyPrime(primalityRounds) {
 		return errors.New("params: p is not prime")
 	}
@@ -152,9 +201,17 @@ func Generate(rng io.Reader, pBits, qBits int) (*Set, error) {
 }
 
 // Marshal renders the set in a small self-describing text format.
+// Type-1 sets keep the historical name/p/q encoding byte-for-byte (so
+// fingerprints of existing armored files stay valid); asymmetric sets
+// add a backend= line, which also makes their fingerprint distinct
+// from every Type-1 set's.
 func (s *Set) Marshal() []byte {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "tre-params-v1\nname=%s\np=%s\nq=%s\n", s.Name, s.P.Text(16), s.Q.Text(16))
+	fmt.Fprintf(&b, "tre-params-v1\nname=%s\n", s.Name)
+	if s.Asymmetric() {
+		fmt.Fprintf(&b, "backend=%s\n", s.B.Name())
+	}
+	fmt.Fprintf(&b, "p=%s\nq=%s\n", s.P.Text(16), s.Q.Text(16))
 	return b.Bytes()
 }
 
@@ -184,6 +241,19 @@ func Unmarshal(data []byte) (*Set, error) {
 	q, ok := new(big.Int).SetString(kv["q"], 16)
 	if !ok {
 		return nil, errors.New("params: bad q")
+	}
+	if bk, ok := kv["backend"]; ok {
+		if bk != bls381.BackendName {
+			return nil, fmt.Errorf("params: unknown backend %q", bk)
+		}
+		s, err := Preset(PresetBLS12381)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(s.P) != 0 || q.Cmp(s.Q) != 0 {
+			return nil, errors.New("params: backend constants do not match")
+		}
+		return s, nil
 	}
 	return FromPQ(kv["name"], p, q)
 }

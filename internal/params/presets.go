@@ -40,17 +40,29 @@ var presetPrimes = map[string][2]string{
 	},
 }
 
+// PresetBLS12381 is the name of the Type-3 (asymmetric) preset: the
+// BLS12-381 pairing curve, ~128-bit security, an order of magnitude
+// faster than SS1024 at a higher security level. Constructions that
+// need pairing symmetry (multi-server, HIBE/ID-TRE) do not run on it.
+const PresetBLS12381 = "BLS12-381"
+
 var (
 	presetMu    sync.Mutex
 	presetCache = map[string]*Set{}
 )
 
 // Preset returns the named embedded parameter set, building and caching
-// it on first use. Known names: Test160, SS512, SS1024, SS1536.
+// it on first use. Known names: Test160, SS512, SS1024, SS1536,
+// BLS12-381.
 func Preset(name string) (*Set, error) {
 	presetMu.Lock()
 	defer presetMu.Unlock()
 	if s, ok := presetCache[name]; ok {
+		return s, nil
+	}
+	if name == PresetBLS12381 {
+		s := fromBLS12381(name)
+		presetCache[name] = s
 		return s, nil
 	}
 	primes, ok := presetPrimes[name]
@@ -82,10 +94,11 @@ func MustPreset(name string) *Set {
 
 // PresetNames lists the embedded presets in sorted order.
 func PresetNames() []string {
-	names := make([]string, 0, len(presetPrimes))
+	names := make([]string, 0, len(presetPrimes)+1)
 	for n := range presetPrimes {
 		names = append(names, n)
 	}
+	names = append(names, PresetBLS12381)
 	sort.Strings(names)
 	return names
 }

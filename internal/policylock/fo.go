@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/rohash"
@@ -30,6 +31,9 @@ type CCACiphertext struct {
 // EncryptCCA locks msg under the policy with chosen-ciphertext
 // integrity.
 func (sc *Scheme) EncryptCCA(rng io.Reader, wpub core.ServerPublicKey, upub core.UserPublicKey, policy Policy, msg []byte) (*CCACiphertext, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if err := policy.validate(); err != nil {
 		return nil, err
 	}
@@ -77,6 +81,9 @@ func (sc *Scheme) foHeaders(kappa, v []byte, wpub core.ServerPublicKey, upub cor
 // decryptor needs their own public key for the recheck; it is taken
 // from upriv.Pub.
 func (sc *Scheme) DecryptCCA(wpub core.ServerPublicKey, upriv *core.UserKeyPair, atts []Attestation, ct *CCACiphertext) ([]byte, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if ct == nil || len(ct.Headers) != len(ct.Policy.Clauses) {
 		return nil, core.ErrInvalidCiphertext
 	}

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/pairing"
@@ -146,6 +147,9 @@ const keyLen = 32
 // key upub (the receiver's private key is needed in addition to the
 // attestations — the "extra lock layer" of §5.3.2 / [13]).
 func (sc *Scheme) Encrypt(rng io.Reader, wpub core.ServerPublicKey, upub core.UserPublicKey, policy Policy, msg []byte) (*Ciphertext, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if err := policy.validate(); err != nil {
 		return nil, err
 	}
@@ -189,6 +193,9 @@ func (sc *Scheme) Encrypt(rng io.Reader, wpub core.ServerPublicKey, upub core.Us
 //
 // It returns ErrPolicyUnsatisfied when no clause is fully attested.
 func (sc *Scheme) Decrypt(upriv *core.UserKeyPair, atts []Attestation, ct *Ciphertext) ([]byte, error) {
+	if sc.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if ct == nil || len(ct.Headers) != len(ct.Policy.Clauses) {
 		return nil, core.ErrInvalidCiphertext
 	}

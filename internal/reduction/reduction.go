@@ -33,6 +33,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/pairing"
@@ -77,6 +78,9 @@ type Simulator struct {
 // NewSimulator creates 𝒜₂ for the instance (xG, yG, Q) with planting
 // probability delta256/256.
 func NewSimulator(set *params.Set, xG, yG, q curve.Point, delta256 int, rng io.Reader) (*Simulator, error) {
+	if set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	if delta256 < 1 || delta256 > 255 {
 		return nil, fmt.Errorf("reduction: delta256 must be in [1,255], got %d", delta256)
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/baseline/bfibe"
 	"timedrelease/internal/baseline/escrow"
 	"timedrelease/internal/baseline/rivest"
@@ -83,7 +84,7 @@ func MontIBEEpoch(set *params.Set, master *bfibe.MasterKey, label string, receiv
 	for i := 0; i < receivers; i++ {
 		id := fmt.Sprintf("user-%d|%s", i, label)
 		priv := sc.Extract(master, id)
-		bytes += int64(set.Curve.MarshalSize())
+		bytes += int64(set.B.PointLen(backend.G2))
 		_ = priv
 	}
 	const idBytes = 32 // registered identity record per user

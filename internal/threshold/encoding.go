@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/params"
 )
 
@@ -18,7 +19,7 @@ func MarshalPartial(set *params.Set, pu PartialUpdate) []byte {
 	out := binary.BigEndian.AppendUint16(nil, uint16(pu.Index))
 	out = binary.BigEndian.AppendUint16(out, uint16(len(pu.Label)))
 	out = append(out, pu.Label...)
-	return append(out, set.Curve.Marshal(pu.Point)...)
+	return set.B.AppendPoint(out, backend.G2, pu.Point)
 }
 
 // UnmarshalPartial decodes a partial update. Verification against the
@@ -38,10 +39,10 @@ func UnmarshalPartial(set *params.Set, data []byte) (PartialUpdate, error) {
 	}
 	label := string(rest[:lblLen])
 	rest = rest[lblLen:]
-	if len(rest) != set.Curve.MarshalSize() {
-		return PartialUpdate{}, fmt.Errorf("threshold: partial point is %d bytes, want %d", len(rest), set.Curve.MarshalSize())
+	if len(rest) != set.B.PointLen(backend.G2) {
+		return PartialUpdate{}, fmt.Errorf("threshold: partial point is %d bytes, want %d", len(rest), set.B.PointLen(backend.G2))
 	}
-	pt, err := set.Curve.UnmarshalSubgroup(rest)
+	pt, err := set.B.ParsePoint(backend.G2, rest)
 	if err != nil {
 		return PartialUpdate{}, fmt.Errorf("threshold: partial point: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/obs"
 	"timedrelease/internal/params"
@@ -21,9 +22,13 @@ import (
 // ShardServerKey converts a dealt share into the key pair its time
 // server process runs with.
 func ShardServerKey(set *params.Set, share Share) *core.ServerKeyPair {
+	sg2 := share.Pub
+	if set.Asymmetric() {
+		sg2 = set.B.ScalarMult(backend.G2, share.S, set.G2)
+	}
 	return &core.ServerKeyPair{
 		S:   share.S,
-		Pub: core.ServerPublicKey{G: set.G, SG: share.Pub},
+		Pub: core.ServerPublicKey{G: set.G, SG: share.Pub, SG2: sg2},
 	}
 }
 

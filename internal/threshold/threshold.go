@@ -26,6 +26,7 @@ import (
 	"io"
 	"math/big"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/params"
@@ -54,7 +55,7 @@ func Deal(set *params.Set, rng io.Reader, k, n int) (*Setup, error) {
 	}
 	coeffs := make([]*big.Int, k)
 	for i := range coeffs {
-		c, err := set.Curve.RandScalar(rng)
+		c, err := set.B.RandScalar(rng)
 		if err != nil {
 			return nil, err
 		}
@@ -74,9 +75,14 @@ func Deal(set *params.Set, rng io.Reader, k, n int) (*Setup, error) {
 		return acc
 	}
 
+	sg := set.B.ScalarMult(backend.G1, coeffs[0], set.G)
+	sg2 := sg
+	if set.Asymmetric() {
+		sg2 = set.B.ScalarMult(backend.G2, coeffs[0], set.G2)
+	}
 	setup := &Setup{
 		K: k, N: n,
-		GroupPub: core.ServerPublicKey{G: set.G, SG: set.Curve.ScalarMult(coeffs[0], set.G)},
+		GroupPub: core.ServerPublicKey{G: set.G, SG: sg, SG2: sg2},
 	}
 	for i := 1; i <= n; i++ {
 		si := eval(int64(i))
@@ -88,7 +94,7 @@ func Deal(set *params.Set, rng io.Reader, k, n int) (*Setup, error) {
 		setup.Shares = append(setup.Shares, Share{
 			Index: i,
 			S:     si,
-			Pub:   set.Curve.ScalarMult(si, set.G),
+			Pub:   set.B.ScalarMult(backend.G1, si, set.G),
 		})
 	}
 	return setup, nil
@@ -103,11 +109,11 @@ type PartialUpdate struct {
 
 // IssuePartial produces server i's partial update for a label.
 func IssuePartial(set *params.Set, share Share, label string) PartialUpdate {
-	h := set.Curve.HashToGroup(core.TimeDomain, []byte(label))
+	h := set.B.HashToG2(core.TimeDomain, []byte(label))
 	return PartialUpdate{
 		Index: share.Index,
 		Label: label,
-		Point: set.Curve.ScalarMult(share.S, h),
+		Point: set.B.ScalarMult(backend.G2, share.S, h),
 	}
 }
 
@@ -115,11 +121,11 @@ func IssuePartial(set *params.Set, share Share, label string) PartialUpdate {
 // share point: ê(G, σᵢ) = ê(sᵢG, H1(T)). Run this before Combine so a
 // single Byzantine server cannot spoil reconstruction.
 func VerifyPartial(set *params.Set, sharePub curve.Point, pu PartialUpdate) bool {
-	if pu.Point.IsInfinity() || !set.Curve.InSubgroup(pu.Point) {
+	if pu.Point.IsInfinity() || !set.B.InSubgroup(backend.G2, pu.Point) {
 		return false
 	}
-	h := set.Curve.HashToGroup(core.TimeDomain, []byte(pu.Label))
-	return set.Pairing.SamePairing(set.G, pu.Point, sharePub, h)
+	h := set.B.HashToG2(core.TimeDomain, []byte(pu.Label))
+	return set.B.SamePairing(set.G, pu.Point, sharePub, h)
 }
 
 // Combine interpolates any k distinct verified partials into the
@@ -160,9 +166,9 @@ func Combine(set *params.Set, groupPub core.ServerPublicKey, partials []PartialU
 	}
 	lambdas := lagrangeAtZero(qf, indices)
 
-	acc := curve.Infinity()
+	acc := set.B.Infinity(backend.G2)
 	for i, p := range chosen {
-		acc = set.Curve.Add(acc, set.Curve.ScalarMult(lambdas[i], p.Point))
+		acc = set.B.Add(backend.G2, acc, set.B.ScalarMult(backend.G2, lambdas[i], p.Point))
 	}
 	upd := core.KeyUpdate{Label: label, Point: acc}
 	if !core.NewScheme(set).VerifyUpdate(groupPub, upd) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 )
@@ -40,14 +41,14 @@ const maxCatchUpPrealloc = 4096
 
 // MarshalCatchUpResponse encodes a catch-up range response.
 func (c *Codec) MarshalCatchUpResponse(r CatchUpResponse) []byte {
-	ptLen := c.Set.Curve.MarshalSize()
+	ptLen := c.Set.B.PointLen(backend.G2)
 	out := make([]byte, 0, 8+len(r.Updates)*(2+16+ptLen)+ptLen+32)
 	out = appendU32(out, r.Total)
 	out = appendU32(out, len(r.Updates))
 	for _, u := range r.Updates {
 		out = append(out, c.MarshalKeyUpdate(u)...)
 	}
-	out = c.Set.Curve.AppendMarshal(out, r.Aggregate)
+	out = c.appendPoint(out, backend.G2, r.Aggregate)
 	return append(out, r.Root[:]...)
 }
 
@@ -77,7 +78,7 @@ func (c *Codec) UnmarshalCatchUpResponse(data []byte) (CatchUpResponse, error) {
 		if err != nil {
 			return CatchUpResponse{}, fmt.Errorf("wire: catchup update %d label: %w", i, err)
 		}
-		pt, err := c.point(r)
+		pt, err := c.point(r, backend.G2)
 		if err != nil {
 			return CatchUpResponse{}, fmt.Errorf("wire: catchup update %d point: %w", i, err)
 		}
@@ -87,7 +88,7 @@ func (c *Codec) UnmarshalCatchUpResponse(data []byte) (CatchUpResponse, error) {
 		}
 		out.Updates = append(out.Updates, u)
 	}
-	agg, err := c.point(r)
+	agg, err := c.point(r, backend.G2)
 	if err != nil {
 		return CatchUpResponse{}, fmt.Errorf("wire: catchup aggregate: %w", err)
 	}

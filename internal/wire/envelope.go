@@ -3,6 +3,7 @@ package wire
 import (
 	"fmt"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 )
 
@@ -87,14 +88,14 @@ func (c *Codec) UnmarshalEnvelope(data []byte) (Envelope, error) {
 
 // MarshalCiphertext encodes a basic ciphertext ⟨U, V⟩.
 func (c *Codec) MarshalCiphertext(ct *core.Ciphertext) []byte {
-	out := c.Set.Curve.Marshal(ct.U)
+	out := c.appendPoint(nil, backend.G1, ct.U)
 	return appendBytes32(out, ct.V)
 }
 
 // UnmarshalCiphertext decodes a basic ciphertext.
 func (c *Codec) UnmarshalCiphertext(data []byte) (*core.Ciphertext, error) {
 	r := &reader{buf: data}
-	u, err := c.point(r)
+	u, err := c.point(r, backend.G1)
 	if err != nil {
 		return nil, fmt.Errorf("wire: ciphertext U: %w", err)
 	}
@@ -110,7 +111,7 @@ func (c *Codec) UnmarshalCiphertext(data []byte) (*core.Ciphertext, error) {
 
 // MarshalCCACiphertext encodes an FO ciphertext ⟨U, W, V⟩.
 func (c *Codec) MarshalCCACiphertext(ct *core.CCACiphertext) []byte {
-	out := c.Set.Curve.Marshal(ct.U)
+	out := c.appendPoint(nil, backend.G1, ct.U)
 	out = appendBytes16(out, ct.W)
 	return appendBytes32(out, ct.V)
 }
@@ -118,7 +119,7 @@ func (c *Codec) MarshalCCACiphertext(ct *core.CCACiphertext) []byte {
 // UnmarshalCCACiphertext decodes an FO ciphertext.
 func (c *Codec) UnmarshalCCACiphertext(data []byte) (*core.CCACiphertext, error) {
 	r := &reader{buf: data}
-	u, err := c.point(r)
+	u, err := c.point(r, backend.G1)
 	if err != nil {
 		return nil, fmt.Errorf("wire: cca U: %w", err)
 	}
@@ -138,7 +139,7 @@ func (c *Codec) UnmarshalCCACiphertext(data []byte) (*core.CCACiphertext, error)
 
 // MarshalREACTCiphertext encodes a REACT ciphertext ⟨U, W, V, Tag⟩.
 func (c *Codec) MarshalREACTCiphertext(ct *core.REACTCiphertext) []byte {
-	out := c.Set.Curve.Marshal(ct.U)
+	out := c.appendPoint(nil, backend.G1, ct.U)
 	out = appendBytes16(out, ct.W)
 	out = appendBytes32(out, ct.V)
 	return appendBytes16(out, ct.Tag)
@@ -147,7 +148,7 @@ func (c *Codec) MarshalREACTCiphertext(ct *core.REACTCiphertext) []byte {
 // UnmarshalREACTCiphertext decodes a REACT ciphertext.
 func (c *Codec) UnmarshalREACTCiphertext(data []byte) (*core.REACTCiphertext, error) {
 	r := &reader{buf: data}
-	u, err := c.point(r)
+	u, err := c.point(r, backend.G1)
 	if err != nil {
 		return nil, fmt.Errorf("wire: react U: %w", err)
 	}
@@ -171,14 +172,14 @@ func (c *Codec) UnmarshalREACTCiphertext(data []byte) (*core.REACTCiphertext, er
 
 // MarshalHybridCiphertext encodes a hybrid ciphertext ⟨U, Box⟩.
 func (c *Codec) MarshalHybridCiphertext(ct *core.HybridCiphertext) []byte {
-	out := c.Set.Curve.Marshal(ct.U)
+	out := c.appendPoint(nil, backend.G1, ct.U)
 	return appendBytes32(out, ct.Box)
 }
 
 // UnmarshalHybridCiphertext decodes a hybrid ciphertext.
 func (c *Codec) UnmarshalHybridCiphertext(data []byte) (*core.HybridCiphertext, error) {
 	r := &reader{buf: data}
-	u, err := c.point(r)
+	u, err := c.point(r, backend.G1)
 	if err != nil {
 		return nil, fmt.Errorf("wire: hybrid U: %w", err)
 	}

@@ -3,6 +3,7 @@ package wire
 import (
 	"fmt"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/idtre"
 	"timedrelease/internal/multiserver"
@@ -11,17 +12,25 @@ import (
 
 // Encodings for the scheme variants. Same conventions as the core
 // encodings: length-delimited, strict, subgroup-validated points.
+//
+// The variant schemes themselves (ID-TRE, multi-server, policy-lock)
+// pair G1 points against each other and therefore require a Type-1
+// pairing; their decoders refuse asymmetric sets with ErrSymmetricOnly
+// rather than producing objects no scheme can consume.
 
 // MarshalIDCiphertext encodes an ID-TRE ciphertext.
 func (c *Codec) MarshalIDCiphertext(ct *idtre.Ciphertext) []byte {
-	out := c.Set.Curve.Marshal(ct.U)
+	out := c.appendPoint(nil, backend.G1, ct.U)
 	return appendBytes32(out, ct.V)
 }
 
 // UnmarshalIDCiphertext decodes an ID-TRE ciphertext.
 func (c *Codec) UnmarshalIDCiphertext(data []byte) (*idtre.Ciphertext, error) {
+	if c.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	r := &reader{buf: data}
-	u, err := c.point(r)
+	u, err := c.point(r, backend.G1)
 	if err != nil {
 		return nil, fmt.Errorf("wire: idtre U: %w", err)
 	}
@@ -40,13 +49,16 @@ func (c *Codec) UnmarshalIDCiphertext(data []byte) (*idtre.Ciphertext, error) {
 func (c *Codec) MarshalMultiCiphertext(ct *multiserver.Ciphertext) []byte {
 	out := appendU16(nil, len(ct.Us))
 	for _, u := range ct.Us {
-		out = append(out, c.Set.Curve.Marshal(u)...)
+		out = c.appendPoint(out, backend.G1, u)
 	}
 	return appendBytes32(out, ct.V)
 }
 
 // UnmarshalMultiCiphertext decodes a multi-server ciphertext.
 func (c *Codec) UnmarshalMultiCiphertext(data []byte) (*multiserver.Ciphertext, error) {
+	if c.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	r := &reader{buf: data}
 	n, err := r.u16()
 	if err != nil {
@@ -57,7 +69,7 @@ func (c *Codec) UnmarshalMultiCiphertext(data []byte) (*multiserver.Ciphertext, 
 	}
 	us := make([]curve.Point, n)
 	for i := 0; i < n; i++ {
-		us[i], err = c.point(r)
+		us[i], err = c.point(r, backend.G1)
 		if err != nil {
 			return nil, fmt.Errorf("wire: multiserver header %d: %w", i, err)
 		}
@@ -78,7 +90,7 @@ func (c *Codec) MarshalPolicyCiphertext(ct *policylock.Ciphertext) []byte {
 	out := appendBytes16(nil, []byte(ct.Policy.String()))
 	out = appendU16(out, len(ct.Headers))
 	for _, h := range ct.Headers {
-		out = append(out, c.Set.Curve.Marshal(h.U)...)
+		out = c.appendPoint(out, backend.G1, h.U)
 		out = appendBytes16(out, h.Wrap)
 	}
 	return appendBytes32(out, ct.V)
@@ -87,6 +99,9 @@ func (c *Codec) MarshalPolicyCiphertext(ct *policylock.Ciphertext) []byte {
 // UnmarshalPolicyCiphertext decodes a policy-locked ciphertext, checking
 // that the header count matches the parsed policy's clause count.
 func (c *Codec) UnmarshalPolicyCiphertext(data []byte) (*policylock.Ciphertext, error) {
+	if c.Set.Asymmetric() {
+		return nil, backend.ErrSymmetricOnly
+	}
 	r := &reader{buf: data}
 	rawPolicy, err := r.bytes16()
 	if err != nil {
@@ -105,7 +120,7 @@ func (c *Codec) UnmarshalPolicyCiphertext(data []byte) (*policylock.Ciphertext, 
 	}
 	ct := &policylock.Ciphertext{Policy: policy}
 	for i := 0; i < n; i++ {
-		u, err := c.point(r)
+		u, err := c.point(r, backend.G1)
 		if err != nil {
 			return nil, fmt.Errorf("wire: policy header %d point: %w", i, err)
 		}
@@ -129,18 +144,21 @@ func (c *Codec) UnmarshalPolicyCiphertext(data []byte) (*policylock.Ciphertext, 
 // MarshalAttestation encodes a witness attestation.
 func (c *Codec) MarshalAttestation(a policylock.Attestation) []byte {
 	out := appendBytes16(nil, []byte(a.Condition))
-	return append(out, c.Set.Curve.Marshal(a.Point)...)
+	return c.appendPoint(out, backend.G2, a.Point)
 }
 
 // UnmarshalAttestation decodes a witness attestation (verification
 // against the witness key is separate).
 func (c *Codec) UnmarshalAttestation(data []byte) (policylock.Attestation, error) {
+	if c.Set.Asymmetric() {
+		return policylock.Attestation{}, backend.ErrSymmetricOnly
+	}
 	r := &reader{buf: data}
 	cond, err := r.bytes16()
 	if err != nil {
 		return policylock.Attestation{}, fmt.Errorf("wire: attestation condition: %w", err)
 	}
-	pt, err := c.point(r)
+	pt, err := c.point(r, backend.G2)
 	if err != nil {
 		return policylock.Attestation{}, fmt.Errorf("wire: attestation point: %w", err)
 	}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"timedrelease/internal/backend"
 	"timedrelease/internal/core"
 	"timedrelease/internal/curve"
 	"timedrelease/internal/params"
@@ -24,6 +25,16 @@ var ErrTruncated = errors.New("wire: truncated input")
 
 // ErrTrailing reports unconsumed bytes after a complete structure.
 var ErrTrailing = errors.New("wire: trailing bytes after structure")
+
+// ErrBackendMismatch reports a point encoding that appears to come from
+// a different pairing backend than the decoding codec's: the
+// compression-tag byte of the other backend family was found where this
+// backend's was expected. BLS12-381 (zcash) encodings always set the
+// 0x80 compression bit in the leading byte; the Type-1 reference
+// encodings use plain tag bytes (0x00, 0x02, 0x03) with that bit
+// clear. Decoders surface it so callers can distinguish "wrong
+// backend" from mere corruption.
+var ErrBackendMismatch = errors.New("wire: point encoded under a different pairing backend")
 
 // Codec marshals and unmarshals protocol objects for one parameter set
 // (point sizes depend on the field width).
@@ -116,47 +127,91 @@ func appendBytes32(b, data []byte) []byte {
 	return append(b, data...)
 }
 
-// point reads one compressed point with subgroup validation.
-func (c *Codec) point(r *reader) (curve.Point, error) {
-	raw, err := r.take(c.Set.Curve.MarshalSize())
+// point reads one compressed point of group g with subgroup validation.
+func (c *Codec) point(r *reader, g backend.Group) (curve.Point, error) {
+	raw, err := r.take(c.Set.B.PointLen(g))
 	if err != nil {
 		return curve.Point{}, err
 	}
-	return c.Set.Curve.UnmarshalSubgroup(raw)
+	pt, err := c.Set.B.ParsePoint(g, raw)
+	if err != nil {
+		if foreignTag(c.Set.Asymmetric(), raw[0]) {
+			return curve.Point{}, fmt.Errorf("%w: %v", ErrBackendMismatch, err)
+		}
+		return curve.Point{}, err
+	}
+	return pt, nil
+}
+
+// foreignTag reports whether the leading byte of a failed point decode
+// carries the compression tag of the other backend family: BLS12-381
+// encodings always have the 0x80 bit set, Type-1 encodings never do.
+// Only consulted after a parse failure — a byte that merely looks
+// foreign on a point that decodes fine is not an error.
+func foreignTag(asymmetric bool, tag byte) bool {
+	return asymmetric != (tag&0x80 != 0)
+}
+
+// appendPoint appends the canonical encoding of a group-g point.
+func (c *Codec) appendPoint(dst []byte, g backend.Group, p curve.Point) []byte {
+	return c.Set.B.AppendPoint(dst, g, p)
 }
 
 // --- public keys --------------------------------------------------------
 
-// MarshalServerPublicKey encodes (G, sG).
+// MarshalServerPublicKey encodes (G, sG), and on asymmetric sets also
+// the G2 mirror sG2 — Type-3 verification equations need the key in the
+// right pairing slot. The Type-1 encoding is unchanged from the
+// pre-backend format.
 func (c *Codec) MarshalServerPublicKey(pk core.ServerPublicKey) []byte {
-	out := c.Set.Curve.Marshal(pk.G)
-	return append(out, c.Set.Curve.Marshal(pk.SG)...)
+	out := c.appendPoint(nil, backend.G1, pk.G)
+	out = c.appendPoint(out, backend.G1, pk.SG)
+	if c.Set.Asymmetric() {
+		out = c.appendPoint(out, backend.G2, pk.SG2)
+	}
+	return out
 }
 
-// UnmarshalServerPublicKey decodes and validates (G, sG).
+// UnmarshalServerPublicKey decodes and validates (G, sG) and, on
+// asymmetric sets, sG2 — including the cross-group consistency pairing
+// ê(sG, G2) = ê(G, sG2), so a decoded key can never carry mismatched
+// G1/G2 halves. On symmetric sets SG2 is set to SG.
 func (c *Codec) UnmarshalServerPublicKey(data []byte) (core.ServerPublicKey, error) {
 	r := &reader{buf: data}
-	g, err := c.point(r)
+	g, err := c.point(r, backend.G1)
 	if err != nil {
 		return core.ServerPublicKey{}, fmt.Errorf("wire: server key G: %w", err)
 	}
-	sg, err := c.point(r)
+	sg, err := c.point(r, backend.G1)
 	if err != nil {
 		return core.ServerPublicKey{}, fmt.Errorf("wire: server key sG: %w", err)
 	}
 	if g.IsInfinity() || sg.IsInfinity() {
 		return core.ServerPublicKey{}, errors.New("wire: server key contains the identity")
 	}
+	sg2 := sg
+	if c.Set.Asymmetric() {
+		sg2, err = c.point(r, backend.G2)
+		if err != nil {
+			return core.ServerPublicKey{}, fmt.Errorf("wire: server key sG2: %w", err)
+		}
+		if sg2.IsInfinity() {
+			return core.ServerPublicKey{}, errors.New("wire: server key contains the identity")
+		}
+	}
 	if err := r.done(); err != nil {
 		return core.ServerPublicKey{}, err
 	}
-	return core.ServerPublicKey{G: g, SG: sg}, nil
+	if c.Set.Asymmetric() && !c.Set.B.SamePairing(sg, c.Set.G2, g, sg2) {
+		return core.ServerPublicKey{}, errors.New("wire: server key G2 mirror does not match sG")
+	}
+	return core.ServerPublicKey{G: g, SG: sg, SG2: sg2}, nil
 }
 
-// MarshalUserPublicKey encodes (aG, asG).
+// MarshalUserPublicKey encodes (aG, asG); both halves live in G1.
 func (c *Codec) MarshalUserPublicKey(pk core.UserPublicKey) []byte {
-	out := c.Set.Curve.Marshal(pk.AG)
-	return append(out, c.Set.Curve.Marshal(pk.ASG)...)
+	out := c.appendPoint(nil, backend.G1, pk.AG)
+	return c.appendPoint(out, backend.G1, pk.ASG)
 }
 
 // UnmarshalUserPublicKey decodes and validates (aG, asG). Note that the
@@ -164,11 +219,11 @@ func (c *Codec) MarshalUserPublicKey(pk core.UserPublicKey) []byte {
 // this only enforces curve/subgroup validity.
 func (c *Codec) UnmarshalUserPublicKey(data []byte) (core.UserPublicKey, error) {
 	r := &reader{buf: data}
-	ag, err := c.point(r)
+	ag, err := c.point(r, backend.G1)
 	if err != nil {
 		return core.UserPublicKey{}, fmt.Errorf("wire: user key aG: %w", err)
 	}
-	asg, err := c.point(r)
+	asg, err := c.point(r, backend.G1)
 	if err != nil {
 		return core.UserPublicKey{}, fmt.Errorf("wire: user key asG: %w", err)
 	}
@@ -181,9 +236,10 @@ func (c *Codec) UnmarshalUserPublicKey(data []byte) (core.UserPublicKey, error) 
 // --- key updates ----------------------------------------------------------
 
 // MarshalKeyUpdate encodes a time-bound key update (label ‖ point).
+// The update is a BLS signature s·H1(T), a G2 point.
 func (c *Codec) MarshalKeyUpdate(u core.KeyUpdate) []byte {
 	out := appendBytes16(nil, []byte(u.Label))
-	return append(out, c.Set.Curve.Marshal(u.Point)...)
+	return c.appendPoint(out, backend.G2, u.Point)
 }
 
 // UnmarshalKeyUpdate decodes an update. The signature itself still
@@ -194,7 +250,7 @@ func (c *Codec) UnmarshalKeyUpdate(data []byte) (core.KeyUpdate, error) {
 	if err != nil {
 		return core.KeyUpdate{}, fmt.Errorf("wire: update label: %w", err)
 	}
-	pt, err := c.point(r)
+	pt, err := c.point(r, backend.G2)
 	if err != nil {
 		return core.KeyUpdate{}, fmt.Errorf("wire: update point: %w", err)
 	}

@@ -28,12 +28,18 @@
 //	msg, _ := scheme.DecryptCCA(server.Pub, alice, upd, ct)
 //
 // Security rests on the Bilinear Diffie-Hellman assumption in the
-// random-oracle model, over a supersingular curve with a Type-1 Tate
-// pairing. The implementation is NOT constant-time; see README.md for
-// the threat model.
+// random-oracle model. Two pairing backends are available: the paper's
+// supersingular curve with a Type-1 Tate pairing (presets Test160,
+// SS512, SS1024, SS1536) and a Type-3 BLS12-381 port with the optimal
+// ate pairing (preset "BLS12-381", or ResolvePreset with backend
+// "bls12381") — stronger and faster, but without the inherently
+// symmetric variant schemes; docs/BACKENDS.md has the decision table.
+// The implementation is NOT constant-time; see README.md for the
+// threat model.
 package tre
 
 import (
+	"fmt"
 	"io"
 
 	"timedrelease/internal/core"
@@ -83,9 +89,30 @@ var (
 func NewScheme(set *Params) *Scheme { return core.NewScheme(set) }
 
 // Preset returns an embedded parameter set by name: "Test160" (fast,
-// INSECURE, for tests), "SS512" (the paper-era size), "SS1024", or
-// "SS1536" (conservative modern).
+// INSECURE, for tests), "SS512" (the paper-era size), "SS1024",
+// "SS1536" (conservative modern), or "BLS12-381" (Type-3 asymmetric,
+// ~128-bit security and roughly an order of magnitude faster).
 func Preset(name string) (*Params, error) { return params.Preset(name) }
+
+// PresetBLS12381 names the Type-3 BLS12-381 parameter set.
+const PresetBLS12381 = params.PresetBLS12381
+
+// ResolvePreset resolves the CLI -preset/-backend flag pair. An empty
+// or "symmetric" backend keeps the named preset; "bls12381" selects the
+// BLS12-381 preset (overriding -preset, whose symmetric default would
+// otherwise mask the choice); anything else is an error. This keeps
+// existing -preset invocations working while letting every tool opt
+// into the asymmetric backend with one flag.
+func ResolvePreset(preset, backendName string) (*Params, error) {
+	switch backendName {
+	case "", "symmetric":
+		return Preset(preset)
+	case "bls12381":
+		return Preset(PresetBLS12381)
+	default:
+		return nil, fmt.Errorf("tre: unknown backend %q (want symmetric or bls12381)", backendName)
+	}
+}
 
 // MustPreset is Preset for known-good names; panics on error.
 func MustPreset(name string) *Params { return params.MustPreset(name) }
