@@ -8,7 +8,7 @@ GO ?= go
 # Fuzz budget per target; the nightly workflow shrinks it.
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-shuffle vet fmt-check lint ci check cover bench bench-pairing bench-field bench-server bench-server-bls bench-catchup bench-stream bench-rounds race experiments experiments-quick fuzz docker clean
+.PHONY: all help build test test-shuffle vet fmt-check lint ci check cover cover-ratchet bench bench-pairing bench-field bench-server bench-server-bls bench-catchup bench-stream bench-rounds bench-tokens race experiments experiments-quick fuzz fuzz-smoke docker clean
 
 all: build vet test
 
@@ -22,6 +22,7 @@ help:
 	@echo "  test-shuffle       go test -shuffle=on ./..."
 	@echo "  vet                go vet ./..."
 	@echo "  cover              per-package coverage summary"
+	@echo "  cover-ratchet      fail if total coverage drops below the .covermin floor"
 	@echo "  bench              the full testing.B suite"
 	@echo "  bench-pairing      pairing backend/strategy ablation (incl. bls12381) -> BENCH_pairing.json"
 	@echo "  bench-field        field backend micro-benchmark (incl. bls12381) -> BENCH_field.json"
@@ -30,11 +31,13 @@ help:
 	@echo "  bench-catchup      cold-start catch-up (aggregate vs batch) -> BENCH_server.json"
 	@echo "  bench-stream       stream/relay fan-out at 1k and 50k subscribers -> BENCH_server.json"
 	@echo "  bench-rounds       quorum-combine latency on a 3-of-5 beacon network -> BENCH_server.json"
+	@echo "  bench-tokens       access-token issue/redeem/double-spend cells (both backends) -> BENCH_server.json"
 	@echo "  lint               staticcheck + govulncheck when installed (CI installs them)"
 	@echo "  race               go test -race ./..."
 	@echo "  experiments        regenerate the EXPERIMENTS.md tables (slow)"
 	@echo "  experiments-quick  reduced sweeps at Test160"
 	@echo "  fuzz               fuzz campaign, FUZZTIME=$(FUZZTIME) per target"
+	@echo "  fuzz-smoke         PR-tier fuzz lane: the wire/armor/token decoders only"
 	@echo "  docker             build the serving-tier images (treserver, trerelay)"
 
 build:
@@ -63,12 +66,12 @@ lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+		echo "lint: staticcheck skipped: tool not installed (CI enforces)"; \
 	fi
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \
-		echo "lint: govulncheck not installed, skipping (CI runs it)"; \
+		echo "lint: govulncheck skipped: tool not installed (CI enforces)"; \
 	fi
 
 # The CI gate: static checks, one shuffled test run, one race run —
@@ -84,6 +87,18 @@ check: ci
 # Per-package coverage summary.
 cover:
 	$(GO) test -cover ./...
+
+# Coverage ratchet: total statement coverage must not drop below the
+# checked-in floor in .covermin. Raise the floor when coverage durably
+# improves; never lower it to make a PR pass.
+cover-ratchet:
+	@$(GO) test -count=1 -coverprofile=coverage.out ./... >/dev/null
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	min=$$(cat .covermin); \
+	echo "total coverage $$total% (floor $$min%)"; \
+	if awk -v t="$$total" -v m="$$min" 'BEGIN { exit !(t+0 < m+0) }'; then \
+		echo "coverage ratchet FAILED: $$total% is below the $$min% floor in .covermin"; exit 1; \
+	fi
 
 # The full testing.B suite (mirrors the experiment workloads).
 bench:
@@ -133,6 +148,14 @@ bench-stream:
 bench-rounds:
 	$(GO) run ./cmd/treload -preset Test160 -mixes rounds -merge -out BENCH_server.json
 
+# Anonymous-access-token cells on both backends: per-batch blind
+# issuance latency (p50/p95/p99), sustained redemptions/sec through the
+# gated catch-up path, and deliberate double-spend rejects — merged
+# into BENCH_server.json alongside the other mixes' rows.
+bench-tokens:
+	$(GO) run ./cmd/treload -preset Test160 -mixes tokens -merge -out BENCH_server.json
+	$(GO) run ./cmd/treload -preset BLS12-381 -mixes tokens -merge -out BENCH_server.json
+
 # Race detector across the whole module (exercises the parallel pairing
 # products, the batch verification pool and the chaos-test harness),
 # shuffled so the storm scenarios also prove order-independence under
@@ -161,6 +184,8 @@ fuzz:
 	$(GO) test -fuzz FuzzUnmarshalEnvelope -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz FuzzCatchUpDecode -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz FuzzArmoredDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz FuzzTokenRequestDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz FuzzTokenDecode -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run XXX -fuzz FuzzRoundFromLabel -fuzztime $(FUZZTIME) ./internal/beacon
 	$(GO) test -run XXX -fuzz FuzzFpArith -fuzztime $(FUZZTIME) ./internal/ff
 	$(GO) test -run XXX -fuzz FuzzFp2Arith -fuzztime $(FUZZTIME) ./internal/ff
@@ -169,6 +194,19 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzG2Marshal -fuzztime $(FUZZTIME) ./internal/bls381
 	$(GO) test -run XXX -fuzz FuzzClientDecodeUpdate -fuzztime $(FUZZTIME) ./internal/timeserver
 	$(GO) test -run XXX -fuzz FuzzMetricsSnapshot -fuzztime $(FUZZTIME) ./internal/obs
+
+# PR-tier fuzz smoke lane: only the attacker-reachable decoders (wire
+# formats, the armored ciphertext container, the token formats), each
+# for a short budget — CI runs `make fuzz-smoke FUZZTIME=5s` on every
+# pull request; the full campaign stays nightly.
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzUnmarshalKeyUpdate -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzUnmarshalCCACiphertext -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzUnmarshalEnvelope -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzCatchUpDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzArmoredDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzTokenRequestDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzTokenDecode -fuzztime $(FUZZTIME) ./internal/wire
 
 # Serving-tier container images: one multi-stage Dockerfile, two final
 # stages (origin time server and stateless fan-out relay).

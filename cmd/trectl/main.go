@@ -12,6 +12,13 @@
 //	                -key user.key -in sealed.tre -out secret.txt
 //	trectl verify-user-pub -preset SS512 -server-pub server.pub -user-pub user.pub
 //
+// Against a token-gated server (treserver -require-tokens), fetch a
+// batch of anonymous access tokens once and spend them transparently:
+//
+//	trectl tokens fetch -server http://host:8440 -server-pub server.pub -wallet tokens.wallet -n 32
+//	trectl catchup -wallet tokens.wallet ...
+//	trectl tokens verify -dir ./archive     # audit the server's spend.log
+//
 // Beacon (round) mode addresses a round of a round clock instead of a
 // wall-clock label and writes a self-describing armored file; decrypt
 // sniffs the format, and can combine a k-of-n threshold quorum instead
@@ -66,13 +73,15 @@ func run(args []string) error {
 		return catchup(args[1:])
 	case "archive":
 		return archiveCmd(args[1:])
+	case "tokens":
+		return tokensCmd(args[1:])
 	default:
 		return usage()
 	}
 }
 
 func usage() error {
-	fmt.Fprintln(os.Stderr, `usage: trectl <server-keygen|user-keygen|encrypt|decrypt|update|catchup|verify-user-pub|archive> [flags]
+	fmt.Fprintln(os.Stderr, `usage: trectl <server-keygen|user-keygen|encrypt|decrypt|update|catchup|verify-user-pub|archive|tokens> [flags]
 run a subcommand with -h for its flags`)
 	return fmt.Errorf("unknown or missing subcommand")
 }
@@ -484,6 +493,7 @@ func catchup(args []string) error {
 	to := fs.String("to", "", "fetch labels strictly before this instant (RFC 3339)")
 	granularity := fs.Duration("granularity", time.Minute, "server epoch width")
 	limit := fs.Int("limit", 10000, "maximum labels to fetch")
+	wallet := fs.String("wallet", "", "token wallet file for a gated server (see trectl tokens fetch)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -515,7 +525,15 @@ func catchup(args []string) error {
 		return fmt.Errorf("no labels in [%s, %s)", *from, *to)
 	}
 	reg := tre.NewMetrics()
-	client := tre.NewTimeClient(*serverURL, set, spub, tre.WithClientMetrics(reg))
+	opts := []tre.TimeClientOption{tre.WithClientMetrics(reg)}
+	if *wallet != "" {
+		w, err := tre.OpenTokenWallet(*wallet, set)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, tre.WithTokenWallet(w))
+	}
+	client := tre.NewTimeClient(*serverURL, set, spub, opts...)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
 	defer cancel()
 	start := time.Now()
@@ -628,5 +646,90 @@ func archiveVerify(args []string) error {
 			rep.Invalid, rep.Torn, rep.CheckpointsBad, rep.CheckpointsTorn)
 	}
 	fmt.Fprintln(os.Stderr, "archive clean")
+	return nil
+}
+
+// tokensCmd dispatches the anonymous-access-token subcommands.
+func tokensCmd(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "fetch":
+			return tokensFetch(args[1:])
+		case "verify":
+			return tokensVerify(args[1:])
+		}
+	}
+	fmt.Fprintln(os.Stderr, `usage: trectl tokens fetch  -server URL -server-pub server.pub -wallet FILE [-n N]
+       trectl tokens verify -dir DIR`)
+	return fmt.Errorf("unknown or missing tokens subcommand")
+}
+
+// tokensFetch buys a batch of blind-signed access tokens from a gated
+// server and banks them in a wallet file. The server signs blinded
+// points, so nothing in the wallet is linkable to this request — see
+// docs/TOKENS.md for the unblinding argument.
+func tokensFetch(args []string) error {
+	fs := flag.NewFlagSet("tokens fetch", flag.ContinueOnError)
+	preset := fs.String("preset", "SS512", "parameter preset")
+	backendName := fs.String("backend", "", "pairing backend: symmetric (default) or bls12381")
+	serverURL := fs.String("server", "", "time server base URL")
+	serverPub := fs.String("server-pub", "server.pub", "time server public key (pinned)")
+	wallet := fs.String("wallet", "tokens.wallet", "wallet file to append into (created if missing)")
+	n := fs.Int("n", 16, "tokens to fetch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" {
+		return fmt.Errorf("-server is required")
+	}
+	set, _, codec, err := loadSet(*preset, *backendName)
+	if err != nil {
+		return err
+	}
+	spub, err := loadServerPub(codec, *serverPub)
+	if err != nil {
+		return err
+	}
+	w, err := tre.OpenTokenWallet(*wallet, set)
+	if err != nil {
+		return err
+	}
+	client := tre.NewTimeClient(*serverURL, set, spub, tre.WithTokenWallet(w))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := client.FetchTokens(ctx, *n); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fetched %d token(s); wallet %s now holds %d\n", *n, *wallet, w.Len())
+	return nil
+}
+
+// tokensVerify audits a gated server's spend.log offline — without
+// modifying it — mirroring `trectl archive verify` for the
+// double-spend ledger: framing and checksums are checked, duplicate
+// spends and torn tails are reported, and any damage exits non-zero.
+func tokensVerify(args []string) error {
+	fs := flag.NewFlagSet("tokens verify", flag.ContinueOnError)
+	dir := fs.String("dir", "", "server archive directory holding spend.log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	stats, err := tre.AuditTokenSpendLog(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d spend record(s), %d duplicate(s), torn tail: %v (%d bytes)\n",
+		stats.Records, stats.Duplicates, stats.Torn, stats.TornBytes)
+	// A torn tail is survivable (the server truncates it on restart and
+	// the token merely becomes spendable again) but still evidence of a
+	// crash mid-redemption; duplicates should be impossible and mean
+	// the log was edited or corrupted.
+	if stats.Duplicates > 0 || stats.Torn {
+		return fmt.Errorf("spend log damaged: %d duplicate(s), torn=%v", stats.Duplicates, stats.Torn)
+	}
+	fmt.Fprintln(os.Stderr, "spend log clean")
 	return nil
 }

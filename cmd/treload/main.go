@@ -7,6 +7,7 @@
 //	treload -url http://host:8440              # drive a running treserver
 //	treload -clients 8,32 -mixes fetch,mixed   # custom cells
 //	treload -mixes stream,relay -subscribers 1000,50000   # fan-out cells
+//	treload -mixes tokens                      # gated access-token lifecycle
 //	treload -merge -out BENCH_server.json      # update matching rows in place
 //	treload -duration 5s -markdown
 //	treload -mutexprofile mutex.pb.gz          # lock-contention profile of the run

@@ -20,6 +20,12 @@
 // publish) on stdout. Both expose only aggregate server-side state,
 // never anything about requesters; leave the flag off to serve the
 // paper's minimal surface.
+//
+// With -require-tokens the server blind-signs anonymous access tokens
+// (POST /v1/tokens/issue, under a dedicated -token-key) and demands
+// one unspent token per /v1/catchup and /v1/stream request. Spent
+// tokens persist in <archive-dir>/spend.log so a restart cannot be
+// used to replay them; see docs/TOKENS.md.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"timedrelease/internal/bls"
 	"timedrelease/internal/keyfile"
 	"timedrelease/internal/timeserver"
 	"timedrelease/tre"
@@ -51,6 +58,9 @@ type config struct {
 	archDir     string
 	metrics     bool
 	headerWait  time.Duration
+
+	requireTokens bool
+	tokenKeyPath  string
 
 	// onReady, when set (tests), receives the bound listen address
 	// once the HTTP listener is up.
@@ -73,6 +83,10 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&cfg.metrics, "metrics", false, "serve /metrics (JSON) and /debug/pprof, log publish events")
 	fs.DurationVar(&cfg.headerWait, "read-header-timeout", timeserver.DefaultReadHeaderTimeout,
 		"max time to wait for a request header (slowloris guard)")
+	fs.BoolVar(&cfg.requireTokens, "require-tokens", false,
+		"gate /v1/catchup and /v1/stream behind anonymous access tokens (docs/TOKENS.md)")
+	fs.StringVar(&cfg.tokenKeyPath, "token-key", "treserver-token.key",
+		"token issuance key file, created if missing (only with -require-tokens)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -144,6 +158,41 @@ func run(ctx context.Context, cfg *config, stdout io.Writer) error {
 			metrics.Counter("timeserver.checkpoints_rebuilt").Add(int64(stats.CheckpointsRebuilt))
 		}
 		srvOpts = append(srvOpts, tre.WithArchive(arch))
+	}
+	if cfg.requireTokens {
+		// The issuance key is a DEDICATED key pair: blind-signing with
+		// the timed-release key would let anyone mint future updates
+		// (docs/TOKENS.md). Refuse to start on a shared key rather than
+		// rely on the server constructor's panic.
+		tkey, err := loadOrCreateKey(cfg.tokenKeyPath, set, stdout)
+		if err != nil {
+			return fmt.Errorf("token issuance key: %w", err)
+		}
+		if tkey.S.Cmp(key.S) == 0 {
+			return fmt.Errorf("token issuance key %s equals the server key %s; delete it to generate a fresh one",
+				cfg.tokenKeyPath, cfg.keyPath)
+		}
+		iss, err := tre.TokenIssuerFromKey(set, &bls.PrivateKey{S: tkey.S, Pub: bls.PublicKey(tkey.Pub)})
+		if err != nil {
+			return err
+		}
+		var led *tre.TokenLedger
+		if cfg.archDir != "" {
+			var lstats tre.TokenLedgerStats
+			led, lstats, err = tre.OpenTokenLedger(cfg.archDir)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "treserver: recovered %d spent tokens from %s (torn tail: %d bytes dropped)\n",
+				lstats.Spent, cfg.archDir, lstats.TornBytes)
+		} else {
+			led = tre.NewTokenLedger()
+			fmt.Fprintln(stdout, "treserver: WARNING: -require-tokens without -archive-dir; the double-spend ledger is in-memory and resets on restart")
+		}
+		defer led.Close()
+		srvOpts = append(srvOpts,
+			tre.WithTokenIssuer(iss),
+			tre.WithTokenGate(tre.NewTokenVerifier(set, iss.Public(), led)))
 	}
 	srv := tre.NewTimeServer(set, key, sched, srvOpts...)
 

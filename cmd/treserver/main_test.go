@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"timedrelease/internal/keyfile"
 	"timedrelease/tre"
 )
 
@@ -84,7 +85,13 @@ func TestParseFlagsErrors(t *testing.T) {
 // run's error.
 func startServer(t *testing.T, extraArgs ...string) (string, func() error) {
 	t.Helper()
-	dir := t.TempDir()
+	return startServerDir(t, t.TempDir(), extraArgs...)
+}
+
+// startServerDir is startServer with a caller-owned directory, so tests
+// can reach the key files the command writes there.
+func startServerDir(t *testing.T, dir string, extraArgs ...string) (string, func() error) {
+	t.Helper()
 	args := append([]string{
 		"-preset", "Test160",
 		"-addr", "127.0.0.1:0",
@@ -279,5 +286,59 @@ func TestGracefulShutdownWithLongPollInFlight(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("in-flight wait never completed")
+	}
+}
+
+func TestRequireTokensGatesCatchupAndStream(t *testing.T) {
+	dir := t.TempDir()
+	addr, _ := startServerDir(t, dir,
+		"-require-tokens",
+		"-token-key", filepath.Join(dir, "token.key"),
+		"-archive-dir", filepath.Join(dir, "archive"),
+	)
+	base := "http://" + addr
+
+	// Ungated surfaces still answer; gated ones demand a token first.
+	if code, _ := get(t, base+"/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code, _ := get(t, base+"/v1/stream"); code != http.StatusUnauthorized {
+		t.Fatalf("tokenless /v1/stream = %d, want 401", code)
+	}
+	if code, _ := get(t, base+"/v1/catchup?from=2026-01-01T00:00:00Z&n=4"); code != http.StatusUnauthorized {
+		t.Fatalf("tokenless /v1/catchup = %d, want 401", code)
+	}
+
+	// A wallet-carrying client fetches tokens and spends one per gated
+	// request, exactly as against the in-process server.
+	set := tre.MustPreset("Test160")
+	key, err := keyfile.LoadServerKey(filepath.Join(dir, "server.key"), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wallet := tre.NewTokenWallet(set)
+	client := tre.NewTimeClient(base, set, key.Pub, tre.WithTokenWallet(wallet))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := client.FetchTokens(ctx, 2); err != nil {
+		t.Fatalf("FetchTokens: %v", err)
+	}
+	if wallet.Len() != 2 {
+		t.Fatalf("wallet holds %d tokens, want 2", wallet.Len())
+	}
+	sched, err := tre.NewSchedule(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := sched.Label(time.Now())
+	u, err := client.WaitFor(ctx, label)
+	if err != nil {
+		t.Fatalf("WaitFor over gated stream: %v", err)
+	}
+	if u.Label != label {
+		t.Fatalf("got update for %s, want %s", u.Label, label)
+	}
+	if wallet.Len() != 1 {
+		t.Fatalf("wallet holds %d tokens after one gated stream, want 1", wallet.Len())
 	}
 }

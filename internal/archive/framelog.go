@@ -1,0 +1,171 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FrameLog is the update log's durable substrate made reusable: an
+// append-only file of crc-framed records behind a caller-chosen magic,
+// with the same crash-tail discipline as the update log itself —
+// every append is fsynced before it returns, and opening replays the
+// intact prefix and truncates a torn tail instead of failing. The
+// spend ledger (internal/token) persists redeemed-token IDs through
+// it; the payload semantics stay entirely with the caller via the
+// replay callback.
+//
+//	file   = magic ‖ record…
+//	record = u32 len ‖ payload ‖ u32 crc   (crc32-IEEE over len ‖ payload)
+type FrameLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// FrameLogStats describes what opening (or auditing) a frame log found.
+type FrameLogStats struct {
+	Records   int   // intact records replayed
+	TornBytes int64 // bytes truncated (Open) or unreadable (ReplayFrames)
+	Truncated bool  // whether a torn tail was found
+}
+
+// ErrBadFrameMagic reports a file that does not start with the
+// caller's magic — a different log format, not a torn one.
+var ErrBadFrameMagic = errors.New("archive: frame log has wrong magic")
+
+// OpenFrameLog opens (creating if absent) the frame log at path and
+// replays every intact record through replay, in append order. A
+// record the callback rejects is treated exactly like a checksum
+// failure: structural damage at that offset, so the file is truncated
+// there and the log keeps serving the intact prefix. The returned log
+// is ready for Append.
+func OpenFrameLog(path string, magic []byte, replay func(payload []byte) error) (*FrameLog, FrameLogStats, error) {
+	var stats FrameLogStats
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, stats, fmt.Errorf("archive: opening frame log: %w", err)
+	}
+	end, err := replayFrames(f, magic, func(_ int64, payload []byte) error {
+		if replay == nil {
+			return nil
+		}
+		return replay(payload)
+	}, &stats)
+	if err != nil {
+		f.Close()
+		return nil, stats, err
+	}
+	// Drop the torn tail so the next append extends the intact prefix.
+	if stats.Truncated {
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("archive: truncating torn frame-log tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, stats, fmt.Errorf("archive: seeking frame log: %w", err)
+	}
+	return &FrameLog{f: f, path: path}, stats, nil
+}
+
+// Append durably appends one record: the payload is framed,
+// checksummed, written and fsynced before Append returns. A failed
+// append may leave a torn tail; it is never acknowledged, and the next
+// Open truncates it.
+func (fl *FrameLog) Append(payload []byte) error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.f == nil {
+		return errors.New("archive: frame log is closed")
+	}
+	return appendFrame(fl.f, payload)
+}
+
+// Path returns the file the log writes to.
+func (fl *FrameLog) Path() string { return fl.path }
+
+// Close releases the underlying file. Appends after Close fail.
+func (fl *FrameLog) Close() error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.f == nil {
+		return nil
+	}
+	err := fl.f.Close()
+	fl.f = nil
+	return err
+}
+
+// ReplayFrames reads the frame log at path without opening it for
+// writing: every intact record is handed to fn with its file offset.
+// A missing file is an empty log. Used by audits (`trectl tokens
+// verify`) that must not mutate the file they are inspecting — torn
+// tails are reported in the stats, never repaired.
+func ReplayFrames(path string, magic []byte, fn func(offset int64, payload []byte) error) (FrameLogStats, error) {
+	var stats FrameLogStats
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return stats, nil
+	}
+	if err != nil {
+		return stats, fmt.Errorf("archive: opening frame log: %w", err)
+	}
+	defer f.Close()
+	_, err = replayFrames(f, magic, fn, &stats)
+	return stats, err
+}
+
+// replayFrames reads magic ‖ record… from the current position,
+// calling fn per intact record, and returns the offset of the first
+// damaged byte (== file size when the log is clean). An empty file
+// gets the magic written (fresh log); any other magic mismatch is
+// ErrBadFrameMagic. fn returning an error marks structural damage at
+// that record, ending the replay there.
+func replayFrames(f *os.File, magic []byte, fn func(offset int64, payload []byte) error, stats *FrameLogStats) (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("archive: stat frame log: %w", err)
+	}
+	if info.Size() == 0 {
+		// Fresh log: stamp the magic. Read-only replays never get here
+		// (a missing file short-circuits earlier, and an existing file
+		// has a size).
+		if _, err := f.Write(magic); err != nil {
+			return 0, fmt.Errorf("archive: writing frame-log magic: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return 0, fmt.Errorf("archive: syncing frame-log magic: %w", err)
+		}
+		return int64(len(magic)), nil
+	}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, head); err != nil || string(head) != string(magic) {
+		return 0, ErrBadFrameMagic
+	}
+	offset := int64(len(magic))
+	var lenBuf [4]byte
+	crcBuf := make([]byte, 4)
+	for offset < info.Size() {
+		payload, recLen, err := readFrame(f, lenBuf[:], crcBuf)
+		if err != nil {
+			// Torn or corrupt from here on.
+			stats.TornBytes = info.Size() - offset
+			stats.Truncated = true
+			return offset, nil
+		}
+		if fn != nil {
+			if err := fn(offset, payload); err != nil {
+				stats.TornBytes = info.Size() - offset
+				stats.Truncated = true
+				return offset, nil
+			}
+		}
+		offset += recLen
+		stats.Records++
+	}
+	return offset, nil
+}

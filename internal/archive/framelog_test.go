@@ -1,0 +1,139 @@
+package archive
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var testFrameMagic = []byte("TRETEST\n")
+
+func TestFrameLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frames.log")
+	fl, stats, err := OpenFrameLog(path, testFrameMagic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 0 || stats.Truncated {
+		t.Fatalf("fresh log stats: %+v", stats)
+	}
+	want := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	for _, p := range want {
+		if err := fl.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.Close()
+
+	var got [][]byte
+	fl2, stats, err := OpenFrameLog(path, testFrameMagic, func(p []byte) error {
+		got = append(got, append([]byte{}, p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl2.Close()
+	if stats.Records != len(want) || stats.Truncated {
+		t.Fatalf("reopen stats: %+v", stats)
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFrameLogTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frames.log")
+	fl, _, err := OpenFrameLog(path, testFrameMagic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Append([]byte("keep"))
+	fl.Append([]byte("lose"))
+	fl.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	fl2, stats, err := OpenFrameLog(path, testFrameMagic, func(p []byte) error {
+		got = append(got, append([]byte{}, p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated || stats.Records != 1 || string(got[0]) != "keep" {
+		t.Fatalf("torn recovery: stats %+v records %q", stats, got)
+	}
+	// Appends continue over the repaired tail and survive a reopen.
+	if err := fl2.Append([]byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	fl2.Close()
+	count := 0
+	fl3, stats, err := OpenFrameLog(path, testFrameMagic, func([]byte) error { count++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl3.Close()
+	if stats.Truncated || count != 2 {
+		t.Fatalf("post-repair reopen: stats %+v count %d", stats, count)
+	}
+}
+
+func TestFrameLogCallbackRejectionTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frames.log")
+	fl, _, err := OpenFrameLog(path, testFrameMagic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Append([]byte("good"))
+	fl.Append([]byte("bad-semantics"))
+	fl.Close()
+
+	fl2, stats, err := OpenFrameLog(path, testFrameMagic, func(p []byte) error {
+		if string(p) != "good" {
+			return errors.New("rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl2.Close()
+	if !stats.Truncated || stats.Records != 1 {
+		t.Fatalf("callback rejection: %+v", stats)
+	}
+}
+
+func TestFrameLogWrongMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frames.log")
+	if err := os.WriteFile(path, []byte("NOTMINE\nxxxx"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFrameLog(path, testFrameMagic, nil); !errors.Is(err, ErrBadFrameMagic) {
+		t.Fatalf("wrong magic: %v", err)
+	}
+}
+
+func TestReplayFramesReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "frames.log")
+	// Missing file: empty stats, no error, no file created.
+	stats, err := ReplayFrames(path, testFrameMagic, nil)
+	if err != nil || stats.Records != 0 {
+		t.Fatalf("missing file: %+v %v", stats, err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("read-only replay created the file")
+	}
+}

@@ -65,7 +65,7 @@ func (c ServerLoadConfig) withDefaults() ServerLoadConfig {
 		}
 	}
 	if len(c.Mixes) == 0 {
-		c.Mixes = []string{"fetch", "catchup", "mixed", "encdec", "coldstart", "coldstart-batch", "rounds", "stream", "relay"}
+		c.Mixes = []string{"fetch", "catchup", "mixed", "encdec", "coldstart", "coldstart-batch", "rounds", "stream", "relay", "tokens"}
 	}
 	if len(c.ColdStartEpochs) == 0 {
 		if c.Quick {
@@ -181,6 +181,15 @@ type ServerRow struct {
 	FDLimit      int64   `json:"fd_limit,omitempty"`
 	PerConnBytes float64 `json:"per_conn_bytes,omitempty"`
 	Sheds        int64   `json:"sheds,omitempty"`
+
+	// Tokens cells only: blind tokens issued, successful redemptions
+	// admitted through the gate, and deliberate double-spend attempts
+	// rejected with 409. For these cells P50/P95/P99 are per-batch
+	// issuance latency (blind + POST /v1/tokens/issue + unblind +
+	// verify) and Ops/RPS count successful redemptions.
+	TokensIssued       int64 `json:"tokens_issued,omitempty"`
+	Redemptions        int64 `json:"redemptions,omitempty"`
+	DoubleSpendRejects int64 `json:"double_spend_rejects,omitempty"`
 }
 
 // ServerReport is the JSON document `make bench-server` writes to
@@ -450,6 +459,30 @@ func RunServerLoad(cfg ServerLoadConfig) (*ServerReport, *Table, error) {
 				}
 				continue
 			}
+			if mix == "tokens" {
+				if cfg.BaseURL != "" {
+					// The token cell boots its own GATED server (the shared
+					// target must stay open for the other mixes) and needs
+					// its issuance key in-process.
+					return nil, nil, fmt.Errorf("bench: the tokens mix needs an in-process gated server (drop -url)")
+				}
+				for _, clients := range cfg.Clients {
+					row, err := runTokens(preset, clients, cfg)
+					if err != nil {
+						return nil, nil, err
+					}
+					rep.Rows = append(rep.Rows, row)
+					table.Add(
+						fmt.Sprintf("%s/tokens", row.Preset),
+						fmt.Sprintf("%d", clients),
+						fmt.Sprintf("%.0f", row.RPS),
+						nsHuman(row.P50NS), nsHuman(row.P95NS), nsHuman(row.P99NS),
+						fmt.Sprintf("%d", row.Ops),
+						fmt.Sprintf("%d", row.Errors),
+					)
+				}
+				continue
+			}
 			if mix == "rounds" {
 				if cfg.BaseURL != "" {
 					// The quorum cell measures a k-of-n member network it
@@ -527,6 +560,7 @@ func RunServerLoad(cfg ServerLoadConfig) (*ServerReport, *Table, error) {
 	table.Note("all clients of a cell share one core.Scheme, so its sharded precomputation caches are read concurrently")
 	table.Note("coldstart:N = one fresh client recovering N missed epochs per op (aggregate range path); coldstart-batch:N = the same recovery via per-label fetches + batched verification; pairings per op are in BENCH_server.json")
 	table.Note("rounds:k-of-n = quorum-combine latency on a threshold beacon network: each op fetches partial updates from n member servers concurrently and Lagrange-combines the first k that verify")
+	table.Note("tokens = anonymous-access-token lifecycle against a gated server: p50/p95/p99 are per-batch blind-issuance latency, rps is redemptions admitted per second (pairing check + fsynced spend-log append each), and every iteration deliberately double-spends one token to exercise the 409 path; issued/redeemed/rejected counts are in BENCH_server.json")
 	table.Note("stream:N / relay:N = N concurrent /v1/stream subscribers (relay: behind a stateless fan-out relay) receiving %d forward publishes; p50/p95/p99 are publish→delivery wakeup latency; [inmem] marks counts beyond the FD limit driven over an in-memory transport", cfg.StreamPublishes)
 	return rep, table, nil
 }

@@ -8,7 +8,7 @@ import (
 
 func TestServerLoadDefaults(t *testing.T) {
 	full := ServerLoadConfig{}.withDefaults()
-	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 9 {
+	if len(full.Presets) != 2 || len(full.Clients) != 2 || len(full.Mixes) != 10 {
 		t.Fatalf("full defaults: %+v", full)
 	}
 	if len(full.Subscribers) != 2 || full.Subscribers[1] < 50000 {
@@ -63,8 +63,8 @@ func TestServerLoadQuickCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 9 {
-		t.Fatalf("got %d rows, want 9 (one per mix, incl. both coldstart cells, the quorum rounds cell and the stream/relay fan-out cells)", len(rep.Rows))
+	if len(rep.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10 (one per mix, incl. both coldstart cells, the quorum rounds cell, the stream/relay fan-out cells and the gated tokens cell)", len(rep.Rows))
 	}
 	var sawPublish bool
 	for _, r := range rep.Rows {
@@ -106,6 +106,22 @@ func TestServerLoadQuickCell(t *testing.T) {
 			}
 		} else if r.Members != 0 || r.Quorum != 0 || r.QuorumCombines != 0 || r.PartialsFailed != 0 {
 			t.Fatalf("non-rounds cell carries quorum fields: %+v", r)
+		}
+		if r.Mix == "tokens" {
+			// The gated cell: every issued batch yields redemptions, every
+			// iteration deliberately double-spends exactly one token, and
+			// the server's own counters must balance the client loop.
+			if r.TokensIssued <= 0 || r.Redemptions <= 0 || r.DoubleSpendRejects <= 0 {
+				t.Fatalf("tokens cell accounting: %+v", r)
+			}
+			if r.Redemptions != r.Ops {
+				t.Fatalf("tokens cell Ops must count redemptions: %+v", r)
+			}
+			if r.Redemptions > r.TokensIssued {
+				t.Fatalf("tokens cell redeemed more than issued: %+v", r)
+			}
+		} else if r.TokensIssued != 0 || r.Redemptions != 0 || r.DoubleSpendRejects != 0 {
+			t.Fatalf("non-tokens cell carries token fields: %+v", r)
 		}
 		cold := r.Mix == "coldstart" || r.Mix == "coldstart-batch"
 		wantClients := 2

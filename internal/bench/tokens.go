@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timedrelease/internal/core"
+	"timedrelease/internal/obs"
+	"timedrelease/internal/params"
+	"timedrelease/internal/timefmt"
+	"timedrelease/internal/timeserver"
+	"timedrelease/internal/token"
+	"timedrelease/internal/wire"
+)
+
+// tokenIssueBatch is how many tokens each issuance round trip of the
+// tokens cell requests: enough to amortize the HTTP overhead the way a
+// real wallet top-up would, small enough that one loop iteration stays
+// a meaningful latency sample.
+const tokenIssueBatch = 8
+
+// runTokens measures the anonymous-access-token serving path end to
+// end on its own gated in-process server (the shared target stays
+// ungated so the other mixes measure the open serving path). Each of
+// `clients` workers loops the full wallet lifecycle:
+//
+//  1. issue — blind tokenIssueBatch points, POST /v1/tokens/issue,
+//     unblind and verify (the latency samples; P50/95/99 in the row);
+//  2. double-spend probe — redeem one token twice over raw HTTP: the
+//     first must be admitted, the second must 409;
+//  3. redeem — spend the remaining tokens through the real gated
+//     /v1/catchup range path, one token per page, full verification.
+//
+// Ops and RPS count successful redemptions (the gate's sustained
+// admission rate, pairing check + fsynced ledger append included);
+// TokensIssued and DoubleSpendRejects come from the server's own
+// counters, so the row cross-checks the client-side loop.
+func runTokens(preset string, clients int, cfg ServerLoadConfig) (ServerRow, error) {
+	set, err := params.Preset(preset)
+	if err != nil {
+		return ServerRow{}, err
+	}
+	sc := core.NewScheme(set)
+	key, err := sc.ServerKeyGen(nil)
+	if err != nil {
+		return ServerRow{}, err
+	}
+	iss, err := token.GenerateIssuer(set, nil)
+	if err != nil {
+		return ServerRow{}, err
+	}
+	led := token.NewLedger()
+	defer led.Close()
+	sreg := obs.NewRegistry()
+	sched := timefmt.MustSchedule(time.Second)
+	now := time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+	srv := timeserver.NewServer(set, key, sched,
+		timeserver.WithClock(func() time.Time { return now }),
+		timeserver.WithMetrics(sreg),
+		timeserver.WithTokenIssuer(iss),
+		timeserver.WithTokenGate(token.NewVerifier(set, iss.Public(), led)))
+	idx := sched.Index(now)
+	labels := make([]string, cfg.Window)
+	for i := range labels {
+		labels[i] = sched.LabelAt(idx - int64(len(labels)-1-i))
+		if err := srv.PublishLabel(labels[i]); err != nil {
+			return ServerRow{}, fmt.Errorf("bench: pre-publishing %s: %w", labels[i], err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	codec := wire.NewCodec(set)
+
+	// Clients (and their metric registrations) are built up front on
+	// one goroutine, exactly like runCell.
+	creg := obs.NewRegistry()
+	workers := make([]*timeserver.Client, clients)
+	wallets := make([]*token.Wallet, clients)
+	for w := range workers {
+		wallets[w] = token.NewWallet(set)
+		workers[w] = timeserver.NewClient(ts.URL, set, key.Pub,
+			timeserver.WithScheme(sc),
+			timeserver.WithoutCache(),
+			timeserver.WithClientMetrics(creg),
+			timeserver.WithTokenWallet(wallets[w]))
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errs     atomic.Int64
+		samples  = make([][]int64, clients)
+		deadline = time.Now().Add(cfg.CellDuration)
+	)
+	httpc := ts.Client()
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			client, wallet := workers[w], wallets[w]
+			ctx := context.Background()
+			var local []int64
+			for time.Now().Before(deadline) {
+				opStart := time.Now()
+				if err := client.FetchTokens(ctx, tokenIssueBatch); err != nil {
+					errs.Add(1)
+					continue
+				}
+				local = append(local, time.Since(opStart).Nanoseconds())
+
+				// Deliberate double spend: the same token twice, raw
+				// HTTP so the second attempt is not absorbed by the
+				// client's 409 retry.
+				dup, err := wallet.Pop()
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				hdr := base64.StdEncoding.EncodeToString(token.EncodeToken(codec, dup))
+				for attempt := 0; attempt < 2; attempt++ {
+					status, err := redeemRaw(httpc, ts.URL, labels[rng.Intn(len(labels))], hdr)
+					if err != nil || (attempt == 1 && status != http.StatusConflict) {
+						errs.Add(1)
+					}
+				}
+
+				// Spend the rest through the gated range catch-up: one
+				// token per page, every update pairing-verified.
+				for wallet.Len() > 0 {
+					n := cfg.CatchUpBatch
+					if n > len(labels) {
+						n = len(labels)
+					}
+					lo := rng.Intn(len(labels) - n + 1)
+					if _, err := client.CatchUp(ctx, labels[lo:lo+n]); err != nil {
+						errs.Add(1)
+					}
+				}
+			}
+			samples[w] = local
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []int64
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	snap := sreg.Snapshot()
+	redeemed := snap.Counters["timeserver.tokens_redeemed"]
+	row := ServerRow{
+		Preset:             set.Name,
+		Mix:                "tokens",
+		Clients:            clients,
+		Ops:                redeemed,
+		Errors:             errs.Load(),
+		DurationNS:         elapsed.Nanoseconds(),
+		RPS:                float64(redeemed) / elapsed.Seconds(),
+		P50NS:              pct(all, 0.50),
+		P95NS:              pct(all, 0.95),
+		P99NS:              pct(all, 0.99),
+		ServerRequests:     srv.Served(),
+		ClientPairings:     creg.Snapshot().Counters["core.pairings"],
+		TokensIssued:       snap.Counters["timeserver.tokens_issued"],
+		Redemptions:        redeemed,
+		DoubleSpendRejects: snap.Counters["timeserver.token_double_spend"],
+	}
+	return row, nil
+}
+
+// redeemRaw presents a token header on a minimal gated request and
+// reports the HTTP status — the wire-level view of one redemption.
+func redeemRaw(httpc *http.Client, base, label, hdr string) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/catchup?from="+label+"&limit=1", nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set(timeserver.TokenHeader, hdr)
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

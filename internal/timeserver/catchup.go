@@ -264,12 +264,14 @@ func (c *Client) rangeCatchUp(ctx context.Context, missing []string) (map[string
 	for page := 0; page < catchupMaxPages && next < len(wanted); page++ {
 		lo, remaining := wanted[next], len(wanted)-next
 		limit := min(catchupRangeLimit, catchupDensityFactor*remaining+catchupDensitySlack)
-		body, status, err := c.getLimited(ctx,
+		body, status, err := c.getGated(ctx,
 			"/v1/catchup?from="+url.QueryEscape(lo)+"&to="+url.QueryEscape(hi)+
 				"&limit="+fmt.Sprint(limit), catchupBodyLimit)
 		if err != nil || status != http.StatusOK {
-			// Old server (404), proxy trouble, transport failure: not an
-			// integrity event, just no fast path today.
+			// Old server (404), proxy trouble, transport failure, or a
+			// token-gated server and no wallet (401 → the per-label
+			// fallback path still serves, it is deliberately ungated):
+			// not an integrity event, just no fast path today.
 			if page == 0 {
 				return nil, false
 			}

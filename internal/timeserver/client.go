@@ -1,6 +1,7 @@
 package timeserver
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"timedrelease/internal/obs"
 	"timedrelease/internal/params"
 	"timedrelease/internal/timefmt"
+	"timedrelease/internal/token"
 	"timedrelease/internal/wire"
 )
 
@@ -40,6 +42,7 @@ type Client struct {
 	noCache     bool
 	noAggregate bool
 	retry       RetryPolicy
+	wallet      *token.Wallet // nil: no tokens attached (tokens.go)
 
 	mu    sync.RWMutex
 	cache map[string]core.KeyUpdate
@@ -62,6 +65,9 @@ type clientMetrics struct {
 	catchupDegraded  *obs.Counter   // CatchUp calls returning a PartialError
 	streamEvents     *obs.Counter   // verified updates delivered over /v1/stream
 	streamReconnects *obs.Counter   // stream connections re-dialled after a disconnect
+	tokensFetched    *obs.Counter   // tokens issued into the wallet
+	tokenRedeemed    *obs.Counter   // gated requests admitted with a token
+	tokenRejected    *obs.Counter   // tokens the server refused as spent (409)
 }
 
 // ClientOption configures a Client.
@@ -100,6 +106,9 @@ func WithClientMetrics(r *obs.Registry) ClientOption {
 			catchupDegraded:  r.Counter("client.catchup_degraded"),
 			streamEvents:     r.Counter("client.stream_events"),
 			streamReconnects: r.Counter("client.stream_reconnects"),
+			tokensFetched:    r.Counter("client.tokens_fetched"),
+			tokenRedeemed:    r.Counter("client.token_redeemed"),
+			tokenRejected:    r.Counter("client.token_rejected"),
 		}
 	}
 }
@@ -290,6 +299,26 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
 // responses stay under the default 1 MiB, but a catch-up range of 64k
 // updates is legitimately tens of MiB.
 func (c *Client) getLimited(ctx context.Context, path string, bodyLimit int64) ([]byte, int, error) {
+	return c.request(ctx, http.MethodGet, path, nil, bodyLimit, nil)
+}
+
+// getLimitedHeader is getLimited with extra request headers (token
+// redemption attaches the credential this way; see tokens.go).
+func (c *Client) getLimitedHeader(ctx context.Context, path string, bodyLimit int64, hdr http.Header) ([]byte, int, error) {
+	return c.request(ctx, http.MethodGet, path, nil, bodyLimit, hdr)
+}
+
+// post sends a request body and returns the response under the default
+// body cap, with the same retry policy as get. Callers must only post
+// idempotent payloads — token issuance is (blind-signing the same
+// points twice yields the same signatures).
+func (c *Client) post(ctx context.Context, path string, payload []byte) ([]byte, int, error) {
+	return c.request(ctx, http.MethodPost, path, payload, 1<<20, nil)
+}
+
+// request is the transport core behind get/getLimited/post: the retry
+// loop with capped exponential backoff over single doOnce attempts.
+func (c *Client) request(ctx context.Context, method, path string, payload []byte, bodyLimit int64, hdr http.Header) ([]byte, int, error) {
 	defer c.met.fetchNS.Since(time.Now())
 	p := c.retry
 	if p.MaxAttempts < 1 {
@@ -303,7 +332,7 @@ func (c *Client) getLimited(ctx context.Context, path string, bodyLimit int64) (
 				break // ctx cancelled while backing off
 			}
 		}
-		body, status, err := c.getOnce(ctx, path, p.PerAttempt, bodyLimit)
+		body, status, err := c.doOnce(ctx, method, path, payload, p.PerAttempt, bodyLimit, hdr)
 		if err == nil {
 			if retryableStatus(status) && attempt < p.MaxAttempts {
 				lastErr = fmt.Errorf("timeserver: %s: transient status %d", path, status)
@@ -322,16 +351,25 @@ func (c *Client) getLimited(ctx context.Context, path string, bodyLimit int64) (
 	return nil, 0, lastErr
 }
 
-// getOnce is a single HTTP attempt.
-func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration, bodyLimit int64) ([]byte, int, error) {
+// doOnce is a single HTTP attempt.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, timeout time.Duration, bodyLimit int64, hdr http.Header) ([]byte, int, error) {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	var reqBody io.Reader
+	if payload != nil {
+		reqBody = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reqBody)
 	if err != nil {
 		return nil, 0, fmt.Errorf("timeserver: building request: %w", err)
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"timedrelease/internal/parallel"
 	"timedrelease/internal/params"
 	"timedrelease/internal/timefmt"
+	"timedrelease/internal/token"
 	"timedrelease/internal/wire"
 )
 
@@ -43,6 +44,13 @@ type Server struct {
 	served    atomic.Int64 // HTTP requests served
 	hub       *hub         // coalesced broadcast to streams and long-poll waiters
 	draining  atomic.Bool  // shutting down: long-polls return immediately
+
+	// Anonymous metered access (nil: tokens neither issued nor
+	// required). The issuer holds a DEDICATED signing key — never the
+	// timed-release key (checkTokenKeySeparation) — so passivity of
+	// release is untouched: no request can still cause a key update.
+	issuer *token.Issuer
+	gate   *token.Verifier
 
 	// Observability (nil without WithMetrics/WithLogger; obs types
 	// no-op on nil). The registry never records anything about
@@ -101,6 +109,7 @@ func NewServer(set *params.Set, key *core.ServerKeyPair, sched timefmt.Schedule,
 	for _, o := range opts {
 		o(s)
 	}
+	s.checkTokenKeySeparation()
 	s.hub.instrument(s.reg)
 	return s
 }
@@ -266,6 +275,9 @@ func (s *Server) Handler() http.Handler {
 		reg:      s.reg,
 		archHit:  s.reg.Counter("timeserver.archive_hit"),
 		archMiss: s.reg.Counter("timeserver.archive_miss"),
+		issuer:   s.issuer,
+		gate:     s.gate,
+		tokenMet: newTokenMetrics(s.reg),
 	}
 	return view.routes()
 }
@@ -286,6 +298,11 @@ type publicView struct {
 	reg      *obs.Registry
 	archHit  *obs.Counter // archive lookups that found the label
 	archMiss *obs.Counter // … that did not (future/unknown label)
+
+	// Token issuance/gating (tokens.go); both nil on an open server.
+	issuer   *token.Issuer
+	gate     *token.Verifier
+	tokenMet tokenMetrics
 }
 
 func (v *publicView) routes() http.Handler {
@@ -294,9 +311,13 @@ func (v *publicView) routes() http.Handler {
 	mux.HandleFunc("GET /v1/server-key", v.observe("server-key", v.handleServerKey))
 	mux.HandleFunc("GET /v1/schedule", v.observe("schedule", v.handleSchedule))
 	mux.HandleFunc("GET /v1/update/{label}", v.observe("update", v.handleUpdate))
-	mux.HandleFunc("GET /v1/catchup", v.observe("catchup", v.handleCatchUp))
+	mux.HandleFunc("GET /v1/catchup", v.observe("catchup", v.requireToken(v.handleCatchUp)))
 	mux.HandleFunc("GET /v1/wait/{label}", v.observe("wait", v.handleWait))
-	mux.HandleFunc("GET /v1/stream", v.observe("stream", v.handleStream))
+	mux.HandleFunc("GET /v1/stream", v.observe("stream", v.requireToken(v.handleStream)))
+	if v.issuer != nil {
+		mux.HandleFunc("POST /v1/tokens/issue", v.observe("tokens-issue", v.handleTokenIssue))
+		mux.HandleFunc("GET /v1/tokens/key", v.observe("tokens-key", v.handleTokenKey))
+	}
 	mux.HandleFunc("GET /v1/latest", v.observe("latest", v.handleLatest))
 	mux.HandleFunc("GET /v1/labels", v.observe("labels", v.handleLabels))
 	mux.HandleFunc("GET /v1/healthz", v.observe("healthz", func(w http.ResponseWriter, _ *http.Request) {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"timedrelease/internal/core"
+	"timedrelease/internal/token"
 )
 
 // ErrStreamUnsupported reports a server without the /v1/stream
@@ -53,6 +54,16 @@ func (c *Client) StreamUpdates(ctx context.Context, from string, fn func(core.Ke
 		return 0, fmt.Errorf("timeserver: building stream request: %w", err)
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	// A gated server admits one stream connection per token
+	// (docs/TOKENS.md); every dial — including each WaitFor
+	// reconnect — spends one from the wallet.
+	if c.wallet != nil {
+		hdr, err := c.popTokenHeader()
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set(TokenHeader, hdr)
+	}
 	resp, err := c.streamHTTP().Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("timeserver: /v1/stream: %w", err)
@@ -60,8 +71,16 @@ func (c *Client) StreamUpdates(ctx context.Context, from string, fn func(core.Ke
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
+		if c.wallet != nil {
+			c.met.tokenRedeemed.Inc()
+		}
 	case http.StatusNotFound:
 		return 0, ErrStreamUnsupported
+	case http.StatusUnauthorized:
+		return 0, ErrTokenRequired
+	case http.StatusConflict:
+		c.met.tokenRejected.Inc()
+		return 0, token.ErrDoubleSpend
 	default:
 		return 0, fmt.Errorf("timeserver: /v1/stream: unexpected status %d", resp.StatusCode)
 	}
@@ -161,6 +180,11 @@ func (c *Client) WaitFor(ctx context.Context, label string) (core.KeyUpdate, err
 		case errors.Is(err, ErrStreamUnsupported):
 			return c.WaitForReleaseLongPoll(ctx, label)
 		case errors.Is(err, ErrBadUpdate):
+			return core.KeyUpdate{}, err
+		case errors.Is(err, ErrTokenRequired):
+			// A gated server and nothing to pay with: reconnecting
+			// cannot help, and the long-poll fallback would quietly
+			// bypass the gate the operator configured. Surface it.
 			return core.KeyUpdate{}, err
 		}
 		if ctx.Err() != nil {

@@ -1,0 +1,74 @@
+package token
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"timedrelease/internal/backend"
+	"timedrelease/internal/bls"
+	"timedrelease/internal/curve"
+	"timedrelease/internal/params"
+)
+
+// MaxBatch bounds one issuance request: enough for a client to stock a
+// wallet in one round trip, small enough that a request can't buy an
+// unbounded amount of server scalar multiplication.
+const MaxBatch = 256
+
+// Issuer blind-signs token requests with the dedicated issuance key.
+// It never sees seeds — only uniformly distributed blinded points —
+// so it cannot correlate an issuance with a later redemption.
+type Issuer struct {
+	set *params.Set
+	key *bls.PrivateKey
+}
+
+// NewIssuer wraps an existing issuance key pair. The key MUST be
+// dedicated to token issuance (see the package comment): callers
+// embedding an Issuer next to a timed-release key are responsible for
+// keeping the two scalars distinct, and timeserver.NewServer enforces
+// it by comparing public keys.
+func NewIssuer(set *params.Set, key *bls.PrivateKey) (*Issuer, error) {
+	if key == nil {
+		return nil, errors.New("token: issuer needs a signing key")
+	}
+	return &Issuer{set: set, key: key}, nil
+}
+
+// GenerateIssuer creates a fresh issuance key pair over the canonical
+// generator of set.
+func GenerateIssuer(set *params.Set, rng io.Reader) (*Issuer, error) {
+	key, err := bls.GenerateKey(set, rng)
+	if err != nil {
+		return nil, fmt.Errorf("token: generating issuance key: %w", err)
+	}
+	return &Issuer{set: set, key: key}, nil
+}
+
+// Key returns the underlying key pair (persistence by cmd/treserver).
+func (iss *Issuer) Key() *bls.PrivateKey { return iss.key }
+
+// Public returns the issuance verification key clients unblind
+// against.
+func (iss *Issuer) Public() bls.PublicKey { return iss.key.Pub }
+
+// SignBlinded blind-signs a batch of blinded token points: S′_i =
+// x·B_i. Identity or out-of-subgroup inputs are rejected outright —
+// a small-subgroup B would leak x mod the subgroup order through S′.
+func (iss *Issuer) SignBlinded(blinded []curve.Point) ([]curve.Point, error) {
+	if len(blinded) == 0 {
+		return nil, errors.New("token: empty issuance batch")
+	}
+	if len(blinded) > MaxBatch {
+		return nil, fmt.Errorf("token: issuance batch %d exceeds cap %d", len(blinded), MaxBatch)
+	}
+	out := make([]curve.Point, len(blinded))
+	for i, b := range blinded {
+		if b.IsInfinity() || !iss.set.B.InSubgroup(backend.G2, b) {
+			return nil, fmt.Errorf("token: blinded point %d is not a subgroup point", i)
+		}
+		out[i] = iss.set.B.ScalarMult(backend.G2, iss.key.S, b)
+	}
+	return out, nil
+}

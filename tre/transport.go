@@ -149,8 +149,12 @@ func NewHTTPServer(h http.Handler, readHeaderTimeout time.Duration) *http.Server
 	return timeserver.NewHTTPServer(h, readHeaderTimeout)
 }
 
+// TimeClientOption configures NewTimeClient (WithHTTPClient,
+// WithClientMetrics, WithoutCache, WithRetry, WithTokenWallet, ...).
+type TimeClientOption = timeserver.ClientOption
+
 // NewTimeClient creates a client pinned to the given server public key.
-func NewTimeClient(baseURL string, set *Params, spub ServerPublicKey, opts ...timeserver.ClientOption) *TimeClient {
+func NewTimeClient(baseURL string, set *Params, spub ServerPublicKey, opts ...TimeClientOption) *TimeClient {
 	return timeserver.NewClient(baseURL, set, spub, opts...)
 }
 
